@@ -1,0 +1,96 @@
+// Command pdldesign constructs and verifies balanced incomplete block
+// designs: the combinatorial objects underlying parity-declustered
+// layouts.
+//
+// Usage:
+//
+//	pdldesign -v 16 -k 4                       # best known design
+//	pdldesign -v 27 -k 3 -method subfield      # Theorem 6 λ=1 design
+//	pdldesign -v 13 -k 4 -method thm4 -blocks  # print the blocks
+//	pdldesign -v 9 -k 3 -resolve               # find parallel classes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/design"
+)
+
+func main() {
+	v := flag.Int("v", 7, "number of elements (disks)")
+	k := flag.Int("k", 3, "block (stripe) size")
+	method := flag.String("method", "known", "known|ring|thm4|thm5|subfield|complete")
+	blocks := flag.Bool("blocks", false, "print the blocks")
+	resolve := flag.Bool("resolve", false, "attempt to resolve into parallel classes")
+	flag.Parse()
+
+	d, how, err := build(*method, *v, *k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdldesign:", err)
+		os.Exit(1)
+	}
+	b, r, lambda, ok := d.Params()
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pdldesign: %s construction produced an invalid design: %v\n", how, d.Verify())
+		os.Exit(1)
+	}
+	fmt.Printf("%s design: v=%d k=%d b=%d r=%d λ=%d\n", how, d.V, d.K, b, r, lambda)
+	fmt.Printf("theorem 7 lower bound on b: %d (achieved: %v)\n", design.MinB(d.V, d.K), b == design.MinB(d.V, d.K))
+	if *blocks {
+		for i, tuple := range d.Tuples {
+			fmt.Printf("%4d: %v\n", i, tuple)
+		}
+	}
+	if *resolve {
+		classes, ok := design.Resolve(d, 10_000_000)
+		if !ok {
+			fmt.Println("resolution: none found (design may not be resolvable)")
+			return
+		}
+		fmt.Printf("resolution: %d parallel classes\n", len(classes))
+		for i, class := range classes {
+			fmt.Printf("  class %d: blocks %v\n", i, class)
+		}
+	}
+}
+
+func build(method string, v, k int) (*design.Design, string, error) {
+	switch method {
+	case "known":
+		d := design.Known(v, k)
+		if d == nil {
+			return nil, "", fmt.Errorf("no known design for v=%d k=%d", v, k)
+		}
+		return d, "catalog", nil
+	case "ring":
+		rd, err := design.NewRingDesignForVK(v, k)
+		if err != nil {
+			return nil, "", err
+		}
+		return &rd.Design, "ring-based (Theorem 1)", nil
+	case "thm4":
+		d, f, err := design.Theorem4Design(v, k)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, fmt.Sprintf("Theorem 4 (reduction factor %d)", f), nil
+	case "thm5":
+		d, f, err := design.Theorem5Design(v, k)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, fmt.Sprintf("Theorem 5 (reduction factor %d)", f), nil
+	case "subfield":
+		d, f, err := design.SubfieldDesign(v, k)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, fmt.Sprintf("Theorem 6 subfield (reduction factor %d)", f), nil
+	case "complete":
+		return design.Complete(v, k, 1_000_000), "complete", nil
+	default:
+		return nil, "", fmt.Errorf("unknown method %q", method)
+	}
+}

@@ -1,0 +1,36 @@
+// Command pdlexp regenerates every experiment in the paper's evaluation
+// (Figures 1-7, tables T1-T7, simulator studies S1-S2) and prints them.
+//
+// Usage:
+//
+//	pdlexp           # quick parameters (seconds)
+//	pdlexp -full     # full paper parameters (v <= 10,000 coverage, etc.)
+//	pdlexp -only T5  # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run full paper-scale parameters")
+	only := flag.String("only", "", "run a single experiment by id (e.g. T5)")
+	flag.Parse()
+
+	tables, err := experiments.All(!*full)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdlexp:", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		if *only != "" && !strings.EqualFold(t.ID, *only) {
+			continue
+		}
+		fmt.Println(t.String())
+	}
+}

@@ -1,0 +1,95 @@
+// Command pdlgen generates parity-declustered layouts and writes them as
+// JSON (or a human-readable grid).
+//
+// Usage:
+//
+//	pdlgen -v 24 -k 5 [-method auto|ring|hg|balanced|raid5|random] [-grid] [-o layout.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/baseline"
+	"repro/internal/layout"
+)
+
+func main() {
+	v := flag.Int("v", 8, "number of disks")
+	k := flag.Int("k", 4, "parity stripe size")
+	method := flag.String("method", "auto", "construction: auto|ring|hg|balanced|raid5|random")
+	rows := flag.Int("rows", 0, "rows for raid5/random (default: match ring layout size)")
+	seed := flag.Uint64("seed", 1, "seed for random layouts")
+	grid := flag.Bool("grid", false, "print the layout grid instead of JSON")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	l, how, err := build(*method, *v, *k, *rows, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdlgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pdlgen: built %s layout for v=%d k=%d (size %d)\n", how, *v, *k, l.Size)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pdlgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *grid {
+		printGrid(w, l)
+		return
+	}
+	if err := l.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "pdlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func build(method string, v, k, rows int, seed uint64) (*layout.Layout, string, error) {
+	switch method {
+	case "auto":
+		return repro.Layout(v, k)
+	case "ring":
+		l, err := repro.RingLayout(v, k)
+		return l, "ring", err
+	case "hg":
+		l, err := repro.HollandGibsonLayout(v, k)
+		return l, "holland-gibson", err
+	case "balanced":
+		l, err := repro.BalancedLayout(v, k)
+		return l, "flow-balanced", err
+	case "raid5":
+		if rows == 0 {
+			rows = k * (v - 1)
+		}
+		l, err := baseline.RAID5(v, rows)
+		return l, "raid5", err
+	case "random":
+		if rows == 0 {
+			rows = k * (v - 1)
+		}
+		l, err := baseline.Random(v, k, rows, seed)
+		return l, "random", err
+	default:
+		return nil, "", fmt.Errorf("unknown method %q", method)
+	}
+}
+
+func printGrid(w *os.File, l *layout.Layout) {
+	for _, row := range l.RenderGrid() {
+		for d, c := range row {
+			if d > 0 {
+				fmt.Fprint(w, "\t")
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+}

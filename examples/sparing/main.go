@@ -1,0 +1,48 @@
+// Sparing: the Section 5 distributed-sparing proposal. Instead of a
+// dedicated hot-spare disk (which absorbs every rebuild write), reserve
+// one spare unit per stripe, placed by the same network-flow machinery
+// that balances parity. Rebuild writes then decluster exactly like
+// rebuild reads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	rl, err := core.NewRingLayout(13, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := core.DistributedSparing(rl.Layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("array: v=13, k=4, %d stripes, one spare unit per stripe\n", len(sp.Stripes))
+	fmt.Printf("spare units per disk: %v (spread %d)\n", sp.SpareCounts(), sp.SpareSpread())
+
+	writes, lost, err := sp.RebuildToSpares(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndisk 0 fails; rebuilding each lost unit into its stripe's spare:")
+	fmt.Printf("per-disk rebuild writes: %v\n", writes)
+	fmt.Printf("stripes whose (empty) spare was on the failed disk: %d\n", lost)
+
+	max := 0
+	total := 0
+	for d, w := range writes {
+		if d == 0 {
+			continue
+		}
+		total += w
+		if w > max {
+			max = w
+		}
+	}
+	fmt.Printf("\nhot-spare disk would absorb all %d writes; distributed sparing caps any disk at %d\n", total, max)
+	fmt.Println("(the generalized Theorem 14 flow guarantees per-disk spare counts within 1 of each other)")
+}

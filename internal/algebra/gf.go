@@ -1,0 +1,249 @@
+package algebra
+
+import "fmt"
+
+// GF is the finite field GF(p^m). Element codes encode the coefficient
+// vector of the representative polynomial in base p: the element
+// c_0 + c_1 a + ... + c_{m-1} a^{m-1} (a a root of the modulus) has code
+// c_0 + c_1 p + ... + c_{m-1} p^{m-1}. In particular codes 0..p-1 are the
+// prime subfield and Add on them is addition mod p.
+//
+// Multiplication uses exp/log tables over a primitive element, so Mul and
+// Inv are O(1).
+type GF struct {
+	p, m, q int
+	modulus []int // monic irreducible of degree m over GF(p)
+	expTab  []int // expTab[i] = g^i for i in [0, q-1); length q-1
+	logTab  []int // logTab[x] = i with g^i = x, for x != 0
+	addTab  []int // flattened q*q addition table for small fields, else nil
+}
+
+// maxAddTable bounds the field order for which the O(q^2) addition table is
+// precomputed; larger fields add coefficient vectors on the fly.
+const maxAddTable = 1 << 10
+
+// NewGF returns the field GF(p^m) for prime p and m >= 1. The construction
+// finds an irreducible modulus and a primitive element deterministically, so
+// repeated calls build identical fields.
+func NewGF(p, m int) *GF {
+	if !IsPrime(p) {
+		panic(fmt.Sprintf("algebra: NewGF(%d,%d): p must be prime", p, m))
+	}
+	if m < 1 {
+		panic(fmt.Sprintf("algebra: NewGF(%d,%d): m must be >= 1", p, m))
+	}
+	q := 1
+	for i := 0; i < m; i++ {
+		q *= p
+		if q > 1<<22 {
+			panic(fmt.Sprintf("algebra: NewGF(%d,%d): field too large", p, m))
+		}
+	}
+	f := &GF{p: p, m: m, q: q, modulus: findIrreducible(p, m)}
+	f.buildTables()
+	return f
+}
+
+// NewField returns GF(q) for a prime power q.
+func NewField(q int) *GF {
+	p, e, ok := IsPrimePower(q)
+	if !ok {
+		panic(fmt.Sprintf("algebra: NewField(%d): order must be a prime power", q))
+	}
+	return NewGF(p, e)
+}
+
+func (f *GF) buildTables() {
+	// Raw polynomial multiplication (tables don't exist yet).
+	rawMul := f.MulNoTable
+	// Find a primitive element: a generator of the cyclic unit group of
+	// order q-1. Try candidates in code order; check order via the prime
+	// factorization of q-1.
+	n := f.q - 1
+	var primitive int
+	factors := Factorize(n)
+	pow := func(base, e int) int {
+		r := 1
+		for ; e > 0; e >>= 1 {
+			if e&1 == 1 {
+				r = rawMul(r, base)
+			}
+			base = rawMul(base, base)
+		}
+		return r
+	}
+	for cand := 2; ; cand++ {
+		if cand >= f.q {
+			// q = 2: unit group trivial, 1 is primitive.
+			primitive = 1
+			break
+		}
+		ok := true
+		for _, pp := range factors {
+			if pow(cand, n/pp.P) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			primitive = cand
+			break
+		}
+	}
+	f.expTab = make([]int, n)
+	f.logTab = make([]int, f.q)
+	x := 1
+	for i := 0; i < n; i++ {
+		f.expTab[i] = x
+		f.logTab[x] = i
+		x = rawMul(x, primitive)
+	}
+	if x != 1 {
+		panic("algebra: GF table construction: primitive element order mismatch")
+	}
+	if f.q <= maxAddTable {
+		f.addTab = make([]int, f.q*f.q)
+		for a := 0; a < f.q; a++ {
+			for b := 0; b < f.q; b++ {
+				f.addTab[a*f.q+b] = f.slowAdd(a, b)
+			}
+		}
+	}
+}
+
+func (f *GF) slowAdd(a, b int) int {
+	// Add coefficient vectors digit-by-digit in base p.
+	out := 0
+	mult := 1
+	for i := 0; i < f.m; i++ {
+		da, db := a%f.p, b%f.p
+		a /= f.p
+		b /= f.p
+		out += ((da + db) % f.p) * mult
+		mult *= f.p
+	}
+	return out
+}
+
+// Order returns p^m.
+func (f *GF) Order() int { return f.q }
+
+// Char returns the characteristic p.
+func (f *GF) Char() int { return f.p }
+
+// Degree returns m, the extension degree over GF(p).
+func (f *GF) Degree() int { return f.m }
+
+// Zero returns the code of 0.
+func (f *GF) Zero() int { return 0 }
+
+// One returns the code of 1.
+func (f *GF) One() int { return 1 }
+
+// Add returns a + b.
+func (f *GF) Add(a, b int) int {
+	if f.addTab != nil {
+		return f.addTab[a*f.q+b]
+	}
+	return f.slowAdd(a, b)
+}
+
+// Neg returns -a.
+func (f *GF) Neg(a int) int {
+	if f.p == 2 {
+		return a
+	}
+	out := 0
+	mult := 1
+	x := a
+	for i := 0; i < f.m; i++ {
+		d := x % f.p
+		x /= f.p
+		if d != 0 {
+			d = f.p - d
+		}
+		out += d * mult
+		mult *= f.p
+	}
+	return out
+}
+
+// Mul returns a * b via the exp/log tables.
+func (f *GF) Mul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	s := f.logTab[a] + f.logTab[b]
+	if s >= f.q-1 {
+		s -= f.q - 1
+	}
+	return f.expTab[s]
+}
+
+// MulNoTable multiplies by explicit polynomial arithmetic modulo the
+// field's irreducible polynomial — the reference implementation the
+// exp/log tables are validated against, kept exported for tests and the
+// table-vs-polynomial ablation bench.
+func (f *GF) MulNoTable(a, b int) int {
+	pa := polyFromCode(a, f.p, f.m)
+	pb := polyFromCode(b, f.p, f.m)
+	return polyToCode(polyMod(polyMul(pa, pb, f.p), f.modulus, f.p), f.p)
+}
+
+// Inv returns a^-1; every nonzero element is a unit.
+func (f *GF) Inv(a int) (int, bool) {
+	if a == 0 {
+		return 0, false
+	}
+	l := f.logTab[a]
+	if l == 0 {
+		return a, true // a == 1
+	}
+	return f.expTab[f.q-1-l], true
+}
+
+// Name returns "GF(q)".
+func (f *GF) Name() string { return fmt.Sprintf("GF(%d)", f.q) }
+
+// Primitive returns a fixed primitive element (generator of the unit group).
+func (f *GF) Primitive() int {
+	if f.q == 2 {
+		return 1
+	}
+	return f.expTab[1]
+}
+
+// ElementOfOrder returns an element of multiplicative order d, which exists
+// iff d divides q-1. It returns 0, false otherwise.
+func (f *GF) ElementOfOrder(d int) (int, bool) {
+	if d < 1 || (f.q-1)%d != 0 {
+		return 0, false
+	}
+	if d == 1 {
+		return f.One(), true
+	}
+	return f.expTab[(f.q-1)/d], true
+}
+
+// Subfield returns the codes of the unique subfield of order k, which exists
+// iff k is a power of p and its degree divides m. The elements are exactly
+// the roots of x^k = x. Returns nil if no such subfield exists.
+func (f *GF) Subfield(k int) []int {
+	kp, ke, ok := IsPrimePower(k)
+	if !ok || kp != f.p || f.m%ke != 0 {
+		if k == f.p && f.m%1 == 0 {
+			// handled above; unreachable
+		}
+		return nil
+	}
+	var out []int
+	for x := 0; x < f.q; x++ {
+		if Pow(f, x, k) == x {
+			out = append(out, x)
+		}
+	}
+	if len(out) != k {
+		panic(fmt.Sprintf("algebra: %s: subfield of order %d has %d elements", f.Name(), k, len(out)))
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGFAxiomsSmall(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27} {
+		f := NewField(q)
+		if err := RingAxioms(f, 32); err != nil {
+			t.Errorf("GF(%d): %v", q, err)
+		}
+	}
+}
+
+func TestGFAxiomsLargeSampled(t *testing.T) {
+	for _, q := range []int{64, 81, 125, 128, 243, 256, 343, 512, 1024, 2048} {
+		f := NewField(q)
+		if err := RingAxioms(f, 16); err != nil {
+			t.Errorf("GF(%d): %v", q, err)
+		}
+	}
+}
+
+func TestGFEveryNonzeroInvertible(t *testing.T) {
+	for _, q := range []int{4, 8, 9, 16, 27, 32, 49, 64, 81} {
+		f := NewField(q)
+		if _, ok := f.Inv(0); ok {
+			t.Errorf("GF(%d): 0 must not be invertible", q)
+		}
+		for a := 1; a < q; a++ {
+			inv, ok := f.Inv(a)
+			if !ok {
+				t.Fatalf("GF(%d): %d not invertible", q, a)
+			}
+			if f.Mul(a, inv) != f.One() {
+				t.Fatalf("GF(%d): %d * %d != 1", q, a, inv)
+			}
+		}
+	}
+}
+
+func TestGFPrimitiveElement(t *testing.T) {
+	for _, q := range []int{3, 4, 5, 8, 9, 16, 25, 27, 64, 81, 128} {
+		f := NewField(q)
+		g := f.Primitive()
+		if got := MultiplicativeOrder(f, g); got != q-1 {
+			t.Errorf("GF(%d): primitive element order %d, want %d", q, got, q-1)
+		}
+	}
+}
+
+func TestGFElementOfOrder(t *testing.T) {
+	f := NewField(16)
+	for _, d := range Divisors(15) {
+		a, ok := f.ElementOfOrder(d)
+		if !ok {
+			t.Fatalf("GF(16): no element of order %d", d)
+		}
+		if got := MultiplicativeOrder(f, a); got != d {
+			t.Errorf("GF(16): ElementOfOrder(%d) has order %d", d, got)
+		}
+	}
+	if _, ok := f.ElementOfOrder(7); ok {
+		t.Error("GF(16): order 7 does not divide 15")
+	}
+	if _, ok := f.ElementOfOrder(0); ok {
+		t.Error("GF(16): order 0 is invalid")
+	}
+}
+
+func TestGFFrobeniusFixesPrimeSubfield(t *testing.T) {
+	// x -> x^p fixes exactly GF(p) inside GF(p^m).
+	for _, pm := range []struct{ p, m int }{{2, 4}, {3, 3}, {5, 2}} {
+		f := NewGF(pm.p, pm.m)
+		fixed := 0
+		for x := 0; x < f.Order(); x++ {
+			if Pow(f, x, pm.p) == x {
+				fixed++
+			}
+		}
+		if fixed != pm.p {
+			t.Errorf("GF(%d^%d): Frobenius fixes %d elements, want %d", pm.p, pm.m, fixed, pm.p)
+		}
+	}
+}
+
+func TestGFSubfield(t *testing.T) {
+	f := NewField(16)
+	sub := f.Subfield(4)
+	if len(sub) != 4 {
+		t.Fatalf("GF(16): subfield of order 4 has %d elements", len(sub))
+	}
+	// The subfield must be closed under + and * and contain 0 and 1.
+	inSub := map[int]bool{}
+	for _, x := range sub {
+		inSub[x] = true
+	}
+	if !inSub[f.Zero()] || !inSub[f.One()] {
+		t.Fatal("GF(16): subfield missing 0 or 1")
+	}
+	for _, a := range sub {
+		for _, b := range sub {
+			if !inSub[f.Add(a, b)] {
+				t.Fatalf("GF(16): subfield not closed under + at (%d,%d)", a, b)
+			}
+			if !inSub[f.Mul(a, b)] {
+				t.Fatalf("GF(16): subfield not closed under * at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestGFSubfieldLarger(t *testing.T) {
+	f := NewField(64) // subfields: 2, 4, 8
+	for _, k := range []int{2, 4, 8} {
+		if got := len(f.Subfield(k)); got != k {
+			t.Errorf("GF(64): subfield of order %d has %d elements", k, got)
+		}
+	}
+	if f.Subfield(16) != nil { // 16 = 2^4, 4 does not divide 6
+		t.Error("GF(64): subfield of order 16 should not exist")
+	}
+	if f.Subfield(3) != nil {
+		t.Error("GF(64): subfield of order 3 should not exist")
+	}
+	f9 := NewField(9)
+	if got := len(f9.Subfield(3)); got != 3 {
+		t.Errorf("GF(9): subfield of order 3 has %d elements", got)
+	}
+}
+
+func TestGFNegCharTwo(t *testing.T) {
+	f := NewField(8)
+	for a := 0; a < 8; a++ {
+		if f.Neg(a) != a {
+			t.Errorf("GF(8): -%d = %d, want %d", a, f.Neg(a), a)
+		}
+	}
+}
+
+func TestGFNegOddChar(t *testing.T) {
+	f := NewField(27)
+	for a := 0; a < 27; a++ {
+		if got := f.Add(a, f.Neg(a)); got != 0 {
+			t.Errorf("GF(27): %d + (-%d) = %d", a, a, got)
+		}
+	}
+}
+
+func TestGFAddMatchesSlowAdd(t *testing.T) {
+	// Exercise both table-driven and on-the-fly addition paths.
+	f := NewField(2048) // above maxAddTable
+	g := NewField(81)   // below maxAddTable
+	check := func(f *GF) {
+		fn := func(a, b uint16) bool {
+			x, y := int(a)%f.Order(), int(b)%f.Order()
+			return f.Add(x, y) == f.slowAdd(x, y)
+		}
+		if err := quick.Check(fn, nil); err != nil {
+			t.Errorf("%s: %v", f.Name(), err)
+		}
+	}
+	check(f)
+	check(g)
+}
+
+func TestGFMulMatchesNoTable(t *testing.T) {
+	// The exp/log tables must agree with raw polynomial arithmetic.
+	for _, q := range []int{4, 8, 9, 27, 64, 81} {
+		f := NewField(q)
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				if f.Mul(a, b) != f.MulNoTable(a, b) {
+					t.Fatalf("GF(%d): Mul(%d,%d) disagrees with polynomial path", q, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestGFDeterministicConstruction(t *testing.T) {
+	a, b := NewField(64), NewField(64)
+	for x := 0; x < 64; x++ {
+		for y := 0; y < 64; y++ {
+			if a.Mul(x, y) != b.Mul(x, y) {
+				t.Fatalf("GF(64) construction not deterministic at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestNewFieldRejectsComposite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewField(6) did not panic")
+		}
+	}()
+	NewField(6)
+}
+
+func TestNewGFRejectsCompositeChar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGF(4, 2) did not panic")
+		}
+	}()
+	NewGF(4, 2)
+}
+
+func TestGFCharDegree(t *testing.T) {
+	f := NewGF(3, 4)
+	if f.Char() != 3 || f.Degree() != 4 || f.Order() != 81 {
+		t.Errorf("GF(3^4): char %d degree %d order %d", f.Char(), f.Degree(), f.Order())
+	}
+	if f.Name() != "GF(81)" {
+		t.Errorf("name = %q", f.Name())
+	}
+}

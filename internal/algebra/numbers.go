@@ -1,0 +1,206 @@
+// Package algebra implements the finite commutative rings with unit that
+// underlie ring-based block designs (Schwabe & Sutherland, Section 2):
+// integers mod n, prime fields, Galois fields GF(p^m) built from irreducible
+// polynomials, and cross products of rings. Ring elements are represented as
+// integer codes in [0, order), which keeps design construction allocation-free
+// and lets GF(p^m) arithmetic run on exp/log tables.
+//
+// The package also provides the elementary number theory the paper's
+// constructions need: factorization, prime powers, gcd/lcm, the bound
+// M(v) = min p_i^{e_i} of Theorem 2, element orders, and subfields.
+package algebra
+
+import "fmt"
+
+// GCD returns the greatest common divisor of a and b. GCD(0, 0) = 0.
+func GCD(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b. LCM(0, x) = 0.
+func LCM(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a / GCD(a, b) * b
+}
+
+// ExtGCD returns (g, x, y) such that a*x + b*y = g = gcd(a, b).
+func ExtGCD(a, b int) (g, x, y int) {
+	if b == 0 {
+		return a, 1, 0
+	}
+	g, x1, y1 := ExtGCD(b, a%b)
+	return g, y1, x1 - (a/b)*y1
+}
+
+// PrimePower describes one factor p^e of an integer.
+type PrimePower struct {
+	P int // prime
+	E int // exponent, >= 1
+}
+
+// Value returns P^E.
+func (pp PrimePower) Value() int {
+	v := 1
+	for i := 0; i < pp.E; i++ {
+		v *= pp.P
+	}
+	return v
+}
+
+// Factorize returns the prime-power factorization of n >= 1 in increasing
+// prime order. Factorize(1) returns an empty slice.
+func Factorize(n int) []PrimePower {
+	if n < 1 {
+		panic(fmt.Sprintf("algebra: Factorize(%d): argument must be >= 1", n))
+	}
+	var fs []PrimePower
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			e := 0
+			for n%p == 0 {
+				n /= p
+				e++
+			}
+			fs = append(fs, PrimePower{P: p, E: e})
+		}
+	}
+	if n > 1 {
+		fs = append(fs, PrimePower{P: n, E: 1})
+	}
+	return fs
+}
+
+// IsPrime reports whether n is prime.
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrimePower reports whether n = p^e for a prime p and e >= 1, and if so
+// returns p and e.
+func IsPrimePower(n int) (p, e int, ok bool) {
+	if n < 2 {
+		return 0, 0, false
+	}
+	fs := Factorize(n)
+	if len(fs) != 1 {
+		return 0, 0, false
+	}
+	return fs[0].P, fs[0].E, true
+}
+
+// MaxGenerators returns M(v) = min{p_i^{e_i}} over the prime-power
+// factorization of v: by Theorem 2 this is the largest k for which a
+// ring of order v with k generators (pairwise-invertible differences)
+// exists. MaxGenerators(1) = 1 (the trivial ring bound is vacuous; v >= 2
+// in all layouts).
+func MaxGenerators(v int) int {
+	if v < 1 {
+		panic(fmt.Sprintf("algebra: MaxGenerators(%d): argument must be >= 1", v))
+	}
+	if v == 1 {
+		return 1
+	}
+	m := v + 1
+	for _, pp := range Factorize(v) {
+		if q := pp.Value(); q < m {
+			m = q
+		}
+	}
+	return m
+}
+
+// PrimePowersUpTo returns all prime powers q with 2 <= q <= n, ascending.
+func PrimePowersUpTo(n int) []int {
+	var out []int
+	for q := 2; q <= n; q++ {
+		if _, _, ok := IsPrimePower(q); ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// LargestPrimePowerAtMost returns the largest prime power q <= n, or 0 if
+// there is none (n < 2).
+func LargestPrimePowerAtMost(n int) int {
+	for q := n; q >= 2; q-- {
+		if _, _, ok := IsPrimePower(q); ok {
+			return q
+		}
+	}
+	return 0
+}
+
+// Divisors returns the positive divisors of n >= 1 in increasing order.
+func Divisors(n int) []int {
+	if n < 1 {
+		panic(fmt.Sprintf("algebra: Divisors(%d): argument must be >= 1", n))
+	}
+	var small, large []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			small = append(small, d)
+			if d != n/d {
+				large = append(large, n/d)
+			}
+		}
+	}
+	for i := len(large) - 1; i >= 0; i-- {
+		small = append(small, large[i])
+	}
+	return small
+}
+
+// PowMod returns base^exp mod m for exp >= 0, m >= 1.
+func PowMod(base, exp, m int) int {
+	if m < 1 {
+		panic("algebra: PowMod: modulus must be >= 1")
+	}
+	if exp < 0 {
+		panic("algebra: PowMod: negative exponent")
+	}
+	base %= m
+	if base < 0 {
+		base += m
+	}
+	r := 1 % m
+	for exp > 0 {
+		if exp&1 == 1 {
+			r = r * base % m
+		}
+		base = base * base % m
+		exp >>= 1
+	}
+	return r
+}
+
+// EulerPhi returns Euler's totient of n >= 1.
+func EulerPhi(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("algebra: EulerPhi(%d): argument must be >= 1", n))
+	}
+	phi := n
+	for _, pp := range Factorize(n) {
+		phi = phi / pp.P * (pp.P - 1)
+	}
+	return phi
+}

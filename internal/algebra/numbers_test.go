@@ -1,0 +1,277 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGCDBasic(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 5, 5}, {5, 0, 5}, {12, 18, 6}, {18, 12, 6},
+		{7, 13, 1}, {-12, 18, 6}, {12, -18, 6}, {-12, -18, 6}, {1, 1, 1},
+		{100, 10, 10}, {17, 17, 17},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGCDProperties(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := int(a), int(b)
+		g := GCD(x, y)
+		if x == 0 && y == 0 {
+			return g == 0
+		}
+		if g <= 0 {
+			return false
+		}
+		return x%g == 0 && y%g == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{4, 6, 12}, {3, 5, 15}, {0, 7, 0}, {7, 0, 0}, {6, 6, 6}, {1, 9, 9},
+	}
+	for _, c := range cases {
+		if got := LCM(c.a, c.b); got != c.want {
+			t.Errorf("LCM(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestExtGCDIdentity(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := int(a), int(b)
+		g, u, v := ExtGCD(x, y)
+		return x*u+y*v == g && g == GCD(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorize(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []PrimePower
+	}{
+		{1, nil},
+		{2, []PrimePower{{2, 1}}},
+		{12, []PrimePower{{2, 2}, {3, 1}}},
+		{360, []PrimePower{{2, 3}, {3, 2}, {5, 1}}},
+		{97, []PrimePower{{97, 1}}},
+		{1024, []PrimePower{{2, 10}}},
+	}
+	for _, c := range cases {
+		got := Factorize(c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("Factorize(%d) = %v, want %v", c.n, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Factorize(%d)[%d] = %v, want %v", c.n, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestFactorizeReconstructs(t *testing.T) {
+	for n := 1; n <= 5000; n++ {
+		prod := 1
+		for _, pp := range Factorize(n) {
+			if !IsPrime(pp.P) {
+				t.Fatalf("Factorize(%d): %d is not prime", n, pp.P)
+			}
+			prod *= pp.Value()
+		}
+		if prod != n {
+			t.Fatalf("Factorize(%d) product = %d", n, prod)
+		}
+	}
+}
+
+func TestFactorizePanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Factorize(0) did not panic")
+		}
+	}()
+	Factorize(0)
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{2: true, 3: true, 5: true, 7: true, 11: true, 13: true, 97: true, 101: true}
+	for n := -2; n <= 101; n++ {
+		want := primes[n]
+		if n > 13 && n < 97 {
+			// compute by trial division independently
+			want = n > 1
+			for d := 2; d*d <= n; d++ {
+				if n%d == 0 {
+					want = false
+					break
+				}
+			}
+		}
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrimePower(t *testing.T) {
+	cases := []struct {
+		n, p, e int
+		ok      bool
+	}{
+		{1, 0, 0, false}, {2, 2, 1, true}, {4, 2, 2, true}, {6, 0, 0, false},
+		{8, 2, 3, true}, {9, 3, 2, true}, {12, 0, 0, false}, {27, 3, 3, true},
+		{49, 7, 2, true}, {121, 11, 2, true}, {100, 0, 0, false},
+	}
+	for _, c := range cases {
+		p, e, ok := IsPrimePower(c.n)
+		if ok != c.ok || p != c.p || e != c.e {
+			t.Errorf("IsPrimePower(%d) = (%d,%d,%v), want (%d,%d,%v)", c.n, p, e, ok, c.p, c.e, c.ok)
+		}
+	}
+}
+
+func TestMaxGenerators(t *testing.T) {
+	cases := []struct{ v, want int }{
+		{2, 2}, {3, 3}, {4, 4}, {6, 2}, {8, 8}, {12, 3}, {15, 3},
+		{16, 16}, {30, 2}, {36, 4}, {100, 4}, {1000, 8}, {97, 97},
+	}
+	for _, c := range cases {
+		if got := MaxGenerators(c.v); got != c.want {
+			t.Errorf("MaxGenerators(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMaxGeneratorsPrimePowerIsV(t *testing.T) {
+	for _, q := range PrimePowersUpTo(512) {
+		if MaxGenerators(q) != q {
+			t.Errorf("MaxGenerators(%d) = %d, want %d", q, MaxGenerators(q), q)
+		}
+	}
+}
+
+func TestPrimePowersUpTo(t *testing.T) {
+	got := PrimePowersUpTo(32)
+	want := []int{2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25, 27, 29, 31, 32}
+	if len(got) != len(want) {
+		t.Fatalf("PrimePowersUpTo(32) = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("PrimePowersUpTo(32)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLargestPrimePowerAtMost(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {2, 2}, {6, 5}, {10, 9}, {15, 13}, {28, 27}, {100, 97},
+	}
+	for _, c := range cases {
+		if got := LargestPrimePowerAtMost(c.n); got != c.want {
+			t.Errorf("LargestPrimePowerAtMost(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{1, []int{1}},
+		{12, []int{1, 2, 3, 4, 6, 12}},
+		{36, []int{1, 2, 3, 4, 6, 9, 12, 18, 36}},
+		{17, []int{1, 17}},
+	}
+	for _, c := range cases {
+		got := Divisors(c.n)
+		if len(got) != len(c.want) {
+			t.Fatalf("Divisors(%d) = %v, want %v", c.n, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Divisors(%d)[%d] = %d, want %d", c.n, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestDivisorsSortedAndDivide(t *testing.T) {
+	for n := 1; n <= 500; n++ {
+		ds := Divisors(n)
+		for i, d := range ds {
+			if n%d != 0 {
+				t.Fatalf("Divisors(%d): %d does not divide", n, d)
+			}
+			if i > 0 && ds[i-1] >= d {
+				t.Fatalf("Divisors(%d) not strictly increasing: %v", n, ds)
+			}
+		}
+	}
+}
+
+func TestPowMod(t *testing.T) {
+	cases := []struct{ b, e, m, want int }{
+		{2, 10, 1000, 24}, {3, 0, 7, 1}, {0, 5, 7, 0}, {5, 3, 13, 8},
+		{2, 20, 1, 0}, {-2, 3, 7, 6},
+	}
+	for _, c := range cases {
+		if got := PowMod(c.b, c.e, c.m); got != c.want {
+			t.Errorf("PowMod(%d,%d,%d) = %d, want %d", c.b, c.e, c.m, got, c.want)
+		}
+	}
+}
+
+func TestPowModMatchesNaive(t *testing.T) {
+	f := func(b, e uint8, m uint8) bool {
+		mod := int(m)%50 + 2
+		base, exp := int(b)%mod, int(e)%12
+		naive := 1 % mod
+		for i := 0; i < exp; i++ {
+			naive = naive * base % mod
+		}
+		return PowMod(base, exp, mod) == naive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEulerPhi(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {6, 2}, {9, 6}, {10, 4}, {12, 4}, {36, 12}, {97, 96},
+	}
+	for _, c := range cases {
+		if got := EulerPhi(c.n); got != c.want {
+			t.Errorf("EulerPhi(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestEulerPhiMatchesCount(t *testing.T) {
+	for n := 1; n <= 300; n++ {
+		count := 0
+		for k := 1; k <= n; k++ {
+			if GCD(k, n) == 1 {
+				count++
+			}
+		}
+		if got := EulerPhi(n); got != count {
+			t.Fatalf("EulerPhi(%d) = %d, want %d", n, got, count)
+		}
+	}
+}

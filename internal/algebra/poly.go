@@ -1,0 +1,169 @@
+package algebra
+
+import "fmt"
+
+// Polynomials over the prime field GF(p), used only to construct GF(p^m).
+// A polynomial is a coefficient slice c[0] + c[1]x + ... with c[len-1] != 0
+// (or the empty slice for the zero polynomial).
+
+// polyTrim removes trailing zero coefficients.
+func polyTrim(c []int) []int {
+	n := len(c)
+	for n > 0 && c[n-1] == 0 {
+		n--
+	}
+	return c[:n]
+}
+
+// polyAdd returns a + b over GF(p).
+func polyAdd(a, b []int, p int) []int {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]int, n)
+	for i := range out {
+		var x, y int
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		out[i] = (x + y) % p
+	}
+	return polyTrim(out)
+}
+
+// polyMul returns a * b over GF(p).
+func polyMul(a, b []int, p int) []int {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]int, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] = (out[i+j] + ai*bj) % p
+		}
+	}
+	return polyTrim(out)
+}
+
+// polyMod returns a mod m over GF(p); m must be nonzero.
+func polyMod(a, m []int, p int) []int {
+	if len(m) == 0 {
+		panic("algebra: polyMod: division by zero polynomial")
+	}
+	a = append([]int(nil), polyTrim(a)...)
+	lead := m[len(m)-1]
+	leadInv := modInverse(lead, p)
+	for len(a) >= len(m) {
+		shift := len(a) - len(m)
+		factor := a[len(a)-1] * leadInv % p
+		for i, mi := range m {
+			a[shift+i] = (a[shift+i] - factor*mi%p + p*p) % p
+		}
+		a = polyTrim(a)
+	}
+	return a
+}
+
+// modInverse returns x^-1 mod p for prime p and x != 0 mod p.
+func modInverse(x, p int) int {
+	g, inv, _ := ExtGCD(x%p, p)
+	if g != 1 {
+		panic(fmt.Sprintf("algebra: modInverse: %d not invertible mod %d", x, p))
+	}
+	inv %= p
+	if inv < 0 {
+		inv += p
+	}
+	return inv
+}
+
+// polyEqual reports whether a == b as polynomials.
+func polyEqual(a, b []int) bool {
+	a, b = polyTrim(a), polyTrim(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// polyFromCode decodes an integer code into base-p coefficients of length m.
+func polyFromCode(code, p, m int) []int {
+	c := make([]int, m)
+	for i := 0; i < m; i++ {
+		c[i] = code % p
+		code /= p
+	}
+	return c
+}
+
+// polyToCode encodes coefficients (length <= m) into an integer code base p.
+func polyToCode(c []int, p int) int {
+	code := 0
+	for i := len(c) - 1; i >= 0; i-- {
+		code = code*p + c[i]
+	}
+	return code
+}
+
+// isIrreducible reports whether monic f (degree >= 1) is irreducible over
+// GF(p), by trial division against every monic polynomial of degree
+// 1..deg(f)/2. The search spaces here are tiny (deg <= ~14, p small).
+func isIrreducible(f []int, p int) bool {
+	deg := len(f) - 1
+	if deg < 1 {
+		return false
+	}
+	if deg == 1 {
+		return true
+	}
+	for d := 1; d <= deg/2; d++ {
+		// Enumerate monic polynomials of degree d: p^d choices of lower
+		// coefficients.
+		count := 1
+		for i := 0; i < d; i++ {
+			count *= p
+		}
+		for code := 0; code < count; code++ {
+			div := polyFromCode(code, p, d)
+			div = append(div, 0)
+			div[d] = 1 // monic of degree d
+			if len(polyMod(f, div, p)) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// findIrreducible returns a monic irreducible polynomial of degree m over
+// GF(p), deterministically (smallest by coefficient code).
+func findIrreducible(p, m int) []int {
+	if m == 1 {
+		return []int{0, 1} // x
+	}
+	count := 1
+	for i := 0; i < m; i++ {
+		count *= p
+	}
+	for code := 0; code < count; code++ {
+		f := polyFromCode(code, p, m)
+		f = append(f, 0)
+		f[m] = 1 // monic of degree m
+		if isIrreducible(f, p) {
+			return f
+		}
+	}
+	panic(fmt.Sprintf("algebra: no irreducible polynomial of degree %d over GF(%d)", m, p))
+}

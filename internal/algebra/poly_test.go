@@ -1,0 +1,122 @@
+package algebra
+
+import "testing"
+
+func TestPolyTrim(t *testing.T) {
+	if got := polyTrim([]int{1, 2, 0, 0}); len(got) != 2 {
+		t.Errorf("polyTrim = %v", got)
+	}
+	if got := polyTrim([]int{0, 0}); len(got) != 0 {
+		t.Errorf("polyTrim zero = %v", got)
+	}
+}
+
+func TestPolyAdd(t *testing.T) {
+	// (1 + x) + (1 + x + x^2) = x^2 over GF(2)
+	got := polyAdd([]int{1, 1}, []int{1, 1, 1}, 2)
+	if !polyEqual(got, []int{0, 0, 1}) {
+		t.Errorf("polyAdd = %v", got)
+	}
+}
+
+func TestPolyMul(t *testing.T) {
+	// (1 + x)^2 = 1 + x^2 over GF(2)
+	got := polyMul([]int{1, 1}, []int{1, 1}, 2)
+	if !polyEqual(got, []int{1, 0, 1}) {
+		t.Errorf("(1+x)^2 over GF(2) = %v", got)
+	}
+	// (1 + x)(2 + x) = 2 + 3x + x^2 = 2 + x^2 over GF(3)
+	got = polyMul([]int{1, 1}, []int{2, 1}, 3)
+	if !polyEqual(got, []int{2, 0, 1}) {
+		t.Errorf("(1+x)(2+x) over GF(3) = %v", got)
+	}
+	if got := polyMul(nil, []int{1, 1}, 2); len(got) != 0 {
+		t.Errorf("0 * p = %v", got)
+	}
+}
+
+func TestPolyMod(t *testing.T) {
+	// x^2 mod (x^2 + x + 1) = x + 1 over GF(2)
+	got := polyMod([]int{0, 0, 1}, []int{1, 1, 1}, 2)
+	if !polyEqual(got, []int{1, 1}) {
+		t.Errorf("x^2 mod (x^2+x+1) = %v", got)
+	}
+	// Degree smaller than modulus: unchanged.
+	got = polyMod([]int{1, 1}, []int{1, 1, 1}, 2)
+	if !polyEqual(got, []int{1, 1}) {
+		t.Errorf("small mod = %v", got)
+	}
+}
+
+func TestPolyModDivisionIdentity(t *testing.T) {
+	// For random-ish a, m over GF(3): a = q*m + r implies (a - r) mod m == 0.
+	for code := 0; code < 200; code++ {
+		a := polyFromCode(code*7+1, 3, 5)
+		m := []int{1, 2, 1} // 1 + 2x + x^2, monic
+		r := polyMod(a, m, 3)
+		if len(r) >= len(m) {
+			t.Fatalf("remainder degree too high: %v", r)
+		}
+		// a - r should be divisible by m.
+		negR := make([]int, len(r))
+		for i, c := range r {
+			negR[i] = (3 - c) % 3
+		}
+		diff := polyAdd(a, negR, 3)
+		if len(polyMod(diff, m, 3)) != 0 {
+			t.Fatalf("a - (a mod m) not divisible by m for code %d", code)
+		}
+	}
+}
+
+func TestCodeRoundTrip(t *testing.T) {
+	for code := 0; code < 81; code++ {
+		if got := polyToCode(polyFromCode(code, 3, 4), 3); got != code {
+			t.Errorf("round trip %d -> %d", code, got)
+		}
+	}
+}
+
+func TestIsIrreducibleKnown(t *testing.T) {
+	// x^2 + x + 1 irreducible over GF(2); x^2 + 1 = (x+1)^2 reducible.
+	if !isIrreducible([]int{1, 1, 1}, 2) {
+		t.Error("x^2+x+1 should be irreducible over GF(2)")
+	}
+	if isIrreducible([]int{1, 0, 1}, 2) {
+		t.Error("x^2+1 is (x+1)^2 over GF(2)")
+	}
+	// x^2 + 1 irreducible over GF(3).
+	if !isIrreducible([]int{1, 0, 1}, 3) {
+		t.Error("x^2+1 should be irreducible over GF(3)")
+	}
+	// Any degree-1 polynomial is irreducible.
+	if !isIrreducible([]int{5 % 7, 1}, 7) {
+		t.Error("degree-1 polynomials are irreducible")
+	}
+}
+
+func TestFindIrreducibleDegrees(t *testing.T) {
+	for _, pm := range []struct{ p, m int }{{2, 1}, {2, 2}, {2, 3}, {2, 8}, {3, 2}, {3, 4}, {5, 3}, {7, 2}} {
+		f := findIrreducible(pm.p, pm.m)
+		if len(f) != pm.m+1 {
+			t.Fatalf("findIrreducible(%d,%d): degree %d", pm.p, pm.m, len(f)-1)
+		}
+		if f[pm.m] != 1 {
+			t.Fatalf("findIrreducible(%d,%d): not monic", pm.p, pm.m)
+		}
+		if !isIrreducible(f, pm.p) {
+			t.Fatalf("findIrreducible(%d,%d): reducible result %v", pm.p, pm.m, f)
+		}
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	for p := range map[int]bool{2: true, 3: true, 5: true, 7: true, 11: true} {
+		for x := 1; x < p; x++ {
+			inv := modInverse(x, p)
+			if x*inv%p != 1 {
+				t.Errorf("modInverse(%d, %d) = %d", x, p, inv)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Product is the cross product R_1 x ... x R_n of rings, with componentwise
+// operations (Section 2.1 of the paper). Element codes are mixed-radix:
+// code = c_1 + c_2*|R_1| + c_3*|R_1||R_2| + ... . An element is a unit iff
+// every component is a unit, so a product of two or more fields is a ring
+// but not a field.
+type Product struct {
+	rings []Ring
+	order int
+}
+
+// NewProduct returns the cross product of the given rings (at least one).
+func NewProduct(rings ...Ring) *Product {
+	if len(rings) == 0 {
+		panic("algebra: NewProduct: need at least one ring")
+	}
+	order := 1
+	for _, r := range rings {
+		order *= r.Order()
+		if order > 1<<26 {
+			panic("algebra: NewProduct: product too large")
+		}
+	}
+	return &Product{rings: append([]Ring(nil), rings...), order: order}
+}
+
+// ProductRingFor returns the canonical ring of order v used by Lemma 3:
+// the cross product of the fields GF(p_i^{e_i}) over the prime-power
+// factorization of v. For prime-power v this is a single field (and the
+// returned Ring is *GF). Its generator capacity is exactly M(v).
+func ProductRingFor(v int) Ring {
+	fs := Factorize(v)
+	if len(fs) == 0 {
+		panic(fmt.Sprintf("algebra: ProductRingFor(%d): v must be >= 2", v))
+	}
+	if len(fs) == 1 {
+		return NewGF(fs[0].P, fs[0].E)
+	}
+	rings := make([]Ring, len(fs))
+	for i, pp := range fs {
+		rings[i] = NewGF(pp.P, pp.E)
+	}
+	return NewProduct(rings...)
+}
+
+// Components returns the component rings.
+func (pr *Product) Components() []Ring { return pr.rings }
+
+// Decompose splits a code into component codes.
+func (pr *Product) Decompose(code int) []int {
+	out := make([]int, len(pr.rings))
+	for i, r := range pr.rings {
+		out[i] = code % r.Order()
+		code /= r.Order()
+	}
+	return out
+}
+
+// Compose combines component codes into a product code.
+func (pr *Product) Compose(parts []int) int {
+	if len(parts) != len(pr.rings) {
+		panic("algebra: Product.Compose: wrong number of components")
+	}
+	code := 0
+	for i := len(parts) - 1; i >= 0; i-- {
+		if parts[i] < 0 || parts[i] >= pr.rings[i].Order() {
+			panic("algebra: Product.Compose: component out of range")
+		}
+		code = code*pr.rings[i].Order() + parts[i]
+	}
+	return code
+}
+
+// Order returns the product of the component orders.
+func (pr *Product) Order() int { return pr.order }
+
+// Zero returns the code of (0, ..., 0).
+func (pr *Product) Zero() int { return 0 }
+
+// One returns the code of (1, ..., 1).
+func (pr *Product) One() int {
+	parts := make([]int, len(pr.rings))
+	for i, r := range pr.rings {
+		parts[i] = r.One()
+	}
+	return pr.Compose(parts)
+}
+
+func (pr *Product) mapBinary(a, b int, op func(r Ring, x, y int) int) int {
+	code, mult := 0, 1
+	for _, r := range pr.rings {
+		n := r.Order()
+		code += op(r, a%n, b%n) * mult
+		a /= n
+		b /= n
+		mult *= n
+	}
+	return code
+}
+
+// Add adds componentwise.
+func (pr *Product) Add(a, b int) int {
+	return pr.mapBinary(a, b, func(r Ring, x, y int) int { return r.Add(x, y) })
+}
+
+// Mul multiplies componentwise.
+func (pr *Product) Mul(a, b int) int {
+	return pr.mapBinary(a, b, func(r Ring, x, y int) int { return r.Mul(x, y) })
+}
+
+// Neg negates componentwise.
+func (pr *Product) Neg(a int) int {
+	code, mult := 0, 1
+	for _, r := range pr.rings {
+		n := r.Order()
+		code += r.Neg(a%n) * mult
+		a /= n
+		mult *= n
+	}
+	return code
+}
+
+// Inv inverts componentwise; a is a unit iff every component is.
+func (pr *Product) Inv(a int) (int, bool) {
+	code, mult := 0, 1
+	for _, r := range pr.rings {
+		n := r.Order()
+		inv, ok := r.Inv(a % n)
+		if !ok {
+			return 0, false
+		}
+		code += inv * mult
+		a /= n
+		mult *= n
+	}
+	return code, true
+}
+
+// Name returns e.g. "GF(4)xGF(9)".
+func (pr *Product) Name() string {
+	parts := make([]string, len(pr.rings))
+	for i, r := range pr.rings {
+		parts[i] = r.Name()
+	}
+	return strings.Join(parts, "x")
+}
+
+// DiagonalGenerators returns the size-M(v) generator set of Lemma 3 for a
+// product of fields: the j-th generator is (e_1ʲ, ..., e_nʲ) where e_iʲ is
+// the j-th element of the i-th field. Any k-subset is a generator set.
+func (pr *Product) DiagonalGenerators() []int {
+	m := pr.Order() + 1
+	for _, r := range pr.rings {
+		if r.Order() < m {
+			m = r.Order()
+		}
+	}
+	gs := make([]int, m)
+	parts := make([]int, len(pr.rings))
+	for j := 0; j < m; j++ {
+		for i := range pr.rings {
+			parts[i] = j // codes 0..m-1 are distinct elements of each field
+		}
+		gs[j] = pr.Compose(parts)
+	}
+	return gs
+}

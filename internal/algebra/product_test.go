@@ -1,0 +1,116 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProductAxioms(t *testing.T) {
+	cases := []Ring{
+		NewProduct(NewField(4), NewField(3)),              // order 12
+		NewProduct(NewField(2), NewField(3), NewField(5)), // order 30
+		NewProduct(NewField(9), NewField(5)),              // order 45
+	}
+	for _, r := range cases {
+		if err := RingAxioms(r, 48); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+	}
+}
+
+func TestProductComposeDecompose(t *testing.T) {
+	pr := NewProduct(NewField(4), NewField(3), NewField(5))
+	for code := 0; code < pr.Order(); code++ {
+		parts := pr.Decompose(code)
+		if got := pr.Compose(parts); got != code {
+			t.Fatalf("compose(decompose(%d)) = %d", code, got)
+		}
+	}
+}
+
+func TestProductUnitIffAllComponentsUnits(t *testing.T) {
+	pr := NewProduct(NewField(4), NewField(3))
+	for code := 0; code < pr.Order(); code++ {
+		parts := pr.Decompose(code)
+		want := parts[0] != 0 && parts[1] != 0
+		_, ok := pr.Inv(code)
+		if ok != want {
+			t.Errorf("%s: Inv(%d) ok = %v, want %v", pr.Name(), code, ok, want)
+		}
+	}
+}
+
+func TestProductNotAField(t *testing.T) {
+	pr := NewProduct(NewField(2), NewField(3))
+	units := 0
+	for code := 0; code < pr.Order(); code++ {
+		if _, ok := pr.Inv(code); ok {
+			units++
+		}
+	}
+	if units != 1*2 {
+		t.Errorf("Z2 x Z3 style product: %d units, want 2", units)
+	}
+}
+
+func TestProductRingForPrimePowerIsField(t *testing.T) {
+	r := ProductRingFor(27)
+	if _, ok := r.(*GF); !ok {
+		t.Errorf("ProductRingFor(27) = %T, want *GF", r)
+	}
+}
+
+func TestProductRingForComposite(t *testing.T) {
+	for _, v := range []int{6, 12, 20, 36, 60, 100} {
+		r := ProductRingFor(v)
+		if r.Order() != v {
+			t.Errorf("ProductRingFor(%d).Order() = %d", v, r.Order())
+		}
+		if err := RingAxioms(r, 24); err != nil {
+			t.Errorf("ProductRingFor(%d): %v", v, err)
+		}
+	}
+}
+
+func TestDiagonalGeneratorsAchieveMv(t *testing.T) {
+	// Lemma 3: the canonical ring of order v has a generator set of size M(v).
+	for _, v := range []int{6, 12, 20, 36, 60, 72, 90} {
+		r := ProductRingFor(v)
+		m := MaxGenerators(v)
+		var gs []int
+		if pr, ok := r.(*Product); ok {
+			gs = pr.DiagonalGenerators()
+		} else {
+			t.Fatalf("v=%d should be composite", v)
+		}
+		if len(gs) != m {
+			t.Fatalf("v=%d: diagonal generators size %d, want M(v)=%d", v, len(gs), m)
+		}
+		if !IsGeneratorSet(r, gs) {
+			t.Fatalf("v=%d: diagonal set is not a generator set", v)
+		}
+	}
+}
+
+func TestProductName(t *testing.T) {
+	pr := NewProduct(NewField(4), NewField(3))
+	if pr.Name() != "GF(4)xGF(3)" {
+		t.Errorf("Name = %q", pr.Name())
+	}
+}
+
+func TestProductAddMulConsistentWithComponents(t *testing.T) {
+	f1, f2 := NewField(5), NewField(4)
+	pr := NewProduct(f1, f2)
+	fn := func(a, b uint8) bool {
+		x, y := int(a)%pr.Order(), int(b)%pr.Order()
+		px, py := pr.Decompose(x), pr.Decompose(y)
+		sum := pr.Decompose(pr.Add(x, y))
+		prod := pr.Decompose(pr.Mul(x, y))
+		return sum[0] == f1.Add(px[0], py[0]) && sum[1] == f2.Add(px[1], py[1]) &&
+			prod[0] == f1.Mul(px[0], py[0]) && prod[1] == f2.Mul(px[1], py[1])
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

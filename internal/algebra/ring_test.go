@@ -1,0 +1,179 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZmodAxioms(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6, 9, 12, 15} {
+		if err := RingAxioms(NewZmod(n), 64); err != nil {
+			t.Errorf("Z_%d: %v", n, err)
+		}
+	}
+}
+
+func TestZmodInv(t *testing.T) {
+	z := NewZmod(12)
+	for a := 0; a < 12; a++ {
+		inv, ok := z.Inv(a)
+		wantOK := GCD(a, 12) == 1
+		if ok != wantOK {
+			t.Errorf("Z_12: Inv(%d) ok = %v, want %v", a, ok, wantOK)
+		}
+		if ok && a*inv%12 != 1 {
+			t.Errorf("Z_12: %d * %d != 1", a, inv)
+		}
+	}
+}
+
+func TestZmodFieldWhenPrime(t *testing.T) {
+	z := NewZmod(13)
+	for a := 1; a < 13; a++ {
+		if _, ok := z.Inv(a); !ok {
+			t.Errorf("Z_13: %d should be a unit", a)
+		}
+	}
+}
+
+func TestSubPow(t *testing.T) {
+	z := NewZmod(7)
+	if got := Sub(z, 3, 5); got != 5 {
+		t.Errorf("3 - 5 mod 7 = %d, want 5", got)
+	}
+	if got := Pow(z, 3, 6); got != 1 { // Fermat
+		t.Errorf("3^6 mod 7 = %d, want 1", got)
+	}
+	if got := Pow(z, 3, 0); got != 1 {
+		t.Errorf("3^0 mod 7 = %d, want 1", got)
+	}
+	if got := Repeat(z, 10, 3); got != 2 {
+		t.Errorf("10 * 3 mod 7 = %d, want 2", got)
+	}
+	if got := Repeat(z, 0, 3); got != 0 {
+		t.Errorf("0 * 3 mod 7 = %d, want 0", got)
+	}
+}
+
+func TestAdditiveOrder(t *testing.T) {
+	z := NewZmod(12)
+	cases := []struct{ a, want int }{
+		{0, 1}, {1, 12}, {2, 6}, {3, 4}, {4, 3}, {6, 2}, {8, 3},
+	}
+	for _, c := range cases {
+		if got := AdditiveOrder(z, c.a); got != c.want {
+			t.Errorf("AdditiveOrder(Z_12, %d) = %d, want %d", c.a, got, c.want)
+		}
+	}
+}
+
+func TestAdditiveOrderDividesRingOrder(t *testing.T) {
+	f := func(n, a uint8) bool {
+		mod := int(n)%30 + 2
+		z := NewZmod(mod)
+		ord := AdditiveOrder(z, int(a)%mod)
+		return mod%ord == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplicativeOrder(t *testing.T) {
+	z := NewZmod(7) // unit group cyclic of order 6; 3 is a generator
+	cases := []struct{ a, want int }{
+		{1, 1}, {6, 2}, {2, 3}, {4, 3}, {3, 6}, {5, 6}, {0, 0},
+	}
+	for _, c := range cases {
+		if got := MultiplicativeOrder(z, c.a); got != c.want {
+			t.Errorf("MultiplicativeOrder(Z_7, %d) = %d, want %d", c.a, got, c.want)
+		}
+	}
+}
+
+func TestMultiplicativeOrderNonUnit(t *testing.T) {
+	z := NewZmod(12)
+	for _, a := range []int{0, 2, 3, 4, 6, 8, 9, 10} {
+		if got := MultiplicativeOrder(z, a); got != 0 {
+			t.Errorf("MultiplicativeOrder(Z_12, %d) = %d, want 0", a, got)
+		}
+	}
+}
+
+func TestIsGeneratorSetField(t *testing.T) {
+	f := NewField(7)
+	if !IsGeneratorSet(f, []int{0, 1, 2, 3, 4, 5, 6}) {
+		t.Error("all of GF(7) should be a generator set")
+	}
+	if IsGeneratorSet(f, []int{0, 1, 1}) {
+		t.Error("duplicate elements must not form a generator set")
+	}
+}
+
+func TestIsGeneratorSetZmod(t *testing.T) {
+	z := NewZmod(6)
+	// 3 - 1 = 2 is not a unit mod 6.
+	if IsGeneratorSet(z, []int{1, 3}) {
+		t.Error("{1,3} in Z_6: difference 2 is not a unit")
+	}
+	// 1 - 0 = 1 is a unit.
+	if !IsGeneratorSet(z, []int{0, 1}) {
+		t.Error("{0,1} should be a generator set in Z_6")
+	}
+}
+
+func TestFindGeneratorsField(t *testing.T) {
+	for _, q := range []int{4, 5, 7, 8, 9, 16, 25} {
+		f := NewField(q)
+		for k := 1; k <= q; k++ {
+			gs := FindGenerators(f, k)
+			if gs == nil {
+				t.Fatalf("GF(%d): no generator set of size %d", q, k)
+			}
+			if len(gs) != k || !IsGeneratorSet(f, gs) {
+				t.Fatalf("GF(%d): invalid generator set %v", q, gs)
+			}
+			if gs[0] != f.Zero() {
+				t.Fatalf("GF(%d): generator set must start at 0", q)
+			}
+		}
+		if FindGenerators(f, q+1) != nil {
+			t.Errorf("GF(%d): set of size %d should not exist", q, q+1)
+		}
+	}
+}
+
+func TestFindGeneratorsProductBound(t *testing.T) {
+	// v = 12 = 4*3: M(12) = 3 generators max.
+	r := ProductRingFor(12)
+	gs := FindGenerators(r, 3)
+	if gs == nil || !IsGeneratorSet(r, gs) {
+		t.Fatalf("v=12: expected generator set of size 3, got %v", gs)
+	}
+	if FindGenerators(r, 4) != nil {
+		t.Error("v=12: generator set of size 4 contradicts Theorem 2")
+	}
+}
+
+func TestRingAxiomsDetectsBrokenRing(t *testing.T) {
+	if err := RingAxioms(brokenRing{}, 16); err == nil {
+		t.Error("RingAxioms accepted a non-distributive ring")
+	}
+}
+
+// brokenRing violates distributivity: Mul is max, Add is mod-4 addition.
+type brokenRing struct{}
+
+func (brokenRing) Order() int       { return 4 }
+func (brokenRing) Zero() int        { return 0 }
+func (brokenRing) One() int         { return 1 }
+func (brokenRing) Add(a, b int) int { return (a + b) % 4 }
+func (brokenRing) Neg(a int) int    { return (4 - a) % 4 }
+func (brokenRing) Mul(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (brokenRing) Inv(a int) (int, bool) { return 0, false }
+func (brokenRing) Name() string          { return "broken" }

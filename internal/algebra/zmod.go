@@ -1,0 +1,62 @@
+package algebra
+
+import "fmt"
+
+// Zmod is the ring of integers modulo n, n >= 2. Element codes are the
+// canonical residues 0..n-1. It is a field exactly when n is prime.
+type Zmod struct {
+	n int
+}
+
+// NewZmod returns Z_n.
+func NewZmod(n int) *Zmod {
+	if n < 2 {
+		panic(fmt.Sprintf("algebra: NewZmod(%d): modulus must be >= 2", n))
+	}
+	return &Zmod{n: n}
+}
+
+// Order returns n.
+func (z *Zmod) Order() int { return z.n }
+
+// Zero returns 0.
+func (z *Zmod) Zero() int { return 0 }
+
+// One returns 1.
+func (z *Zmod) One() int { return 1 % z.n }
+
+// Add returns (a + b) mod n.
+func (z *Zmod) Add(a, b int) int {
+	s := a + b
+	if s >= z.n {
+		s -= z.n
+	}
+	return s
+}
+
+// Neg returns (-a) mod n.
+func (z *Zmod) Neg(a int) int {
+	if a == 0 {
+		return 0
+	}
+	return z.n - a
+}
+
+// Mul returns (a * b) mod n.
+func (z *Zmod) Mul(a, b int) int { return a * b % z.n }
+
+// Inv returns the multiplicative inverse of a when gcd(a, n) = 1.
+func (z *Zmod) Inv(a int) (int, bool) {
+	g, x, _ := ExtGCD(a, z.n)
+	if g != 1 {
+		return 0, false
+	}
+	x %= z.n
+	if x < 0 {
+		x += z.n
+	}
+	return x, true
+}
+
+// Name returns "Z_n".
+func (z *Zmod) Name() string { return fmt.Sprintf("Z_%d", z.n) }

@@ -1,0 +1,94 @@
+// Package baseline implements the comparison layouts the paper measures
+// against: RAID5 rotated parity (stripes spanning the whole array, k = v),
+// complete-block-design layouts, and Merchant–Yu-style randomized
+// declustered layouts.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/design"
+	"repro/internal/layout"
+)
+
+// RAID5 returns the classic left-symmetric RAID5 layout: v disks, rows of
+// full-width stripes (k = v) with parity rotating across disks. rows is
+// the number of stripes (= layout size).
+func RAID5(v, rows int) (*layout.Layout, error) {
+	if v < 2 || rows < 1 {
+		return nil, fmt.Errorf("baseline: RAID5(%d,%d): invalid parameters", v, rows)
+	}
+	stripes := make([][]int, rows)
+	for i := range stripes {
+		row := make([]int, v)
+		for d := 0; d < v; d++ {
+			row[d] = d
+		}
+		stripes[i] = row
+	}
+	l, err := layout.Assemble(v, stripes)
+	if err != nil {
+		return nil, err
+	}
+	for i := range l.Stripes {
+		l.Stripes[i].Parity = i % v
+	}
+	return l, nil
+}
+
+// CompleteLayout builds the Holland–Gibson layout over the complete block
+// design (all C(v,k) subsets) — the construction the paper notes becomes
+// infeasible as v grows. maxTuples guards the explosion.
+func CompleteLayout(v, k, maxTuples int) (*layout.Layout, error) {
+	d := design.Complete(v, k, maxTuples)
+	return layout.FromDesignHG(d)
+}
+
+// Random builds a Merchant–Yu-style randomized declustered layout: rows of
+// stripes obtained by splitting a pseudorandom permutation of the disks
+// into v/k stripes of size k (k must divide v). Parity rotates within each
+// stripe by row. Deterministic for a fixed seed.
+//
+// Random layouts approximately balance parity and reconstruction workload;
+// the experiments measure how far they fall from the BIBD guarantee.
+func Random(v, k, rows int, seed uint64) (*layout.Layout, error) {
+	if v < 2 || k < 2 || k > v {
+		return nil, fmt.Errorf("baseline: Random(%d,%d): invalid parameters", v, k)
+	}
+	if v%k != 0 {
+		return nil, fmt.Errorf("baseline: Random(%d,%d): k must divide v", v, k)
+	}
+	if rows < 1 {
+		return nil, fmt.Errorf("baseline: Random: rows must be >= 1")
+	}
+	state := seed*2862933555777941757 + 3037000493
+	next := func(mod int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(mod))
+	}
+	perm := make([]int, v)
+	var stripes [][]int
+	for row := 0; row < rows; row++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		// Fisher–Yates.
+		for i := v - 1; i > 0; i-- {
+			j := next(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for s := 0; s < v/k; s++ {
+			stripes = append(stripes, append([]int(nil), perm[s*k:(s+1)*k]...))
+		}
+	}
+	l, err := layout.Assemble(v, stripes)
+	if err != nil {
+		return nil, err
+	}
+	for i := range l.Stripes {
+		l.Stripes[i].Parity = i % k
+	}
+	return l, nil
+}

@@ -1,0 +1,142 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+)
+
+func TestRAID5Structure(t *testing.T) {
+	l, err := RAID5(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size != 10 || len(l.Stripes) != 10 {
+		t.Errorf("size=%d stripes=%d", l.Size, len(l.Stripes))
+	}
+	smin, smax := l.StripeSizes()
+	if smin != 5 || smax != 5 {
+		t.Errorf("stripe sizes [%d,%d]", smin, smax)
+	}
+}
+
+func TestRAID5RotatedParityBalanced(t *testing.T) {
+	l, err := RAID5(5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for disk, c := range l.ParityCounts() {
+		if c != 2 {
+			t.Errorf("disk %d: %d parity units, want 2", disk, c)
+		}
+	}
+}
+
+func TestRAID5FullReconstructionWorkload(t *testing.T) {
+	l, err := RAID5(6, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := l.ReconstructionWorkloadRange()
+	if !min.Equal(layout.R(1, 1)) || !max.Equal(layout.R(1, 1)) {
+		t.Errorf("RAID5 workload [%v,%v], want 1", min, max)
+	}
+}
+
+func TestRAID5Invalid(t *testing.T) {
+	if _, err := RAID5(1, 5); err == nil {
+		t.Error("v=1 accepted")
+	}
+	if _, err := RAID5(5, 0); err == nil {
+		t.Error("rows=0 accepted")
+	}
+}
+
+func TestCompleteLayout(t *testing.T) {
+	l, err := CompleteLayout(6, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// C(6,3)=20 tuples, r=10, size = k*r = 30.
+	if l.Size != 30 {
+		t.Errorf("size = %d, want 30", l.Size)
+	}
+	if !l.ParityPerfectlyBalanced() || !l.WorkloadPerfectlyBalanced() {
+		t.Error("complete-design layout must be perfectly balanced")
+	}
+}
+
+func TestRandomLayoutStructure(t *testing.T) {
+	l, err := Random(12, 4, 20, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size != 20 {
+		t.Errorf("size = %d, want 20 (one unit per disk per row)", l.Size)
+	}
+	smin, smax := l.StripeSizes()
+	if smin != 4 || smax != 4 {
+		t.Errorf("stripe sizes [%d,%d]", smin, smax)
+	}
+}
+
+func TestRandomLayoutDeterministic(t *testing.T) {
+	a, _ := Random(8, 4, 10, 7)
+	b, _ := Random(8, 4, 10, 7)
+	for i := range a.Stripes {
+		for j := range a.Stripes[i].Units {
+			if a.Stripes[i].Units[j] != b.Stripes[i].Units[j] {
+				t.Fatalf("stripe %d differs between identical seeds", i)
+			}
+		}
+	}
+	c, _ := Random(8, 4, 10, 8)
+	same := true
+	for i := range a.Stripes {
+		for j := range a.Stripes[i].Units {
+			if a.Stripes[i].Units[j] != c.Stripes[i].Units[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical layouts")
+	}
+}
+
+func TestRandomLayoutRejectsBadParams(t *testing.T) {
+	if _, err := Random(10, 4, 5, 1); err == nil {
+		t.Error("k not dividing v accepted")
+	}
+	if _, err := Random(10, 1, 5, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Random(10, 5, 0, 1); err == nil {
+		t.Error("rows=0 accepted")
+	}
+}
+
+func TestRandomLayoutApproximateBalance(t *testing.T) {
+	// With many rows the workload imbalance narrows but is generally not
+	// perfect — the contrast with BIBD layouts.
+	l, err := Random(12, 4, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := l.ReconstructionWorkloadRange()
+	if max.Float() > 2.5*min.Float() {
+		t.Errorf("random layout wildly unbalanced: [%v, %v]", min, max)
+	}
+	if max.Float() > 1.0 {
+		t.Errorf("workload fraction above 1: %v", max)
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/design"
+	"repro/internal/flow"
+	"repro/internal/layout"
+)
+
+// BalanceParity assigns the parity unit of every stripe using the paper's
+// Section 4 network-flow method (Theorems 13 and 14): build the parity
+// assignment graph (source -> stripes -> disks -> sink, with disk d's sink
+// edge bounded by [floor(L(d)), ceil(L(d))]), find an integer maximum flow
+// of value b, and place parity on the unit whose stripe->disk edge carries
+// flow. The result gives every disk either floor(L(d)) or ceil(L(d))
+// parity units; for fixed stripe size that is floor(b/v) or ceil(b/v)
+// (Corollary 16), the best achievable.
+//
+// The layout is modified in place. Any prior parity assignment is
+// discarded.
+func BalanceParity(l *layout.Layout) error {
+	b := len(l.Stripes)
+	if b == 0 {
+		return fmt.Errorf("core: BalanceParity: empty layout")
+	}
+	loads := l.ParityLoad()
+	n := flow.NewNetwork()
+	source := n.AddNode()
+	sink := n.AddNode()
+	stripeNode := n.AddNodes(b)
+	diskNode := n.AddNodes(l.V)
+	type unitEdge struct {
+		stripe, unit, edge int
+	}
+	var unitEdges []unitEdge
+	for si := range l.Stripes {
+		n.AddEdge(source, stripeNode+si, 0, 1)
+		for ui, u := range l.Stripes[si].Units {
+			id := n.AddEdge(stripeNode+si, diskNode+u.Disk, 0, 1)
+			unitEdges = append(unitEdges, unitEdge{stripe: si, unit: ui, edge: id})
+		}
+	}
+	for d := 0; d < l.V; d++ {
+		lo := loads[d].Num / loads[d].Den // floor(L(d))
+		hi := lo
+		if loads[d].Num%loads[d].Den != 0 {
+			hi++ // ceil(L(d))
+		}
+		n.AddEdge(diskNode+d, sink, lo, hi)
+	}
+	val, ok := n.MaxFlowWithLowerBounds(source, sink, flow.Dinic)
+	if !ok {
+		return fmt.Errorf("core: BalanceParity: parity assignment graph infeasible (Theorem 13 violated)")
+	}
+	if val != b {
+		return fmt.Errorf("core: BalanceParity: max flow %d != b = %d", val, b)
+	}
+	for si := range l.Stripes {
+		l.Stripes[si].Parity = -1
+	}
+	for _, ue := range unitEdges {
+		if n.Flow(ue.edge) == 1 {
+			if l.Stripes[ue.stripe].Parity >= 0 {
+				return fmt.Errorf("core: BalanceParity: stripe %d assigned two parity units", ue.stripe)
+			}
+			l.Stripes[ue.stripe].Parity = ue.unit
+		}
+	}
+	for si := range l.Stripes {
+		if l.Stripes[si].Parity < 0 {
+			return fmt.Errorf("core: BalanceParity: stripe %d received no parity unit", si)
+		}
+	}
+	return nil
+}
+
+// MinCopiesForPerfectParity returns lcm(b, v)/b, the number of copies of a
+// b-stripe design over v disks that are necessary and sufficient for a
+// perfectly balanced parity assignment (Corollary 17, the Holland–Gibson
+// lcm conjecture).
+func MinCopiesForPerfectParity(b, v int) int {
+	if b < 1 || v < 1 {
+		panic(fmt.Sprintf("core: MinCopiesForPerfectParity(%d,%d): arguments must be >= 1", b, v))
+	}
+	return lcm(b, v) / b
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// BalancedFromDesign builds a single-copy layout from a BIBD and balances
+// its parity with the flow method: the k-times-smaller alternative to the
+// Holland–Gibson construction (Section 4, point 2). Parity counts differ
+// by at most one across disks.
+func BalancedFromDesign(d *design.Design) (*layout.Layout, error) {
+	l, err := layout.FromDesignSingle(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := BalanceParity(l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// PerfectlyBalancedFromDesign replicates a BIBD lcm(b,v)/b times and
+// balances parity, guaranteeing a perfectly even parity distribution
+// (Corollary 17) with the minimum possible replication.
+func PerfectlyBalancedFromDesign(d *design.Design) (*layout.Layout, int, error) {
+	if err := d.Verify(); err != nil {
+		return nil, 0, err
+	}
+	copies := MinCopiesForPerfectParity(d.B(), d.V)
+	single, err := layout.FromDesignSingle(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	replicated := layout.Copies(single, copies)
+	if err := BalanceParity(replicated); err != nil {
+		return nil, 0, err
+	}
+	if !replicated.ParityPerfectlyBalanced() {
+		return nil, 0, fmt.Errorf("core: PerfectlyBalancedFromDesign: flow balance not perfect with %d copies", copies)
+	}
+	return replicated, copies, nil
+}
+
+// SelectDistinguished solves the generalized distinguished-unit problem
+// (the extension after Theorem 14): choose cs[s] units from each stripe s
+// so every disk holds either floor(L'(d)) or ceil(L'(d)) distinguished
+// units, where L'(d) = sum over stripes crossing d of cs/ks. Returns, per
+// stripe, the chosen unit indices. Used for distributed sparing layouts.
+func SelectDistinguished(l *layout.Layout, cs []int) ([][]int, error) {
+	if len(cs) != len(l.Stripes) {
+		return nil, fmt.Errorf("core: SelectDistinguished: cs has %d entries, want %d", len(cs), len(l.Stripes))
+	}
+	total := 0
+	den := 1
+	for si := range l.Stripes {
+		k := len(l.Stripes[si].Units)
+		if cs[si] < 0 || cs[si] > k {
+			return nil, fmt.Errorf("core: SelectDistinguished: cs[%d]=%d outside [0,%d]", si, cs[si], k)
+		}
+		total += cs[si]
+		den = den / gcd(den, k) * k
+	}
+	// L'(d) with common denominator den.
+	num := make([]int, l.V)
+	for si := range l.Stripes {
+		s := &l.Stripes[si]
+		w := den / len(s.Units) * cs[si]
+		for _, u := range s.Units {
+			num[u.Disk] += w
+		}
+	}
+	n := flow.NewNetwork()
+	source := n.AddNode()
+	sink := n.AddNode()
+	stripeNode := n.AddNodes(len(l.Stripes))
+	diskNode := n.AddNodes(l.V)
+	type unitEdge struct{ stripe, unit, edge int }
+	var unitEdges []unitEdge
+	for si := range l.Stripes {
+		n.AddEdge(source, stripeNode+si, cs[si], cs[si])
+		for ui, u := range l.Stripes[si].Units {
+			id := n.AddEdge(stripeNode+si, diskNode+u.Disk, 0, 1)
+			unitEdges = append(unitEdges, unitEdge{si, ui, id})
+		}
+	}
+	for d := 0; d < l.V; d++ {
+		lo := num[d] / den
+		hi := lo
+		if num[d]%den != 0 {
+			hi++
+		}
+		n.AddEdge(diskNode+d, sink, lo, hi)
+	}
+	val, ok := n.MaxFlowWithLowerBounds(source, sink, flow.Dinic)
+	if !ok || val != total {
+		return nil, fmt.Errorf("core: SelectDistinguished: infeasible (flow %d, want %d, ok=%v)", val, total, ok)
+	}
+	out := make([][]int, len(l.Stripes))
+	for _, ue := range unitEdges {
+		if n.Flow(ue.edge) == 1 {
+			out[ue.stripe] = append(out[ue.stripe], ue.unit)
+		}
+	}
+	for si := range out {
+		if len(out[si]) != cs[si] {
+			return nil, fmt.Errorf("core: SelectDistinguished: stripe %d got %d units, want %d", si, len(out[si]), cs[si])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/design"
+	"repro/internal/layout"
+)
+
+func TestBalanceParityFloorCeil(t *testing.T) {
+	// Theorem 14: every disk ends with floor(L(d)) or ceil(L(d)).
+	for _, c := range []struct{ v, k int }{{7, 3}, {9, 3}, {13, 4}, {6, 3}, {10, 3}} {
+		d := design.Known(c.v, c.k)
+		if d == nil {
+			t.Fatalf("no design (%d,%d)", c.v, c.k)
+		}
+		l, err := layout.FromDesignSingle(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads := l.ParityLoad()
+		if err := BalanceParity(l); err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		counts := l.ParityCounts()
+		for disk, got := range counts {
+			lo := loads[disk].Num / loads[disk].Den
+			hi := lo
+			if loads[disk].Num%loads[disk].Den != 0 {
+				hi++
+			}
+			if got < lo || got > hi {
+				t.Errorf("(%d,%d) disk %d: %d parity units, want in [%d,%d]", c.v, c.k, disk, got, lo, hi)
+			}
+		}
+		if err := l.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBalanceParityCorollary16(t *testing.T) {
+	// Fixed stripe size: every disk gets floor(b/v) or ceil(b/v).
+	d := design.FromDifferenceSet(7, []int{1, 2, 4}) // b=7, v=7: b/v = 1
+	l, err := layout.FromDesignSingle(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BalanceParity(l); err != nil {
+		t.Fatal(err)
+	}
+	for disk, c := range l.ParityCounts() {
+		if c != 1 {
+			t.Errorf("disk %d: %d parity units, want exactly 1 (b divisible by v)", disk, c)
+		}
+	}
+}
+
+func TestBalanceParitySpreadAtMostOne(t *testing.T) {
+	// Corollary 16 when v does not divide b: spread exactly <= 1.
+	d := design.Known(9, 3) // AG(2,3): b=12, v=9 -> floor 1, ceil 2
+	if d == nil {
+		t.Fatal("no design")
+	}
+	l, err := layout.FromDesignSingle(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := BalanceParity(l); err != nil {
+		t.Fatal(err)
+	}
+	if s := l.ParitySpread(); s > 1 {
+		t.Errorf("spread %d > 1", s)
+	}
+	// 12 parity units over 9 disks: three disks get 2, six get 1.
+	twos, ones := 0, 0
+	for _, c := range l.ParityCounts() {
+		switch c {
+		case 2:
+			twos++
+		case 1:
+			ones++
+		default:
+			t.Errorf("parity count %d outside {1,2}", c)
+		}
+	}
+	if twos != 3 || ones != 6 {
+		t.Errorf("counts: %d twos, %d ones; want 3 and 6", twos, ones)
+	}
+}
+
+func TestBalanceParityPerfectIffDivides(t *testing.T) {
+	// Corollary 17.
+	cases := []struct {
+		v, k    int
+		perfect bool
+	}{
+		{7, 3, true},  // b=7, v=7
+		{9, 3, false}, // b=12, v=9
+		{13, 4, true}, // b=13, v=13
+		{6, 3, false}, // b=10, v=6
+	}
+	for _, c := range cases {
+		d := design.Known(c.v, c.k)
+		if d == nil {
+			t.Fatalf("no design (%d,%d)", c.v, c.k)
+		}
+		l, err := layout.FromDesignSingle(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := BalanceParity(l); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.ParityPerfectlyBalanced(); got != c.perfect {
+			t.Errorf("(%d,%d): perfect=%v, want %v (b=%d)", c.v, c.k, got, c.perfect, d.B())
+		}
+		if got := d.B()%c.v == 0; got != c.perfect {
+			t.Errorf("(%d,%d): test case inconsistent", c.v, c.k)
+		}
+	}
+}
+
+func TestMinCopiesForPerfectParity(t *testing.T) {
+	cases := []struct{ b, v, want int }{
+		{7, 7, 1},  // b multiple of v
+		{12, 9, 3}, // lcm(12,9)=36 -> 3 copies
+		{10, 6, 3}, // lcm(10,6)=30 -> 3 copies
+		{13, 13, 1},
+		{20, 16, 4},
+	}
+	for _, c := range cases {
+		if got := MinCopiesForPerfectParity(c.b, c.v); got != c.want {
+			t.Errorf("MinCopies(%d,%d) = %d, want %d", c.b, c.v, got, c.want)
+		}
+	}
+}
+
+func TestPerfectlyBalancedFromDesign(t *testing.T) {
+	// lcm conjecture end-to-end: minimal replication achieves perfection.
+	for _, c := range []struct{ v, k int }{{9, 3}, {6, 3}} {
+		d := design.Known(c.v, c.k)
+		if d == nil {
+			t.Fatalf("no design (%d,%d)", c.v, c.k)
+		}
+		l, copies, err := PerfectlyBalancedFromDesign(d)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		if copies != MinCopiesForPerfectParity(d.B(), c.v) {
+			t.Errorf("(%d,%d): %d copies", c.v, c.k, copies)
+		}
+		if !l.ParityPerfectlyBalanced() {
+			t.Errorf("(%d,%d): not perfect", c.v, c.k)
+		}
+		if err := l.Check(); err != nil {
+			t.Fatal(err)
+		}
+		// And one copy fewer cannot be perfect (necessity).
+		if copies > 1 {
+			single, err := layout.FromDesignSingle(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fewer := layout.Copies(single, copies-1)
+			if err := BalanceParity(fewer); err != nil {
+				t.Fatal(err)
+			}
+			if fewer.ParityPerfectlyBalanced() {
+				t.Errorf("(%d,%d): %d copies already perfect, contradicting Corollary 17", c.v, c.k, copies-1)
+			}
+		}
+	}
+}
+
+func TestBalanceParityMixedStripeSizes(t *testing.T) {
+	// The flow method works for any layout, including mixed stripe sizes
+	// (Theorem 8 outputs). Rebalance one and verify floor/ceil.
+	rl, err := NewRingLayout(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := RemoveDisk(rl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := l.ParityLoad()
+	if err := BalanceParity(l); err != nil {
+		t.Fatal(err)
+	}
+	for disk, got := range l.ParityCounts() {
+		lo := loads[disk].Num / loads[disk].Den
+		hi := lo
+		if loads[disk].Num%loads[disk].Den != 0 {
+			hi++
+		}
+		if got < lo || got > hi {
+			t.Errorf("disk %d: %d outside [%d,%d]", disk, got, lo, hi)
+		}
+	}
+}
+
+func TestBalanceParityEmptyLayout(t *testing.T) {
+	l := &layout.Layout{V: 3, Size: 0}
+	if err := BalanceParity(l); err == nil {
+		t.Error("empty layout accepted")
+	}
+}
+
+func TestBalancedFromDesignSize(t *testing.T) {
+	// Section 4 point 2: single copy, k times smaller than HG, spread <= 1.
+	d := design.Known(13, 4)
+	if d == nil {
+		t.Fatal("no design")
+	}
+	l, err := BalancedFromDesign(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hg, err := layout.FromDesignHG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size*4 != hg.Size {
+		t.Errorf("single-copy size %d, HG %d; want factor k=4", l.Size, hg.Size)
+	}
+	if l.ParitySpread() > 1 {
+		t.Errorf("spread %d", l.ParitySpread())
+	}
+}
+
+func TestSelectDistinguishedParityEquivalent(t *testing.T) {
+	// cs = all ones reproduces Theorem 14.
+	d := design.Known(9, 3)
+	l, err := layout.FromDesignSingle(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := make([]int, len(l.Stripes))
+	for i := range cs {
+		cs[i] = 1
+	}
+	chosen, err := SelectDistinguished(l, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, l.V)
+	for si, units := range chosen {
+		if len(units) != 1 {
+			t.Fatalf("stripe %d: %d units chosen", si, len(units))
+		}
+		counts[l.Stripes[si].Units[units[0]].Disk]++
+	}
+	// 12 stripes over 9 disks: floor/ceil of 12/9.
+	for disk, c := range counts {
+		if c < 1 || c > 2 {
+			t.Errorf("disk %d: %d distinguished units", disk, c)
+		}
+	}
+}
+
+func TestSelectDistinguishedTwoPerStripe(t *testing.T) {
+	// Distributed sparing flavor: choose 2 units per stripe (parity+spare).
+	// PG(2,3): b=13, v=13, so 26 distinguished units spread exactly 2 per disk.
+	d := design.FromDifferenceSet(13, []int{0, 1, 3, 9})
+	l, err := layout.FromDesignSingle(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := make([]int, len(l.Stripes))
+	for i := range cs {
+		cs[i] = 2
+	}
+	chosen, err := SelectDistinguished(l, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, l.V)
+	for si, units := range chosen {
+		if len(units) != 2 {
+			t.Fatalf("stripe %d: %d units", si, len(units))
+		}
+		for _, ui := range units {
+			counts[l.Stripes[si].Units[ui].Disk]++
+		}
+	}
+	// 26 distinguished units over 13 disks: exactly 2 each.
+	for disk, c := range counts {
+		if c != 2 {
+			t.Errorf("disk %d: %d, want 2", disk, c)
+		}
+	}
+}
+
+func TestSelectDistinguishedValidation(t *testing.T) {
+	d := design.Known(7, 3)
+	l, _ := layout.FromDesignSingle(d)
+	if _, err := SelectDistinguished(l, []int{1}); err == nil {
+		t.Error("wrong cs length accepted")
+	}
+	cs := make([]int, len(l.Stripes))
+	cs[0] = 99
+	if _, err := SelectDistinguished(l, cs); err == nil {
+		t.Error("cs > k accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// Extendible layouts (Section 5 future work): add a disk to a running
+// array with bounded data movement. The stairway transformation is
+// naturally incremental — the v = q+1 layout consists of PIECES of the
+// q-disk layout, so an array already holding q+1 stacked copies of the
+// q-disk layout can adopt the new layout by moving pieces, not by
+// reshuffling every unit.
+
+// MigrationStats accounts for the data movement of an extension.
+type MigrationStats struct {
+	TotalUnits int
+	// MovedAcrossDisks counts units that change disk (the expensive moves:
+	// real inter-disk traffic).
+	MovedAcrossDisks int
+	// MovedWithinDisk counts units that stay on their disk but change
+	// offset (cheap sequential shuffling).
+	MovedWithinDisk int
+	// LowerBoundAcross is the information-theoretic minimum fraction of
+	// units that must cross disks: the new disk's share, 1/(q+1).
+	LowerBoundAcross float64
+}
+
+// AcrossFraction returns the fraction of units moving between disks.
+func (m MigrationStats) AcrossFraction() float64 {
+	if m.TotalUnits == 0 {
+		return 0
+	}
+	return float64(m.MovedAcrossDisks) / float64(m.TotalUnits)
+}
+
+// ExtendByOne grows a q-disk ring layout to q+1 disks using the Theorem
+// 10 stairway, and reports the migration cost relative to an array that
+// already stores q+1 stacked copies of the ring layout. Piece (copy t,
+// disk col) of the stacked layout moves to disk col+1 when col >= t
+// (0-indexed cols, 1-indexed copies), else stays on its disk at a new
+// offset.
+func ExtendByOne(rl *RingLayout) (*layout.Layout, MigrationStats, error) {
+	q := rl.Design.V
+	out, info, err := Stairway(rl, q+1)
+	if err != nil {
+		return nil, MigrationStats{}, err
+	}
+	if info.W != 0 {
+		return nil, MigrationStats{}, fmt.Errorf("core: ExtendByOne: unexpected wide steps")
+	}
+	pieceH := rl.Size // k(q-1)
+	stats := MigrationStats{
+		TotalUnits:       (q + 1) * q * pieceH, // c copies of q disks of pieceH units
+		LowerBoundAcross: 1 / float64(q+1),
+	}
+	// Replicate the Stairway placement rule: copy t in 1..q+1, col in
+	// 0..q-1; shifted (col+1 > b[t-1] = t-1, i.e. col >= t-1... matching
+	// stairway's 1-indexed col > b[t-1]) moves across disks; unshifted
+	// changes row only.
+	for t := 1; t <= q+1; t++ {
+		for col := 1; col <= q; col++ {
+			if col > t-1 {
+				stats.MovedAcrossDisks += pieceH
+			} else {
+				stats.MovedWithinDisk += pieceH
+			}
+		}
+	}
+	return out, stats, nil
+}
+
+// NaiveRelayoutMigration estimates the migration cost of discarding the
+// old layout and writing a fresh (q+1)-disk layout: in expectation a unit
+// lands on any of q+1 disks, so a q/(q+1) fraction crosses disks.
+func NaiveRelayoutMigration(q int) float64 {
+	return float64(q) / float64(q+1)
+}

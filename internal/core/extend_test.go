@@ -1,0 +1,56 @@
+package core
+
+import "testing"
+
+func TestExtendByOneValidAndCheap(t *testing.T) {
+	for _, q := range []int{5, 7, 8, 9, 13} {
+		rl, err := NewRingLayout(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, stats, err := ExtendByOne(rl)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if l.V != q+1 {
+			t.Errorf("q=%d: extended to %d disks", q, l.V)
+		}
+		// The stairway moves exactly half the pieces across disks.
+		if got := stats.AcrossFraction(); got != 0.5 {
+			t.Errorf("q=%d: across fraction %v, want 0.5", q, got)
+		}
+		// Cheaper than re-layout, dearer than the bound.
+		if stats.AcrossFraction() >= NaiveRelayoutMigration(q) {
+			t.Errorf("q=%d: no cheaper than re-layout", q)
+		}
+		if stats.AcrossFraction() < stats.LowerBoundAcross {
+			t.Errorf("q=%d: below the information-theoretic bound", q)
+		}
+		if stats.MovedAcrossDisks+stats.MovedWithinDisk != stats.TotalUnits {
+			t.Errorf("q=%d: accounting mismatch", q)
+		}
+	}
+}
+
+func TestExtendByOnePreservesBalance(t *testing.T) {
+	rl, err := NewRingLayout(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := ExtendByOne(rl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.ParityPerfectlyBalanced() {
+		t.Error("Theorem 10 extension must keep parity perfect")
+	}
+}
+
+func TestNaiveRelayoutMigration(t *testing.T) {
+	if got := NaiveRelayoutMigration(9); got != 0.9 {
+		t.Errorf("NaiveRelayoutMigration(9) = %v", got)
+	}
+}

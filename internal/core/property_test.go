@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+	"repro/internal/layout"
+)
+
+// Property-based tests over randomized parameters: the paper's theorems
+// are universally quantified, so we sample (v, k) widely and assert the
+// invariants hard.
+
+var primePowers = algebra.PrimePowersUpTo(64)
+
+func pickVK(a, b uint8) (v, k int) {
+	v = primePowers[int(a)%len(primePowers)]
+	if v < 4 {
+		v = 5
+	}
+	k = 2 + int(b)%(min(v, 9)-1)
+	return v, k
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPropertyRingLayoutInvariants(t *testing.T) {
+	f := func(a, b uint8) bool {
+		v, k := pickVK(a, b)
+		rl, err := NewRingLayout(v, k)
+		if err != nil {
+			return false
+		}
+		if rl.Check() != nil {
+			return false
+		}
+		if rl.Size != k*(v-1) || len(rl.Stripes) != v*(v-1) {
+			return false
+		}
+		if !rl.ParityPerfectlyBalanced() || !rl.WorkloadPerfectlyBalanced() {
+			return false
+		}
+		wmin, wmax := rl.ReconstructionWorkloadRange()
+		want := layout.R(k-1, v-1)
+		return wmin.Equal(want) && wmax.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRemovalInvariants(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		v, k := pickVK(a, b)
+		if k < 3 {
+			k = 3
+		}
+		rl, err := NewRingLayout(v, k)
+		if err != nil {
+			return false
+		}
+		x := int(c) % v
+		l, err := RemoveDisk(rl, x)
+		if err != nil {
+			return false
+		}
+		if l.Check() != nil || l.V != v-1 {
+			return false
+		}
+		// Theorem 8 exact guarantees.
+		omin, omax := l.ParityOverheadRange()
+		want := layout.R(v, k*(v-1))
+		if !omin.Equal(want) || !omax.Equal(want) {
+			return false
+		}
+		wmin, wmax := l.ReconstructionWorkloadRange()
+		ww := layout.R(k-1, v-1)
+		return wmin.Equal(ww) && wmax.Equal(ww)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyStairwayInvariants(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		q, k := pickVK(a, b)
+		if q < 5 {
+			q = 5
+		}
+		if k > q {
+			k = q
+		}
+		v := q + 1 + int(c)%(q-1) // in (q, 2q]
+		if _, _, ok := StairwayParams(q, v); !ok {
+			return true // vacuously fine: not all (q,v) are reachable
+		}
+		rl, err := NewRingLayout(q, k)
+		if err != nil {
+			return false
+		}
+		l, info, err := Stairway(rl, v)
+		if err != nil {
+			return false
+		}
+		if l.Check() != nil || l.V != v {
+			return false
+		}
+		size, oLo, oHi, wLo, wHi := Theorem12Bounds(q, k, v, info.C, info.W)
+		if l.Size != size {
+			return false
+		}
+		omin, omax := l.ParityOverheadRange()
+		wmin, wmax := l.ReconstructionWorkloadRange()
+		return omin.Cmp(oLo) >= 0 && omax.Cmp(oHi) <= 0 &&
+			wmin.Cmp(wLo) >= 0 && wmax.Cmp(wHi) <= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBalanceParityFloorCeil(t *testing.T) {
+	f := func(a, b uint8) bool {
+		v, k := pickVK(a, b)
+		rl, err := NewRingLayout(v, k)
+		if err != nil {
+			return false
+		}
+		l, err := layout.FromDesignSingle(&rl.Design.Design)
+		if err != nil {
+			return false
+		}
+		loads := l.ParityLoad()
+		if err := BalanceParity(l); err != nil {
+			return false
+		}
+		for disk, got := range l.ParityCounts() {
+			lo := loads[disk].Num / loads[disk].Den
+			hi := lo
+			if loads[disk].Num%loads[disk].Den != 0 {
+				hi++
+			}
+			if got < lo || got > hi {
+				return false
+			}
+		}
+		return l.ParitySpread() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCoverageMonotone(t *testing.T) {
+	// Every covered v has a valid equation; quick sampling over [3, 4000].
+	f := func(x uint16) bool {
+		v := 3 + int(x)%3998
+		if _, _, isPP := algebra.IsPrimePower(v); isPP {
+			return true
+		}
+		q, c, w, ok := FindStairwayBase(v)
+		if !ok {
+			return false
+		}
+		return v == c*(v-q)+w && w < c && q < v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flow"
+	"repro/internal/layout"
+)
+
+// removalSpecs computes, for a ring layout with the given disks removed,
+// the surviving stripe structure on the ORIGINAL disk ids (removed disks
+// simply no longer appear in any stripe), with parity reassigned per the
+// proofs of Theorems 8 and 9:
+//
+//   - a stripe (x, y) whose parity disk x was removed moves its parity to
+//     the disk x + y(g_1 - g_0) (tuple position 1);
+//   - if that disk was removed too, the stripe joins the leftover pool,
+//     which is matched to surviving disks so no disk takes more than one
+//     leftover (a bipartite matching, feasible whenever i(i-1) <= k-i,
+//     which i < sqrt(k) guarantees).
+func removalSpecs(rl *RingLayout, removed []int) ([]stripeSpec, error) {
+	v := rl.Design.V
+	k := rl.Design.K
+	isRemoved := make([]bool, v)
+	for _, x := range removed {
+		if x < 0 || x >= v {
+			return nil, fmt.Errorf("core: removal: disk %d out of range", x)
+		}
+		if isRemoved[x] {
+			return nil, fmt.Errorf("core: removal: disk %d removed twice", x)
+		}
+		isRemoved[x] = true
+	}
+	i := len(removed)
+	if i >= k {
+		return nil, fmt.Errorf("core: removal: removing %d disks from stripes of size %d", i, k)
+	}
+	specs := make([]stripeSpec, len(rl.Design.Tuples))
+	// extraParity[d] tracks how many reassigned (non-leftover) parity units
+	// each surviving disk has taken, to report balance in tests; matching
+	// separately ensures leftovers add at most one each.
+	var leftovers []int // stripe indices needing a leftover assignment
+	for t, tuple := range rl.Design.Tuples {
+		var disks []int
+		for _, d := range tuple {
+			if !isRemoved[d] {
+				disks = append(disks, d)
+			}
+		}
+		if len(disks) == 0 {
+			return nil, fmt.Errorf("core: removal: stripe %d fully removed", t)
+		}
+		x := tuple[0] // original parity disk for stripe (x, y)
+		spec := stripeSpec{disks: disks, parityDisk: x}
+		if isRemoved[x] {
+			// Theorem 8 reassignment target: tuple position 1.
+			if len(tuple) < 2 {
+				return nil, fmt.Errorf("core: removal: stripe %d too small to reassign parity", t)
+			}
+			target := tuple[1]
+			if isRemoved[target] {
+				spec.parityDisk = -1 // leftover, matched below
+				leftovers = append(leftovers, t)
+			} else {
+				spec.parityDisk = target
+			}
+		}
+		specs[t] = spec
+	}
+	if len(leftovers) > 0 {
+		// Bipartite matching: each leftover stripe chooses one of its
+		// surviving disks; each disk accepts at most one leftover.
+		adj := make([][]int, len(leftovers))
+		for li, t := range leftovers {
+			adj[li] = append([]int(nil), specs[t].disks...)
+		}
+		caps := make([]int, v)
+		for d := 0; d < v; d++ {
+			if !isRemoved[d] {
+				caps[d] = 1
+			}
+		}
+		assign := flow.BipartiteAssign(adj, caps)
+		if assign == nil {
+			return nil, fmt.Errorf("core: removal: no leftover-parity matching for %d leftovers (need i < sqrt(k); i=%d, k=%d)", len(leftovers), i, k)
+		}
+		for li, t := range leftovers {
+			specs[t].parityDisk = assign[li]
+		}
+	}
+	return specs, nil
+}
+
+// relabelSpecs renumbers disks to 0..v-len(removed)-1, dropping removed ids.
+func relabelSpecs(v int, specs []stripeSpec, removed []int) (int, []stripeSpec) {
+	isRemoved := make([]bool, v)
+	for _, x := range removed {
+		isRemoved[x] = true
+	}
+	newID := make([]int, v)
+	next := 0
+	for d := 0; d < v; d++ {
+		if isRemoved[d] {
+			newID[d] = -1
+			continue
+		}
+		newID[d] = next
+		next++
+	}
+	out := make([]stripeSpec, len(specs))
+	for i, s := range specs {
+		disks := make([]int, len(s.disks))
+		for j, d := range s.disks {
+			disks[j] = newID[d]
+		}
+		out[i] = stripeSpec{disks: disks, parityDisk: newID[s.parityDisk]}
+	}
+	return next, out
+}
+
+// RemoveDisk applies Theorem 8: from a ring layout for v disks, remove one
+// disk to obtain a layout for v-1 disks with size k(v-1), stripes of size
+// k and k-1, parity overhead exactly (1/k)(v/(v-1)) on every disk, and
+// reconstruction workload exactly (k-1)/(v-1).
+func RemoveDisk(rl *RingLayout, x int) (*layout.Layout, error) {
+	return RemoveDisks(rl, []int{x})
+}
+
+// RemoveDisks applies Theorem 9: remove i disks (i < sqrt(k)) from a ring
+// layout for v disks, producing a layout for v-i disks with size k(v-1),
+// stripe sizes in [k-i, k], parity overhead between
+// (v+i-1)/(k(v-1)) and (v+i)/(k(v-1)), and reconstruction workload
+// exactly (k-1)/(v-1).
+func RemoveDisks(rl *RingLayout, removed []int) (*layout.Layout, error) {
+	if len(removed) == 0 {
+		return rl.Layout.Clone(), nil
+	}
+	i := len(removed)
+	k := rl.Design.K
+	if i > 1 && i*i >= k {
+		// Theorem 9 requires i < sqrt(k); the matching can occasionally
+		// succeed beyond it, but the theorem's guarantee is void, so reject
+		// only when the matching itself fails (checked in removalSpecs).
+		// Still warn via error when i(i-1) > k-i, where Hall's condition
+		// may fail.
+		if i*(i-1) > k-i {
+			return nil, fmt.Errorf("core: RemoveDisks: i=%d too large for k=%d (need i(i-1) <= k-i)", i, k)
+		}
+	}
+	specs, err := removalSpecs(rl, removed)
+	if err != nil {
+		return nil, err
+	}
+	sorted := append([]int(nil), removed...)
+	sort.Ints(sorted)
+	newV, relabeled := relabelSpecs(rl.Design.V, specs, sorted)
+	return assembleSpecs(newV, relabeled)
+}

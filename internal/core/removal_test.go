@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+)
+
+func TestRemoveDiskTheorem8(t *testing.T) {
+	for _, c := range []struct{ v, k int }{{8, 3}, {9, 4}, {13, 4}, {16, 5}, {25, 5}} {
+		rl, err := NewRingLayout(c.v, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := RemoveDisk(rl, 0)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		if l.V != c.v-1 {
+			t.Errorf("(%d,%d): v = %d, want %d", c.v, c.k, l.V, c.v-1)
+		}
+		if l.Size != c.k*(c.v-1) {
+			t.Errorf("(%d,%d): size %d, want %d", c.v, c.k, l.Size, c.k*(c.v-1))
+		}
+		// Stripe sizes k and k-1.
+		smin, smax := l.StripeSizes()
+		if smin != c.k-1 || smax != c.k {
+			t.Errorf("(%d,%d): stripe sizes [%d,%d], want [%d,%d]", c.v, c.k, smin, smax, c.k-1, c.k)
+		}
+		// Theorem 8: parity overhead exactly (1/k)(v/(v-1)) on every disk.
+		want := layout.R(c.v, c.k*(c.v-1))
+		omin, omax := l.ParityOverheadRange()
+		if !omin.Equal(want) || !omax.Equal(want) {
+			t.Errorf("(%d,%d): overhead [%v,%v], want exactly %v", c.v, c.k, omin, omax, want)
+		}
+		// Reconstruction workload exactly (k-1)/(v-1).
+		wWant := layout.R(c.k-1, c.v-1)
+		wmin, wmax := l.ReconstructionWorkloadRange()
+		if !wmin.Equal(wWant) || !wmax.Equal(wWant) {
+			t.Errorf("(%d,%d): workload [%v,%v], want exactly %v", c.v, c.k, wmin, wmax, wWant)
+		}
+	}
+}
+
+func TestRemoveDiskAnyDisk(t *testing.T) {
+	// Removing any disk (not just 0) must work identically.
+	rl, err := NewRingLayout(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 9; x++ {
+		l, err := RemoveDisk(rl, x)
+		if err != nil {
+			t.Fatalf("remove %d: %v", x, err)
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("remove %d: %v", x, err)
+		}
+		if !l.ParityPerfectlyBalanced() {
+			t.Errorf("remove %d: parity not perfectly balanced", x)
+		}
+	}
+}
+
+func TestRemoveDisksTheorem9(t *testing.T) {
+	cases := []struct {
+		v, k int
+		rm   []int
+	}{
+		{16, 9, []int{0, 1}},           // i=2 < 3 = sqrt(9)
+		{16, 10, []int{0, 1, 2}},       // i=3 < sqrt(10)? 3^2=9 < 10 yes
+		{25, 16, []int{0, 5, 7}},       // i=3 < 4
+		{13, 9, []int{2, 11}},          // i=2 < 3
+		{27, 26, []int{0, 1, 2, 3, 4}}, // i=5, k=26: 25 < 26
+	}
+	for _, c := range cases {
+		rl, err := NewRingLayout(c.v, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := RemoveDisks(rl, c.rm)
+		if err != nil {
+			t.Fatalf("(%d,%d) rm %v: %v", c.v, c.k, c.rm, err)
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		i := len(c.rm)
+		if l.V != c.v-i {
+			t.Errorf("(%d,%d): v=%d, want %d", c.v, c.k, l.V, c.v-i)
+		}
+		// Stripe sizes within [k-i, k].
+		smin, smax := l.StripeSizes()
+		if smin < c.k-i || smax > c.k {
+			t.Errorf("(%d,%d): stripe sizes [%d,%d] outside [%d,%d]", c.v, c.k, smin, smax, c.k-i, c.k)
+		}
+		// Theorem 9 parity overhead bounds: each disk holds v+i-1 or v+i
+		// parity units over k(v-1).
+		oLo := layout.R(c.v+i-1, c.k*(c.v-1))
+		oHi := layout.R(c.v+i, c.k*(c.v-1))
+		omin, omax := l.ParityOverheadRange()
+		if omin.Cmp(oLo) < 0 || omax.Cmp(oHi) > 0 {
+			t.Errorf("(%d,%d): overhead [%v,%v] outside [%v,%v]", c.v, c.k, omin, omax, oLo, oHi)
+		}
+		// Workload exactly (k-1)/(v-1).
+		wWant := layout.R(c.k-1, c.v-1)
+		wmin, wmax := l.ReconstructionWorkloadRange()
+		if !wmin.Equal(wWant) || !wmax.Equal(wWant) {
+			t.Errorf("(%d,%d): workload [%v,%v], want %v", c.v, c.k, wmin, wmax, wWant)
+		}
+	}
+}
+
+func TestRemoveDisksParitySpreadAtMostOne(t *testing.T) {
+	rl, err := NewRingLayout(16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := RemoveDisks(rl, []int{3, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := l.ParitySpread(); s > 1 {
+		t.Errorf("parity spread %d > 1", s)
+	}
+}
+
+func TestRemoveDisksRejectsTooMany(t *testing.T) {
+	rl, err := NewRingLayout(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i=3, k=4: i(i-1)=6 > k-i=1.
+	if _, err := RemoveDisks(rl, []int{0, 1, 2}); err == nil {
+		t.Error("expected rejection for i too large")
+	}
+}
+
+func TestRemoveDisksRejectsDuplicates(t *testing.T) {
+	rl, err := NewRingLayout(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RemoveDisks(rl, []int{1, 1}); err == nil {
+		t.Error("duplicate removal accepted")
+	}
+	if _, err := RemoveDisks(rl, []int{-1}); err == nil {
+		t.Error("out-of-range removal accepted")
+	}
+}
+
+func TestRemoveDisksEmpty(t *testing.T) {
+	rl, err := NewRingLayout(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := RemoveDisks(rl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.V != 7 || len(l.Stripes) != len(rl.Stripes) {
+		t.Error("empty removal changed the layout")
+	}
+}
+
+func TestRemoveDiskDataIntegrity(t *testing.T) {
+	// End to end: the v-1 disk layout still reconstructs real data.
+	rl, err := NewRingLayout(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := RemoveDisk(rl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := layout.NewData(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Mapping().DataUnits(); i++ {
+		if err := d.WriteLogical(i, []byte{byte(i), byte(i >> 8), 3, 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CheckReconstruction(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package core implements the paper's primary contributions on top of the
+// algebra/design/layout/flow substrates:
+//
+//   - ring-based layouts with perfectly balanced parity and no k-fold
+//     replication (Section 3.1),
+//   - approximately balanced layouts by disk removal (Theorems 8 and 9),
+//   - the stairway transformation to larger arrays (Theorems 10, 11, 12),
+//   - the (q, c, w) parameter search and the v <= 10,000 coverage claim,
+//   - flow-based parity distribution achieving floor/ceil balance
+//     (Theorems 13, 14; Corollaries 15, 16, 17) and the Holland–Gibson
+//     lcm replication bound.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/design"
+	"repro/internal/layout"
+)
+
+// RingLayout is the Section 3.1 layout: one copy of a ring-based block
+// design where the stripe for pair (x, y) keeps its parity unit on disk x.
+// Parity and reconstruction workload are perfectly balanced, and the size
+// is k(v-1) — no k-fold replication of the design.
+type RingLayout struct {
+	*layout.Layout
+	Design *design.RingDesign
+}
+
+// NewRingLayout builds the ring-based layout for v disks and stripe size k
+// over the canonical ring of order v. It fails when k > M(v) (Theorem 2).
+func NewRingLayout(v, k int) (*RingLayout, error) {
+	rd, err := design.NewRingDesignForVK(v, k)
+	if err != nil {
+		return nil, err
+	}
+	return NewRingLayoutFromDesign(rd)
+}
+
+// NewRingLayoutFromDesign builds the ring-based layout for an existing
+// ring-based design.
+func NewRingLayoutFromDesign(rd *design.RingDesign) (*RingLayout, error) {
+	l, err := layout.Assemble(rd.V, rd.Tuples)
+	if err != nil {
+		return nil, fmt.Errorf("core: NewRingLayoutFromDesign: %w", err)
+	}
+	// Tuple position 0 is always x itself (the g_0-th element), so parity
+	// for stripe (x, y) lands on disk x.
+	for i := range l.Stripes {
+		l.Stripes[i].Parity = 0
+	}
+	return &RingLayout{Layout: l, Design: rd}, nil
+}
+
+// stripeSpec describes a stripe by disks and the disk holding parity,
+// before offsets are assigned.
+type stripeSpec struct {
+	disks      []int
+	parityDisk int
+}
+
+// assembleSpecs turns stripe specs into a checked layout.
+func assembleSpecs(v int, specs []stripeSpec) (*layout.Layout, error) {
+	disks := make([][]int, len(specs))
+	for i := range specs {
+		disks[i] = specs[i].disks
+	}
+	l, err := layout.Assemble(v, disks)
+	if err != nil {
+		return nil, err
+	}
+	for i := range specs {
+		idx := -1
+		for j, d := range specs[i].disks {
+			if d == specs[i].parityDisk {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("core: stripe %d: parity disk %d not in stripe", i, specs[i].parityDisk)
+		}
+		l.Stripes[i].Parity = idx
+	}
+	return l, nil
+}

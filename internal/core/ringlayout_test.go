@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+)
+
+func TestRingLayoutBasics(t *testing.T) {
+	for _, c := range []struct{ v, k int }{{4, 3}, {5, 3}, {7, 3}, {8, 4}, {9, 4}, {13, 5}, {16, 4}} {
+		rl, err := NewRingLayout(c.v, c.k)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		if err := rl.Check(); err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		if rl.Size != c.k*(c.v-1) {
+			t.Errorf("(%d,%d): size %d, want k(v-1)=%d", c.v, c.k, rl.Size, c.k*(c.v-1))
+		}
+		if len(rl.Stripes) != c.v*(c.v-1) {
+			t.Errorf("(%d,%d): %d stripes, want v(v-1)=%d", c.v, c.k, len(rl.Stripes), c.v*(c.v-1))
+		}
+	}
+}
+
+func TestRingLayoutPerfectParityBalance(t *testing.T) {
+	// Section 3.1: parity on disk x for stripe (x,y) gives each disk
+	// exactly v-1 parity units.
+	rl, err := NewRingLayout(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for disk, c := range rl.ParityCounts() {
+		if c != 8 {
+			t.Errorf("disk %d: %d parity units, want 8", disk, c)
+		}
+	}
+	if !rl.ParityPerfectlyBalanced() {
+		t.Error("ring layout parity must be perfectly balanced")
+	}
+	// Overhead = (v-1)/(k(v-1)) = 1/k.
+	min, max := rl.ParityOverheadRange()
+	if !min.Equal(layout.R(1, 4)) || !max.Equal(layout.R(1, 4)) {
+		t.Errorf("overhead [%v,%v], want 1/4", min, max)
+	}
+}
+
+func TestRingLayoutWorkloadBalance(t *testing.T) {
+	rl, err := NewRingLayout(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := layout.R(2, 7) // (k-1)/(v-1)
+	min, max := rl.ReconstructionWorkloadRange()
+	if !min.Equal(want) || !max.Equal(want) {
+		t.Errorf("workload [%v,%v], want %v", min, max, want)
+	}
+}
+
+func TestRingLayoutNoReplication(t *testing.T) {
+	// The ring layout is k times smaller than the HG construction over the
+	// same design (k(v-1) vs k*k(v-1)).
+	rl, err := NewRingLayout(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Size*4 != 4*4*(8-1) {
+		t.Errorf("ring layout size %d, HG would be %d", rl.Size, 4*4*7)
+	}
+}
+
+func TestRingLayoutCompositeV(t *testing.T) {
+	rl, err := NewRingLayout(12, 3) // M(12) = 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !rl.ParityPerfectlyBalanced() || !rl.WorkloadPerfectlyBalanced() {
+		t.Error("composite-v ring layout must be perfectly balanced")
+	}
+}
+
+func TestRingLayoutRejectsTheorem2Violation(t *testing.T) {
+	if _, err := NewRingLayout(12, 4); err == nil {
+		t.Error("(12,4) exceeds M(12)=3; must fail")
+	}
+	if _, err := NewRingLayout(6, 3); err == nil {
+		t.Error("(6,3) exceeds M(6)=2; must fail")
+	}
+}
+
+func TestRingLayoutDataReconstruction(t *testing.T) {
+	rl, err := NewRingLayout(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := layout.NewData(rl.Layout, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Mapping().DataUnits(); i++ {
+		payload := make([]byte, 8)
+		for j := range payload {
+			payload[j] = byte(i + j*17)
+		}
+		if err := d.WriteLogical(i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CheckReconstruction(); err != nil {
+		t.Fatal(err)
+	}
+}

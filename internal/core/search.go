@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/layout"
+)
+
+// FindStairwayBase returns, for a target array size v, the largest prime
+// power q < v from which the stairway transformation can reach v, along
+// with the (c, w) parameters. ok is false if no prime power works. Prime
+// power v itself never needs a stairway (a ring layout exists directly).
+func FindStairwayBase(v int) (q, c, w int, ok bool) {
+	for q = v - 1; q >= 2; q-- {
+		if _, _, isPP := algebra.IsPrimePower(q); !isPP {
+			continue
+		}
+		if c, w, ok := StairwayParams(q, v); ok {
+			return q, c, w, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+// CoverageResult summarizes the Section 3.2 computational claim for one v.
+type CoverageResult struct {
+	V       int
+	Direct  bool // v is a prime power: exact ring layout, no stairway needed
+	Q, C, W int  // stairway parameters when !Direct
+	Covered bool
+}
+
+// CoverageScan verifies the paper's claim that every v up to maxV admits
+// either a direct ring layout (prime power v) or a stairway base: a prime
+// power q <= v with valid (c, w). It returns one result per v in [2, maxV].
+func CoverageScan(maxV int) []CoverageResult {
+	results := make([]CoverageResult, 0, maxV-1)
+	for v := 2; v <= maxV; v++ {
+		res := CoverageResult{V: v}
+		if _, _, isPP := algebra.IsPrimePower(v); isPP {
+			res.Direct = true
+			res.Covered = true
+		} else if q, c, w, ok := FindStairwayBase(v); ok {
+			res.Q, res.C, res.W = q, c, w
+			res.Covered = true
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// LayoutForAnyV builds a parity-declustered layout for an arbitrary v >= 3
+// and stripe size k: directly when v is a prime power with k <= v,
+// otherwise by the stairway transformation from the best prime-power base
+// (requiring k <= q). This realizes the paper's headline capability:
+// feasible layouts for virtually all array and stripe sizes.
+func LayoutForAnyV(v, k int) (*layout.Layout, string, error) {
+	if v < 3 || k < 2 || k > v {
+		return nil, "", fmt.Errorf("core: LayoutForAnyV(%d,%d): invalid parameters", v, k)
+	}
+	if _, _, isPP := algebra.IsPrimePower(v); isPP {
+		rl, err := NewRingLayout(v, k)
+		if err != nil {
+			return nil, "", err
+		}
+		return rl.Layout, "ring", nil
+	}
+	// Find the largest prime-power base q with k <= q and valid (c, w).
+	for q := v - 1; q >= k; q-- {
+		if _, _, isPP := algebra.IsPrimePower(q); !isPP {
+			continue
+		}
+		if _, _, ok := StairwayParams(q, v); !ok {
+			continue
+		}
+		rl, err := NewRingLayout(q, k)
+		if err != nil {
+			continue
+		}
+		out, _, err := Stairway(rl, v)
+		if err != nil {
+			continue
+		}
+		return out, fmt.Sprintf("stairway(q=%d)", q), nil
+	}
+	// Fall back to the extended (wide-step) stairway when Equations
+	// (8)-(9) have no solution from any base.
+	for q := v - 1; q >= k && q >= v/2; q-- {
+		if _, _, isPP := algebra.IsPrimePower(q); !isPP {
+			continue
+		}
+		rl, err := NewRingLayout(q, k)
+		if err != nil {
+			continue
+		}
+		out, _, err := StairwayWide(rl, v)
+		if err != nil {
+			continue
+		}
+		return out, fmt.Sprintf("stairway-wide(q=%d)", q), nil
+	}
+	return nil, "", fmt.Errorf("core: LayoutForAnyV(%d,%d): no prime-power base found", v, k)
+}
+
+// FeasibilityMethod identifies a layout construction whose size is being
+// tested against the Condition 4 bound.
+type FeasibilityMethod int
+
+const (
+	// MethodHGRing: Holland–Gibson k-copy layout over the full ring-based
+	// design: size k * k(v-1).
+	MethodHGRing FeasibilityMethod = iota
+	// MethodRing: ring-based layout, size k(v-1).
+	MethodRing
+	// MethodBalancedTheorem4: single copy of the Theorem 4 reduced design
+	// with flow-balanced parity: size k(v-1)/gcd(v-1,k-1).
+	MethodBalancedTheorem4
+)
+
+// LayoutSize returns the size (units per disk) each method would produce
+// for a prime-power v; it does not construct the layout.
+func LayoutSize(method FeasibilityMethod, v, k int) int {
+	switch method {
+	case MethodHGRing:
+		return k * k * (v - 1)
+	case MethodRing:
+		return k * (v - 1)
+	case MethodBalancedTheorem4:
+		return k * (v - 1) / algebra.GCD(v-1, k-1)
+	default:
+		panic("core: LayoutSize: unknown method")
+	}
+}
+
+// FeasibleCount counts, over prime powers v <= maxV and 2 <= k <= min(v,
+// maxK), how many (v, k) pairs each method keeps within the Condition 4
+// bound (layout size <= layout.FeasibleTableSize). It quantifies the
+// paper's claim that smaller layouts greatly increase the number of
+// feasible configurations.
+func FeasibleCount(method FeasibilityMethod, maxV, maxK int) int {
+	count := 0
+	for _, v := range algebra.PrimePowersUpTo(maxV) {
+		kMax := v
+		if maxK < kMax {
+			kMax = maxK
+		}
+		for k := 2; k <= kMax; k++ {
+			if LayoutSize(method, v, k) <= layout.FeasibleTableSize {
+				count++
+			}
+		}
+	}
+	return count
+}

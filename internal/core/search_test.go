@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/layout"
+)
+
+func TestFindStairwayBase(t *testing.T) {
+	// v=10: q=9 (d=1) works; v=12: q=11 works; v=6: q=5.
+	cases := []struct {
+		v, wantQ int
+	}{{6, 5}, {10, 9}, {12, 11}, {14, 13}, {18, 17}, {20, 19}, {15, 13}}
+	for _, c := range cases {
+		q, cc, w, ok := FindStairwayBase(c.v)
+		if !ok {
+			t.Fatalf("FindStairwayBase(%d): not found", c.v)
+		}
+		if q != c.wantQ {
+			t.Errorf("FindStairwayBase(%d): q=%d, want %d", c.v, q, c.wantQ)
+		}
+		if c.v != cc*(c.v-q)+w || w >= cc {
+			t.Errorf("FindStairwayBase(%d): equations violated (c=%d,w=%d)", c.v, cc, w)
+		}
+	}
+}
+
+func TestCoverageScanTo1000(t *testing.T) {
+	// The paper claims coverage for all v up to 10,000; the full scan runs
+	// in the T5 experiment. Here: every v in [3, 1000] is covered.
+	for _, res := range CoverageScan(1000) {
+		if res.V < 3 {
+			continue
+		}
+		if !res.Covered {
+			t.Errorf("v=%d not covered", res.V)
+		}
+		if !res.Direct {
+			if _, _, ok := algebra.IsPrimePower(res.Q); !ok {
+				t.Errorf("v=%d: base %d not a prime power", res.V, res.Q)
+			}
+		}
+	}
+}
+
+func TestLayoutForAnyVPrimePower(t *testing.T) {
+	l, method, err := LayoutForAnyV(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != "ring" {
+		t.Errorf("method = %q, want ring", method)
+	}
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutForAnyVComposite(t *testing.T) {
+	for _, c := range []struct{ v, k int }{{6, 3}, {10, 4}, {12, 3}, {15, 4}, {20, 5}, {24, 4}, {33, 6}} {
+		l, method, err := LayoutForAnyV(c.v, c.k)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		if l.V != c.v {
+			t.Errorf("(%d,%d): built for %d disks", c.v, c.k, l.V)
+		}
+		if method == "ring" {
+			t.Errorf("(%d,%d): composite v should use stairway", c.v, c.k)
+		}
+		// Approximate balance: spread should stay small relative to size.
+		if !l.ParityAssigned() {
+			t.Errorf("(%d,%d): parity unassigned", c.v, c.k)
+		}
+	}
+}
+
+func TestLayoutForAnyVInvalid(t *testing.T) {
+	if _, _, err := LayoutForAnyV(2, 2); err == nil {
+		t.Error("v=2 accepted")
+	}
+	if _, _, err := LayoutForAnyV(10, 11); err == nil {
+		t.Error("k>v accepted")
+	}
+}
+
+func TestLayoutSizeFormulas(t *testing.T) {
+	v, k := 17, 5
+	if got := LayoutSize(MethodRing, v, k); got != 5*16 {
+		t.Errorf("ring size %d", got)
+	}
+	if got := LayoutSize(MethodHGRing, v, k); got != 25*16 {
+		t.Errorf("HG size %d", got)
+	}
+	// gcd(16,4) = 4.
+	if got := LayoutSize(MethodBalancedTheorem4, v, k); got != 5*16/4 {
+		t.Errorf("balanced thm4 size %d", got)
+	}
+}
+
+func TestFeasibleCountOrdering(t *testing.T) {
+	// Smaller layouts admit at least as many feasible configurations.
+	hg := FeasibleCount(MethodHGRing, 256, 32)
+	ring := FeasibleCount(MethodRing, 256, 32)
+	bal := FeasibleCount(MethodBalancedTheorem4, 256, 32)
+	if !(hg <= ring && ring <= bal) {
+		t.Errorf("feasible counts hg=%d ring=%d bal=%d not monotone", hg, ring, bal)
+	}
+	if hg == ring {
+		t.Errorf("expected ring-based layouts to admit strictly more configs (hg=%d ring=%d)", hg, ring)
+	}
+}
+
+func TestLayoutSizeMatchesConstruction(t *testing.T) {
+	// The formula must agree with an actually constructed ring layout.
+	rl, err := NewRingLayout(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Size != LayoutSize(MethodRing, 16, 5) {
+		t.Errorf("constructed %d, formula %d", rl.Size, LayoutSize(MethodRing, 16, 5))
+	}
+	if layout.FeasibleTableSize != 10000 {
+		t.Errorf("feasibility bound changed: %d", layout.FeasibleTableSize)
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/layout"
+)
+
+// Distributed sparing (Section 5): reserve one spare unit per stripe,
+// distributed across the array like parity, so a failed disk is rebuilt
+// into spare space spread over all survivors — rebuild WRITES are then
+// declustered just like rebuild reads. The paper suggests its
+// distinguished-unit flow generalization applies; this implements it.
+
+// SparedLayout is a layout whose stripes each designate one spare unit
+// (disjoint from the parity unit).
+type SparedLayout struct {
+	*layout.Layout
+	// Spare[i] is the unit index of stripe i's spare.
+	Spare []int
+}
+
+// DistributedSparing assigns a spare unit to every stripe of a layout
+// with assigned parity, using the Theorem 14 flow on the non-parity
+// units: each disk receives floor or ceil of its spare load
+// sum(1/(k_s - 1)) over the stripes crossing it with a non-parity unit.
+func DistributedSparing(l *layout.Layout) (*SparedLayout, error) {
+	if !l.ParityAssigned() {
+		return nil, fmt.Errorf("core: DistributedSparing: parity must be assigned first")
+	}
+	b := len(l.Stripes)
+	if b == 0 {
+		return nil, fmt.Errorf("core: DistributedSparing: empty layout")
+	}
+	// Spare load per disk with a common denominator.
+	den := 1
+	for si := range l.Stripes {
+		k := len(l.Stripes[si].Units) - 1 // candidates per stripe
+		if k < 1 {
+			return nil, fmt.Errorf("core: DistributedSparing: stripe %d too small for a spare", si)
+		}
+		den = den / gcd(den, k) * k
+	}
+	num := make([]int, l.V)
+	for si := range l.Stripes {
+		s := &l.Stripes[si]
+		w := den / (len(s.Units) - 1)
+		for ui, u := range s.Units {
+			if ui == s.Parity {
+				continue
+			}
+			num[u.Disk] += w
+		}
+	}
+	n := flow.NewNetwork()
+	source := n.AddNode()
+	sink := n.AddNode()
+	stripeNode := n.AddNodes(b)
+	diskNode := n.AddNodes(l.V)
+	type unitEdge struct{ stripe, unit, edge int }
+	var unitEdges []unitEdge
+	for si := range l.Stripes {
+		n.AddEdge(source, stripeNode+si, 0, 1)
+		for ui, u := range l.Stripes[si].Units {
+			if ui == l.Stripes[si].Parity {
+				continue
+			}
+			id := n.AddEdge(stripeNode+si, diskNode+u.Disk, 0, 1)
+			unitEdges = append(unitEdges, unitEdge{si, ui, id})
+		}
+	}
+	for d := 0; d < l.V; d++ {
+		lo := num[d] / den
+		hi := lo
+		if num[d]%den != 0 {
+			hi++
+		}
+		n.AddEdge(diskNode+d, sink, lo, hi)
+	}
+	val, ok := n.MaxFlowWithLowerBounds(source, sink, flow.Dinic)
+	if !ok || val != b {
+		return nil, fmt.Errorf("core: DistributedSparing: spare assignment infeasible (flow %d, want %d)", val, b)
+	}
+	spare := make([]int, b)
+	for i := range spare {
+		spare[i] = -1
+	}
+	for _, ue := range unitEdges {
+		if n.Flow(ue.edge) == 1 {
+			if spare[ue.stripe] >= 0 {
+				return nil, fmt.Errorf("core: DistributedSparing: stripe %d got two spares", ue.stripe)
+			}
+			spare[ue.stripe] = ue.unit
+		}
+	}
+	for si, sp := range spare {
+		if sp < 0 {
+			return nil, fmt.Errorf("core: DistributedSparing: stripe %d got no spare", si)
+		}
+	}
+	return &SparedLayout{Layout: l, Spare: spare}, nil
+}
+
+// SpareCounts returns the number of spare units per disk.
+func (s *SparedLayout) SpareCounts() []int {
+	counts := make([]int, s.V)
+	for si, sp := range s.Spare {
+		counts[s.Stripes[si].Units[sp].Disk]++
+	}
+	return counts
+}
+
+// SpareSpread returns max - min per-disk spare counts (<= 1 by the flow
+// guarantee).
+func (s *SparedLayout) SpareSpread() int {
+	counts := s.SpareCounts()
+	lo, hi := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return hi - lo
+}
+
+// RebuildToSpares simulates rebuilding a failed disk into the distributed
+// spares: every stripe whose data or parity unit was on the failed disk
+// rewrites the lost unit onto its spare unit. Since a stripe holds at
+// most one unit per disk, a stripe either lost a rebuildable unit (spare
+// survives) or lost its empty spare (nothing to rebuild, but that
+// stripe's spare capacity is gone — returned as spareLost). It returns
+// per-disk spare-write counts.
+func (s *SparedLayout) RebuildToSpares(failed int) (writes []int, spareLost int, err error) {
+	if failed < 0 || failed >= s.V {
+		return nil, 0, fmt.Errorf("core: RebuildToSpares(%d): disk out of range", failed)
+	}
+	writes = make([]int, s.V)
+	for si := range s.Stripes {
+		st := &s.Stripes[si]
+		crossed := false
+		lostIsSpare := false
+		for ui, u := range st.Units {
+			if u.Disk == failed {
+				crossed = true
+				lostIsSpare = ui == s.Spare[si]
+				break
+			}
+		}
+		if !crossed {
+			continue
+		}
+		if lostIsSpare {
+			spareLost++
+			continue
+		}
+		writes[s.Stripes[si].Units[s.Spare[si]].Disk]++
+	}
+	return writes, spareLost, nil
+}

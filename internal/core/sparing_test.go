@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/design"
+	"repro/internal/layout"
+)
+
+func TestDistributedSparingBalanced(t *testing.T) {
+	for _, c := range []struct{ v, k int }{{9, 4}, {13, 4}, {8, 3}, {17, 5}} {
+		rl, err := NewRingLayout(c.v, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := DistributedSparing(rl.Layout)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		if got := sp.SpareSpread(); got > 1 {
+			t.Errorf("(%d,%d): spare spread %d > 1", c.v, c.k, got)
+		}
+		// Spare and parity must be different units.
+		for si, spu := range sp.Spare {
+			if spu == sp.Stripes[si].Parity {
+				t.Fatalf("(%d,%d): stripe %d spare == parity", c.v, c.k, si)
+			}
+			if spu < 0 || spu >= len(sp.Stripes[si].Units) {
+				t.Fatalf("(%d,%d): stripe %d spare index %d invalid", c.v, c.k, si, spu)
+			}
+		}
+		// Spare counts sum to b.
+		total := 0
+		for _, cnt := range sp.SpareCounts() {
+			total += cnt
+		}
+		if total != len(sp.Stripes) {
+			t.Errorf("(%d,%d): %d spares for %d stripes", c.v, c.k, total, len(sp.Stripes))
+		}
+	}
+}
+
+func TestRebuildToSparesDeclustersWrites(t *testing.T) {
+	rl, err := NewRingLayout(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := DistributedSparing(rl.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes, lost, err := sp.RebuildToSpares(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if writes[0] != 0 {
+		t.Error("writes landed on the failed disk")
+	}
+	// Stripes crossing disk 0: r = k(v-1) = 48; each either rebuilds to a
+	// spare or lost its spare.
+	total := lost
+	for _, w := range writes {
+		total += w
+	}
+	if total != 48 {
+		t.Errorf("rebuilt+lost = %d, want r = 48", total)
+	}
+	// Writes spread over many survivors, not one.
+	busy := 0
+	for d, w := range writes {
+		if d != 0 && w > 0 {
+			busy++
+		}
+	}
+	if busy < 6 {
+		t.Errorf("spare writes hit only %d disks", busy)
+	}
+}
+
+func TestDistributedSparingRequiresParity(t *testing.T) {
+	d := design.FromDifferenceSet(7, []int{1, 2, 4})
+	l, err := layout.FromDesignSingle(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DistributedSparing(l); err == nil {
+		t.Error("unassigned parity accepted")
+	}
+}
+
+func TestDistributedSparingRejectsTinyStripes(t *testing.T) {
+	// k=1 stripes have no non-parity unit to spare.
+	l := &layout.Layout{V: 2, Size: 1, Stripes: []layout.Stripe{
+		{Units: []layout.Unit{{Disk: 0, Offset: 0}}, Parity: 0},
+		{Units: []layout.Unit{{Disk: 1, Offset: 0}}, Parity: 0},
+	}}
+	if _, err := DistributedSparing(l); err == nil {
+		t.Error("k=1 stripes accepted")
+	}
+}
+
+func TestRebuildToSparesValidation(t *testing.T) {
+	rl, err := NewRingLayout(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := DistributedSparing(rl.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sp.RebuildToSpares(99); err == nil {
+		t.Error("bad disk accepted")
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// StairwayInfo reports the parameters of a stairway transformation
+// (Section 3.2): v = c*(v-q) + w with w < c wide steps (Equations 8, 9).
+type StairwayInfo struct {
+	Q, K, V int
+	C, W    int
+	// StepWidth is v - q (normal step width; wide steps are one wider).
+	StepWidth int
+	// Widths lists the c step widths (each >= StepWidth; the extended
+	// construction allows widths beyond StepWidth+1).
+	Widths []int
+	// RemovedPieces counts the overlap pieces removed (equals W).
+	RemovedPieces int
+}
+
+// StairwayParams solves Equations (8)-(9) for given q < v: the number of
+// copies c and wide steps w with v = c(v-q) + w, 0 <= w < c. It returns
+// ok=false when no such pair exists (which requires v <= 2q so the steps
+// fit, and v mod (v-q) < floor(v/(v-q))).
+func StairwayParams(q, v int) (c, w int, ok bool) {
+	d := v - q
+	if d < 1 || v > 2*q {
+		return 0, 0, false
+	}
+	c = v / d
+	w = v - c*d
+	if w >= c || c < 2 {
+		return 0, 0, false
+	}
+	return c, w, true
+}
+
+// Stairway applies the stairway transformation (Theorems 10, 11, 12) to a
+// ring layout for q disks and stripe size k, producing a layout for v
+// disks (q < v <= 2q) with size k(c-1)(q-1):
+//
+//   - c copies of the q-disk ring layout are stacked,
+//   - the staircase above the step boundaries shifts right by v-q and down
+//     one row,
+//   - each of the w wide steps causes a one-piece overlap, resolved by the
+//     Theorem 8 single-disk removal in that copy.
+//
+// With w = 0 and v = q+1 this is exactly Theorem 10; with (v-q) | v it is
+// Theorem 11; otherwise Theorem 12.
+func Stairway(rl *RingLayout, v int) (*layout.Layout, StairwayInfo, error) {
+	q := rl.Design.V
+	if v <= q {
+		return nil, StairwayInfo{}, fmt.Errorf("core: Stairway: v=%d must exceed q=%d", v, q)
+	}
+	c, w, ok := StairwayParams(q, v)
+	if !ok {
+		return nil, StairwayInfo{}, fmt.Errorf("core: Stairway: no (c,w) with v=%d, q=%d satisfy Eq. (8)-(9)", v, q)
+	}
+	// Wide steps (width d+1) first, last step normal (w < c guarantees it).
+	d := v - q
+	widths := make([]int, c)
+	for t := 0; t < c; t++ {
+		widths[t] = d
+		if t < w {
+			widths[t] = d + 1
+		}
+	}
+	return stairwayBuild(rl, v, widths)
+}
+
+// StairwayWide is the extended transformation sketched after Theorem 12:
+// steps may be wider than v-q+1, causing multi-column overlaps that are
+// resolved by removing several disks from the affected copy (the
+// Theorem 9 machinery, so each step's excess j must keep j(j-1) <= k-j).
+// It reaches targets v for which no (c, w) solves Equations (8)-(9), at
+// the cost of slightly larger imbalance.
+func StairwayWide(rl *RingLayout, v int) (*layout.Layout, StairwayInfo, error) {
+	q := rl.Design.V
+	k := rl.Design.K
+	if v <= q {
+		return nil, StairwayInfo{}, fmt.Errorf("core: StairwayWide: v=%d must exceed q=%d", v, q)
+	}
+	d := v - q
+	if d > q {
+		return nil, StairwayInfo{}, fmt.Errorf("core: StairwayWide: v=%d > 2q", v)
+	}
+	jmax := maxRemovable(k)
+	// Choose the largest c (smallest layout growth) whose excess can be
+	// spread over steps 1..c-1 with at most jmax per step.
+	for c := v / d; c >= 2; c-- {
+		extra := v - c*d
+		if extra < 0 || extra > (c-1)*jmax {
+			continue
+		}
+		widths := make([]int, c)
+		for t := 0; t < c; t++ {
+			widths[t] = d
+		}
+		for t := 0; t < c-1 && extra > 0; t++ {
+			take := jmax
+			if take > extra {
+				take = extra
+			}
+			widths[t] += take
+			extra -= take
+		}
+		if extra > 0 {
+			continue
+		}
+		return stairwayBuild(rl, v, widths)
+	}
+	return nil, StairwayInfo{}, fmt.Errorf("core: StairwayWide: no feasible step widths for q=%d, v=%d, k=%d", q, v, k)
+}
+
+// maxRemovable returns the largest i >= 0 with i(i-1) <= k-i (the
+// Theorem 9 feasibility condition for removing i disks from stripes of
+// size k).
+func maxRemovable(k int) int {
+	i := 0
+	for (i+1)*i <= k-(i+1) {
+		i++
+	}
+	return i
+}
+
+// stairwayBuild constructs the transformed layout for explicit step
+// widths: len(widths) = c copies, each width >= d = v-q, the last exactly
+// d, and widths summing to v. Step t's excess j_t = widths[t]-d causes a
+// j_t-column overlap resolved by removing disks b[t-1]..b[t-1]+j_t-1
+// (0-indexed) from copy t.
+func stairwayBuild(rl *RingLayout, v int, widths []int) (*layout.Layout, StairwayInfo, error) {
+	q := rl.Design.V
+	k := rl.Design.K
+	d := v - q
+	c := len(widths)
+	if c < 2 {
+		return nil, StairwayInfo{}, fmt.Errorf("core: stairway: need at least 2 steps")
+	}
+	totalExtra := 0
+	sum := 0
+	for t, wd := range widths {
+		if wd < d {
+			return nil, StairwayInfo{}, fmt.Errorf("core: stairway: step %d narrower than v-q", t)
+		}
+		totalExtra += wd - d
+		sum += wd
+	}
+	if sum != v {
+		return nil, StairwayInfo{}, fmt.Errorf("core: stairway: widths sum to %d, want v=%d", sum, v)
+	}
+	if widths[c-1] != d {
+		return nil, StairwayInfo{}, fmt.Errorf("core: stairway: last step must have width v-q")
+	}
+	info := StairwayInfo{Q: q, K: k, V: v, C: c, W: totalExtra, StepWidth: d,
+		Widths: append([]int(nil), widths...), RemovedPieces: totalExtra}
+
+	// Step boundaries: b[t] = columns covered by the first t steps
+	// (1-indexed columns).
+	b := make([]int, c+1)
+	for t := 1; t <= c; t++ {
+		b[t] = b[t-1] + widths[t-1]
+	}
+	if b[c] != v || b[c-1] != q {
+		return nil, StairwayInfo{}, fmt.Errorf("core: stairway: step boundary mismatch (b[c]=%d, b[c-1]=%d)", b[c], b[c-1])
+	}
+
+	// Per-copy stripe specs on original disk ids; copy t removes its
+	// overlap columns.
+	pieceH := k * (q - 1) // units per piece = ring layout size
+	copySpecs := make([][]stripeSpec, c+1)
+	for t := 1; t <= c; t++ {
+		j := widths[t-1] - d
+		if j > 0 {
+			removed := make([]int, j)
+			for i := range removed {
+				removed[i] = b[t-1] + i
+			}
+			specs, err := removalSpecs(rl, removed)
+			if err != nil {
+				return nil, StairwayInfo{}, fmt.Errorf("core: stairway: copy %d removal: %w", t, err)
+			}
+			copySpecs[t] = specs
+		} else {
+			specs := make([]stripeSpec, len(rl.Design.Tuples))
+			for i, tuple := range rl.Design.Tuples {
+				specs[i] = stripeSpec{disks: append([]int(nil), tuple...), parityDisk: tuple[0]}
+			}
+			copySpecs[t] = specs
+		}
+	}
+
+	// Piece placement: old (copy t, 1-indexed column col) maps to
+	//   col > b[t-1]: new column col+d, row t      (shifted part)
+	//   col <= b[t-1]: new column col, row t-1     (unshifted part)
+	// Rows are 1..c-1; each new disk stacks c-1 pieces of height pieceH.
+	newPos := func(t, col0 int) (disk, row int) {
+		col := col0 + 1
+		if col > b[t-1] {
+			return col + d - 1, t
+		}
+		return col - 1, t - 1
+	}
+
+	// Per-copy, per-disk unit offsets within the piece replicate the
+	// canonical ring layout's offset assignment (stripe order).
+	nextInPiece := make([]int, q)
+	out := &layout.Layout{V: v, Size: pieceH * (c - 1)}
+	for t := 1; t <= c; t++ {
+		for i := range nextInPiece {
+			nextInPiece[i] = 0
+		}
+		for _, spec := range copySpecs[t] {
+			units := make([]layout.Unit, len(spec.disks))
+			parity := -1
+			for j, col0 := range spec.disks {
+				off := nextInPiece[col0]
+				nextInPiece[col0]++
+				disk, row := newPos(t, col0)
+				if disk < 0 || disk >= v || row < 1 || row > c-1 {
+					return nil, StairwayInfo{}, fmt.Errorf("core: Stairway: piece (copy %d, col %d) out of grid (disk %d, row %d)", t, col0, disk, row)
+				}
+				units[j] = layout.Unit{Disk: disk, Offset: (row-1)*pieceH + off}
+				if col0 == spec.parityDisk {
+					parity = j
+				}
+			}
+			if parity < 0 {
+				return nil, StairwayInfo{}, fmt.Errorf("core: Stairway: stripe lost its parity disk")
+			}
+			out.Stripes = append(out.Stripes, layout.Stripe{Units: units, Parity: parity})
+		}
+	}
+	if err := out.Check(); err != nil {
+		return nil, StairwayInfo{}, fmt.Errorf("core: Stairway: invalid result: %w", err)
+	}
+	return out, info, nil
+}
+
+// Theorem10Bounds returns the exact balance promised for v = q+1: size
+// kq(q-1), parity overhead 1/k, reconstruction workload (k-1)/q.
+func Theorem10Bounds(q, k int) (size int, overhead, workload layout.Ratio) {
+	return k * q * (q - 1), layout.R(1, k), layout.R(k-1, q)
+}
+
+// Theorem11Bounds returns the bounds for (v-q) | v: size k(c-1)(q-1),
+// parity overhead exactly 1/k, workload in
+// [((c-2)/(c-1))((k-1)/(q-1)), (k-1)/(q-1)].
+func Theorem11Bounds(q, k, v int) (size int, overhead layout.Ratio, wMin, wMax layout.Ratio) {
+	c := v / (v - q)
+	return k * (c - 1) * (q - 1), layout.R(1, k),
+		layout.R((c-2)*(k-1), (c-1)*(q-1)), layout.R(k-1, q-1)
+}
+
+// Theorem12Bounds returns the bounds for the mixed-width case: size
+// k(c-1)(q-1), parity overhead in
+// [1/k + (w-1)/(k(c-1)(q-1)), 1/k + w/(k(c-1)(q-1))], workload as in
+// Theorem 11.
+func Theorem12Bounds(q, k, v, c, w int) (size int, oMin, oMax, wMin, wMax layout.Ratio) {
+	den := k * (c - 1) * (q - 1)
+	lowNum := (c-1)*(q-1) + (w - 1)
+	if w == 0 {
+		lowNum = (c - 1) * (q - 1)
+	}
+	return den,
+		layout.R(lowNum, den),
+		layout.R((c-1)*(q-1)+w, den),
+		layout.R((c-2)*(k-1), (c-1)*(q-1)),
+		layout.R(k-1, q-1)
+}

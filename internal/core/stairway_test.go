@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+)
+
+func TestStairwayParams(t *testing.T) {
+	cases := []struct {
+		q, v int
+		c, w int
+		ok   bool
+	}{
+		{5, 6, 6, 0, true},   // Theorem 10: d=1, c=v, w=0
+		{8, 10, 5, 0, true},  // Theorem 11: d=2 divides 10
+		{7, 9, 4, 1, true},   // Theorem 12: d=2, 9=4*2+1
+		{9, 12, 4, 0, true},  // d=3 divides 12
+		{5, 11, 0, 0, false}, // v > 2q
+		{7, 7, 0, 0, false},  // v == q
+	}
+	for _, c := range cases {
+		gc, gw, ok := StairwayParams(c.q, c.v)
+		if ok != c.ok || (ok && (gc != c.c || gw != c.w)) {
+			t.Errorf("StairwayParams(%d,%d) = (%d,%d,%v), want (%d,%d,%v)", c.q, c.v, gc, gw, ok, c.c, c.w, c.ok)
+		}
+		if ok {
+			// Equations (8) and (9).
+			if c.v != gc*(c.v-c.q)+gw || gw >= gc {
+				t.Errorf("StairwayParams(%d,%d): equations violated", c.q, c.v)
+			}
+		}
+	}
+}
+
+func TestStairwayTheorem10(t *testing.T) {
+	// v = q+1: perfect parity, workload exactly (k-1)/q.
+	for _, c := range []struct{ q, k int }{{5, 3}, {7, 3}, {8, 4}, {9, 3}} {
+		rl, err := NewRingLayout(c.q, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := c.q + 1
+		l, info, err := Stairway(rl, v)
+		if err != nil {
+			t.Fatalf("(q=%d,k=%d): %v", c.q, c.k, err)
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("(q=%d,k=%d): %v", c.q, c.k, err)
+		}
+		wantSize, wantOverhead, wantWorkload := Theorem10Bounds(c.q, c.k)
+		if l.Size != wantSize {
+			t.Errorf("(q=%d,k=%d): size %d, want %d", c.q, c.k, l.Size, wantSize)
+		}
+		if info.W != 0 || info.C != v {
+			t.Errorf("(q=%d,k=%d): info c=%d w=%d", c.q, c.k, info.C, info.W)
+		}
+		omin, omax := l.ParityOverheadRange()
+		if !omin.Equal(wantOverhead) || !omax.Equal(wantOverhead) {
+			t.Errorf("(q=%d,k=%d): overhead [%v,%v], want %v", c.q, c.k, omin, omax, wantOverhead)
+		}
+		wmin, wmax := l.ReconstructionWorkloadRange()
+		if !wmax.Equal(wantWorkload) {
+			t.Errorf("(q=%d,k=%d): max workload %v, want %v", c.q, c.k, wmax, wantWorkload)
+		}
+		_ = wmin
+	}
+}
+
+func TestStairwayTheorem11(t *testing.T) {
+	// (v-q) | v: perfect parity balance, workload within bounds.
+	for _, c := range []struct{ q, k, v int }{{8, 4, 10}, {9, 3, 12}, {16, 4, 20}, {25, 5, 30}} {
+		rl, err := NewRingLayout(c.q, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, info, err := Stairway(rl, c.v)
+		if err != nil {
+			t.Fatalf("(q=%d,k=%d,v=%d): %v", c.q, c.k, c.v, err)
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("(q=%d,k=%d,v=%d): %v", c.q, c.k, c.v, err)
+		}
+		if info.W != 0 {
+			t.Fatalf("(q=%d,k=%d,v=%d): w=%d, want 0", c.q, c.k, c.v, info.W)
+		}
+		size, overhead, wLo, wHi := Theorem11Bounds(c.q, c.k, c.v)
+		if l.Size != size {
+			t.Errorf("size %d, want %d", l.Size, size)
+		}
+		omin, omax := l.ParityOverheadRange()
+		if !omin.Equal(overhead) || !omax.Equal(overhead) {
+			t.Errorf("(q=%d,v=%d): overhead [%v,%v], want exactly %v", c.q, c.v, omin, omax, overhead)
+		}
+		wmin, wmax := l.ReconstructionWorkloadRange()
+		if wmin.Cmp(wLo) < 0 || wmax.Cmp(wHi) > 0 {
+			t.Errorf("(q=%d,v=%d): workload [%v,%v] outside [%v,%v]", c.q, c.v, wmin, wmax, wLo, wHi)
+		}
+	}
+}
+
+func TestStairwayTheorem12MixedSteps(t *testing.T) {
+	for _, c := range []struct{ q, k, v int }{{7, 3, 9}, {13, 4, 15}, {11, 3, 14}, {16, 5, 21}} {
+		rl, err := NewRingLayout(c.q, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, info, err := Stairway(rl, c.v)
+		if err != nil {
+			t.Fatalf("(q=%d,k=%d,v=%d): %v", c.q, c.k, c.v, err)
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("(q=%d,k=%d,v=%d): %v", c.q, c.k, c.v, err)
+		}
+		if info.W == 0 {
+			t.Fatalf("(q=%d,v=%d): expected wide steps", c.q, c.v)
+		}
+		size, oLo, oHi, wLo, wHi := Theorem12Bounds(c.q, c.k, c.v, info.C, info.W)
+		if l.Size != size {
+			t.Errorf("(q=%d,v=%d): size %d, want %d", c.q, c.v, l.Size, size)
+		}
+		omin, omax := l.ParityOverheadRange()
+		if omin.Cmp(oLo) < 0 || omax.Cmp(oHi) > 0 {
+			t.Errorf("(q=%d,v=%d): overhead [%v,%v] outside [%v,%v]", c.q, c.v, omin, omax, oLo, oHi)
+		}
+		wmin, wmax := l.ReconstructionWorkloadRange()
+		if wmin.Cmp(wLo) < 0 || wmax.Cmp(wHi) > 0 {
+			t.Errorf("(q=%d,v=%d): workload [%v,%v] outside [%v,%v]", c.q, c.v, wmin, wmax, wLo, wHi)
+		}
+	}
+}
+
+func TestStairwayRejectsInvalid(t *testing.T) {
+	rl, err := NewRingLayout(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Stairway(rl, 5); err == nil {
+		t.Error("v == q accepted")
+	}
+	if _, _, err := Stairway(rl, 11); err == nil {
+		t.Error("v > 2q accepted")
+	}
+}
+
+func TestStairwayStripeSizes(t *testing.T) {
+	// Mixed steps remove disks, so stripes are size k or k-1; pure steps
+	// keep k everywhere.
+	rl, err := NewRingLayout(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, info, err := Stairway(rl, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.W != 0 {
+		t.Fatal("expected pure Theorem 11 case")
+	}
+	smin, smax := l.StripeSizes()
+	if smin != 4 || smax != 4 {
+		t.Errorf("stripe sizes [%d,%d], want [4,4]", smin, smax)
+	}
+
+	rl2, err := NewRingLayout(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, info2, err := Stairway(rl2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.W == 0 {
+		t.Fatal("expected mixed case")
+	}
+	smin2, smax2 := l2.StripeSizes()
+	if smin2 != 2 || smax2 != 3 {
+		t.Errorf("stripe sizes [%d,%d], want [2,3]", smin2, smax2)
+	}
+}
+
+func TestStairwayDataIntegrity(t *testing.T) {
+	rl, err := NewRingLayout(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := Stairway(rl, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := layout.NewData(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Mapping().DataUnits(); i++ {
+		if err := d.WriteLogical(i, []byte{byte(i), byte(i * 3), byte(i * 7), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CheckReconstruction(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStairwaySweepAllValid(t *testing.T) {
+	// Every reachable v from several bases produces a valid layout.
+	for _, q := range []int{5, 7, 8, 9, 11, 13} {
+		rl, err := NewRingLayout(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := q + 1; v <= 2*q; v++ {
+			if _, _, ok := StairwayParams(q, v); !ok {
+				continue
+			}
+			l, _, err := Stairway(rl, v)
+			if err != nil {
+				t.Errorf("q=%d v=%d: %v", q, v, err)
+				continue
+			}
+			if err := l.Check(); err != nil {
+				t.Errorf("q=%d v=%d: %v", q, v, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+)
+
+func TestMaxRemovable(t *testing.T) {
+	cases := []struct{ k, want int }{
+		{2, 1}, {3, 1}, {4, 2}, {6, 2}, {9, 3}, {10, 3}, {12, 3}, {25, 5}, {26, 5},
+	}
+	for _, c := range cases {
+		if got := maxRemovable(c.k); got != c.want {
+			t.Errorf("maxRemovable(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestStairwayWideReachesUnreachableV(t *testing.T) {
+	// q=16, v=22: StairwayParams fails (d=6, c=3, w=4 >= c), but with
+	// k=6 (jmax=2) extra=4 spreads as {2,2,0}: widths {8,8,6}.
+	rl, err := NewRingLayout(16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := StairwayParams(16, 22); ok {
+		t.Fatal("test premise broken: (16,22) should not satisfy Eq. (8)-(9)")
+	}
+	if _, _, err := Stairway(rl, 22); err == nil {
+		t.Fatal("plain stairway should fail for (16,22)")
+	}
+	l, info, err := StairwayWide(rl, 22)
+	if err != nil {
+		t.Fatalf("StairwayWide: %v", err)
+	}
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if l.V != 22 {
+		t.Errorf("v = %d", l.V)
+	}
+	if info.W != 4 {
+		t.Errorf("total excess %d, want 4", info.W)
+	}
+	// Size formula still k(c-1)(q-1).
+	if l.Size != 6*(info.C-1)*15 {
+		t.Errorf("size %d, want %d", l.Size, 6*(info.C-1)*15)
+	}
+	// Stripe sizes within [k - jmax, k].
+	smin, smax := l.StripeSizes()
+	if smin < 4 || smax > 6 {
+		t.Errorf("stripe sizes [%d,%d]", smin, smax)
+	}
+}
+
+func TestStairwayWideMatchesPlainWhenFeasible(t *testing.T) {
+	// When Eq. (8)-(9) hold, StairwayWide should produce a layout of the
+	// same size and c as plain Stairway (widths with excess <= 1).
+	rl, err := NewRingLayout(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, ip, err := Stairway(rl, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, iw, err := StairwayWide(rl, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Size != lw.Size || ip.C != iw.C {
+		t.Errorf("plain (size %d, c %d) vs wide (size %d, c %d)", lp.Size, ip.C, lw.Size, iw.C)
+	}
+	if err := lw.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStairwayWideBalanceReasonable(t *testing.T) {
+	rl, err := NewRingLayout(16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := StairwayWide(rl, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omin, omax := l.ParityOverheadRange()
+	// Overhead stays within 25% of 1/k.
+	lo := layout.R(3, 4*6) // 0.75/k
+	hi := layout.R(5, 4*6) // 1.25/k
+	if omin.Cmp(lo) < 0 || omax.Cmp(hi) > 0 {
+		t.Errorf("overhead [%v,%v] outside sane band [%v,%v]", omin, omax, lo, hi)
+	}
+	if !l.ParityAssigned() {
+		t.Error("parity unassigned")
+	}
+}
+
+func TestStairwayWideDataIntegrity(t *testing.T) {
+	rl, err := NewRingLayout(16, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := StairwayWide(rl, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := layout.NewData(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.Mapping().DataUnits(); i++ {
+		if err := d.WriteLogical(i, []byte{byte(i), byte(i >> 8), byte(i * 3), 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CheckReconstruction(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStairwayWideRejectsImpossible(t *testing.T) {
+	// k=3 (jmax=1): q=16 -> v=22 needs per-step excess 2: infeasible.
+	rl, err := NewRingLayout(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := StairwayWide(rl, 22); err == nil {
+		t.Error("expected infeasibility for k=3")
+	}
+	if _, _, err := StairwayWide(rl, 16); err == nil {
+		t.Error("v == q accepted")
+	}
+	if _, _, err := StairwayWide(rl, 40); err == nil {
+		t.Error("v > 2q accepted")
+	}
+}
+
+func TestStairwayBuildValidation(t *testing.T) {
+	rl, err := NewRingLayout(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong sum.
+	if _, _, err := stairwayBuild(rl, 10, []int{2, 2, 2, 2}); err == nil {
+		t.Error("bad width sum accepted")
+	}
+	// Last step wide.
+	if _, _, err := stairwayBuild(rl, 10, []int{2, 2, 3, 3}); err == nil {
+		t.Error("wide last step accepted")
+	}
+	// Step narrower than d.
+	if _, _, err := stairwayBuild(rl, 10, []int{1, 3, 2, 2, 2}); err == nil {
+		t.Error("narrow step accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package design
+
+import "fmt"
+
+// Classical design operations: derived and residual designs. For a
+// (v, k, λ) BIBD, fixing a block B:
+//
+//   - the residual design (blocks B' != B restricted to points outside B)
+//     is a (v-k, k-λ', ...) structure; for λ = 1 it is a
+//     (v-k, k-1, 1)-ish packing that is itself a BIBD when the original
+//     is a projective plane (residual of PG(2,q) is AG(2,q));
+//   - the derived design (blocks through a point x, with x removed) has
+//     parameters (v-1, k-1, λ-?) and is a BIBD when λ > 1 appropriately.
+//
+// These widen the catalog: new parameter sets from existing designs.
+
+// Derived returns the derived design at a point: all blocks containing x,
+// with x deleted, over the remaining v-1 points (relabeled to 0..v-2).
+// For a (v, k, λ) BIBD this is a (v-1, k-1, λ-1)-balanced structure when
+// λ >= 2 (each remaining pair occurred λ times with... pairs through x
+// occur λ times); callers should Verify the result.
+func Derived(d *Design, x int) (*Design, error) {
+	if x < 0 || x >= d.V {
+		return nil, fmt.Errorf("design: Derived: point %d out of range", x)
+	}
+	relabel := make([]int, d.V)
+	next := 0
+	for p := 0; p < d.V; p++ {
+		if p == x {
+			relabel[p] = -1
+			continue
+		}
+		relabel[p] = next
+		next++
+	}
+	out := &Design{V: d.V - 1, K: d.K - 1}
+	for _, tuple := range d.Tuples {
+		has := false
+		for _, p := range tuple {
+			if p == x {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		nt := make([]int, 0, d.K-1)
+		for _, p := range tuple {
+			if p != x {
+				nt = append(nt, relabel[p])
+			}
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	if len(out.Tuples) == 0 {
+		return nil, fmt.Errorf("design: Derived: no blocks through point %d", x)
+	}
+	return out, nil
+}
+
+// BlockDerived returns the classical derived design with respect to block
+// bi: the points of that block, with every other block intersected with
+// it. For a symmetric (v, k, λ) design every other block meets bi in
+// exactly λ points, giving a (k, λ, λ-1) BIBD. It fails when the
+// intersections are non-uniform.
+func BlockDerived(d *Design, bi int) (*Design, error) {
+	if bi < 0 || bi >= len(d.Tuples) {
+		return nil, fmt.Errorf("design: BlockDerived: block %d out of range", bi)
+	}
+	inBlock := make([]bool, d.V)
+	relabel := make([]int, d.V)
+	for i := range relabel {
+		relabel[i] = -1
+	}
+	for i, p := range d.Tuples[bi] {
+		inBlock[p] = true
+		relabel[p] = i
+	}
+	out := &Design{V: d.K}
+	for ti, tuple := range d.Tuples {
+		if ti == bi {
+			continue
+		}
+		var nt []int
+		for _, p := range tuple {
+			if inBlock[p] {
+				nt = append(nt, relabel[p])
+			}
+		}
+		if len(nt) == 0 {
+			return nil, fmt.Errorf("design: BlockDerived: block %d disjoint from block %d", ti, bi)
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	k := len(out.Tuples[0])
+	for _, t := range out.Tuples {
+		if len(t) != k {
+			return nil, fmt.Errorf("design: BlockDerived: non-uniform intersections (design not symmetric)")
+		}
+	}
+	out.K = k
+	return out, nil
+}
+
+// Residual returns the residual design with respect to block bi: every
+// other block restricted to the points outside block bi, over the v-k
+// remaining points (relabeled). For a symmetric (v, k, λ) design the
+// residual is a (v-k, k-λ, λ) BIBD; in general callers should Verify.
+func Residual(d *Design, bi int) (*Design, error) {
+	if bi < 0 || bi >= len(d.Tuples) {
+		return nil, fmt.Errorf("design: Residual: block %d out of range", bi)
+	}
+	inBlock := make([]bool, d.V)
+	for _, p := range d.Tuples[bi] {
+		inBlock[p] = true
+	}
+	relabel := make([]int, d.V)
+	next := 0
+	for p := 0; p < d.V; p++ {
+		if inBlock[p] {
+			relabel[p] = -1
+			continue
+		}
+		relabel[p] = next
+		next++
+	}
+	out := &Design{V: d.V - d.K}
+	for ti, tuple := range d.Tuples {
+		if ti == bi {
+			continue
+		}
+		nt := make([]int, 0, d.K)
+		for _, p := range tuple {
+			if !inBlock[p] {
+				nt = append(nt, relabel[p])
+			}
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	if len(out.Tuples) == 0 {
+		return nil, fmt.Errorf("design: Residual: empty result")
+	}
+	// Residual blocks may have unequal sizes in general; the design K is
+	// meaningful only when they are uniform.
+	k := len(out.Tuples[0])
+	uniform := true
+	for _, t := range out.Tuples {
+		if len(t) != k {
+			uniform = false
+			break
+		}
+	}
+	if !uniform {
+		return nil, fmt.Errorf("design: Residual: non-uniform block sizes (design is not quasi-residual-friendly)")
+	}
+	out.K = k
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package design
+
+import "testing"
+
+func TestResidualOfProjectivePlaneIsAffine(t *testing.T) {
+	// Residual of PG(2,q) w.r.t. any line is AG(2,q): a (q^2, q, 1) BIBD.
+	for _, q := range []int{2, 3, 4} {
+		pg := ProjectivePlane(q)
+		res, err := Residual(pg, 0)
+		if err != nil {
+			t.Fatalf("PG(2,%d): %v", q, err)
+		}
+		b, r, lambda, ok := res.Params()
+		if !ok {
+			t.Fatalf("PG(2,%d) residual invalid: %v", q, res.Verify())
+		}
+		if res.V != q*q || res.K != q || b != q*q+q || r != q+1 || lambda != 1 {
+			t.Errorf("PG(2,%d) residual: v=%d k=%d (%d,%d,%d)", q, res.V, res.K, b, r, lambda)
+		}
+	}
+}
+
+func TestPointDerivedOfBiplaneShape(t *testing.T) {
+	// Point-derived of the (11,5,2) biplane: the r=5 blocks through the
+	// point, minus the point — shape (10, 4) with 5 blocks. (It is not a
+	// BIBD; the classical derived design is block-based, tested below.)
+	d := FromDifferenceSet(11, []int{1, 3, 4, 5, 9})
+	der, err := Derived(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if der.V != 10 || der.K != 4 || der.B() != 5 {
+		t.Errorf("derived shape: v=%d k=%d b=%d", der.V, der.K, der.B())
+	}
+}
+
+func TestBlockDerivedOfBiplane(t *testing.T) {
+	// Block-derived of the symmetric (11,5,2) biplane is a (5,2,1) BIBD:
+	// the complete design on 5 points.
+	d := FromDifferenceSet(11, []int{1, 3, 4, 5, 9})
+	der, err := BlockDerived(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, r, lambda, ok := der.Params()
+	if !ok {
+		t.Fatalf("block-derived invalid: %v", der.Verify())
+	}
+	if der.V != 5 || der.K != 2 || b != 10 || r != 4 || lambda != 1 {
+		t.Errorf("block-derived: v=%d k=%d (%d,%d,%d)", der.V, der.K, b, r, lambda)
+	}
+}
+
+func TestBlockDerivedOfFano(t *testing.T) {
+	// Fano is symmetric (7,3,1): block-derived is (3,1,0)-shaped — blocks
+	// of size 1, which cannot be a 2-design; shape check only.
+	der, err := BlockDerived(fano(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if der.V != 3 || der.K != 1 || der.B() != 6 {
+		t.Errorf("block-derived Fano: v=%d k=%d b=%d", der.V, der.K, der.B())
+	}
+}
+
+func TestBlockDerivedValidation(t *testing.T) {
+	if _, err := BlockDerived(fano(), 99); err == nil {
+		t.Error("bad block accepted")
+	}
+	// Non-symmetric design with non-uniform intersections: AG(2,3) lines
+	// meet a fixed line in 0 or 1 points -> disjoint blocks exist.
+	if _, err := BlockDerived(AffinePlane(3), 0); err == nil {
+		t.Error("non-uniform intersections accepted")
+	}
+}
+
+func TestDerivedOfFanoDegenerates(t *testing.T) {
+	// Fano has λ=1: derived at a point gives disjoint pairs (a partition),
+	// which is balanced with λ=0 — Verify rejects λ-0-style imbalance only
+	// if pairs differ; a perfect matching on 6 points with each pair 0 or
+	// 1 times is NOT pair-balanced, so Verify must fail.
+	d := fano()
+	der, err := Derived(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if der.V != 6 || der.K != 2 || der.B() != 3 {
+		t.Fatalf("derived shape: v=%d k=%d b=%d", der.V, der.K, der.B())
+	}
+	if der.Verify() == nil {
+		t.Error("derived Fano (3 disjoint pairs on 6 points) should not verify as a BIBD")
+	}
+}
+
+func TestResidualValidation(t *testing.T) {
+	d := fano()
+	if _, err := Residual(d, -1); err == nil {
+		t.Error("bad block accepted")
+	}
+	if _, err := Residual(d, 99); err == nil {
+		t.Error("bad block accepted")
+	}
+	if _, err := Derived(d, 9); err == nil {
+		t.Error("bad point accepted")
+	}
+}
+
+func TestResidualOfFanoUniform(t *testing.T) {
+	// Fano residual w.r.t. a line: remaining 6 lines each meet the removed
+	// line in exactly one point (λ=1, so any two lines share one point):
+	// residual blocks all have size 2 — the complete graph K4's edges...
+	// 6 blocks of size 2 on 4 points: C(4,2), the complete design, λ=1.
+	res, err := Residual(fano(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, r, lambda, ok := res.Params()
+	if !ok {
+		t.Fatalf("residual invalid: %v", res.Verify())
+	}
+	if res.V != 4 || res.K != 2 || b != 6 || r != 3 || lambda != 1 {
+		t.Errorf("residual: v=%d k=%d (%d,%d,%d)", res.V, res.K, b, r, lambda)
+	}
+}

@@ -1,0 +1,239 @@
+// Package design implements balanced incomplete block designs (BIBDs) and
+// the paper's constructions of them: ring-based block designs (Theorem 1),
+// the reachability characterization k <= M(v) (Theorem 2), redundancy
+// reduction (Section 2.2, Theorems 4 and 5), subfield designs with λ = 1
+// (Theorem 6), the size lower bound (Theorem 7), complete designs, and a
+// verified catalog of known small BIBDs for values of v the algebraic
+// constructions cannot reach.
+package design
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Design is a block design: a collection of k-element tuples (blocks) over
+// the element set {0, ..., V-1}. A Design is not necessarily balanced;
+// Verify checks the BIBD conditions and Params reports (b, r, λ).
+//
+// Tuple element order is significant for layout constructions (the i-th
+// position is the g_i-th element of a ring-based tuple); balance checks
+// ignore order.
+type Design struct {
+	V      int
+	K      int
+	Tuples [][]int
+}
+
+// B returns the number of tuples.
+func (d *Design) B() int { return len(d.Tuples) }
+
+// Clone returns a deep copy.
+func (d *Design) Clone() *Design {
+	t := make([][]int, len(d.Tuples))
+	for i, tuple := range d.Tuples {
+		t[i] = append([]int(nil), tuple...)
+	}
+	return &Design{V: d.V, K: d.K, Tuples: t}
+}
+
+// Params verifies the BIBD conditions and returns the design parameters
+// (b, r, λ). ok is false if the design is not a BIBD (not every element in
+// the same number of tuples, or not every pair in the same number).
+func (d *Design) Params() (b, r, lambda int, ok bool) {
+	if err := d.Verify(); err != nil {
+		return 0, 0, 0, false
+	}
+	b = len(d.Tuples)
+	r = b * d.K / d.V
+	if d.V > 1 {
+		lambda = r * (d.K - 1) / (d.V - 1)
+	}
+	return b, r, lambda, true
+}
+
+// Verify checks that d is a BIBD: every tuple has exactly K distinct
+// elements in range, every element occurs in the same number r of tuples,
+// and every unordered pair occurs in the same number λ of tuples. It
+// returns a descriptive error for the first violation.
+func (d *Design) Verify() error {
+	if d.V < 2 {
+		return fmt.Errorf("design: v = %d < 2", d.V)
+	}
+	if d.K < 1 || d.K > d.V {
+		return fmt.Errorf("design: k = %d outside [1, %d]", d.K, d.V)
+	}
+	if len(d.Tuples) == 0 {
+		return fmt.Errorf("design: no tuples")
+	}
+	rCount := make([]int, d.V)
+	pairCount := make([]int, d.V*d.V)
+	for ti, tuple := range d.Tuples {
+		if len(tuple) != d.K {
+			return fmt.Errorf("design: tuple %d has %d elements, want %d", ti, len(tuple), d.K)
+		}
+		for i, x := range tuple {
+			if x < 0 || x >= d.V {
+				return fmt.Errorf("design: tuple %d element %d out of range", ti, x)
+			}
+			rCount[x]++
+			for j := i + 1; j < len(tuple); j++ {
+				y := tuple[j]
+				if y == x {
+					return fmt.Errorf("design: tuple %d has duplicate element %d", ti, x)
+				}
+				lo, hi := x, y
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				pairCount[lo*d.V+hi]++
+			}
+		}
+	}
+	for x := 1; x < d.V; x++ {
+		if rCount[x] != rCount[0] {
+			return fmt.Errorf("design: element %d occurs %d times, element 0 occurs %d (not balanced in r)", x, rCount[x], rCount[0])
+		}
+	}
+	if d.K >= 2 {
+		want := pairCount[0*d.V+1]
+		for x := 0; x < d.V; x++ {
+			for y := x + 1; y < d.V; y++ {
+				if pairCount[x*d.V+y] != want {
+					return fmt.Errorf("design: pair (%d,%d) occurs %d times, pair (0,1) occurs %d (not balanced in λ)", x, y, pairCount[x*d.V+y], want)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ReplicationCount returns r, the number of tuples containing each element,
+// assuming (not checking) the design is balanced.
+func (d *Design) ReplicationCount() int {
+	if d.V == 0 {
+		return 0
+	}
+	return len(d.Tuples) * d.K / d.V
+}
+
+// canonKey returns a canonical string key for the sorted tuple contents.
+func canonKey(tuple []int) string {
+	s := append([]int(nil), tuple...)
+	sort.Ints(s)
+	buf := make([]byte, 0, 4*len(s))
+	for _, x := range s {
+		buf = append(buf, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return string(buf)
+}
+
+// Reduce removes redundancy: if every distinct tuple (as a set) occurs a
+// number of times divisible by f = gcd of all multiplicities, the design
+// keeps multiplicity/f copies of each. It returns the reduced design and
+// the factor f (>= 1). Reducing a BIBD by f divides b, r and λ by f
+// (Section 2.2). Tuple element order within kept copies is preserved from
+// their first occurrence.
+func Reduce(d *Design) (*Design, int) {
+	type group struct {
+		first int // index of first occurrence
+		count int
+	}
+	groups := map[string]*group{}
+	order := []string{}
+	for i, tuple := range d.Tuples {
+		key := canonKey(tuple)
+		if g, ok := groups[key]; ok {
+			g.count++
+		} else {
+			groups[key] = &group{first: i, count: 1}
+			order = append(order, key)
+		}
+	}
+	f := 0
+	for _, g := range groups {
+		f = gcd(f, g.count)
+	}
+	if f <= 1 {
+		return d.Clone(), 1
+	}
+	out := &Design{V: d.V, K: d.K}
+	for _, key := range order {
+		g := groups[key]
+		for c := 0; c < g.count/f; c++ {
+			out.Tuples = append(out.Tuples, append([]int(nil), d.Tuples[g.first]...))
+		}
+	}
+	return out, f
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// MinB returns the Theorem 7 lower bound on the number of tuples of any
+// BIBD with parameters v and k: v(v-1)/gcd(v(v-1), k(k-1)).
+func MinB(v, k int) int {
+	vv := v * (v - 1)
+	kk := k * (k - 1)
+	if kk == 0 {
+		return v // k = 1: need at least v singleton tuples for r >= 1
+	}
+	return vv / gcd(vv, kk)
+}
+
+// Complete returns the complete block design: all C(v, k) k-subsets of
+// {0..v-1}. It panics if C(v, k) exceeds maxTuples (complete designs blow
+// up combinatorially; the paper notes they are infeasible for large v).
+func Complete(v, k int, maxTuples int) *Design {
+	if k < 1 || k > v {
+		panic(fmt.Sprintf("design: Complete(%d,%d): invalid k", v, k))
+	}
+	d := &Design{V: v, K: k}
+	tuple := make([]int, k)
+	var rec func(start, depth int)
+	count := 0
+	var overflow bool
+	rec = func(start, depth int) {
+		if overflow {
+			return
+		}
+		if depth == k {
+			count++
+			if maxTuples > 0 && count > maxTuples {
+				overflow = true
+				return
+			}
+			d.Tuples = append(d.Tuples, append([]int(nil), tuple...))
+			return
+		}
+		for x := start; x <= v-(k-depth); x++ {
+			tuple[depth] = x
+			rec(x+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	if overflow {
+		panic(fmt.Sprintf("design: Complete(%d,%d): more than %d tuples", v, k, maxTuples))
+	}
+	return d
+}
+
+// Binomial returns C(n, k), saturating panics avoided for the small inputs
+// used here.
+func Binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1
+	for i := 0; i < k; i++ {
+		res = res * (n - i) / (i + 1)
+	}
+	return res
+}

@@ -1,0 +1,310 @@
+package design
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+func fano() *Design {
+	return FromDifferenceSet(7, []int{1, 2, 4})
+}
+
+func TestVerifyFano(t *testing.T) {
+	d := fano()
+	b, r, lambda, ok := d.Params()
+	if !ok {
+		t.Fatalf("Fano plane failed verification: %v", d.Verify())
+	}
+	if b != 7 || r != 3 || lambda != 1 {
+		t.Errorf("Fano params = (%d,%d,%d), want (7,3,1)", b, r, lambda)
+	}
+}
+
+func TestVerifyRejectsDuplicateElement(t *testing.T) {
+	d := &Design{V: 4, K: 2, Tuples: [][]int{{0, 0}, {1, 2}}}
+	if d.Verify() == nil {
+		t.Error("duplicate element not rejected")
+	}
+}
+
+func TestVerifyRejectsOutOfRange(t *testing.T) {
+	d := &Design{V: 4, K: 2, Tuples: [][]int{{0, 4}}}
+	if d.Verify() == nil {
+		t.Error("out-of-range element not rejected")
+	}
+}
+
+func TestVerifyRejectsWrongSize(t *testing.T) {
+	d := &Design{V: 4, K: 3, Tuples: [][]int{{0, 1}}}
+	if d.Verify() == nil {
+		t.Error("short tuple not rejected")
+	}
+}
+
+func TestVerifyRejectsUnbalancedR(t *testing.T) {
+	d := &Design{V: 4, K: 2, Tuples: [][]int{{0, 1}, {0, 2}, {0, 3}}}
+	if d.Verify() == nil {
+		t.Error("unbalanced r not rejected")
+	}
+}
+
+func TestVerifyRejectsUnbalancedLambda(t *testing.T) {
+	// Each element twice, but pair (0,1) occurs twice and (0,2) never.
+	d := &Design{V: 4, K: 2, Tuples: [][]int{{0, 1}, {0, 1}, {2, 3}, {2, 3}}}
+	if d.Verify() == nil {
+		t.Error("unbalanced λ not rejected")
+	}
+}
+
+func TestVerifyEmpty(t *testing.T) {
+	d := &Design{V: 4, K: 2}
+	if d.Verify() == nil {
+		t.Error("empty design not rejected")
+	}
+}
+
+func TestCompleteDesign(t *testing.T) {
+	d := Complete(5, 3, 0)
+	b, r, lambda, ok := d.Params()
+	if !ok {
+		t.Fatalf("complete design invalid: %v", d.Verify())
+	}
+	if b != 10 || r != 6 || lambda != 3 {
+		t.Errorf("C(5,3) params = (%d,%d,%d), want (10,6,3)", b, r, lambda)
+	}
+}
+
+func TestCompleteDesignCountMatchesBinomial(t *testing.T) {
+	for _, c := range []struct{ v, k int }{{4, 2}, {6, 3}, {7, 4}, {8, 2}} {
+		d := Complete(c.v, c.k, 0)
+		if d.B() != Binomial(c.v, c.k) {
+			t.Errorf("Complete(%d,%d) has %d tuples, want %d", c.v, c.k, d.B(), Binomial(c.v, c.k))
+		}
+	}
+}
+
+func TestCompleteOverflowGuard(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Complete(30,15,10) did not panic")
+		}
+	}()
+	Complete(30, 15, 10)
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {6, 7, 0}, {6, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestReduceNoRedundancy(t *testing.T) {
+	d := fano()
+	r, f := Reduce(d)
+	if f != 1 {
+		t.Errorf("Fano reduction factor = %d, want 1", f)
+	}
+	if r.B() != d.B() {
+		t.Errorf("Fano reduced to %d tuples", r.B())
+	}
+}
+
+func TestReduceDoubledDesign(t *testing.T) {
+	d := fano()
+	doubled := d.Clone()
+	doubled.Tuples = append(doubled.Tuples, d.Clone().Tuples...)
+	r, f := Reduce(doubled)
+	if f != 2 {
+		t.Errorf("doubled Fano reduction factor = %d, want 2", f)
+	}
+	if err := r.Verify(); err != nil {
+		t.Errorf("reduced design invalid: %v", err)
+	}
+	if r.B() != 7 {
+		t.Errorf("reduced to %d tuples, want 7", r.B())
+	}
+}
+
+func TestReducePreservesBalance(t *testing.T) {
+	rd, err := NewRingDesignForVK(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, f := Reduce(&rd.Design)
+	if f < 1 {
+		t.Fatalf("factor %d", f)
+	}
+	if err := red.Verify(); err != nil {
+		t.Errorf("reduced ring design invalid: %v", err)
+	}
+	b1, r1, l1, _ := rd.Params()
+	b2, r2, l2, ok := red.Params()
+	if !ok || b1 != b2*f || r1 != r2*f || l1 != l2*f {
+		t.Errorf("reduction params mismatch: (%d,%d,%d) vs f=%d * (%d,%d,%d)", b1, r1, l1, f, b2, r2, l2)
+	}
+}
+
+func TestMinB(t *testing.T) {
+	cases := []struct{ v, k, want int }{
+		{7, 3, 7},   // Fano is optimal
+		{9, 3, 12},  // AG(2,3)
+		{13, 4, 13}, // PG(2,3)
+		{16, 4, 20}, // Theorem 6 case: v = k^2
+		{64, 8, 72}, // v = k^2
+		{6, 3, 5},   // bound is 5; the true minimum is 10 (bound not tight)
+	}
+	for _, c := range cases {
+		if got := MinB(c.v, c.k); got != c.want {
+			t.Errorf("MinB(%d,%d) = %d, want %d", c.v, c.k, got, c.want)
+		}
+	}
+}
+
+func TestMinBDividesActualB(t *testing.T) {
+	// Theorem 7: any BIBD's b is a multiple of MinB.
+	designs := []*Design{
+		fano(),
+		AffinePlane(3),
+		ProjectivePlane(3),
+		Complete(6, 3, 0),
+	}
+	for _, d := range designs {
+		b, _, _, ok := d.Params()
+		if !ok {
+			t.Fatalf("design invalid: %v", d.Verify())
+		}
+		if b%MinB(d.V, d.K) != 0 {
+			t.Errorf("(%d,%d): b=%d not a multiple of MinB=%d", d.V, d.K, b, MinB(d.V, d.K))
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := fano()
+	c := d.Clone()
+	c.Tuples[0][0] = 99
+	if d.Tuples[0][0] == 99 {
+		t.Error("Clone shares tuple storage")
+	}
+}
+
+func TestReplicationCount(t *testing.T) {
+	d := fano()
+	if got := d.ReplicationCount(); got != 3 {
+		t.Errorf("ReplicationCount = %d, want 3", got)
+	}
+}
+
+func TestParamsIdentity(t *testing.T) {
+	// bk = vr and λ(v-1) = r(k-1) must hold for all verified designs.
+	designs := []*Design{fano(), AffinePlane(4), ProjectivePlane(2), Complete(7, 3, 0)}
+	for _, d := range designs {
+		b, r, lambda, ok := d.Params()
+		if !ok {
+			t.Fatalf("invalid design (%d,%d): %v", d.V, d.K, d.Verify())
+		}
+		if b*d.K != d.V*r {
+			t.Errorf("(%d,%d): bk != vr", d.V, d.K)
+		}
+		if lambda*(d.V-1) != r*(d.K-1) {
+			t.Errorf("(%d,%d): λ(v-1) != r(k-1)", d.V, d.K)
+		}
+	}
+}
+
+func TestRingDesignTheorem1Params(t *testing.T) {
+	for _, c := range []struct{ v, k int }{{4, 3}, {5, 4}, {7, 3}, {8, 5}, {9, 4}, {13, 6}, {16, 7}} {
+		rd, err := NewRingDesignForVK(c.v, c.k)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		b, r, lambda, ok := rd.Params()
+		if !ok {
+			t.Fatalf("(%d,%d): not a BIBD: %v", c.v, c.k, rd.Verify())
+		}
+		wb, wr, wl := TheoreticalParams(c.v, c.k)
+		if b != wb || r != wr || lambda != wl {
+			t.Errorf("(%d,%d): params (%d,%d,%d), want (%d,%d,%d)", c.v, c.k, b, r, lambda, wb, wr, wl)
+		}
+	}
+}
+
+func TestRingDesignCompositeV(t *testing.T) {
+	// v = 12, M(12) = 3: k = 2, 3 work, k = 4 must fail.
+	for k := 2; k <= 3; k++ {
+		rd, err := NewRingDesignForVK(12, k)
+		if err != nil {
+			t.Fatalf("(12,%d): %v", k, err)
+		}
+		if err := rd.Verify(); err != nil {
+			t.Errorf("(12,%d): %v", k, err)
+		}
+	}
+	if _, err := NewRingDesignForVK(12, 4); err == nil {
+		t.Error("(12,4): expected Theorem 2 rejection")
+	}
+}
+
+func TestRingDesignTheorem2Boundary(t *testing.T) {
+	cases := []struct {
+		v, maxK int
+	}{{6, 2}, {10, 2}, {12, 3}, {15, 3}, {20, 4}, {18, 2}, {45, 5}}
+	for _, c := range cases {
+		if got := algebra.MaxGenerators(c.v); got != c.maxK {
+			t.Fatalf("M(%d) = %d, want %d", c.v, got, c.maxK)
+		}
+		if rd, err := NewRingDesignForVK(c.v, c.maxK); err != nil {
+			t.Errorf("(%d,%d): %v", c.v, c.maxK, err)
+		} else if err := rd.Verify(); err != nil {
+			t.Errorf("(%d,%d): %v", c.v, c.maxK, err)
+		}
+		if _, err := NewRingDesignForVK(c.v, c.maxK+1); err == nil {
+			t.Errorf("(%d,%d): expected rejection above M(v)", c.v, c.maxK+1)
+		}
+	}
+}
+
+func TestRingDesignTupleIndex(t *testing.T) {
+	rd, err := NewRingDesignForVK(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := 8
+	seen := map[int]bool{}
+	for x := 0; x < v; x++ {
+		for y := 1; y < v; y++ {
+			idx := rd.TupleIndex(x, y)
+			if seen[idx] {
+				t.Fatalf("TupleIndex(%d,%d) = %d duplicated", x, y, idx)
+			}
+			seen[idx] = true
+			gx, gy := rd.PairOf(idx)
+			if gx != x || gy != y {
+				t.Fatalf("PairOf(%d) = (%d,%d), want (%d,%d)", idx, gx, gy, x, y)
+			}
+			// First element of the tuple must be x itself (offset 0 for g_0).
+			if rd.Tuples[idx][0] != x {
+				t.Fatalf("tuple (%d,%d) position 0 = %d, want x", x, y, rd.Tuples[idx][0])
+			}
+		}
+	}
+	if len(seen) != v*(v-1) {
+		t.Fatalf("indexed %d tuples, want %d", len(seen), v*(v-1))
+	}
+}
+
+func TestRingDesignInvalidGenerators(t *testing.T) {
+	z := algebra.NewZmod(6)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid generator set accepted")
+		}
+	}()
+	NewRingDesign(z, []int{1, 3}) // difference 2 not a unit mod 6
+}

@@ -1,0 +1,130 @@
+package design
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+)
+
+var testPrimePowers = algebra.PrimePowersUpTo(49)
+
+func TestQuadraticResidueDesigns(t *testing.T) {
+	for _, p := range []int{7, 11, 19, 23, 31, 43} {
+		d, err := QuadraticResidueDesign(p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		b, r, lambda, ok := d.Params()
+		if !ok {
+			t.Fatalf("p=%d: invalid", p)
+		}
+		if b != p || r != (p-1)/2 || lambda != (p-3)/4 {
+			t.Errorf("p=%d: (%d,%d,%d), want (%d,%d,%d)", p, b, r, lambda, p, (p-1)/2, (p-3)/4)
+		}
+	}
+}
+
+func TestQuadraticResidueRejects(t *testing.T) {
+	for _, p := range []int{5, 13, 17, 9, 15} { // ≡ 1 mod 4 or composite
+		if _, err := QuadraticResidueDesign(p); err == nil {
+			t.Errorf("p=%d accepted", p)
+		}
+	}
+}
+
+func TestPropertyTheorem4AlwaysBIBD(t *testing.T) {
+	f := func(a, b uint8) bool {
+		v := testPrimePowers[int(a)%len(testPrimePowers)]
+		if v < 4 {
+			v = 4
+		}
+		k := 2 + int(b)%(minInt(v, 9)-1)
+		d, factor, err := Theorem4Design(v, k)
+		if err != nil {
+			return false
+		}
+		if d.Verify() != nil {
+			return false
+		}
+		gcd := algebra.GCD(v-1, k-1)
+		return factor%gcd == 0 && d.B()*factor == v*(v-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTheorem5AlwaysBIBD(t *testing.T) {
+	f := func(a, b uint8) bool {
+		v := testPrimePowers[int(a)%len(testPrimePowers)]
+		if v < 4 {
+			v = 4
+		}
+		// Theorem 5 requires k <= v-1 (the affine fixed point is unusable).
+		k := 2 + int(b)%(minInt(v-1, 9)-1)
+		d, factor, err := Theorem5Design(v, k)
+		if err != nil {
+			return false
+		}
+		if d.Verify() != nil {
+			return false
+		}
+		return factor%algebra.GCD(v-1, k) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyComplementIsBIBD(t *testing.T) {
+	// Complement of any BIBD with k < v-1 is a BIBD.
+	f := func(a, b uint8) bool {
+		v := testPrimePowers[int(a)%len(testPrimePowers)]
+		if v < 5 {
+			v = 5
+		}
+		k := 2 + int(b)%(minInt(v-2, 7)-1)
+		d, _, err := Theorem4Design(v, k)
+		if err != nil {
+			return false
+		}
+		c := Complement(d)
+		return c.Verify() == nil && c.K == v-k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyReduceRoundTrip(t *testing.T) {
+	// Reducing then re-replicating by the factor restores b.
+	f := func(a, b uint8) bool {
+		v := testPrimePowers[int(a)%len(testPrimePowers)]
+		if v < 4 {
+			v = 4
+		}
+		k := 2 + int(b)%(minInt(v, 8)-1)
+		rd, err := NewRingDesignForVK(v, k)
+		if err != nil {
+			return false
+		}
+		red, f1 := Reduce(&rd.Design)
+		if red.B()*f1 != rd.B() {
+			return false
+		}
+		// Reducing an already-reduced design is idempotent.
+		red2, f2 := Reduce(red)
+		return f2 == 1 && red2.B() == red.B()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

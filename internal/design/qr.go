@@ -1,0 +1,33 @@
+package design
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+)
+
+// QuadraticResidueDesign returns the Paley difference-set design for a
+// prime p ≡ 3 (mod 4): the quadratic residues mod p form a
+// (p, (p-1)/2, (p-3)/4) difference set, whose development is a symmetric
+// BIBD. These are the classic Hadamard designs — e.g. p=7 gives the
+// complement-Fano (7,3,1); p=11 the (11,5,2) biplane.
+func QuadraticResidueDesign(p int) (*Design, error) {
+	if !algebra.IsPrime(p) || p%4 != 3 {
+		return nil, fmt.Errorf("design: QuadraticResidueDesign(%d): need a prime p ≡ 3 (mod 4)", p)
+	}
+	isQR := make([]bool, p)
+	for x := 1; x < p; x++ {
+		isQR[x*x%p] = true
+	}
+	ds := make([]int, 0, (p-1)/2)
+	for x := 1; x < p; x++ {
+		if isQR[x] {
+			ds = append(ds, x)
+		}
+	}
+	d := FromDifferenceSet(p, ds)
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("design: QuadraticResidueDesign(%d): %w", p, err)
+	}
+	return d, nil
+}

@@ -1,0 +1,140 @@
+package design
+
+// Resolvability: a design is resolvable if its blocks partition into
+// parallel classes, each class covering every point exactly once.
+// Resolvable layouts matter for full-stripe-write scheduling (all stripes
+// of a class can be written with maximal parallelism), which connects to
+// Condition 6. AG(2,q) and Kirkman triple systems are resolvable; the
+// Fano plane is not (7 is not divisible by 3).
+
+// Resolve attempts to partition the design's blocks into parallel
+// classes by backtracking exact cover, bounded by maxNodes search nodes.
+// It returns the classes (each a list of block indices) and true on
+// success, or nil and false if the design is not resolvable or the search
+// budget runs out.
+func Resolve(d *Design, maxNodes int) ([][]int, bool) {
+	if d.K < 1 || d.V%d.K != 0 {
+		return nil, false
+	}
+	perClass := d.V / d.K
+	b := len(d.Tuples)
+	if b%perClass != 0 {
+		return nil, false
+	}
+	numClasses := b / perClass
+	// blocksByPoint[x] = blocks containing point x.
+	blocksByPoint := make([][]int, d.V)
+	for bi, tuple := range d.Tuples {
+		for _, x := range tuple {
+			blocksByPoint[x] = append(blocksByPoint[x], bi)
+		}
+	}
+	used := make([]bool, b)
+	covered := make([]bool, d.V)
+	var classes [][]int
+	var current []int
+	nodes := 0
+
+	var coverClass func() bool
+	var nextClass func() bool
+
+	coverClass = func() bool {
+		nodes++
+		if nodes > maxNodes {
+			return false
+		}
+		// Find lowest uncovered point.
+		x := -1
+		for p := 0; p < d.V; p++ {
+			if !covered[p] {
+				x = p
+				break
+			}
+		}
+		if x == -1 {
+			// Class complete.
+			classes = append(classes, append([]int(nil), current...))
+			saved := current
+			current = nil
+			if nextClass() {
+				return true
+			}
+			current = saved
+			classes = classes[:len(classes)-1]
+			return false
+		}
+		for _, bi := range blocksByPoint[x] {
+			if used[bi] {
+				continue
+			}
+			ok := true
+			for _, p := range d.Tuples[bi] {
+				if covered[p] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[bi] = true
+			for _, p := range d.Tuples[bi] {
+				covered[p] = true
+			}
+			current = append(current, bi)
+			if coverClass() {
+				return true
+			}
+			current = current[:len(current)-1]
+			for _, p := range d.Tuples[bi] {
+				covered[p] = false
+			}
+			used[bi] = false
+		}
+		return false
+	}
+
+	nextClass = func() bool {
+		if len(classes) == numClasses {
+			return true
+		}
+		for p := range covered {
+			covered[p] = false
+		}
+		return coverClass()
+	}
+
+	if !nextClass() {
+		return nil, false
+	}
+	return classes, true
+}
+
+// IsResolutionValid checks that classes form a resolution of d: every
+// block used exactly once and every class partitions the point set.
+func IsResolutionValid(d *Design, classes [][]int) bool {
+	usedBlocks := make([]bool, len(d.Tuples))
+	total := 0
+	for _, class := range classes {
+		covered := make([]bool, d.V)
+		count := 0
+		for _, bi := range class {
+			if bi < 0 || bi >= len(d.Tuples) || usedBlocks[bi] {
+				return false
+			}
+			usedBlocks[bi] = true
+			total++
+			for _, p := range d.Tuples[bi] {
+				if covered[p] {
+					return false
+				}
+				covered[p] = true
+				count++
+			}
+		}
+		if count != d.V {
+			return false
+		}
+	}
+	return total == len(d.Tuples)
+}

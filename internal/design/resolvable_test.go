@@ -1,0 +1,74 @@
+package design
+
+import "testing"
+
+func TestResolveAffinePlanes(t *testing.T) {
+	// AG(2,q) is resolvable into q+1 parallel classes of q lines.
+	for _, q := range []int{2, 3, 4, 5} {
+		d := AffinePlane(q)
+		classes, ok := Resolve(d, 5_000_000)
+		if !ok {
+			t.Fatalf("AG(2,%d) not resolved", q)
+		}
+		if len(classes) != q+1 {
+			t.Errorf("AG(2,%d): %d classes, want %d", q, len(classes), q+1)
+		}
+		if !IsResolutionValid(d, classes) {
+			t.Errorf("AG(2,%d): invalid resolution", q)
+		}
+	}
+}
+
+func TestResolveRejectsFano(t *testing.T) {
+	// 3 does not divide 7: quick arithmetic rejection.
+	if _, ok := Resolve(fano(), 1000); ok {
+		t.Error("Fano plane resolved but v % k != 0")
+	}
+}
+
+func TestResolveSTS9(t *testing.T) {
+	// STS(9) = AG(2,3) is the unique resolvable (9,3,1); hill-climbed
+	// instances are isomorphic to it, hence resolvable.
+	d := HillClimbTriples(9, 1, 3, 100000)
+	if d == nil {
+		t.Fatal("no STS(9)")
+	}
+	classes, ok := Resolve(d, 5_000_000)
+	if !ok {
+		t.Fatal("STS(9) not resolved")
+	}
+	if len(classes) != 4 || !IsResolutionValid(d, classes) {
+		t.Errorf("STS(9): %d classes", len(classes))
+	}
+}
+
+func TestResolveCompleteDesign(t *testing.T) {
+	// The complete design C(4,2) is resolvable (a 1-factorization of K4
+	// into 3 perfect matchings).
+	d := Complete(4, 2, 0)
+	classes, ok := Resolve(d, 100000)
+	if !ok {
+		t.Fatal("C(4,2) not resolved")
+	}
+	if len(classes) != 3 || !IsResolutionValid(d, classes) {
+		t.Errorf("C(4,2): %d classes", len(classes))
+	}
+}
+
+func TestIsResolutionValidRejectsBad(t *testing.T) {
+	d := AffinePlane(2)
+	classes, ok := Resolve(d, 100000)
+	if !ok {
+		t.Fatal("AG(2,2) not resolved")
+	}
+	// Duplicate a block index.
+	bad := [][]int{{0, 0}}
+	if IsResolutionValid(d, bad) {
+		t.Error("duplicate block accepted")
+	}
+	// Swap in an overlap.
+	if IsResolutionValid(d, [][]int{{0, 1}, {0, 1}, {2, 3}}) {
+		t.Error("reused blocks accepted")
+	}
+	_ = classes
+}

@@ -1,0 +1,115 @@
+package design
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+)
+
+// RingDesign is a ring-based block design (Theorem 1): for a finite
+// commutative ring R with unit and generators g_0..g_{k-1} whose pairwise
+// differences are units, the tuple for each pair (x, y), y != 0, is
+// { x + y(g_i - g_0) : i }. It records the indexing structure layouts need:
+// the tuple for (x, y) is Tuples[TupleIndex(x, y)], and its i-th position
+// holds the g_i-th element.
+type RingDesign struct {
+	Design
+	Ring       algebra.Ring
+	Generators []int
+}
+
+// NewRingDesign constructs the ring-based block design for r and gens.
+// It panics if gens is not a valid generator set. The resulting design has
+// b = v(v-1), r = k(v-1), λ = k(k-1) (Theorem 1).
+func NewRingDesign(r algebra.Ring, gens []int) *RingDesign {
+	if len(gens) < 1 {
+		panic("design: NewRingDesign: empty generator set")
+	}
+	if !algebra.IsGeneratorSet(r, gens) {
+		panic(fmt.Sprintf("design: NewRingDesign(%s): invalid generator set %v", r.Name(), gens))
+	}
+	v := r.Order()
+	k := len(gens)
+	d := &RingDesign{
+		Design:     Design{V: v, K: k},
+		Ring:       r,
+		Generators: append([]int(nil), gens...),
+	}
+	// Precompute the offsets g_i - g_0.
+	offsets := make([]int, k)
+	for i, g := range gens {
+		offsets[i] = algebra.Sub(r, g, gens[0])
+	}
+	d.Tuples = make([][]int, 0, v*(v-1))
+	for x := 0; x < v; x++ {
+		for y := 0; y < v; y++ {
+			if y == r.Zero() {
+				continue
+			}
+			tuple := make([]int, k)
+			for i, off := range offsets {
+				tuple[i] = r.Add(x, r.Mul(y, off))
+			}
+			d.Tuples = append(d.Tuples, tuple)
+		}
+	}
+	return d
+}
+
+// TupleIndex returns the index into Tuples of the tuple for pair (x, y),
+// where x is any element code and y any nonzero element code.
+func (d *RingDesign) TupleIndex(x, y int) int {
+	v := d.Ring.Order()
+	zero := d.Ring.Zero()
+	if x < 0 || x >= v || y < 0 || y >= v || y == zero {
+		panic(fmt.Sprintf("design: TupleIndex(%d,%d): out of range for order %d", x, y, v))
+	}
+	// y values skip the zero code; zero is code 0 for all our rings, but
+	// stay robust to any zero code.
+	yi := y
+	if y > zero {
+		yi = y - 1
+	}
+	return x*(v-1) + yi
+}
+
+// PairOf is the inverse of TupleIndex: it returns the (x, y) pair of tuple t.
+func (d *RingDesign) PairOf(t int) (x, y int) {
+	v := d.Ring.Order()
+	x = t / (v - 1)
+	yi := t % (v - 1)
+	zero := d.Ring.Zero()
+	y = yi
+	if yi >= zero {
+		y = yi + 1
+	}
+	return x, y
+}
+
+// NewRingDesignForVK builds a ring-based design for v disks and stripe size
+// k using the canonical ring of order v (a field when v is a prime power,
+// otherwise the Lemma 3 cross product of fields). It returns an error when
+// k > M(v), which Theorem 2 proves impossible.
+func NewRingDesignForVK(v, k int) (*RingDesign, error) {
+	if v < 2 {
+		return nil, fmt.Errorf("design: v = %d < 2", v)
+	}
+	if k < 1 || k > v {
+		return nil, fmt.Errorf("design: k = %d outside [1, v]", k)
+	}
+	if m := algebra.MaxGenerators(v); k > m {
+		return nil, fmt.Errorf("design: no ring-based design for v=%d, k=%d: k exceeds M(v)=%d (Theorem 2)", v, k, m)
+	}
+	r := algebra.ProductRingFor(v)
+	gens := algebra.FindGenerators(r, k)
+	if gens == nil {
+		return nil, fmt.Errorf("design: generator search failed for v=%d, k=%d", v, k)
+	}
+	return NewRingDesign(r, gens), nil
+}
+
+// TheoreticalParams returns the Theorem 1 parameters for a ring-based
+// design on v elements with tuple size k.
+func TheoreticalParams(v, k int) (b, r, lambda int) {
+	return v * (v - 1), k * (v - 1), k * (k - 1)
+}

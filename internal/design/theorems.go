@@ -1,0 +1,188 @@
+package design
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+)
+
+// Theorem4Design constructs, for a prime power v and any 2 <= k <= v, a
+// BIBD with b = v(v-1)/d, r = k(v-1)/d, λ = k(k-1)/d where
+// d = gcd(v-1, k-1), by choosing the generators as the cycle {0} plus
+// (k-1)/d multiplicative orbits of an element a of order d, then removing
+// the guaranteed factor-d redundancy. It returns the reduced design and
+// the actual reduction factor achieved (always a multiple of d).
+func Theorem4Design(v, k int) (*Design, int, error) {
+	f, err := fieldFor(v, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	d := algebra.GCD(v-1, k-1)
+	a, ok := f.ElementOfOrder(d)
+	if !ok {
+		return nil, 0, fmt.Errorf("design: Theorem4Design(%d,%d): no element of order %d", v, k, d)
+	}
+	gens := []int{f.Zero()}
+	covered := make([]bool, v)
+	covered[f.Zero()] = true
+	needCycles := (k - 1) / d
+	for w := 1; w < v && needCycles > 0; w++ {
+		if covered[w] {
+			continue
+		}
+		// Multiplicative orbit {w, wa, wa^2, ...} of size d.
+		x := w
+		for j := 0; j < d; j++ {
+			if covered[x] {
+				return nil, 0, fmt.Errorf("design: Theorem4Design(%d,%d): orbit of %d not disjoint", v, k, w)
+			}
+			covered[x] = true
+			gens = append(gens, x)
+			x = f.Mul(x, a)
+		}
+		if x != w {
+			return nil, 0, fmt.Errorf("design: Theorem4Design(%d,%d): orbit of %d has wrong size", v, k, w)
+		}
+		needCycles--
+	}
+	if len(gens) != k {
+		return nil, 0, fmt.Errorf("design: Theorem4Design(%d,%d): built %d generators", v, k, len(gens))
+	}
+	rd := NewRingDesign(f, gens)
+	reduced, factor := Reduce(&rd.Design)
+	if factor%d != 0 {
+		return nil, 0, fmt.Errorf("design: Theorem4Design(%d,%d): reduction factor %d not a multiple of %d", v, k, factor, d)
+	}
+	return reduced, factor, nil
+}
+
+// Theorem4Params returns the parameters promised by Theorem 4.
+func Theorem4Params(v, k int) (b, r, lambda int) {
+	d := algebra.GCD(v-1, k-1)
+	return v * (v - 1) / d, k * (v - 1) / d, k * (k - 1) / d
+}
+
+// Theorem5Design constructs, for a prime power v and 2 <= k <= v with
+// gcd(v-1, k) = d, a BIBD with b = v(v-1)/d, r = k(v-1)/d,
+// λ = k(k-1)/d, using the affine orbits of π(x) = z + a(x-z) for an
+// element a of multiplicative order d (Theorem 5). The generators are k/d
+// orbits including the orbit of 0, with g_0 = 0.
+func Theorem5Design(v, k int) (*Design, int, error) {
+	f, err := fieldFor(v, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	if k > v-1 {
+		// The k/d orbits must avoid the fixed point z, leaving only v-1
+		// usable elements; k = v is the (degenerate) complete tuple anyway.
+		return nil, 0, fmt.Errorf("design: Theorem5Design(%d,%d): construction requires k <= v-1", v, k)
+	}
+	d := algebra.GCD(v-1, k)
+	if k%d != 0 {
+		return nil, 0, fmt.Errorf("design: Theorem5Design(%d,%d): gcd %d does not divide k", v, k, d)
+	}
+	a, ok := f.ElementOfOrder(d)
+	if !ok {
+		return nil, 0, fmt.Errorf("design: Theorem5Design(%d,%d): no element of order %d", v, k, d)
+	}
+	z := f.One() // any nonzero element
+	// Orbits of π(x) = z + a(x - z); z is a fixed point, all other orbits
+	// have size d. Take k/d orbits, starting with the orbit containing 0.
+	covered := make([]bool, v)
+	covered[z] = true
+	orbit := func(w int) ([]int, error) {
+		var orb []int
+		x := w
+		for j := 0; j < d; j++ {
+			if covered[x] {
+				return nil, fmt.Errorf("orbit of %d not disjoint", w)
+			}
+			covered[x] = true
+			orb = append(orb, x)
+			x = f.Add(z, f.Mul(a, algebra.Sub(f, x, z)))
+		}
+		if x != w {
+			return nil, fmt.Errorf("orbit of %d has wrong size", w)
+		}
+		return orb, nil
+	}
+	gens, err := orbit(f.Zero())
+	if err != nil {
+		return nil, 0, fmt.Errorf("design: Theorem5Design(%d,%d): %v", v, k, err)
+	}
+	needCycles := k/d - 1
+	for w := 0; w < v && needCycles > 0; w++ {
+		if covered[w] {
+			continue
+		}
+		orb, err := orbit(w)
+		if err != nil {
+			return nil, 0, fmt.Errorf("design: Theorem5Design(%d,%d): %v", v, k, err)
+		}
+		gens = append(gens, orb...)
+		needCycles--
+	}
+	if len(gens) != k {
+		return nil, 0, fmt.Errorf("design: Theorem5Design(%d,%d): built %d generators", v, k, len(gens))
+	}
+	rd := NewRingDesign(f, gens)
+	reduced, factor := Reduce(&rd.Design)
+	if factor%d != 0 {
+		return nil, 0, fmt.Errorf("design: Theorem5Design(%d,%d): reduction factor %d not a multiple of %d", v, k, factor, d)
+	}
+	return reduced, factor, nil
+}
+
+// Theorem5Params returns the parameters promised by Theorem 5.
+func Theorem5Params(v, k int) (b, r, lambda int) {
+	d := algebra.GCD(v-1, k)
+	return v * (v - 1) / d, k * (v - 1) / d, k * (k - 1) / d
+}
+
+// SubfieldDesign constructs, for a prime power k and v a power of k
+// (v = k^e, e >= 2), the optimally small BIBD of Theorem 6 with
+// b = v(v-1)/(k(k-1)), r = (v-1)/(k-1), λ = 1, by using the subfield of
+// order k as the generator set and removing the k(k-1)-fold redundancy.
+func SubfieldDesign(v, k int) (*Design, int, error) {
+	if _, _, ok := algebra.IsPrimePower(k); !ok {
+		return nil, 0, fmt.Errorf("design: SubfieldDesign(%d,%d): k must be a prime power", v, k)
+	}
+	e := 0
+	for q := 1; q < v; q *= k {
+		e++
+		if q*k == v {
+			goto powerOK
+		}
+	}
+	return nil, 0, fmt.Errorf("design: SubfieldDesign(%d,%d): v must be a power of k", v, k)
+powerOK:
+	if e < 1 {
+		return nil, 0, fmt.Errorf("design: SubfieldDesign(%d,%d): need v > k", v, k)
+	}
+	f := algebra.NewField(v)
+	gens := f.Subfield(k)
+	if gens == nil {
+		return nil, 0, fmt.Errorf("design: SubfieldDesign(%d,%d): no subfield of order %d in GF(%d)", v, k, k, v)
+	}
+	rd := NewRingDesign(f, gens)
+	reduced, factor := Reduce(&rd.Design)
+	if factor%(k*(k-1)) != 0 {
+		return nil, 0, fmt.Errorf("design: SubfieldDesign(%d,%d): reduction factor %d not a multiple of %d", v, k, factor, k*(k-1))
+	}
+	return reduced, factor, nil
+}
+
+// SubfieldParams returns the parameters promised by Theorem 6.
+func SubfieldParams(v, k int) (b, r, lambda int) {
+	return v * (v - 1) / (k * (k - 1)), (v - 1) / (k - 1), 1
+}
+
+func fieldFor(v, k int) (*algebra.GF, error) {
+	if _, _, ok := algebra.IsPrimePower(v); !ok {
+		return nil, fmt.Errorf("design: v = %d is not a prime power", v)
+	}
+	if k < 2 || k > v {
+		return nil, fmt.Errorf("design: k = %d outside [2, v=%d]", k, v)
+	}
+	return algebra.NewField(v), nil
+}

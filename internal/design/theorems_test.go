@@ -1,0 +1,175 @@
+package design
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+func TestTheorem4Designs(t *testing.T) {
+	cases := []struct{ v, k int }{
+		{7, 3}, {7, 4}, {8, 3}, {8, 4}, {9, 3}, {9, 5}, {11, 3}, {13, 4},
+		{13, 5}, {16, 4}, {16, 6}, {17, 5}, {25, 4}, {27, 3},
+	}
+	for _, c := range cases {
+		d, f, err := Theorem4Design(c.v, c.k)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		gcd := algebra.GCD(c.v-1, c.k-1)
+		if f%gcd != 0 {
+			t.Errorf("(%d,%d): factor %d not multiple of gcd %d", c.v, c.k, f, gcd)
+		}
+		b, r, lambda, ok := d.Params()
+		if !ok {
+			t.Fatalf("(%d,%d): reduced design invalid: %v", c.v, c.k, d.Verify())
+		}
+		wb, wr, wl := Theorem4Params(c.v, c.k)
+		// The theorem promises AT MOST these sizes; generic reduction may do
+		// better when extra coincidences exist, so b must divide wb.
+		if wb%b != 0 || b > wb {
+			t.Errorf("(%d,%d): b=%d, theorem promises %d", c.v, c.k, b, wb)
+		}
+		if b == wb && (r != wr || lambda != wl) {
+			t.Errorf("(%d,%d): (r,λ)=(%d,%d), want (%d,%d)", c.v, c.k, r, lambda, wr, wl)
+		}
+	}
+}
+
+func TestTheorem4RejectsNonPrimePower(t *testing.T) {
+	if _, _, err := Theorem4Design(6, 3); err == nil {
+		t.Error("v=6 accepted")
+	}
+	if _, _, err := Theorem4Design(12, 3); err == nil {
+		t.Error("v=12 accepted")
+	}
+}
+
+func TestTheorem4GcdOneNoReductionPromised(t *testing.T) {
+	// v=8, k=4: gcd(7,3)=1; design may still reduce but must stay a BIBD.
+	d, _, err := Theorem4Design(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem5Designs(t *testing.T) {
+	cases := []struct{ v, k int }{
+		{7, 3}, {7, 2}, {9, 4}, {9, 2}, {11, 5}, {13, 3}, {13, 4}, {13, 6},
+		{16, 3}, {16, 5}, {17, 4}, {25, 6}, {27, 2},
+	}
+	for _, c := range cases {
+		d, f, err := Theorem5Design(c.v, c.k)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		gcd := algebra.GCD(c.v-1, c.k)
+		if f%gcd != 0 {
+			t.Errorf("(%d,%d): factor %d not multiple of gcd %d", c.v, c.k, f, gcd)
+		}
+		b, _, _, ok := d.Params()
+		if !ok {
+			t.Fatalf("(%d,%d): reduced design invalid: %v", c.v, c.k, d.Verify())
+		}
+		wb, _, _ := Theorem5Params(c.v, c.k)
+		if wb%b != 0 || b > wb {
+			t.Errorf("(%d,%d): b=%d, theorem promises %d", c.v, c.k, b, wb)
+		}
+	}
+}
+
+func TestTheorem5SmallerThanTheorem1(t *testing.T) {
+	// v=13, k=4: gcd(12,4)=4, so Theorem 5 gives a 4x smaller design than
+	// the raw v(v-1) of Theorem 1.
+	d, _, err := Theorem5Design(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.B() > 13*12/4 {
+		t.Errorf("b = %d, want <= %d", d.B(), 13*12/4)
+	}
+}
+
+func TestSubfieldDesignTheorem6(t *testing.T) {
+	cases := []struct{ v, k int }{
+		{4, 2}, {8, 2}, {16, 2}, {16, 4}, {9, 3}, {27, 3}, {81, 3}, {81, 9}, {25, 5}, {64, 8}, {64, 4},
+	}
+	for _, c := range cases {
+		d, f, err := SubfieldDesign(c.v, c.k)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		if f%(c.k*(c.k-1)) != 0 {
+			t.Errorf("(%d,%d): factor %d not multiple of k(k-1)=%d", c.v, c.k, f, c.k*(c.k-1))
+		}
+		b, r, lambda, ok := d.Params()
+		if !ok {
+			t.Fatalf("(%d,%d): invalid: %v", c.v, c.k, d.Verify())
+		}
+		wb, wr, wl := SubfieldParams(c.v, c.k)
+		if b != wb || r != wr || lambda != wl {
+			t.Errorf("(%d,%d): params (%d,%d,%d), want (%d,%d,%d)", c.v, c.k, b, r, lambda, wb, wr, wl)
+		}
+	}
+}
+
+func TestSubfieldDesignOptimallySmall(t *testing.T) {
+	// Theorem 6 + Theorem 7: when v is a power of k, b achieves MinB.
+	for _, c := range []struct{ v, k int }{{16, 4}, {27, 3}, {25, 5}, {64, 8}} {
+		d, _, err := SubfieldDesign(c.v, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.B() != MinB(c.v, c.k) {
+			t.Errorf("(%d,%d): b=%d, lower bound %d", c.v, c.k, d.B(), MinB(c.v, c.k))
+		}
+	}
+}
+
+func TestSubfieldDesignRejectsBadParams(t *testing.T) {
+	if _, _, err := SubfieldDesign(16, 3); err == nil {
+		t.Error("16 is not a power of 3")
+	}
+	if _, _, err := SubfieldDesign(12, 2); err == nil {
+		t.Error("12 is not a power of 2 (as prime power chain 2^e)")
+	}
+	if _, _, err := SubfieldDesign(36, 6); err == nil {
+		t.Error("k=6 is not a prime power")
+	}
+}
+
+func TestSubfieldDesignLambdaOne(t *testing.T) {
+	// λ = 1 means every pair of disks shares exactly one stripe: the
+	// resolvable structure the paper calls "previously unknown" designs.
+	d, _, err := SubfieldDesign(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, lambda, ok := d.Params()
+	if !ok || lambda != 1 {
+		t.Errorf("λ = %d, want 1", lambda)
+	}
+	if d.B() != 72 {
+		t.Errorf("b = %d, want 72", d.B())
+	}
+}
+
+func TestTheoremDesignsAgainstLowerBound(t *testing.T) {
+	// No construction may beat the Theorem 7 bound.
+	for _, c := range []struct{ v, k int }{{8, 3}, {9, 3}, {13, 4}, {16, 4}, {25, 5}} {
+		for name, build := range map[string]func(v, k int) (*Design, int, error){
+			"thm4": Theorem4Design, "thm5": Theorem5Design,
+		} {
+			d, _, err := build(c.v, c.k)
+			if err != nil {
+				continue
+			}
+			if d.B() < MinB(c.v, c.k) {
+				t.Errorf("%s(%d,%d): b=%d below lower bound %d", name, c.v, c.k, d.B(), MinB(c.v, c.k))
+			}
+		}
+	}
+}

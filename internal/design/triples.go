@@ -1,0 +1,183 @@
+package design
+
+// Stinson-style hill climbing for λ-fold triple systems: a fast randomized
+// construction of (v, 3, λ) BIBDs. Triple systems exist iff
+// λ(v-1) ≡ 0 (mod 2) and λv(v-1) ≡ 0 (mod 6); the hill climb converges
+// essentially always in practice, which makes it the catalog's workhorse
+// for k = 3 and non-prime-power v (e.g. (10,3,2), (12,3,2)).
+
+import "sort"
+
+// TripleSystemAdmissible reports whether a (v, 3, λ) design can exist by
+// the standard divisibility conditions.
+func TripleSystemAdmissible(v, lambda int) bool {
+	if v < 3 || lambda < 1 {
+		return false
+	}
+	return lambda*(v-1)%2 == 0 && lambda*v*(v-1)%6 == 0
+}
+
+// HillClimbTriples builds a (v, 3, λ) BIBD by hill climbing: grow a partial
+// design; when a chosen live pair collides with an existing block, swap
+// that block out. Deterministic for a fixed seed. Returns nil after
+// maxSteps without convergence (essentially never for admissible v ≤ a few
+// hundred).
+func HillClimbTriples(v, lambda int, seed uint64, maxSteps int) *Design {
+	if !TripleSystemAdmissible(v, lambda) {
+		return nil
+	}
+	b := lambda * v * (v - 1) / 6
+	r := lambda * (v - 1) / 2
+	state := seed*2862933555777941757 + 3037000493
+	next := func(mod int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(mod))
+	}
+	pair := make([]int, v*v) // occurrences of each unordered pair
+	deg := make([]int, v)    // occurrences of each point
+	type triple [3]int
+	blocks := make(map[triple]int) // block -> multiplicity (λ-fold designs may repeat)
+	nBlocks := 0
+	canon := func(a, bb, c int) triple {
+		if a > bb {
+			a, bb = bb, a
+		}
+		if bb > c {
+			bb, c = c, bb
+		}
+		if a > bb {
+			a, bb = bb, a
+		}
+		return triple{a, bb, c}
+	}
+	addBlock := func(t triple) {
+		blocks[t]++
+		nBlocks++
+		deg[t[0]]++
+		deg[t[1]]++
+		deg[t[2]]++
+		pair[t[0]*v+t[1]]++
+		pair[t[0]*v+t[2]]++
+		pair[t[1]*v+t[2]]++
+	}
+	removeBlock := func(t triple) {
+		if blocks[t] == 1 {
+			delete(blocks, t)
+		} else {
+			blocks[t]--
+		}
+		nBlocks--
+		deg[t[0]]--
+		deg[t[1]]--
+		deg[t[2]]--
+		pair[t[0]*v+t[1]]--
+		pair[t[0]*v+t[2]]--
+		pair[t[1]*v+t[2]]--
+	}
+	pairAt := func(x, y int) int {
+		if x > y {
+			x, y = y, x
+		}
+		return pair[x*v+y]
+	}
+	// Pick a block (weighted by multiplicity) containing pair (y, z).
+	blockWith := func(y, z int) (triple, bool) {
+		var candidates []triple
+		for t, mult := range blocks {
+			if (t[0] == y || t[1] == y || t[2] == y) && (t[0] == z || t[1] == z || t[2] == z) {
+				for i := 0; i < mult; i++ {
+					candidates = append(candidates, t)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			return triple{}, false
+		}
+		// Map iteration order is random; sort for seed-determinism.
+		sort.Slice(candidates, func(i, j int) bool {
+			a, b := candidates[i], candidates[j]
+			if a[0] != b[0] {
+				return a[0] < b[0]
+			}
+			if a[1] != b[1] {
+				return a[1] < b[1]
+			}
+			return a[2] < b[2]
+		})
+		return candidates[next(len(candidates))], true
+	}
+	for step := 0; step < maxSteps && nBlocks < b; step++ {
+		// Pick a live point x (degree < r).
+		x := next(v)
+		for tries := 0; deg[x] >= r && tries < v; tries++ {
+			x = (x + 1) % v
+		}
+		if deg[x] >= r {
+			continue
+		}
+		// Pick two distinct live pairs (x,y), (x,z).
+		var liveY []int
+		for y := 0; y < v; y++ {
+			if y != x && pairAt(x, y) < lambda {
+				liveY = append(liveY, y)
+			}
+		}
+		if len(liveY) < 2 {
+			continue
+		}
+		y := liveY[next(len(liveY))]
+		z := liveY[next(len(liveY))]
+		if y == z {
+			continue
+		}
+		if pairAt(y, z) < lambda {
+			addBlock(canon(x, y, z))
+		} else {
+			// Swap: remove a block containing (y,z), then add {x,y,z}.
+			if old, ok := blockWith(y, z); ok {
+				removeBlock(old)
+				addBlock(canon(x, y, z))
+			}
+		}
+	}
+	if nBlocks != b {
+		return nil
+	}
+	d := &Design{V: v, K: 3}
+	keys := make([]triple, 0, len(blocks))
+	for t := range blocks {
+		keys = append(keys, t)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	for _, t := range keys {
+		for i := 0; i < blocks[t]; i++ {
+			d.Tuples = append(d.Tuples, []int{t[0], t[1], t[2]})
+		}
+	}
+	if d.Verify() != nil {
+		return nil
+	}
+	return d
+}
+
+// MinimalTripleLambda returns the smallest λ >= 1 for which (v, 3, λ) is
+// admissible, or 0 if v < 3.
+func MinimalTripleLambda(v int) int {
+	for lambda := 1; lambda <= 6; lambda++ {
+		if TripleSystemAdmissible(v, lambda) {
+			return lambda
+		}
+	}
+	return 0
+}

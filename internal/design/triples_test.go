@@ -1,0 +1,90 @@
+package design
+
+import "testing"
+
+func TestTripleSystemAdmissible(t *testing.T) {
+	cases := []struct {
+		v, lambda int
+		want      bool
+	}{
+		{7, 1, true}, {9, 1, true}, {13, 1, true}, {6, 1, false},
+		{6, 2, true}, {10, 1, false}, {10, 2, true}, {8, 1, false}, {8, 6, true},
+		{8, 3, false}, {11, 1, false}, {11, 3, true}, {2, 1, false},
+	}
+	for _, c := range cases {
+		if got := TripleSystemAdmissible(c.v, c.lambda); got != c.want {
+			t.Errorf("TripleSystemAdmissible(%d,%d) = %v, want %v", c.v, c.lambda, got, c.want)
+		}
+	}
+}
+
+func TestMinimalTripleLambda(t *testing.T) {
+	cases := []struct{ v, want int }{
+		{7, 1}, {9, 1}, {6, 2}, {10, 2}, {8, 6}, {11, 3}, {12, 2}, {14, 6}, {2, 0},
+	}
+	for _, c := range cases {
+		if got := MinimalTripleLambda(c.v); got != c.want {
+			t.Errorf("MinimalTripleLambda(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHillClimbSteinerTripleSystems(t *testing.T) {
+	// STS(v) exists iff v ≡ 1, 3 (mod 6).
+	for _, v := range []int{7, 9, 13, 15, 19, 21, 25} {
+		d := HillClimbTriples(v, 1, 42, 500*v*v)
+		if d == nil {
+			t.Fatalf("STS(%d) construction failed", v)
+		}
+		b, r, lambda, ok := d.Params()
+		if !ok {
+			t.Fatalf("STS(%d) invalid: %v", v, d.Verify())
+		}
+		if lambda != 1 || b != v*(v-1)/6 || r != (v-1)/2 {
+			t.Errorf("STS(%d): params (%d,%d,%d)", v, b, r, lambda)
+		}
+	}
+}
+
+func TestHillClimbLambdaFold(t *testing.T) {
+	cases := []struct{ v, lambda int }{
+		{6, 2}, {10, 2}, {8, 6}, {11, 3}, {12, 2}, {16, 2}, {14, 6},
+	}
+	for _, c := range cases {
+		d := HillClimbTriples(c.v, c.lambda, 7, 800*c.v*c.v)
+		if d == nil {
+			t.Fatalf("(%d,3,%d) construction failed", c.v, c.lambda)
+		}
+		_, _, lambda, ok := d.Params()
+		if !ok || lambda != c.lambda {
+			t.Errorf("(%d,3,%d): got λ=%d ok=%v", c.v, c.lambda, lambda, ok)
+		}
+	}
+}
+
+func TestHillClimbInadmissible(t *testing.T) {
+	if HillClimbTriples(6, 1, 1, 100000) != nil {
+		t.Error("(6,3,1) is inadmissible")
+	}
+	if HillClimbTriples(2, 1, 1, 1000) != nil {
+		t.Error("v=2 is inadmissible")
+	}
+}
+
+func TestHillClimbDeterministicPerSeed(t *testing.T) {
+	a := HillClimbTriples(9, 1, 5, 100000)
+	b := HillClimbTriples(9, 1, 5, 100000)
+	if a == nil || b == nil {
+		t.Fatal("construction failed")
+	}
+	if a.B() != b.B() {
+		t.Fatalf("different sizes: %d vs %d", a.B(), b.B())
+	}
+	for i := range a.Tuples {
+		for j := range a.Tuples[i] {
+			if a.Tuples[i][j] != b.Tuples[i][j] {
+				t.Fatalf("tuple %d differs between identical seeds", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package disksim
+
+import "sort"
+
+// LatencyRecorder accumulates operation latencies and reports percentiles.
+// It stores raw samples (simulations here are small); Percentile uses the
+// nearest-rank method.
+type LatencyRecorder struct {
+	samples []int64
+	sorted  bool
+}
+
+// Record adds one latency sample.
+func (r *LatencyRecorder) Record(lat int64) {
+	r.samples = append(r.samples, lat)
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Percentile returns the p-th percentile (0 < p <= 100) by nearest rank,
+// or 0 with no samples.
+func (r *LatencyRecorder) Percentile(p float64) int64 {
+	if len(r.samples) == 0 || p <= 0 || p > 100 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	rank := int(p/100*float64(len(r.samples))+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(r.samples) {
+		rank = len(r.samples) - 1
+	}
+	return r.samples[rank]
+}
+
+// Mean returns the average latency.
+func (r *LatencyRecorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var total int64
+	for _, s := range r.samples {
+		total += s
+	}
+	return float64(total) / float64(len(r.samples))
+}

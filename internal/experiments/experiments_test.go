@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllQuick(t *testing.T) {
+	tables, err := All(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 21 {
+		t.Fatalf("%d experiments ran, want 21", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" {
+			t.Errorf("experiment missing identity: %+v", tb)
+		}
+		if seen[tb.ID] {
+			t.Errorf("duplicate experiment id %s", tb.ID)
+		}
+		seen[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: no rows", tb.ID)
+		}
+		out := tb.String()
+		if !strings.Contains(out, tb.ID) {
+			t.Errorf("%s: render missing id", tb.ID)
+		}
+	}
+	for _, id := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "S1", "S2", "E1", "E2", "E3", "E4", "E5"} {
+		if !seen[id] {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+}
+
+func TestAllFullScale(t *testing.T) {
+	// The full paper-scale parameters (v <= 10,000 coverage, the larger
+	// sweeps, 10k Monte Carlo trials) take ~15s; skip under -short.
+	if testing.Short() {
+		t.Skip("full-scale experiments skipped in short mode")
+	}
+	tables, err := All(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: no rows at full scale", tb.ID)
+		}
+	}
+	// The full T5 must report the complete 10,000 scan with zero missing.
+	for _, tb := range tables {
+		if tb.ID != "T5" {
+			continue
+		}
+		found := false
+		for _, row := range tb.Rows {
+			if row[0] == "missing" && row[1] == "0" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("T5 full scan did not report zero missing")
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}}
+	tb.AddRow(1, "x")
+	tb.AddRow("long-cell", 3.5)
+	out := tb.String()
+	if !strings.Contains(out, "long-cell") || !strings.Contains(out, "3.5000") {
+		t.Errorf("render: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("expected 5 lines, got %d: %q", len(lines), out)
+	}
+}
+
+func TestF2WorkloadMatchesPaper(t *testing.T) {
+	tb, err := F2DeclusteredLayout(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "2/3") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("F2 notes missing the 2/3 workload: %v", tb.Notes)
+	}
+}
+
+func TestS1SpeedupShape(t *testing.T) {
+	tb, err := S1Reconstruction(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every declustered row's speedup should track (v-1)/(k-1) — the
+	// paper's shape claim — within a 25% tolerance.
+	for _, row := range tb.Rows {
+		if row[1] != "declustered" {
+			continue
+		}
+		v, err1 := strconv.Atoi(row[0])
+		k, err2 := strconv.Atoi(row[2])
+		speedup, err3 := strconv.ParseFloat(row[7], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("bad row %v", row)
+		}
+		want := float64(v-1) / float64(k-1)
+		if speedup < 0.75*want || speedup > 1.25*want {
+			t.Errorf("v=%d k=%d: speedup %v far from (v-1)/(k-1)=%v", v, k, speedup, want)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/layout"
+	"repro/internal/reliability"
+)
+
+// The E-series experiments implement the paper's Section 5 "next steps":
+// extendible layouts, randomized layouts vs BIBDs, the Stockmeyer
+// Conditions 5/6, and distributed sparing.
+
+// E1Extendibility measures the data-migration cost of growing an array by
+// one disk with the stairway construction vs a naive re-layout and the
+// information-theoretic lower bound.
+func E1Extendibility(quick bool) (*Table, error) {
+	qs := []int{5, 8, 13}
+	if !quick {
+		qs = append(qs, 17, 25, 32)
+	}
+	t := &Table{ID: "E1", Title: "extendible layouts (Section 5): migration cost of adding one disk",
+		Header: []string{"q", "k", "new v", "across-disk fraction", "naive re-layout", "lower bound 1/(q+1)"}}
+	for _, q := range qs {
+		rl, err := core.NewRingLayout(q, 3)
+		if err != nil {
+			return nil, err
+		}
+		l, stats, err := core.ExtendByOne(rl)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.Check(); err != nil {
+			return nil, fmt.Errorf("E1(q=%d): %w", q, err)
+		}
+		if stats.MovedAcrossDisks+stats.MovedWithinDisk != stats.TotalUnits {
+			return nil, fmt.Errorf("E1(q=%d): migration accounting broken", q)
+		}
+		t.AddRow(q, 3, q+1, stats.AcrossFraction(), core.NaiveRelayoutMigration(q), stats.LowerBoundAcross)
+	}
+	t.Notes = append(t.Notes, "stairway extension moves ~1/2 of the data across disks vs ~1 for re-layout; the bound is 1/(q+1)")
+	return t, nil
+}
+
+// E2RandomVsBIBD compares Merchant–Yu-style randomized layouts against a
+// BIBD layout of equal size: workload imbalance vs number of rows.
+func E2RandomVsBIBD(quick bool) (*Table, error) {
+	v, k := 12, 4
+	rows := []int{11, 33, 165}
+	if !quick {
+		rows = append(rows, 825)
+	}
+	t := &Table{ID: "E2", Title: "randomized layouts (Merchant-Yu style) vs ring-based BIBD layout, v=12, k=4",
+		Header: []string{"layout", "size", "workload min", "workload max", "max/min", "parity spread"}}
+	addRow := func(name string, l *layout.Layout) {
+		wmin, wmax := l.ReconstructionWorkloadRange()
+		ratio := "inf"
+		if wmin.Num > 0 {
+			ratio = fmt.Sprintf("%.3f", wmax.Float()/wmin.Float())
+		}
+		t.AddRow(name, l.Size, wmin.String(), wmax.String(), ratio, l.ParitySpread())
+	}
+	for _, r := range rows {
+		l, err := baseline.Random(v, k, r, 11)
+		if err != nil {
+			return nil, err
+		}
+		addRow(fmt.Sprintf("random rows=%d", r), l)
+	}
+	// Ring layout needs k <= M(12) = 3; use the (12,4) catalog path: a
+	// stairway from q=11 gives a valid comparison layout, and a BIBD-based
+	// exact layout exists from the catalog for (13,4) removed to 12.
+	rl13, err := core.NewRingLayout(13, 4)
+	if err != nil {
+		return nil, err
+	}
+	exact, err := core.RemoveDisk(rl13, 0)
+	if err != nil {
+		return nil, err
+	}
+	addRow("thm8 removal (exact balance)", exact)
+	t.Notes = append(t.Notes, "random layouts converge slowly toward balance; the combinatorial layout is exactly balanced at a fraction of the size")
+	return t, nil
+}
+
+// E3Conditions56 reports the Stockmeyer Conditions 5 (large-write
+// alignment) and 6 (parallelism of sequential reads) for each
+// construction.
+func E3Conditions56(quick bool) (*Table, error) {
+	type cse struct {
+		name string
+		l    *layout.Layout
+	}
+	var cases []cse
+	rl, err := core.NewRingLayout(9, 3)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, cse{"ring v=9 k=3", rl.Layout})
+	d := design.Known(9, 3)
+	hg, err := layout.FromDesignHG(d)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, cse{"holland-gibson v=9 k=3", hg})
+	bal, err := core.BalancedFromDesign(d)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, cse{"flow-balanced v=9 k=3", bal})
+	r5, err := baseline.RAID5(9, 24)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, cse{"raid5 v=9", r5})
+	if !quick {
+		big, err := core.NewRingLayout(17, 4)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, cse{"ring v=17 k=4", big.Layout})
+	}
+	t := &Table{ID: "E3", Title: "Conditions 5/6 (Stockmeyer): large-write alignment and sequential parallelism",
+		Header: []string{"layout", "size", "large-write aligned", "min disks per v-window", "mean disks per v-window"}}
+	for _, c := range cases {
+		m, err := layout.NewMapping(c.l)
+		if err != nil {
+			return nil, err
+		}
+		min, mean := m.ParallelismProfile(c.l.V)
+		t.AddRow(c.name, c.l.Size, m.LargeWriteAlignment(), min, mean)
+	}
+	t.Notes = append(t.Notes, "stripe-major addressing gives perfect large-write alignment; declustered layouts trade some sequential parallelism vs RAID5's v-consecutive rows")
+	return t, nil
+}
+
+// E4DistributedSparing verifies the Section 5 sparing proposal: spares
+// distributed by the generalized flow are balanced, and rebuilding into
+// them declusters the rebuild writes.
+func E4DistributedSparing(quick bool) (*Table, error) {
+	cases := []struct{ v, k int }{{9, 4}, {13, 4}}
+	if !quick {
+		cases = append(cases, []struct{ v, k int }{{17, 5}, {25, 5}}...)
+	}
+	t := &Table{ID: "E4", Title: "distributed sparing (Section 5): spare balance and rebuild-write declustering",
+		Header: []string{"v", "k", "spare spread", "rebuild writes min", "rebuild writes max", "spares lost with disk"}}
+	for _, c := range cases {
+		rl, err := core.NewRingLayout(c.v, c.k)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := core.DistributedSparing(rl.Layout)
+		if err != nil {
+			return nil, fmt.Errorf("E4(%d,%d): %w", c.v, c.k, err)
+		}
+		if sp.SpareSpread() > 1 {
+			return nil, fmt.Errorf("E4(%d,%d): spare spread %d > 1", c.v, c.k, sp.SpareSpread())
+		}
+		writes, lost, err := sp.RebuildToSpares(0)
+		if err != nil {
+			return nil, err
+		}
+		wmin, wmax := -1, 0
+		for d, w := range writes {
+			if d == 0 {
+				continue
+			}
+			if wmin < 0 || w < wmin {
+				wmin = w
+			}
+			if w > wmax {
+				wmax = w
+			}
+		}
+		t.AddRow(c.v, c.k, sp.SpareSpread(), wmin, wmax, lost)
+	}
+	t.Notes = append(t.Notes, "rebuild writes spread across all survivors (distributed sparing) instead of hammering one replacement disk")
+	return t, nil
+}
+
+// E5Reliability quantifies the paper's motivation: rebuild-window length
+// drives mean time to data loss, so declustering (smaller k) buys
+// reliability with parity capacity. Analytic model cross-validated by
+// Monte Carlo.
+func E5Reliability(quick bool) (*Table, error) {
+	v, diskUnits := 25, 5000
+	mttf, rate := 200000.0, 500.0 // hours; units/hour rebuild bandwidth
+	ks := []int{2, 4, 8, 16, 25}
+	trials := 1500
+	if !quick {
+		trials = 10000
+	}
+	t := &Table{ID: "E5", Title: fmt.Sprintf("reliability vs stripe size, v=%d (MTTF %.0fh): declustering shortens the double-failure window", v, mttf),
+		Header: []string{"k", "parity overhead", "rebuild hours", "analytic MTTDL (h)", "simulated MTTDL (h)", "vs RAID5"}}
+	comps := reliability.Compare(v, diskUnits, mttf, rate, ks)
+	for _, c := range comps {
+		sim := reliability.SimulateMTTDL(v, mttf, c.RebuildHours, trials, 7)
+		ratio := sim / c.AnalyticMTTDL
+		if ratio < 0.8 || ratio > 1.2 {
+			return nil, fmt.Errorf("E5(k=%d): simulation %.0f disagrees with analytic %.0f", c.K, sim, c.AnalyticMTTDL)
+		}
+		t.AddRow(c.K, c.ParityOverhead, c.RebuildHours, c.AnalyticMTTDL, sim, c.RelativeToRAID5)
+	}
+	t.Notes = append(t.Notes, "MTTDL scales as (v-1)/(k-1) vs RAID5 — the reliability payoff for the 1/k parity capacity")
+	return t, nil
+}

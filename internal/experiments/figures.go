@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/internal/layout"
+)
+
+func gridTable(id, title string, l *layout.Layout) *Table {
+	t := &Table{ID: id, Title: title}
+	t.Header = append(t.Header, "unit")
+	for d := 0; d < l.V; d++ {
+		t.Header = append(t.Header, fmt.Sprintf("disk%d", d))
+	}
+	for off, row := range l.RenderGrid() {
+		cells := []interface{}{off}
+		for _, c := range row {
+			cells = append(cells, c)
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// F1ParityStripe reproduces Figure 1: one full-width parity stripe over
+// v=5 disks (4 data units + 1 parity), with the XOR invariant verified on
+// real bytes.
+func F1ParityStripe(bool) (*Table, error) {
+	stripes := [][]int{{0, 1, 2, 3, 4}}
+	l, err := layout.Assemble(5, stripes)
+	if err != nil {
+		return nil, err
+	}
+	l.Stripes[0].Parity = 4
+	data, err := layout.NewData(l, 4)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < data.Mapping().DataUnits(); i++ {
+		if err := data.WriteLogical(i, []byte{byte(i + 1), 0, 0, byte(i)}); err != nil {
+			return nil, err
+		}
+	}
+	if err := data.VerifyParity(); err != nil {
+		return nil, err
+	}
+	if err := data.CheckReconstruction(); err != nil {
+		return nil, err
+	}
+	t := gridTable("F1", "one parity stripe, v=5 (Figure 1)", l)
+	t.Notes = append(t.Notes, "XOR parity verified on real bytes; every disk reconstructs")
+	return t, nil
+}
+
+// F2DeclusteredLayout reproduces Figure 2: the parity-declustered layout
+// for v=4, k=3 derived from the complete design of 3-subsets of 4 disks.
+func F2DeclusteredLayout(bool) (*Table, error) {
+	d := design.Complete(4, 3, 0)
+	l, err := layout.FromDesignSingle(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.BalanceParity(l); err != nil {
+		return nil, err
+	}
+	t := gridTable("F2", "parity-declustered layout v=4, k=3 (Figure 2)", l)
+	min, max := l.ReconstructionWorkloadRange()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("reconstruction workload [%v,%v] (paper: (k-1)/(v-1) = 2/3)", min, max))
+	return t, nil
+}
+
+// F3BIBDLayout reproduces Figure 3: the Holland-Gibson BIBD-based layout
+// for v=4, k=3 — the complete design replicated k times with rotated
+// parity.
+func F3BIBDLayout(bool) (*Table, error) {
+	d := design.Complete(4, 3, 0)
+	l, err := layout.FromDesignHG(d)
+	if err != nil {
+		return nil, err
+	}
+	t := gridTable("F3", "BIBD-based layout v=4, k=3, k copies (Figure 3)", l)
+	omin, omax := l.ParityOverheadRange()
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("parity overhead [%v,%v] (paper: exactly 1/k = 1/3)", omin, omax),
+		fmt.Sprintf("size %d = k*r (the k-fold replication Section 3 removes)", l.Size))
+	return t, nil
+}
+
+// F4StairwayPlusOne reproduces Figure 4: the stairway transformation from
+// q=5 to v=6 (k=3), summarizing piece structure and measured balance.
+func F4StairwayPlusOne(bool) (*Table, error) {
+	return stairwayFigure("F4", "stairway transformation v=q+1 (Figure 4)", 5, 3, 6)
+}
+
+// F5StairwayDivides reproduces Figure 5: the stairway when (v-q) | v
+// (q=8, k=4, v=10).
+func F5StairwayDivides(bool) (*Table, error) {
+	return stairwayFigure("F5", "stairway when (v-q) divides v (Figure 5)", 8, 4, 10)
+}
+
+// F6StairwayMixed reproduces Figure 6: mixed-width steps with overlap
+// removal (q=7, k=3, v=9).
+func F6StairwayMixed(bool) (*Table, error) {
+	return stairwayFigure("F6", "stairway with different-sized steps (Figure 6)", 7, 3, 9)
+}
+
+func stairwayFigure(id, title string, q, k, v int) (*Table, error) {
+	rl, err := core.NewRingLayout(q, k)
+	if err != nil {
+		return nil, err
+	}
+	l, info, err := core.Stairway(rl, v)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Check(); err != nil {
+		return nil, err
+	}
+	t := &Table{ID: id, Title: title,
+		Header: []string{"quantity", "value"}}
+	t.AddRow("base q", info.Q)
+	t.AddRow("stripe size k", info.K)
+	t.AddRow("target v", info.V)
+	t.AddRow("copies c", info.C)
+	t.AddRow("wide steps w", info.W)
+	t.AddRow("step width v-q", info.StepWidth)
+	t.AddRow("layout size", l.Size)
+	smin, smax := l.StripeSizes()
+	t.AddRow("stripe sizes", fmt.Sprintf("[%d,%d]", smin, smax))
+	omin, omax := l.ParityOverheadRange()
+	t.AddRow("parity overhead", fmt.Sprintf("[%v,%v]", omin, omax))
+	wmin, wmax := l.ReconstructionWorkloadRange()
+	t.AddRow("reconstruction workload", fmt.Sprintf("[%v,%v]", wmin, wmax))
+	return t, nil
+}
+
+// F7ParityAssignmentGraph reproduces Figure 7: the parity assignment graph
+// for a single-copy Fano layout, solved by max flow, with the resulting
+// per-disk parity counts.
+func F7ParityAssignmentGraph(bool) (*Table, error) {
+	d := design.FromDifferenceSet(7, []int{1, 2, 4})
+	l, err := layout.FromDesignSingle(d)
+	if err != nil {
+		return nil, err
+	}
+	loads := l.ParityLoad()
+	if err := core.BalanceParity(l); err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "F7", Title: "parity assignment graph flow solution, Fano plane (Figure 7)",
+		Header: []string{"disk", "L(d)", "floor", "ceil", "assigned parity"}}
+	counts := l.ParityCounts()
+	for disk := 0; disk < l.V; disk++ {
+		lo := loads[disk].Num / loads[disk].Den
+		hi := lo
+		if loads[disk].Num%loads[disk].Den != 0 {
+			hi++
+		}
+		t.AddRow(disk, loads[disk].String(), lo, hi, counts[disk])
+	}
+	t.Notes = append(t.Notes, "max flow value b = 7 stripes; each disk within [floor(L), ceil(L)] (Theorem 14)")
+	return t, nil
+}

@@ -1,0 +1,115 @@
+// Package experiments regenerates every figure and quantitative claim in
+// the paper's evaluation: Figures 1-7, the theorem size/balance formulas
+// (T1-T7), and the simulator studies (S1, S2). Each experiment returns a
+// Table that cmd/pdlexp prints and bench_test.go exercises; EXPERIMENTS.md
+// records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a formatted experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row built from arbitrary values.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment in order. Heavy scans are scaled by quick
+// (quick=true keeps everything laptop-fast; false runs the full paper
+// parameters, e.g. the v <= 10,000 coverage scan).
+func All(quick bool) ([]*Table, error) {
+	runs := []func(bool) (*Table, error){
+		F1ParityStripe,
+		F2DeclusteredLayout,
+		F3BIBDLayout,
+		F4StairwayPlusOne,
+		F5StairwayDivides,
+		F6StairwayMixed,
+		F7ParityAssignmentGraph,
+		T1RingDesignParams,
+		T2ReducedDesigns,
+		T3DiskRemoval,
+		T4StairwaySweep,
+		T5Coverage,
+		T6FlowBalance,
+		T7Feasibility,
+		S1Reconstruction,
+		S2ApproxVsExact,
+		E1Extendibility,
+		E2RandomVsBIBD,
+		E3Conditions56,
+		E4DistributedSparing,
+		E5Reliability,
+	}
+	var out []*Table
+	for _, run := range runs {
+		tb, err := run(quick)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tb)
+	}
+	return out, nil
+}

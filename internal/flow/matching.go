@@ -1,0 +1,52 @@
+package flow
+
+// BipartiteAssign solves a degree-constrained bipartite assignment: left
+// item i may be assigned to any right node in adj[i]; each left item must
+// receive exactly one assignment; right node j accepts at most cap[j]
+// assignments. It returns assign[i] = chosen right node, or nil if no
+// complete assignment exists.
+//
+// This is the matching engine used by Theorem 9's leftover-parity
+// redistribution.
+func BipartiteAssign(adj [][]int, caps []int) []int {
+	nLeft := len(adj)
+	nRight := len(caps)
+	n := NewNetwork()
+	s := n.AddNode()
+	t := n.AddNode()
+	left := n.AddNodes(nLeft)
+	right := n.AddNodes(nRight)
+	leftEdges := make([][]int, nLeft)
+	for i := range adj {
+		n.AddEdge(s, left+i, 0, 1)
+		leftEdges[i] = make([]int, len(adj[i]))
+		for k, j := range adj[i] {
+			if j < 0 || j >= nRight {
+				panic("flow: BipartiteAssign: right index out of range")
+			}
+			leftEdges[i][k] = n.AddEdge(left+i, right+j, 0, 1)
+		}
+	}
+	for j, c := range caps {
+		if c > 0 {
+			n.AddEdge(right+j, t, 0, c)
+		}
+	}
+	if n.MaxFlow(s, t, Dinic) != nLeft {
+		return nil
+	}
+	assign := make([]int, nLeft)
+	for i := range assign {
+		assign[i] = -1
+		for k, id := range leftEdges[i] {
+			if n.Flow(id) == 1 {
+				assign[i] = adj[i][k]
+				break
+			}
+		}
+		if assign[i] < 0 {
+			panic("flow: BipartiteAssign: saturated left node without assignment")
+		}
+	}
+	return assign
+}

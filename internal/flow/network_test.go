@@ -1,0 +1,371 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// buildDiamond returns the classic 4-node diamond with known max flow 30.
+func buildDiamond() (*Network, int, int) {
+	n := NewNetwork()
+	s := n.AddNode()
+	a := n.AddNode()
+	b := n.AddNode()
+	t := n.AddNode()
+	n.AddEdge(s, a, 0, 20)
+	n.AddEdge(s, b, 0, 10)
+	n.AddEdge(a, b, 0, 30)
+	n.AddEdge(a, t, 0, 10)
+	n.AddEdge(b, t, 0, 20)
+	return n, s, t
+}
+
+func TestMaxFlowDiamond(t *testing.T) {
+	for _, algo := range []Algorithm{Dinic, EdmondsKarp} {
+		n, s, tt := buildDiamond()
+		if got := n.MaxFlow(s, tt, algo); got != 30 {
+			t.Errorf("algo %v: max flow = %d, want 30", algo, got)
+		}
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddNode()
+	tt := n.AddNode()
+	n.AddNode() // isolated
+	if got := n.MaxFlow(s, tt, Dinic); got != 0 {
+		t.Errorf("disconnected: %d, want 0", got)
+	}
+}
+
+func TestMaxFlowSingleEdge(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddNode()
+	tt := n.AddNode()
+	e := n.AddEdge(s, tt, 0, 7)
+	if got := n.MaxFlow(s, tt, Dinic); got != 7 {
+		t.Errorf("single edge: %d, want 7", got)
+	}
+	if n.Flow(e) != 7 {
+		t.Errorf("edge flow = %d, want 7", n.Flow(e))
+	}
+}
+
+func TestMaxFlowParallelEdges(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddNode()
+	tt := n.AddNode()
+	n.AddEdge(s, tt, 0, 3)
+	n.AddEdge(s, tt, 0, 4)
+	if got := n.MaxFlow(s, tt, Dinic); got != 7 {
+		t.Errorf("parallel edges: %d, want 7", got)
+	}
+}
+
+func TestMaxFlowRejectsLowerBounds(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddNode()
+	tt := n.AddNode()
+	n.AddEdge(s, tt, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxFlow with lower bounds did not panic")
+		}
+	}()
+	n.MaxFlow(s, tt, Dinic)
+}
+
+// randomNetwork builds a deterministic pseudorandom layered network.
+func randomNetwork(seed, nodes, edges int) (*Network, int, int) {
+	n := NewNetwork()
+	first := n.AddNodes(nodes)
+	s, t := first, first+nodes-1
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(mod int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(mod))
+	}
+	for i := 0; i < edges; i++ {
+		from := next(nodes - 1) // never t as source
+		to := 1 + next(nodes-1) // never s as sink
+		if from == to {
+			continue
+		}
+		n.AddEdge(from, to, 0, 1+next(10))
+	}
+	return n, s, t
+}
+
+func TestDinicMatchesEdmondsKarpRandom(t *testing.T) {
+	for seed := 1; seed <= 60; seed++ {
+		n1, s, tt := randomNetwork(seed, 12, 40)
+		n2, _, _ := randomNetwork(seed, 12, 40)
+		f1 := n1.MaxFlow(s, tt, Dinic)
+		f2 := n2.MaxFlow(s, tt, EdmondsKarp)
+		if f1 != f2 {
+			t.Fatalf("seed %d: Dinic %d != EdmondsKarp %d", seed, f1, f2)
+		}
+	}
+}
+
+// checkConservation verifies capacity limits and node conservation.
+func checkConservation(t *testing.T, n *Network, s, tt, value int) {
+	t.Helper()
+	net := make([]int, n.NumNodes())
+	for i, e := range n.Edges() {
+		if e.Flow < e.Lo || e.Flow > e.Hi {
+			t.Fatalf("edge %d flow %d outside [%d,%d]", i, e.Flow, e.Lo, e.Hi)
+		}
+		net[e.From] -= e.Flow
+		net[e.To] += e.Flow
+	}
+	for v := range net {
+		switch v {
+		case s:
+			if net[v] != -value {
+				t.Fatalf("source imbalance %d, want %d", net[v], -value)
+			}
+		case tt:
+			if net[v] != value {
+				t.Fatalf("sink imbalance %d, want %d", net[v], value)
+			}
+		default:
+			if net[v] != 0 {
+				t.Fatalf("node %d not conserved: %d", v, net[v])
+			}
+		}
+	}
+}
+
+func TestFlowConservationRandom(t *testing.T) {
+	for seed := 1; seed <= 40; seed++ {
+		n, s, tt := randomNetwork(seed, 10, 30)
+		val := n.MaxFlow(s, tt, Dinic)
+		checkConservation(t, n, s, tt, val)
+	}
+}
+
+func TestLowerBoundsSimpleFeasible(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddNode()
+	a := n.AddNode()
+	tt := n.AddNode()
+	n.AddEdge(s, a, 2, 5)
+	n.AddEdge(a, tt, 2, 5)
+	val, ok := n.MaxFlowWithLowerBounds(s, tt, Dinic)
+	if !ok || val != 5 {
+		t.Errorf("val=%d ok=%v, want 5 true", val, ok)
+	}
+	checkConservation(t, n, s, tt, val)
+}
+
+func TestLowerBoundsInfeasible(t *testing.T) {
+	n := NewNetwork()
+	s := n.AddNode()
+	a := n.AddNode()
+	tt := n.AddNode()
+	n.AddEdge(s, a, 4, 5)
+	n.AddEdge(a, tt, 0, 2) // cannot carry the mandatory 4
+	if _, ok := n.MaxFlowWithLowerBounds(s, tt, Dinic); ok {
+		t.Error("expected infeasible")
+	}
+}
+
+func TestLowerBoundsForcedDetour(t *testing.T) {
+	// s->a (lo 0) ; a->t cap 1 ; a->b lo 2 forces 2 units through b.
+	n := NewNetwork()
+	s := n.AddNode()
+	a := n.AddNode()
+	b := n.AddNode()
+	tt := n.AddNode()
+	n.AddEdge(s, a, 0, 10)
+	ab := n.AddEdge(a, b, 2, 3)
+	n.AddEdge(b, tt, 0, 10)
+	n.AddEdge(a, tt, 0, 1)
+	val, ok := n.MaxFlowWithLowerBounds(s, tt, Dinic)
+	if !ok {
+		t.Fatal("expected feasible")
+	}
+	if val != 4 {
+		t.Errorf("val = %d, want 4 (3 through b + 1 direct)", val)
+	}
+	if n.Flow(ab) < 2 {
+		t.Errorf("a->b flow %d violates lower bound", n.Flow(ab))
+	}
+	checkConservation(t, n, s, tt, val)
+}
+
+func TestLowerBoundsZeroLowerEqualsPlain(t *testing.T) {
+	for seed := 1; seed <= 30; seed++ {
+		n1, s, tt := randomNetwork(seed, 10, 25)
+		n2, _, _ := randomNetwork(seed, 10, 25)
+		plain := n1.MaxFlow(s, tt, Dinic)
+		lb, ok := n2.MaxFlowWithLowerBounds(s, tt, Dinic)
+		if !ok || lb != plain {
+			t.Fatalf("seed %d: lb=%d ok=%v, plain=%d", seed, lb, ok, plain)
+		}
+	}
+}
+
+func TestLowerBoundsBothAlgorithms(t *testing.T) {
+	build := func() (*Network, int, int) {
+		n := NewNetwork()
+		s := n.AddNode()
+		a := n.AddNode()
+		b := n.AddNode()
+		tt := n.AddNode()
+		n.AddEdge(s, a, 1, 4)
+		n.AddEdge(s, b, 0, 3)
+		n.AddEdge(a, b, 1, 2)
+		n.AddEdge(a, tt, 0, 3)
+		n.AddEdge(b, tt, 2, 5)
+		return n, s, tt
+	}
+	n1, s, tt := build()
+	v1, ok1 := n1.MaxFlowWithLowerBounds(s, tt, Dinic)
+	n2, _, _ := build()
+	v2, ok2 := n2.MaxFlowWithLowerBounds(s, tt, EdmondsKarp)
+	if !ok1 || !ok2 || v1 != v2 {
+		t.Errorf("Dinic (%d,%v) != EdmondsKarp (%d,%v)", v1, ok1, v2, ok2)
+	}
+	checkConservation(t, n1, s, tt, v1)
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	n := NewNetwork()
+	n.AddNode()
+	cases := []func(){
+		func() { n.AddEdge(0, 5, 0, 1) },
+		func() { n.AddEdge(-1, 0, 0, 1) },
+		func() { n.AddEdge(0, 0, -1, 1) },
+		func() { n.AddEdge(0, 0, 3, 2) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMaxFlowIntegrality(t *testing.T) {
+	// Integral capacities must give integral flows (trivially true with int,
+	// but assert flows are within bounds and value equals min cut on a known
+	// instance).
+	n := NewNetwork()
+	s := n.AddNode()
+	v1 := n.AddNode()
+	v2 := n.AddNode()
+	v3 := n.AddNode()
+	v4 := n.AddNode()
+	tt := n.AddNode()
+	n.AddEdge(s, v1, 0, 16)
+	n.AddEdge(s, v2, 0, 13)
+	n.AddEdge(v2, v1, 0, 4)
+	n.AddEdge(v1, v3, 0, 12)
+	n.AddEdge(v3, v2, 0, 9)
+	n.AddEdge(v2, v4, 0, 14)
+	n.AddEdge(v4, v3, 0, 7)
+	n.AddEdge(v3, tt, 0, 20)
+	n.AddEdge(v4, tt, 0, 4)
+	// CLRS figure: max flow 23.
+	if got := n.MaxFlow(s, tt, Dinic); got != 23 {
+		t.Errorf("CLRS network: %d, want 23", got)
+	}
+	checkConservation(t, n, s, tt, 23)
+}
+
+func TestBipartiteAssignPerfect(t *testing.T) {
+	// 3 items, 3 slots, identity-ish adjacency.
+	adj := [][]int{{0, 1}, {1, 2}, {0, 2}}
+	caps := []int{1, 1, 1}
+	assign := BipartiteAssign(adj, caps)
+	if assign == nil {
+		t.Fatal("expected assignment")
+	}
+	used := map[int]int{}
+	for i, j := range assign {
+		used[j]++
+		found := false
+		for _, cand := range adj[i] {
+			if cand == j {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("item %d assigned to non-candidate %d", i, j)
+		}
+	}
+	for j, c := range used {
+		if c > caps[j] {
+			t.Errorf("slot %d used %d > cap %d", j, c, caps[j])
+		}
+	}
+}
+
+func TestBipartiteAssignInfeasible(t *testing.T) {
+	// Two items both need slot 0 with cap 1.
+	if got := BipartiteAssign([][]int{{0}, {0}}, []int{1}); got != nil {
+		t.Errorf("expected nil, got %v", got)
+	}
+}
+
+func TestBipartiteAssignCapacities(t *testing.T) {
+	// 4 items all compatible with slot 0 (cap 3) and slot 1 (cap 1).
+	adj := [][]int{{0, 1}, {0, 1}, {0, 1}, {0, 1}}
+	assign := BipartiteAssign(adj, []int{3, 1})
+	if assign == nil {
+		t.Fatal("expected assignment")
+	}
+	count := []int{0, 0}
+	for _, j := range assign {
+		count[j]++
+	}
+	if count[0] != 3 || count[1] != 1 {
+		t.Errorf("counts = %v, want [3 1]", count)
+	}
+}
+
+func TestBipartiteAssignHallViolation(t *testing.T) {
+	// Items {0,1,2} collectively see only slots {0,1}: Hall fails.
+	adj := [][]int{{0, 1}, {0}, {1}}
+	if got := BipartiteAssign(adj, []int{1, 1}); got != nil {
+		t.Errorf("expected nil, got %v", got)
+	}
+}
+
+func TestBipartiteAssignEmptyLeft(t *testing.T) {
+	got := BipartiteAssign(nil, []int{1, 2})
+	if len(got) != 0 {
+		t.Errorf("expected empty assignment, got %v", got)
+	}
+}
+
+func TestMaxFlowQuickCutBound(t *testing.T) {
+	// Property: max flow <= sum of source-leaving capacities and <= sum of
+	// sink-entering capacities.
+	fn := func(seed uint8) bool {
+		n, s, tt := randomNetwork(int(seed)+1, 8, 20)
+		val := n.MaxFlow(s, tt, Dinic)
+		outCap, inCap := 0, 0
+		for _, e := range n.Edges() {
+			if e.From == s {
+				outCap += e.Hi
+			}
+			if e.To == tt {
+				inCap += e.Hi
+			}
+		}
+		return val <= outCap && val <= inCap && val >= 0
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

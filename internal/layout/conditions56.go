@@ -1,0 +1,89 @@
+package layout
+
+// Conditions 5 and 6 of Holland & Gibson — "Large Write Optimization" and
+// "Maximal Parallelism" — depend on the layout together with the logical
+// address mapping. The paper defers their study to Stockmeyer [15]; we
+// implement the metrics so the experiments can report them for every
+// construction.
+
+// LargeWriteAlignment returns the fraction of stripes whose data units
+// occupy consecutive logical addresses (Condition 5): a client writing
+// those addresses as one large write covers the whole stripe, so parity
+// can be computed from the new data without pre-reading. Our stripe-major
+// logical numbering makes this 1.0 by construction; the metric exists to
+// validate that and to evaluate alternative mappings.
+func (m *Mapping) LargeWriteAlignment() float64 {
+	if len(m.layout.Stripes) == 0 {
+		return 0
+	}
+	aligned := 0
+	for si := range m.layout.Stripes {
+		s := &m.layout.Stripes[si]
+		lo, hi, n := -1, -1, 0
+		ok := true
+		for ui, u := range s.Units {
+			if ui == s.Parity {
+				continue
+			}
+			logical, isData := m.Logical(u, m.layout.Size)
+			if !isData {
+				ok = false
+				break
+			}
+			if lo < 0 || logical < lo {
+				lo = logical
+			}
+			if logical > hi {
+				hi = logical
+			}
+			n++
+		}
+		if ok && n > 0 && hi-lo+1 == n {
+			aligned++
+		}
+	}
+	return float64(aligned) / float64(len(m.layout.Stripes))
+}
+
+// ParallelismProfile returns, over every window of `window` consecutive
+// logical data units, the minimum and mean number of distinct disks
+// touched (Condition 6: reading v consecutive units should engage as many
+// disks as possible). window is typically v.
+func (m *Mapping) ParallelismProfile(window int) (min int, mean float64) {
+	n := m.DataUnits()
+	if window < 1 || window > n {
+		return 0, 0
+	}
+	counts := make([]int, m.layout.V)
+	distinct := 0
+	add := func(logical int) {
+		d := m.forward[logical].Disk
+		if counts[d] == 0 {
+			distinct++
+		}
+		counts[d]++
+	}
+	remove := func(logical int) {
+		d := m.forward[logical].Disk
+		counts[d]--
+		if counts[d] == 0 {
+			distinct--
+		}
+	}
+	for i := 0; i < window; i++ {
+		add(i)
+	}
+	min = distinct
+	total := distinct
+	windows := 1
+	for start := 1; start+window <= n; start++ {
+		remove(start - 1)
+		add(start + window - 1)
+		if distinct < min {
+			min = distinct
+		}
+		total += distinct
+		windows++
+	}
+	return min, float64(total) / float64(windows)
+}

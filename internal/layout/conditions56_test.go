@@ -1,0 +1,109 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/design"
+)
+
+func TestLargeWriteAlignmentStripeMajor(t *testing.T) {
+	// Our logical numbering is stripe-major: every stripe's data units are
+	// consecutive, so alignment is exactly 1.
+	l := hgFanoLayout(t)
+	m, err := NewMapping(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LargeWriteAlignment(); got != 1.0 {
+		t.Errorf("alignment = %v, want 1.0", got)
+	}
+}
+
+func TestParallelismProfileRAID5Like(t *testing.T) {
+	// Full-width stripes, rotated parity: v consecutive data units span
+	// at least two stripes' worth of disks; profile must be within [1, v].
+	stripes := make([][]int, 6)
+	for i := range stripes {
+		stripes[i] = []int{0, 1, 2, 3, 4, 5}
+	}
+	l, err := Assemble(6, stripes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range l.Stripes {
+		l.Stripes[i].Parity = i % 6
+	}
+	m, err := NewMapping(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, mean := m.ParallelismProfile(6)
+	if min < 1 || min > 6 || mean < float64(min) || mean > 6 {
+		t.Errorf("profile min=%d mean=%v out of range", min, mean)
+	}
+	// 6 consecutive units starting at a stripe boundary cover 5 data disks
+	// of one stripe + 1 of the next: at least 5 distinct disks.
+	if min < 5 {
+		t.Errorf("RAID5 sequential parallelism min=%d, want >= 5", min)
+	}
+}
+
+func TestParallelismProfileDeclustered(t *testing.T) {
+	d := design.FromDifferenceSet(13, []int{0, 1, 3, 9})
+	l, err := FromDesignHG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMapping(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, mean := m.ParallelismProfile(13)
+	if min < 4 { // a window of 13 units covers >= 4 stripes (3 data units each)
+		t.Errorf("declustered min parallelism %d too low", min)
+	}
+	if mean > 13 {
+		t.Errorf("mean %v above v", mean)
+	}
+}
+
+func TestParallelismProfileEdgeCases(t *testing.T) {
+	l := hgFanoLayout(t)
+	m, _ := NewMapping(l)
+	if min, mean := m.ParallelismProfile(0); min != 0 || mean != 0 {
+		t.Error("window 0 should be rejected")
+	}
+	if min, mean := m.ParallelismProfile(m.DataUnits() + 1); min != 0 || mean != 0 {
+		t.Error("oversized window should be rejected")
+	}
+	// Window 1: always exactly 1 disk.
+	min, mean := m.ParallelismProfile(1)
+	if min != 1 || mean != 1 {
+		t.Errorf("window 1: min=%d mean=%v", min, mean)
+	}
+	// Window = all data units: touches all disks (every disk holds data).
+	minAll, _ := m.ParallelismProfile(m.DataUnits())
+	if minAll != l.V {
+		t.Errorf("full window covers %d disks, want %d", minAll, l.V)
+	}
+}
+
+func TestLargeWriteAlignmentDetectsScrambled(t *testing.T) {
+	// Hand-build a 2-disk layout where stripe data units are interleaved
+	// so stripes are NOT logically contiguous.
+	l := &Layout{V: 2, Size: 2, Stripes: []Stripe{
+		{Units: []Unit{{0, 0}, {1, 0}}, Parity: 1},
+		{Units: []Unit{{0, 1}, {1, 1}}, Parity: 0},
+	}}
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMapping(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each stripe has a single data unit: trivially contiguous.
+	if got := m.LargeWriteAlignment(); got != 1.0 {
+		t.Errorf("single-data-unit stripes: alignment %v", got)
+	}
+}

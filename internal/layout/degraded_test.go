@@ -1,0 +1,52 @@
+package layout
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDegradedReadMatchesDirect(t *testing.T) {
+	l := hgFanoLayout(t)
+	d, err := NewData(l, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.Mapping().DataUnits()
+	for i := 0; i < n; i++ {
+		payload := make([]byte, 8)
+		for j := range payload {
+			payload[j] = byte(i*5 + j*11)
+		}
+		if err := d.WriteLogical(i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// For every failed disk and every logical unit, the degraded read must
+	// equal the direct read.
+	for failed := 0; failed < l.V; failed++ {
+		for i := 0; i < n; i++ {
+			direct, err := d.ReadLogical(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			degraded, err := d.DegradedRead(i, failed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(direct, degraded) {
+				t.Fatalf("failed=%d logical=%d: degraded read mismatch", failed, i)
+			}
+		}
+	}
+}
+
+func TestDegradedReadValidation(t *testing.T) {
+	l := hgFanoLayout(t)
+	d, _ := NewData(l, 8)
+	if _, err := d.DegradedRead(0, 99); err == nil {
+		t.Error("bad failed disk accepted")
+	}
+	if _, err := d.DegradedRead(-1, 0); err == nil {
+		t.Error("bad logical accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/design"
+)
+
+func TestCopiesPanicsOnZero(t *testing.T) {
+	l := hgFanoLayout(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Copies(0) did not panic")
+		}
+	}()
+	Copies(l, 0)
+}
+
+func TestRenderGridRoundTrip(t *testing.T) {
+	l := hgFanoLayout(t)
+	grid := l.RenderGrid()
+	if len(grid) != l.Size || len(grid[0]) != l.V {
+		t.Fatalf("grid %dx%d, want %dx%d", len(grid), len(grid[0]), l.Size, l.V)
+	}
+	// Every cell filled, parity cells count = stripes.
+	parities := 0
+	for _, row := range grid {
+		for _, cell := range row {
+			if cell == "" {
+				t.Fatal("empty cell")
+			}
+			if cell[0] == 'P' {
+				parities++
+			}
+		}
+	}
+	if parities != len(l.Stripes) {
+		t.Errorf("%d parity cells, want %d", parities, len(l.Stripes))
+	}
+}
+
+func TestPropertyHGLayoutAlwaysValid(t *testing.T) {
+	// Any verified BIBD from the difference-set catalog yields a valid,
+	// perfectly balanced HG layout.
+	sets := [][]int{{1, 2, 4}, {0, 1, 3, 9}, {1, 3, 4, 5, 9}}
+	vs := []int{7, 13, 11}
+	f := func(i uint8) bool {
+		idx := int(i) % len(sets)
+		d := design.FromDifferenceSet(vs[idx], sets[idx])
+		l, err := FromDesignHG(d)
+		if err != nil {
+			return false
+		}
+		return l.Check() == nil && l.ParityPerfectlyBalanced() && l.WorkloadPerfectlyBalanced()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 9}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromDesignHGRejectsInvalid(t *testing.T) {
+	bad := &design.Design{V: 4, K: 2, Tuples: [][]int{{0, 1}, {0, 1}, {2, 3}, {2, 3}}}
+	if _, err := FromDesignHG(bad); err == nil {
+		t.Error("unbalanced design accepted")
+	}
+	if _, err := FromDesignSingle(bad); err == nil {
+		t.Error("unbalanced design accepted by single")
+	}
+}
+
+func TestWorkloadMatrixDiagonalZero(t *testing.T) {
+	l := hgFanoLayout(t)
+	m := l.WorkloadMatrix()
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %d", i, i, m[i][i])
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package layout
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonLayout is the stable JSON interchange schema used by the CLI tools:
+// stripes are lists of [disk, offset] pairs plus a parity index.
+type jsonLayout struct {
+	V       int          `json:"v"`
+	Size    int          `json:"size"`
+	Stripes []jsonStripe `json:"stripes"`
+}
+
+type jsonStripe struct {
+	Units  [][2]int `json:"units"`
+	Parity int      `json:"parity"`
+}
+
+// WriteJSON serializes the layout.
+func (l *Layout) WriteJSON(w io.Writer) error {
+	jl := jsonLayout{V: l.V, Size: l.Size, Stripes: make([]jsonStripe, len(l.Stripes))}
+	for i, s := range l.Stripes {
+		units := make([][2]int, len(s.Units))
+		for j, u := range s.Units {
+			units[j] = [2]int{u.Disk, u.Offset}
+		}
+		jl.Stripes[i] = jsonStripe{Units: units, Parity: s.Parity}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jl)
+}
+
+// ReadJSON deserializes a layout and validates it structurally.
+func ReadJSON(r io.Reader) (*Layout, error) {
+	var jl jsonLayout
+	if err := json.NewDecoder(r).Decode(&jl); err != nil {
+		return nil, fmt.Errorf("layout: ReadJSON: %w", err)
+	}
+	l := &Layout{V: jl.V, Size: jl.Size, Stripes: make([]Stripe, len(jl.Stripes))}
+	for i, s := range jl.Stripes {
+		units := make([]Unit, len(s.Units))
+		for j, u := range s.Units {
+			units[j] = Unit{Disk: u[0], Offset: u[1]}
+		}
+		l.Stripes[i] = Stripe{Units: units, Parity: s.Parity}
+	}
+	if err := l.Check(); err != nil {
+		return nil, fmt.Errorf("layout: ReadJSON: invalid layout: %w", err)
+	}
+	return l, nil
+}

@@ -1,0 +1,54 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	l := hgFanoLayout(t)
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.V != l.V || back.Size != l.Size || len(back.Stripes) != len(l.Stripes) {
+		t.Fatalf("shape mismatch: %d/%d/%d vs %d/%d/%d", back.V, back.Size, len(back.Stripes), l.V, l.Size, len(l.Stripes))
+	}
+	for i := range l.Stripes {
+		if back.Stripes[i].Parity != l.Stripes[i].Parity {
+			t.Fatalf("stripe %d parity mismatch", i)
+		}
+		for j := range l.Stripes[i].Units {
+			if back.Stripes[i].Units[j] != l.Stripes[i].Units[j] {
+				t.Fatalf("stripe %d unit %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadJSONRejectsInvalidLayout(t *testing.T) {
+	// Structurally valid JSON but the layout violates Condition 1
+	// (two units of one stripe on the same disk).
+	bad := `{"v":2,"size":1,"stripes":[{"units":[[0,0],[0,0]],"parity":0}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("invalid layout accepted")
+	}
+}
+
+func TestReadJSONRejectsUncovered(t *testing.T) {
+	bad := `{"v":2,"size":2,"stripes":[{"units":[[0,0],[1,0]],"parity":0}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("partial coverage accepted")
+	}
+}

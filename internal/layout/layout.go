@@ -1,0 +1,228 @@
+// Package layout implements parity-declustered data layouts: the division
+// of a disk array's units into parity stripes, parity placement, the four
+// Holland–Gibson layout conditions the paper evaluates (reconstructability,
+// parity balance, reconstruction-workload balance, mapping efficiency), the
+// Holland–Gibson k-copy construction from BIBDs, logical address mapping,
+// and an XOR parity engine for byte-accurate reconstruction.
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/design"
+)
+
+// FeasibleTableSize is the paper's Condition 4 feasibility bound: a layout
+// is considered feasible if its per-disk size (which equals the lookup
+// table height) is at most 10,000 tracks.
+const FeasibleTableSize = 10000
+
+// Unit addresses one stripe unit: a (disk, offset) position in the array.
+type Unit struct {
+	Disk, Offset int
+}
+
+// Stripe is one parity stripe: a set of units on distinct disks, one of
+// which is the parity unit (the XOR of the others). Parity is an index into
+// Units, or -1 while unassigned.
+type Stripe struct {
+	Units  []Unit
+	Parity int
+}
+
+// ParityUnit returns the parity unit. It panics if parity is unassigned.
+func (s *Stripe) ParityUnit() Unit {
+	if s.Parity < 0 || s.Parity >= len(s.Units) {
+		panic(fmt.Sprintf("layout: stripe has no assigned parity (index %d)", s.Parity))
+	}
+	return s.Units[s.Parity]
+}
+
+// Layout is a parity-declustered data layout: V disks of Size units each,
+// partitioned into Stripes. The paper calls Size the size of the layout;
+// it equals the height of the Condition 4 lookup table.
+type Layout struct {
+	V       int
+	Size    int
+	Stripes []Stripe
+}
+
+// Clone returns a deep copy.
+func (l *Layout) Clone() *Layout {
+	out := &Layout{V: l.V, Size: l.Size, Stripes: make([]Stripe, len(l.Stripes))}
+	for i, s := range l.Stripes {
+		out.Stripes[i] = Stripe{Units: append([]Unit(nil), s.Units...), Parity: s.Parity}
+	}
+	return out
+}
+
+// Assemble builds a layout from per-stripe disk lists: stripe i occupies
+// one unit on each disk in stripeDisks[i], at the next free offset of that
+// disk. Every disk must end with the same number of units (the layout
+// size); parity is left unassigned. This is the generic entry point used
+// by the BIBD-based and ring-based constructions.
+func Assemble(v int, stripeDisks [][]int) (*Layout, error) {
+	if v < 2 {
+		return nil, fmt.Errorf("layout: v = %d < 2", v)
+	}
+	next := make([]int, v)
+	l := &Layout{V: v, Stripes: make([]Stripe, len(stripeDisks))}
+	for i, disks := range stripeDisks {
+		seen := make(map[int]bool, len(disks))
+		units := make([]Unit, len(disks))
+		for j, d := range disks {
+			if d < 0 || d >= v {
+				return nil, fmt.Errorf("layout: stripe %d: disk %d out of range", i, d)
+			}
+			if seen[d] {
+				return nil, fmt.Errorf("layout: stripe %d: disk %d appears twice (violates Condition 1)", i, d)
+			}
+			seen[d] = true
+			units[j] = Unit{Disk: d, Offset: next[d]}
+			next[d]++
+		}
+		l.Stripes[i] = Stripe{Units: units, Parity: -1}
+	}
+	size := next[0]
+	for d := 1; d < v; d++ {
+		if next[d] != size {
+			return nil, fmt.Errorf("layout: disk %d has %d units, disk 0 has %d (uneven layout)", d, next[d], size)
+		}
+	}
+	l.Size = size
+	return l, nil
+}
+
+// Check validates structural invariants:
+//   - every stripe holds at most one unit per disk (Condition 1),
+//   - unit offsets lie in [0, Size),
+//   - the stripes exactly partition the V x Size unit grid,
+//   - parity indices are valid or -1.
+func (l *Layout) Check() error {
+	if l.V < 2 {
+		return fmt.Errorf("layout: v = %d < 2", l.V)
+	}
+	covered := make([]bool, l.V*l.Size)
+	for i, s := range l.Stripes {
+		if len(s.Units) == 0 {
+			return fmt.Errorf("layout: stripe %d empty", i)
+		}
+		if s.Parity < -1 || s.Parity >= len(s.Units) {
+			return fmt.Errorf("layout: stripe %d parity index %d invalid", i, s.Parity)
+		}
+		seen := make(map[int]bool, len(s.Units))
+		for _, u := range s.Units {
+			if u.Disk < 0 || u.Disk >= l.V {
+				return fmt.Errorf("layout: stripe %d: disk %d out of range", i, u.Disk)
+			}
+			if u.Offset < 0 || u.Offset >= l.Size {
+				return fmt.Errorf("layout: stripe %d: offset %d out of range [0,%d)", i, u.Offset, l.Size)
+			}
+			if seen[u.Disk] {
+				return fmt.Errorf("layout: stripe %d: two units on disk %d (violates Condition 1)", i, u.Disk)
+			}
+			seen[u.Disk] = true
+			idx := u.Disk*l.Size + u.Offset
+			if covered[idx] {
+				return fmt.Errorf("layout: unit (disk %d, offset %d) in two stripes", u.Disk, u.Offset)
+			}
+			covered[idx] = true
+		}
+	}
+	for idx, ok := range covered {
+		if !ok {
+			return fmt.Errorf("layout: unit (disk %d, offset %d) not in any stripe", idx/l.Size, idx%l.Size)
+		}
+	}
+	return nil
+}
+
+// ParityAssigned reports whether every stripe has a parity unit.
+func (l *Layout) ParityAssigned() bool {
+	for i := range l.Stripes {
+		if l.Stripes[i].Parity < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// StripeSizes returns the minimum and maximum stripe sizes.
+func (l *Layout) StripeSizes() (min, max int) {
+	if len(l.Stripes) == 0 {
+		return 0, 0
+	}
+	min, max = len(l.Stripes[0].Units), len(l.Stripes[0].Units)
+	for i := range l.Stripes {
+		n := len(l.Stripes[i].Units)
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return min, max
+}
+
+// Feasible reports the paper's Condition 4 feasibility: layout size at most
+// FeasibleTableSize.
+func (l *Layout) Feasible() bool { return l.Size <= FeasibleTableSize }
+
+// FromDesignHG builds a data layout from a BIBD by the Holland–Gibson
+// method (Section 1, Figure 3): the design is replicated k times, and in
+// copy c the parity unit of every stripe is the unit at tuple position c.
+// The layout has size k*r and parity overhead exactly 1/k on every disk.
+func FromDesignHG(d *design.Design) (*Layout, error) {
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("layout: FromDesignHG: %w", err)
+	}
+	k := d.K
+	stripeDisks := make([][]int, 0, k*len(d.Tuples))
+	for c := 0; c < k; c++ {
+		for _, tuple := range d.Tuples {
+			stripeDisks = append(stripeDisks, tuple)
+		}
+	}
+	l, err := Assemble(d.V, stripeDisks)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < k; c++ {
+		for t := range d.Tuples {
+			l.Stripes[c*len(d.Tuples)+t].Parity = c
+		}
+	}
+	return l, nil
+}
+
+// FromDesignSingle builds a single-copy layout from a BIBD with parity left
+// unassigned (for the Section 4 flow-based balancing). The layout has size
+// r (k times smaller than FromDesignHG).
+func FromDesignSingle(d *design.Design) (*Layout, error) {
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("layout: FromDesignSingle: %w", err)
+	}
+	return Assemble(d.V, d.Tuples)
+}
+
+// Copies returns a layout consisting of n vertical copies of l stacked on
+// each disk, preserving parity assignments. Used for lcm-replication
+// (Corollary 17) and the stairway transformation's input.
+func Copies(l *Layout, n int) *Layout {
+	if n < 1 {
+		panic(fmt.Sprintf("layout: Copies(%d): need n >= 1", n))
+	}
+	out := &Layout{V: l.V, Size: l.Size * n}
+	for c := 0; c < n; c++ {
+		base := c * l.Size
+		for _, s := range l.Stripes {
+			units := make([]Unit, len(s.Units))
+			for i, u := range s.Units {
+				units[i] = Unit{Disk: u.Disk, Offset: u.Offset + base}
+			}
+			out.Stripes = append(out.Stripes, Stripe{Units: units, Parity: s.Parity})
+		}
+	}
+	return out
+}

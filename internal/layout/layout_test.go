@@ -1,0 +1,200 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/design"
+)
+
+func fano() *design.Design {
+	return design.FromDifferenceSet(7, []int{1, 2, 4})
+}
+
+func TestAssembleSimple(t *testing.T) {
+	// v=4, stripes covering each disk twice.
+	l, err := Assemble(4, [][]int{{0, 1, 2}, {1, 2, 3}, {2, 3, 0}, {3, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size != 3 {
+		t.Errorf("size = %d, want 3", l.Size)
+	}
+	if err := l.Check(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleRejectsDuplicateDisk(t *testing.T) {
+	if _, err := Assemble(4, [][]int{{0, 0, 1}}); err == nil {
+		t.Error("duplicate disk accepted")
+	}
+}
+
+func TestAssembleRejectsUneven(t *testing.T) {
+	if _, err := Assemble(3, [][]int{{0, 1}}); err == nil {
+		t.Error("uneven layout accepted")
+	}
+}
+
+func TestAssembleRejectsOutOfRange(t *testing.T) {
+	if _, err := Assemble(3, [][]int{{0, 5}}); err == nil {
+		t.Error("out-of-range disk accepted")
+	}
+}
+
+func TestCheckDetectsOverlap(t *testing.T) {
+	l := &Layout{V: 2, Size: 1, Stripes: []Stripe{
+		{Units: []Unit{{0, 0}, {1, 0}}, Parity: 0},
+		{Units: []Unit{{0, 0}}, Parity: 0},
+	}}
+	if l.Check() == nil {
+		t.Error("overlapping units accepted")
+	}
+}
+
+func TestCheckDetectsGap(t *testing.T) {
+	l := &Layout{V: 2, Size: 2, Stripes: []Stripe{
+		{Units: []Unit{{0, 0}, {1, 0}}, Parity: 0},
+	}}
+	if l.Check() == nil {
+		t.Error("uncovered units accepted")
+	}
+}
+
+func TestCheckDetectsBadParityIndex(t *testing.T) {
+	l := &Layout{V: 2, Size: 1, Stripes: []Stripe{
+		{Units: []Unit{{0, 0}, {1, 0}}, Parity: 5},
+	}}
+	if l.Check() == nil {
+		t.Error("bad parity index accepted")
+	}
+}
+
+func TestFromDesignHGFano(t *testing.T) {
+	l, err := FromDesignHG(fano())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Size = k*r = 3*3 = 9.
+	if l.Size != 9 {
+		t.Errorf("size = %d, want 9", l.Size)
+	}
+	if !l.ParityAssigned() {
+		t.Error("parity not assigned")
+	}
+	// Parity overhead exactly 1/k on every disk.
+	min, max := l.ParityOverheadRange()
+	if !min.Equal(R(1, 3)) || !max.Equal(R(1, 3)) {
+		t.Errorf("parity overhead [%v, %v], want exactly 1/3", min, max)
+	}
+	// Reconstruction workload exactly (k-1)/(v-1) = 2/6 = 1/3.
+	wmin, wmax := l.ReconstructionWorkloadRange()
+	if !wmin.Equal(R(1, 3)) || !wmax.Equal(R(1, 3)) {
+		t.Errorf("workload [%v, %v], want exactly 1/3", wmin, wmax)
+	}
+}
+
+func TestFromDesignHGBalancedForAllCatalog(t *testing.T) {
+	for _, c := range []struct{ v, k int }{{7, 3}, {9, 3}, {13, 4}, {6, 3}} {
+		d := design.Known(c.v, c.k)
+		if d == nil {
+			t.Fatalf("no known design (%d,%d)", c.v, c.k)
+		}
+		l, err := FromDesignHG(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Check(); err != nil {
+			t.Fatalf("(%d,%d): %v", c.v, c.k, err)
+		}
+		if !l.ParityPerfectlyBalanced() {
+			t.Errorf("(%d,%d): HG parity not perfectly balanced", c.v, c.k)
+		}
+		if !l.WorkloadPerfectlyBalanced() {
+			t.Errorf("(%d,%d): HG workload not perfectly balanced", c.v, c.k)
+		}
+	}
+}
+
+func TestFromDesignSingleSize(t *testing.T) {
+	d := fano()
+	l, err := FromDesignSingle(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size != 3 { // r = 3: k times smaller than HG
+		t.Errorf("single-copy size = %d, want 3", l.Size)
+	}
+	if l.ParityAssigned() {
+		t.Error("single-copy layout should have unassigned parity")
+	}
+}
+
+func TestStripeSizes(t *testing.T) {
+	l, err := Assemble(4, [][]int{{0, 1, 2}, {1, 2, 3}, {2, 3, 0}, {3, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := l.StripeSizes()
+	if min != 3 || max != 3 {
+		t.Errorf("stripe sizes [%d,%d], want [3,3]", min, max)
+	}
+}
+
+func TestCopies(t *testing.T) {
+	l, err := FromDesignHG(fano())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Copies(l, 3)
+	if c.Size != 27 {
+		t.Errorf("size = %d, want 27", c.Size)
+	}
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Stripes) != 3*len(l.Stripes) {
+		t.Errorf("stripes = %d, want %d", len(c.Stripes), 3*len(l.Stripes))
+	}
+	// Balance metrics are preserved under replication.
+	if got, want := c.MaxParityOverhead(), l.MaxParityOverhead(); !got.Equal(want) {
+		t.Errorf("parity overhead %v, want %v", got, want)
+	}
+	if got, want := c.MaxReconstructionWorkload(), l.MaxReconstructionWorkload(); !got.Equal(want) {
+		t.Errorf("workload %v, want %v", got, want)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	l := &Layout{V: 2, Size: FeasibleTableSize}
+	if !l.Feasible() {
+		t.Error("size == bound should be feasible")
+	}
+	l.Size++
+	if l.Feasible() {
+		t.Error("size above bound should be infeasible")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l, _ := FromDesignHG(fano())
+	c := l.Clone()
+	c.Stripes[0].Units[0].Disk = 99
+	c.Stripes[0].Parity = -1
+	if l.Stripes[0].Units[0].Disk == 99 || l.Stripes[0].Parity == -1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestParityUnitPanicsUnassigned(t *testing.T) {
+	s := Stripe{Units: []Unit{{0, 0}}, Parity: -1}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	s.ParityUnit()
+}

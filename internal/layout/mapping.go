@@ -1,0 +1,99 @@
+package layout
+
+import "fmt"
+
+// Mapping implements Condition 4: the translation between logical data-unit
+// addresses and physical (disk, offset) positions via one table lookup plus
+// constant arithmetic. Data units are numbered stripe by stripe in layout
+// order, skipping parity units.
+//
+// For disks larger than one layout (DiskUnits > Size), the layout tiles
+// vertically: logical addresses beyond one layout's data capacity wrap to
+// the next copy, adding Size to the offset — the constant-arithmetic part
+// of the paper's mapping.
+type Mapping struct {
+	layout *Layout
+	// forward[i] = physical unit of logical data unit i (one copy).
+	forward []Unit
+	// reverse[disk*Size+offset] = logical index, or -1 for parity units.
+	reverse []int
+	// stripeOf[disk*Size+offset] = stripe index covering that unit.
+	stripeOf []int
+}
+
+// NewMapping builds the lookup tables for a layout with assigned parity.
+func NewMapping(l *Layout) (*Mapping, error) {
+	if !l.ParityAssigned() {
+		return nil, fmt.Errorf("layout: NewMapping: parity not fully assigned")
+	}
+	m := &Mapping{
+		layout:   l,
+		reverse:  make([]int, l.V*l.Size),
+		stripeOf: make([]int, l.V*l.Size),
+	}
+	for i := range m.reverse {
+		m.reverse[i] = -1
+		m.stripeOf[i] = -1
+	}
+	for si := range l.Stripes {
+		s := &l.Stripes[si]
+		for ui, u := range s.Units {
+			idx := u.Disk*l.Size + u.Offset
+			m.stripeOf[idx] = si
+			if ui == s.Parity {
+				continue
+			}
+			m.reverse[idx] = len(m.forward)
+			m.forward = append(m.forward, u)
+		}
+	}
+	return m, nil
+}
+
+// DataUnits returns the number of logical data units in one layout copy.
+func (m *Mapping) DataUnits() int { return len(m.forward) }
+
+// TableEntries returns the size of the in-memory lookup table (the
+// Condition 4 memory metric): one entry per unit of one disk per table,
+// v tables — we report total entries v*Size.
+func (m *Mapping) TableEntries() int { return m.layout.V * m.layout.Size }
+
+// Map translates a logical data-unit address to its physical position on a
+// disk with diskUnits units (diskUnits must be a multiple of Size; the
+// paper defers non-multiples to Holland–Gibson). It is one table lookup
+// plus constant arithmetic.
+func (m *Mapping) Map(logical, diskUnits int) (Unit, error) {
+	if diskUnits%m.layout.Size != 0 || diskUnits <= 0 {
+		return Unit{}, fmt.Errorf("layout: Map: disk size %d not a positive multiple of layout size %d", diskUnits, m.layout.Size)
+	}
+	capacity := m.DataUnits() * (diskUnits / m.layout.Size)
+	if logical < 0 || logical >= capacity {
+		return Unit{}, fmt.Errorf("layout: Map: logical %d outside [0,%d)", logical, capacity)
+	}
+	copyIdx := logical / m.DataUnits()
+	u := m.forward[logical%m.DataUnits()]
+	return Unit{Disk: u.Disk, Offset: u.Offset + copyIdx*m.layout.Size}, nil
+}
+
+// Logical is the inverse of Map: it returns the logical address of a
+// physical unit, or ok=false if the unit is a parity unit.
+func (m *Mapping) Logical(u Unit, diskUnits int) (int, bool) {
+	if diskUnits%m.layout.Size != 0 || diskUnits <= 0 {
+		return 0, false
+	}
+	if u.Disk < 0 || u.Disk >= m.layout.V || u.Offset < 0 || u.Offset >= diskUnits {
+		return 0, false
+	}
+	copyIdx := u.Offset / m.layout.Size
+	base := m.reverse[u.Disk*m.layout.Size+u.Offset%m.layout.Size]
+	if base < 0 {
+		return 0, false
+	}
+	return base + copyIdx*m.DataUnits(), true
+}
+
+// StripeAt returns the stripe index covering a physical unit within one
+// layout copy.
+func (m *Mapping) StripeAt(u Unit) int {
+	return m.stripeOf[u.Disk*m.layout.Size+u.Offset%m.layout.Size]
+}

@@ -1,0 +1,205 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/design"
+)
+
+func hgFanoLayout(t *testing.T) *Layout {
+	t.Helper()
+	l, err := FromDesignHG(design.FromDifferenceSet(7, []int{1, 2, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestMappingRoundTrip(t *testing.T) {
+	l := hgFanoLayout(t)
+	m, err := NewMapping(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data units per copy = stripes * (k-1) = 21 * 2 = 42.
+	if m.DataUnits() != 42 {
+		t.Errorf("DataUnits = %d, want 42", m.DataUnits())
+	}
+	for logical := 0; logical < m.DataUnits(); logical++ {
+		u, err := m.Map(logical, l.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, ok := m.Logical(u, l.Size)
+		if !ok || back != logical {
+			t.Fatalf("round trip %d -> %v -> (%d,%v)", logical, u, back, ok)
+		}
+	}
+}
+
+func TestMappingParityNotLogical(t *testing.T) {
+	l := hgFanoLayout(t)
+	m, err := NewMapping(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range l.Stripes {
+		pu := l.Stripes[i].ParityUnit()
+		if _, ok := m.Logical(pu, l.Size); ok {
+			t.Fatalf("parity unit %v mapped to a logical address", pu)
+		}
+	}
+}
+
+func TestMappingMultiCopyDisk(t *testing.T) {
+	l := hgFanoLayout(t)
+	m, err := NewMapping(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskUnits := l.Size * 4
+	capacity := m.DataUnits() * 4
+	for _, logical := range []int{0, m.DataUnits(), capacity - 1} {
+		u, err := m.Map(logical, diskUnits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u.Offset >= diskUnits {
+			t.Fatalf("offset %d beyond disk", u.Offset)
+		}
+		back, ok := m.Logical(u, diskUnits)
+		if !ok || back != logical {
+			t.Fatalf("multi-copy round trip %d -> %v -> (%d,%v)", logical, u, back, ok)
+		}
+	}
+	if _, err := m.Map(capacity, diskUnits); err == nil {
+		t.Error("out-of-capacity address accepted")
+	}
+	if _, err := m.Map(-1, diskUnits); err == nil {
+		t.Error("negative address accepted")
+	}
+}
+
+func TestMappingRejectsNonMultipleDisk(t *testing.T) {
+	l := hgFanoLayout(t)
+	m, _ := NewMapping(l)
+	if _, err := m.Map(0, l.Size+1); err == nil {
+		t.Error("non-multiple disk size accepted")
+	}
+}
+
+func TestMappingRequiresParity(t *testing.T) {
+	l, err := FromDesignSingle(design.FromDifferenceSet(7, []int{1, 2, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMapping(l); err == nil {
+		t.Error("mapping built without parity assignment")
+	}
+}
+
+func TestMappingTableEntries(t *testing.T) {
+	l := hgFanoLayout(t)
+	m, _ := NewMapping(l)
+	if m.TableEntries() != 7*9 {
+		t.Errorf("TableEntries = %d, want 63", m.TableEntries())
+	}
+}
+
+func TestStripeAtConsistent(t *testing.T) {
+	l := hgFanoLayout(t)
+	m, _ := NewMapping(l)
+	for si := range l.Stripes {
+		for _, u := range l.Stripes[si].Units {
+			if got := m.StripeAt(u); got != si {
+				t.Fatalf("StripeAt(%v) = %d, want %d", u, got, si)
+			}
+		}
+	}
+}
+
+func TestDataWriteReadReconstruct(t *testing.T) {
+	l := hgFanoLayout(t)
+	d, err := NewData(l, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write a distinctive payload to every logical unit.
+	n := d.Mapping().DataUnits()
+	for logical := 0; logical < n; logical++ {
+		payload := make([]byte, 16)
+		for i := range payload {
+			payload[i] = byte(logical*31 + i)
+		}
+		if err := d.WriteLogical(logical, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	// Read back.
+	for logical := 0; logical < n; logical++ {
+		got, err := d.ReadLogical(logical)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != byte(logical*31+i) {
+				t.Fatalf("logical %d byte %d = %d", logical, i, got[i])
+			}
+		}
+	}
+	// Every disk must reconstruct exactly.
+	if err := d.CheckReconstruction(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataOverwriteKeepsParity(t *testing.T) {
+	l := hgFanoLayout(t)
+	d, err := NewData(l, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	p2 := []byte{9, 9, 9, 9, 9, 9, 9, 9}
+	if err := d.WriteLogical(5, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteLogical(5, p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadLogical(5)
+	for i := range got {
+		if got[i] != p2[i] {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], p2[i])
+		}
+	}
+}
+
+func TestDataWrongPayloadSize(t *testing.T) {
+	l := hgFanoLayout(t)
+	d, _ := NewData(l, 8)
+	if err := d.WriteLogical(0, []byte{1, 2}); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestDataReconstructOutOfRange(t *testing.T) {
+	l := hgFanoLayout(t)
+	d, _ := NewData(l, 8)
+	if _, err := d.ReconstructDisk(99); err == nil {
+		t.Error("bad disk accepted")
+	}
+}
+
+func TestNewDataRejectsBadUnitSize(t *testing.T) {
+	l := hgFanoLayout(t)
+	if _, err := NewData(l, 0); err == nil {
+		t.Error("unit size 0 accepted")
+	}
+}

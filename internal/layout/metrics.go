@@ -1,0 +1,183 @@
+package layout
+
+import "fmt"
+
+// This file computes the paper's Condition 2 and Condition 3 metrics.
+//
+// Condition 2 (parity balance): the parity overhead of a disk is the
+// fraction of its units that are parity units; the layout metric is the
+// maximum (bottleneck) over disks.
+//
+// Condition 3 (reconstruction balance): the reconstruction workload of an
+// ordered disk pair (f, d) is the fraction of disk d that must be read to
+// reconstruct f, i.e. (number of stripes crossing both f and d) / Size;
+// the layout metric is the maximum over pairs.
+
+// ParityCounts returns, per disk, the number of parity units it holds.
+// Stripes with unassigned parity contribute nothing.
+func (l *Layout) ParityCounts() []int {
+	counts := make([]int, l.V)
+	for i := range l.Stripes {
+		s := &l.Stripes[i]
+		if s.Parity >= 0 {
+			counts[s.Units[s.Parity].Disk]++
+		}
+	}
+	return counts
+}
+
+// ParityOverheadRange returns the minimum and maximum per-disk parity
+// overhead as exact ratios over Size.
+func (l *Layout) ParityOverheadRange() (min, max Ratio) {
+	counts := l.ParityCounts()
+	lo, hi := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return R(lo, l.Size), R(hi, l.Size)
+}
+
+// MaxParityOverhead returns the Condition 2 bottleneck metric.
+func (l *Layout) MaxParityOverhead() Ratio {
+	_, max := l.ParityOverheadRange()
+	return max
+}
+
+// ReconstructionReads returns, for a failed disk, the number of units that
+// must be read from each surviving disk: one unit per stripe crossing both
+// the failed and the surviving disk. Entry [failed] is 0.
+func (l *Layout) ReconstructionReads(failed int) []int {
+	if failed < 0 || failed >= l.V {
+		panic(fmt.Sprintf("layout: ReconstructionReads(%d): disk out of range", failed))
+	}
+	reads := make([]int, l.V)
+	for i := range l.Stripes {
+		s := &l.Stripes[i]
+		crosses := false
+		for _, u := range s.Units {
+			if u.Disk == failed {
+				crosses = true
+				break
+			}
+		}
+		if !crosses {
+			continue
+		}
+		for _, u := range s.Units {
+			if u.Disk != failed {
+				reads[u.Disk]++
+			}
+		}
+	}
+	return reads
+}
+
+// WorkloadMatrix returns the full matrix m[f][d] of units read from disk d
+// when disk f is reconstructed.
+func (l *Layout) WorkloadMatrix() [][]int {
+	m := make([][]int, l.V)
+	for f := 0; f < l.V; f++ {
+		m[f] = l.ReconstructionReads(f)
+	}
+	return m
+}
+
+// ReconstructionWorkloadRange returns the minimum and maximum
+// reconstruction workload over all ordered pairs (failed, survivor), as
+// exact fractions of a disk.
+func (l *Layout) ReconstructionWorkloadRange() (min, max Ratio) {
+	first := true
+	var lo, hi int
+	for f := 0; f < l.V; f++ {
+		reads := l.ReconstructionReads(f)
+		for d := 0; d < l.V; d++ {
+			if d == f {
+				continue
+			}
+			if first {
+				lo, hi = reads[d], reads[d]
+				first = false
+				continue
+			}
+			if reads[d] < lo {
+				lo = reads[d]
+			}
+			if reads[d] > hi {
+				hi = reads[d]
+			}
+		}
+	}
+	return R(lo, l.Size), R(hi, l.Size)
+}
+
+// MaxReconstructionWorkload returns the Condition 3 bottleneck metric.
+func (l *Layout) MaxReconstructionWorkload() Ratio {
+	_, max := l.ReconstructionWorkloadRange()
+	return max
+}
+
+// ParityPerfectlyBalanced reports whether all disks hold the same number
+// of parity units.
+func (l *Layout) ParityPerfectlyBalanced() bool {
+	counts := l.ParityCounts()
+	for _, c := range counts[1:] {
+		if c != counts[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParitySpread returns max - min per-disk parity-unit counts (0 = perfect,
+// 1 = the best achievable when v does not divide b, per Corollary 16).
+func (l *Layout) ParitySpread() int {
+	counts := l.ParityCounts()
+	lo, hi := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return hi - lo
+}
+
+// WorkloadPerfectlyBalanced reports whether all ordered disk pairs have the
+// same reconstruction workload (the BIBD property).
+func (l *Layout) WorkloadPerfectlyBalanced() bool {
+	min, max := l.ReconstructionWorkloadRange()
+	return min.Equal(max)
+}
+
+// ParityLoad returns L(d) for each disk d: the sum over stripes s crossing
+// d of 1/k_s, as an exact ratio (Section 4). The flow method guarantees a
+// parity assignment giving each disk floor(L(d)) or ceil(L(d)) parity
+// units.
+func (l *Layout) ParityLoad() []Ratio {
+	// Accumulate with a common denominator of lcm of stripe sizes (small).
+	den := 1
+	for i := range l.Stripes {
+		k := len(l.Stripes[i].Units)
+		den = den / gcd(den, k) * k
+	}
+	num := make([]int, l.V)
+	for i := range l.Stripes {
+		s := &l.Stripes[i]
+		w := den / len(s.Units)
+		for _, u := range s.Units {
+			num[u.Disk] += w
+		}
+	}
+	out := make([]Ratio, l.V)
+	for d := range out {
+		out[d] = R(num[d], den)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/design"
+)
+
+func TestRatioBasics(t *testing.T) {
+	if !R(2, 4).Equal(R(1, 2)) {
+		t.Error("2/4 != 1/2")
+	}
+	if R(1, 3).Cmp(R(1, 2)) >= 0 {
+		t.Error("1/3 should be < 1/2")
+	}
+	if !R(0, 5).Equal(R(0, 1)) {
+		t.Error("0/5 != 0/1")
+	}
+	if !R(1, 3).LessEq(R(1, 3)) {
+		t.Error("1/3 <= 1/3")
+	}
+	if R(1, 2).String() != "1/2" {
+		t.Errorf("String = %q", R(1, 2).String())
+	}
+	if R(1, 2).Float() != 0.5 {
+		t.Errorf("Float = %v", R(1, 2).Float())
+	}
+}
+
+func TestRatioPanics(t *testing.T) {
+	for _, fn := range []func(){func() { R(1, 0) }, func() { R(-1, 2) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParityCountsHG(t *testing.T) {
+	d := design.FromDifferenceSet(7, []int{1, 2, 4})
+	l, err := FromDesignHG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := l.ParityCounts()
+	for disk, c := range counts {
+		if c != 3 { // r parity units per disk
+			t.Errorf("disk %d: %d parity units, want 3", disk, c)
+		}
+	}
+	if !l.ParityPerfectlyBalanced() {
+		t.Error("should be perfectly balanced")
+	}
+	if l.ParitySpread() != 0 {
+		t.Errorf("spread = %d", l.ParitySpread())
+	}
+}
+
+func TestReconstructionReadsFano(t *testing.T) {
+	d := design.FromDifferenceSet(7, []int{1, 2, 4})
+	l, err := FromDesignHG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ = 1, k copies: each pair shares k*λ = 3 stripes; each survivor
+	// contributes 3 units out of its 9.
+	reads := l.ReconstructionReads(0)
+	if reads[0] != 0 {
+		t.Errorf("failed disk reads = %d", reads[0])
+	}
+	for disk := 1; disk < 7; disk++ {
+		if reads[disk] != 3 {
+			t.Errorf("disk %d: %d reads, want 3", disk, reads[disk])
+		}
+	}
+}
+
+func TestWorkloadMatrixSymmetryBIBD(t *testing.T) {
+	// For fixed-size stripes the workload matrix is symmetric (stripes
+	// crossing i and j are counted identically from both sides).
+	d := design.FromDifferenceSet(13, []int{0, 1, 3, 9})
+	l, err := FromDesignHG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := l.WorkloadMatrix()
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != m[j][i] {
+				t.Fatalf("matrix asymmetric at (%d,%d): %d vs %d", i, j, m[i][j], m[j][i])
+			}
+		}
+	}
+}
+
+func TestReconstructionWorkloadFormulaBIBD(t *testing.T) {
+	// For a BIBD-based layout the workload is (k-1)/(v-1) for all pairs.
+	for _, c := range []struct{ v, k int }{{7, 3}, {13, 4}, {9, 3}} {
+		d := design.Known(c.v, c.k)
+		if d == nil {
+			t.Fatalf("no design (%d,%d)", c.v, c.k)
+		}
+		l, err := FromDesignHG(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := R(c.k-1, c.v-1)
+		min, max := l.ReconstructionWorkloadRange()
+		if !min.Equal(want) || !max.Equal(want) {
+			t.Errorf("(%d,%d): workload [%v,%v], want %v", c.v, c.k, min, max, want)
+		}
+	}
+}
+
+func TestRAID5FullWorkload(t *testing.T) {
+	// k = v: every survivor is read in full — the problem declustering
+	// solves. Complete design with k=v is a single stripe per row.
+	stripes := make([][]int, 4)
+	for i := range stripes {
+		stripes[i] = []int{0, 1, 2, 3, 4}
+	}
+	l, err := Assemble(5, stripes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range l.Stripes {
+		l.Stripes[i].Parity = i % 5 // rotated parity
+	}
+	min, max := l.ReconstructionWorkloadRange()
+	if !min.Equal(R(1, 1)) || !max.Equal(R(1, 1)) {
+		t.Errorf("RAID5 workload [%v,%v], want 1/1", min, max)
+	}
+}
+
+func TestParityLoadFixedStripeSize(t *testing.T) {
+	// For fixed stripe size k, L(d) = r/k = (number of stripes crossing d)/k.
+	d := design.FromDifferenceSet(7, []int{1, 2, 4})
+	l, err := FromDesignSingle(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := l.ParityLoad()
+	for disk, ld := range loads {
+		if !ld.Equal(R(1, 1)) { // r=3, k=3: L(d) = 1
+			t.Errorf("disk %d: L = %v, want 1", disk, ld)
+		}
+	}
+}
+
+func TestParityLoadMixedStripeSizes(t *testing.T) {
+	// Two stripes of size 2 and one of size 4 on v=4, size=2:
+	// disks 0,1 in stripes {0,1} (k=2) and {0,1,2,3} (k=4): L = 1/2+1/4 = 3/4.
+	l := &Layout{V: 4, Size: 2, Stripes: []Stripe{
+		{Units: []Unit{{0, 0}, {1, 0}}, Parity: -1},
+		{Units: []Unit{{2, 0}, {3, 0}}, Parity: -1},
+		{Units: []Unit{{0, 1}, {1, 1}, {2, 1}, {3, 1}}, Parity: -1},
+	}}
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+	loads := l.ParityLoad()
+	for disk, ld := range loads {
+		if !ld.Equal(R(3, 4)) {
+			t.Errorf("disk %d: L = %v, want 3/4", disk, ld)
+		}
+	}
+}
+
+func TestParityCountsIgnoreUnassigned(t *testing.T) {
+	d := design.FromDifferenceSet(7, []int{1, 2, 4})
+	l, err := FromDesignSingle(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range l.ParityCounts() {
+		if c != 0 {
+			t.Errorf("unassigned layout has parity count %d", c)
+		}
+	}
+}
+
+func TestReconstructionReadsPanicsOutOfRange(t *testing.T) {
+	l := &Layout{V: 2, Size: 1, Stripes: []Stripe{{Units: []Unit{{0, 0}, {1, 0}}, Parity: 0}}}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	l.ReconstructionReads(7)
+}

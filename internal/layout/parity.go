@@ -1,0 +1,189 @@
+package layout
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Data is an in-memory disk array with real bytes governed by a layout:
+// every stripe's parity unit holds the XOR of its data units. It provides
+// byte-accurate writes (read-modify-write parity updates, Figure 1) and
+// failed-disk reconstruction, and is the storage engine behind the
+// simulator's correctness checks.
+type Data struct {
+	Layout   *Layout
+	UnitSize int
+	mapping  *Mapping
+	disks    [][]byte // v slices of Size*UnitSize bytes
+}
+
+// NewData allocates a zeroed array for one copy of the layout. A zeroed
+// array trivially satisfies parity (XOR of zeros is zero).
+func NewData(l *Layout, unitSize int) (*Data, error) {
+	if unitSize < 1 {
+		return nil, fmt.Errorf("layout: NewData: unit size %d < 1", unitSize)
+	}
+	m, err := NewMapping(l)
+	if err != nil {
+		return nil, err
+	}
+	d := &Data{Layout: l, UnitSize: unitSize, mapping: m, disks: make([][]byte, l.V)}
+	for i := range d.disks {
+		d.disks[i] = make([]byte, l.Size*unitSize)
+	}
+	return d, nil
+}
+
+// Mapping returns the address mapping.
+func (d *Data) Mapping() *Mapping { return d.mapping }
+
+// unit returns the byte slice backing a physical unit.
+func (d *Data) unit(u Unit) []byte {
+	return d.disks[u.Disk][u.Offset*d.UnitSize : (u.Offset+1)*d.UnitSize]
+}
+
+// ReadLogical returns a copy of the payload of a logical data unit.
+func (d *Data) ReadLogical(logical int) ([]byte, error) {
+	u, err := d.mapping.Map(logical, d.Layout.Size)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), d.unit(u)...), nil
+}
+
+// WriteLogical writes a payload to a logical data unit, updating the
+// stripe's parity with the standard small-write read-modify-write: parity
+// ^= old data ^ new data. That is 2 reads and 2 writes, the cost model the
+// simulator charges.
+func (d *Data) WriteLogical(logical int, payload []byte) error {
+	if len(payload) != d.UnitSize {
+		return fmt.Errorf("layout: WriteLogical: payload %d bytes, want %d", len(payload), d.UnitSize)
+	}
+	u, err := d.mapping.Map(logical, d.Layout.Size)
+	if err != nil {
+		return err
+	}
+	s := &d.Layout.Stripes[d.mapping.StripeAt(u)]
+	pu := s.ParityUnit()
+	old := d.unit(u)
+	par := d.unit(pu)
+	for i := 0; i < d.UnitSize; i++ {
+		par[i] ^= old[i] ^ payload[i]
+	}
+	copy(old, payload)
+	return nil
+}
+
+// VerifyParity checks every stripe's XOR invariant.
+func (d *Data) VerifyParity() error {
+	buf := make([]byte, d.UnitSize)
+	for si := range d.Layout.Stripes {
+		s := &d.Layout.Stripes[si]
+		for i := range buf {
+			buf[i] = 0
+		}
+		for _, u := range s.Units {
+			b := d.unit(u)
+			for i := range buf {
+				buf[i] ^= b[i]
+			}
+		}
+		for _, x := range buf {
+			if x != 0 {
+				return fmt.Errorf("layout: stripe %d parity mismatch", si)
+			}
+		}
+	}
+	return nil
+}
+
+// ReconstructDisk recomputes the contents of one disk from the survivors,
+// stripe by stripe, returning the rebuilt bytes. It does not modify the
+// array, so tests can compare against the "failed" disk's actual contents.
+func (d *Data) ReconstructDisk(failed int) ([]byte, error) {
+	if failed < 0 || failed >= d.Layout.V {
+		return nil, fmt.Errorf("layout: ReconstructDisk(%d): disk out of range", failed)
+	}
+	rebuilt := make([]byte, d.Layout.Size*d.UnitSize)
+	covered := make([]bool, d.Layout.Size)
+	for si := range d.Layout.Stripes {
+		s := &d.Layout.Stripes[si]
+		var target Unit
+		found := false
+		for _, u := range s.Units {
+			if u.Disk == failed {
+				target = u
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		out := rebuilt[target.Offset*d.UnitSize : (target.Offset+1)*d.UnitSize]
+		for _, u := range s.Units {
+			if u.Disk == failed {
+				continue
+			}
+			b := d.unit(u)
+			for i := range out {
+				out[i] ^= b[i]
+			}
+		}
+		covered[target.Offset] = true
+	}
+	for off, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("layout: ReconstructDisk(%d): offset %d not covered by any stripe", failed, off)
+		}
+	}
+	return rebuilt, nil
+}
+
+// DegradedRead returns the payload of a logical data unit while disk
+// `failed` is down: a direct read when the unit survives, otherwise an
+// on-the-fly XOR of the stripe's surviving units.
+func (d *Data) DegradedRead(logical, failed int) ([]byte, error) {
+	if failed < 0 || failed >= d.Layout.V {
+		return nil, fmt.Errorf("layout: DegradedRead: failed disk %d out of range", failed)
+	}
+	u, err := d.mapping.Map(logical, d.Layout.Size)
+	if err != nil {
+		return nil, err
+	}
+	if u.Disk != failed {
+		return append([]byte(nil), d.unit(u)...), nil
+	}
+	s := &d.Layout.Stripes[d.mapping.StripeAt(u)]
+	out := make([]byte, d.UnitSize)
+	for _, su := range s.Units {
+		if su.Disk == failed {
+			continue
+		}
+		b := d.unit(su)
+		for i := range out {
+			out[i] ^= b[i]
+		}
+	}
+	return out, nil
+}
+
+// DiskContents returns a copy of a disk's raw bytes.
+func (d *Data) DiskContents(disk int) []byte {
+	return append([]byte(nil), d.disks[disk]...)
+}
+
+// CheckReconstruction fails with an error if reconstructing each disk does
+// not reproduce its actual contents (Condition 1 end-to-end).
+func (d *Data) CheckReconstruction() error {
+	for f := 0; f < d.Layout.V; f++ {
+		rebuilt, err := d.ReconstructDisk(f)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(rebuilt, d.disks[f]) {
+			return fmt.Errorf("layout: disk %d reconstruction mismatch", f)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package layout
+
+import "fmt"
+
+// Ratio is an exact nonnegative rational, used for parity-overhead and
+// reconstruction-workload metrics so theorem bounds can be compared without
+// floating-point tolerance.
+type Ratio struct {
+	Num, Den int
+}
+
+// R returns the normalized ratio num/den (den > 0 required).
+func R(num, den int) Ratio {
+	if den <= 0 {
+		panic(fmt.Sprintf("layout: R(%d,%d): denominator must be positive", num, den))
+	}
+	if num < 0 {
+		panic(fmt.Sprintf("layout: R(%d,%d): negative ratio", num, den))
+	}
+	g := gcd(num, den)
+	if g == 0 {
+		return Ratio{0, 1}
+	}
+	return Ratio{num / g, den / g}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Cmp returns -1, 0, or +1 as r is less than, equal to, or greater than s.
+func (r Ratio) Cmp(s Ratio) int {
+	lhs := r.Num * s.Den
+	rhs := s.Num * r.Den
+	switch {
+	case lhs < rhs:
+		return -1
+	case lhs > rhs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// LessEq reports r <= s.
+func (r Ratio) LessEq(s Ratio) bool { return r.Cmp(s) <= 0 }
+
+// Equal reports r == s.
+func (r Ratio) Equal(s Ratio) bool { return r.Cmp(s) == 0 }
+
+// Float returns the float64 value.
+func (r Ratio) Float() float64 { return float64(r.Num) / float64(r.Den) }
+
+// String formats as "num/den".
+func (r Ratio) String() string { return fmt.Sprintf("%d/%d", r.Num, r.Den) }

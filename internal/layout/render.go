@@ -1,0 +1,25 @@
+package layout
+
+import "fmt"
+
+// RenderGrid returns the layout as the paper's figures draw it: one row
+// per unit offset, one column per disk; cell "Dn" is a data unit of
+// stripe n, "Pn" its parity unit, "" an unassigned-parity stripe's unit
+// rendered as data.
+func (l *Layout) RenderGrid() [][]string {
+	grid := make([][]string, l.Size)
+	for off := range grid {
+		grid[off] = make([]string, l.V)
+	}
+	for si := range l.Stripes {
+		s := &l.Stripes[si]
+		for ui, u := range s.Units {
+			tag := fmt.Sprintf("D%d", si)
+			if ui == s.Parity {
+				tag = fmt.Sprintf("P%d", si)
+			}
+			grid[u.Offset][u.Disk] = tag
+		}
+	}
+	return grid
+}

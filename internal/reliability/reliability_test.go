@@ -1,0 +1,102 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRebuildHoursFormula(t *testing.T) {
+	// v=17, k=5: fraction 4/16 = 1/4 of 1000 units at 100/h = 2.5h.
+	if got := RebuildHours(1000, 17, 5, 100); got != 2.5 {
+		t.Errorf("RebuildHours = %v, want 2.5", got)
+	}
+	// k = v: full disk.
+	if got := RebuildHours(1000, 17, 17, 100); got != 10 {
+		t.Errorf("RAID5 RebuildHours = %v, want 10", got)
+	}
+}
+
+func TestRebuildHoursDeclusteringSpeedup(t *testing.T) {
+	full := RebuildHours(1000, 25, 25, 50)
+	fast := RebuildHours(1000, 25, 4, 50)
+	if ratio := full / fast; math.Abs(ratio-8.0) > 1e-9 { // (v-1)/(k-1) = 24/3
+		t.Errorf("speedup %v, want 8", ratio)
+	}
+}
+
+func TestAnalyticMTTDLScales(t *testing.T) {
+	// Halving the rebuild window doubles MTTDL.
+	a := AnalyticMTTDL(20, 100000, 10)
+	b := AnalyticMTTDL(20, 100000, 5)
+	if math.Abs(b/a-2) > 1e-9 {
+		t.Errorf("MTTDL scaling %v, want 2", b/a)
+	}
+	// More disks, lower MTTDL.
+	if AnalyticMTTDL(40, 100000, 10) >= a {
+		t.Error("larger array should have lower MTTDL")
+	}
+}
+
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	// With R << MTTF the Markov approximation and the renewal simulation
+	// agree; allow 10% Monte Carlo error at 4000 trials.
+	v, mttf, rebuild := 10, 50000.0, 20.0
+	analytic := AnalyticMTTDL(v, mttf, rebuild)
+	sim := SimulateMTTDL(v, mttf, rebuild, 4000, 99)
+	if ratio := sim / analytic; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("simulated %v vs analytic %v (ratio %v)", sim, analytic, ratio)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := SimulateMTTDL(8, 10000, 10, 200, 7)
+	b := SimulateMTTDL(8, 10000, 10, 200, 7)
+	if a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	comps := Compare(25, 2000, 100000, 100, []int{2, 4, 8, 16, 25})
+	for i := 1; i < len(comps); i++ {
+		if comps[i].K <= comps[i-1].K {
+			t.Fatal("ks not increasing")
+		}
+		// Larger k: longer rebuild, lower MTTDL, less parity overhead.
+		if comps[i].RebuildHours <= comps[i-1].RebuildHours {
+			t.Errorf("k=%d rebuild not longer than k=%d", comps[i].K, comps[i-1].K)
+		}
+		if comps[i].AnalyticMTTDL >= comps[i-1].AnalyticMTTDL {
+			t.Errorf("k=%d MTTDL not lower than k=%d", comps[i].K, comps[i-1].K)
+		}
+		if comps[i].ParityOverhead >= comps[i-1].ParityOverhead {
+			t.Errorf("k=%d overhead not lower", comps[i].K)
+		}
+	}
+	// k = v row is the RAID5 reference: relative factor 1.
+	last := comps[len(comps)-1]
+	if last.K != 25 || math.Abs(last.RelativeToRAID5-1) > 1e-9 {
+		t.Errorf("RAID5 row: %+v", last)
+	}
+}
+
+func TestPanicsOnBadParams(t *testing.T) {
+	cases := []func(){
+		func() { RebuildHours(0, 5, 3, 1) },
+		func() { RebuildHours(10, 1, 1, 1) },
+		func() { RebuildHours(10, 5, 6, 1) },
+		func() { AnalyticMTTDL(1, 1, 1) },
+		func() { AnalyticMTTDL(5, -1, 1) },
+		func() { SimulateMTTDL(5, 100, 1, 0, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

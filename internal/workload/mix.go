@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mix interleaves several generators with fixed weights — e.g. a mostly
+// sequential backup stream plus a Zipf online workload. Selection is
+// deterministic from the seed.
+type Mix struct {
+	rng  *RNG
+	gens []Generator
+	cum  []float64
+}
+
+// NewMix returns a weighted mix of generators. Weights must be positive;
+// they are normalized internally.
+func NewMix(seed uint64, gens []Generator, weights []float64) *Mix {
+	if len(gens) == 0 || len(gens) != len(weights) {
+		panic("workload: NewMix: need matching non-empty generators and weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			panic("workload: NewMix: weights must be positive")
+		}
+		total += w
+	}
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1.0
+	return &Mix{rng: NewRNG(seed), gens: gens, cum: cum}
+}
+
+// Next implements Generator.
+func (m *Mix) Next() Op {
+	u := m.rng.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return m.gens[i].Next()
+		}
+	}
+	return m.gens[len(m.gens)-1].Next()
+}
+
+// Name implements Generator.
+func (m *Mix) Name() string {
+	names := make([]string, len(m.gens))
+	for i, g := range m.gens {
+		names[i] = g.Name()
+	}
+	return fmt.Sprintf("mix(%s)", strings.Join(names, "+"))
+}

@@ -1,0 +1,114 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/layout"
+)
+
+func TestLayoutFacadePrimePower(t *testing.T) {
+	l, method, err := Layout(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != "ring" {
+		t.Errorf("method %q", method)
+	}
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutFacadeComposite(t *testing.T) {
+	l, method, err := Layout(18, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(method, "stairway") {
+		t.Errorf("method %q", method)
+	}
+	if l.V != 18 {
+		t.Errorf("v = %d", l.V)
+	}
+}
+
+func TestLayoutFacadeCatalogFallback(t *testing.T) {
+	// v=6, k=6: no stairway base exists (all prime powers < k), but the
+	// catalog finds the trivial (6,6,1) design; the facade must fall back.
+	l, method, err := Layout(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != "balanced-bibd" {
+		t.Errorf("method %q, want balanced-bibd", method)
+	}
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if l.ParitySpread() > 1 {
+		t.Errorf("spread %d", l.ParitySpread())
+	}
+}
+
+func TestRingLayoutFacade(t *testing.T) {
+	l, err := RingLayout(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size != 3*8 {
+		t.Errorf("size %d", l.Size)
+	}
+	if _, err := RingLayout(6, 3); err == nil {
+		t.Error("M(6)=2 violation accepted")
+	}
+}
+
+func TestBalancedLayoutFacade(t *testing.T) {
+	l, err := BalancedLayout(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ParitySpread() > 1 {
+		t.Errorf("spread %d", l.ParitySpread())
+	}
+	if _, err := BalancedLayout(1, 1); err == nil {
+		t.Error("degenerate parameters accepted")
+	}
+	if _, err := BalancedLayout(5, 9); err == nil {
+		t.Error("k > v accepted")
+	}
+}
+
+func TestHollandGibsonFacade(t *testing.T) {
+	l, err := HollandGibsonLayout(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.ParityPerfectlyBalanced() {
+		t.Error("HG layout not balanced")
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	l, _, err := Layout(9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report(l)
+	for _, want := range []string{"condition 1", "condition 2", "condition 3", "condition 4", "feasible"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestReportUnassignedParity(t *testing.T) {
+	l := &layout.Layout{V: 2, Size: 1, Stripes: []layout.Stripe{
+		{Units: []layout.Unit{{Disk: 0, Offset: 0}, {Disk: 1, Offset: 0}}, Parity: -1},
+	}}
+	rep := Report(l)
+	if !strings.Contains(rep, "parity unassigned") {
+		t.Errorf("report: %s", rep)
+	}
+}

@@ -9,8 +9,9 @@ import (
 	"repro/internal/disksim"
 	"repro/internal/experiments"
 	"repro/internal/flow"
-	"repro/internal/layout"
 	"repro/internal/workload"
+	"repro/pdl"
+	"repro/pdl/layout"
 )
 
 // One benchmark per experiment id in DESIGN.md's per-experiment index.
@@ -86,7 +87,7 @@ func parityAssignmentNetwork(b *testing.B, v, k int, algo flow.Algorithm) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	l, err := layout.FromDesignSingle(&rd.Design)
+	l, err := core.FromDesignSingle(&rd.Design)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func BenchmarkBalanceParity(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		l, err := layout.FromDesignSingle(&rd.Design)
+		l, err := core.FromDesignSingle(&rd.Design)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,6 +227,99 @@ func BenchmarkMappingLookup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := m.Map(i%n, diskUnits); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// Facade-level Mapper benchmarks: the construction and lookup costs a
+// serving layer sits on. Run with `go test -bench Mapper`.
+
+// BenchmarkMapperBuild measures facade construction: pdl.Build plus the
+// Mapper table precomputation for a 64-disk array.
+func BenchmarkMapperBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := pdl.Build(64, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.NewMapper(res.Layout.Size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mapperForBench(b *testing.B, copies int) pdl.Mapper {
+	b.Helper()
+	res, err := pdl.Build(17, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := res.NewMapper(res.Layout.Size * copies)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkMapperLookup measures the O(1) logical -> physical hot path.
+func BenchmarkMapperLookup(b *testing.B) {
+	m := mapperForBench(b, 16)
+	n := m.DataUnits()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Map(i % n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapperReverseLookup measures physical -> logical translation.
+func BenchmarkMapperReverseLookup(b *testing.B) {
+	m := mapperForBench(b, 16)
+	n := m.DataUnits()
+	units := make([]layout.Unit, n)
+	for i := range units {
+		u, err := m.Map(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		units[i] = u
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Logical(units[i%n]); !ok {
+			b.Fatal("reverse lookup failed")
+		}
+	}
+}
+
+// BenchmarkMapperDegradedLookup measures address resolution while a disk
+// is down, on the worst case only: every lookup hits the failed disk and
+// resolves the surviving stripe units (healthy hits take the cheap early
+// return measured by BenchmarkMapperLookup).
+func BenchmarkMapperDegradedLookup(b *testing.B) {
+	m := mapperForBench(b, 16)
+	var lost []int
+	for i := 0; i < m.DataUnits(); i++ {
+		u, err := m.Map(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if u.Disk == 0 {
+			lost = append(lost, i)
+		}
+	}
+	if len(lost) == 0 {
+		b.Fatal("no logical units on disk 0")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dr, err := m.DegradedMap(lost[i%len(lost)], 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !dr.Degraded {
+			b.Fatal("expected degraded resolution")
 		}
 	}
 }

@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/design"
+	"repro/pdl/design"
 )
 
 func main() {
@@ -26,7 +26,7 @@ func main() {
 	resolve := flag.Bool("resolve", false, "attempt to resolve into parallel classes")
 	flag.Parse()
 
-	d, how, err := build(*method, *v, *k)
+	d, how, err := design.Build(*method, *v, *k)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdldesign:", err)
 		os.Exit(1)
@@ -53,44 +53,5 @@ func main() {
 		for i, class := range classes {
 			fmt.Printf("  class %d: blocks %v\n", i, class)
 		}
-	}
-}
-
-func build(method string, v, k int) (*design.Design, string, error) {
-	switch method {
-	case "known":
-		d := design.Known(v, k)
-		if d == nil {
-			return nil, "", fmt.Errorf("no known design for v=%d k=%d", v, k)
-		}
-		return d, "catalog", nil
-	case "ring":
-		rd, err := design.NewRingDesignForVK(v, k)
-		if err != nil {
-			return nil, "", err
-		}
-		return &rd.Design, "ring-based (Theorem 1)", nil
-	case "thm4":
-		d, f, err := design.Theorem4Design(v, k)
-		if err != nil {
-			return nil, "", err
-		}
-		return d, fmt.Sprintf("Theorem 4 (reduction factor %d)", f), nil
-	case "thm5":
-		d, f, err := design.Theorem5Design(v, k)
-		if err != nil {
-			return nil, "", err
-		}
-		return d, fmt.Sprintf("Theorem 5 (reduction factor %d)", f), nil
-	case "subfield":
-		d, f, err := design.SubfieldDesign(v, k)
-		if err != nil {
-			return nil, "", err
-		}
-		return d, fmt.Sprintf("Theorem 6 subfield (reduction factor %d)", f), nil
-	case "complete":
-		return design.Complete(v, k, 1_000_000), "complete", nil
-	default:
-		return nil, "", fmt.Errorf("unknown method %q", method)
 	}
 }

@@ -14,7 +14,7 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/experiments"
+	"repro/pdl/exp"
 )
 
 func main() {
@@ -22,7 +22,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. T5)")
 	flag.Parse()
 
-	tables, err := experiments.All(!*full)
+	tables, err := exp.All(!*full)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdlexp:", err)
 		os.Exit(1)

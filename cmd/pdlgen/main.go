@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pdlgen -v 24 -k 5 [-method auto|ring|hg|balanced|raid5|random] [-grid] [-o layout.json]
+//	pdlgen -v 24 -k 5 [-method auto|ring|stairway|balanced-bibd|holland-gibson|removal|raid5|random] [-grid] [-o layout.json]
 package main
 
 import (
@@ -11,27 +11,56 @@ import (
 	"fmt"
 	"os"
 
-	"repro"
-	"repro/internal/baseline"
-	"repro/internal/layout"
+	"repro/pdl"
+	"repro/pdl/layout"
 )
 
 func main() {
 	v := flag.Int("v", 8, "number of disks")
 	k := flag.Int("k", 4, "parity stripe size")
-	method := flag.String("method", "auto", "construction: auto|ring|hg|balanced|raid5|random")
+	method := flag.String("method", "auto", "construction: auto or any registered method (ring|stairway|balanced-bibd|holland-gibson|removal|raid5|random)")
 	rows := flag.Int("rows", 0, "rows for raid5/random (default: match ring layout size)")
 	seed := flag.Uint64("seed", 1, "seed for random layouts")
 	grid := flag.Bool("grid", false, "print the layout grid instead of JSON")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	l, how, err := build(*method, *v, *k, *rows, *seed)
+	var opts []pdl.Option
+	switch *method {
+	case "auto":
+	case "hg": // legacy alias
+		opts = append(opts, pdl.WithMethod("holland-gibson"))
+	case "balanced": // legacy alias
+		opts = append(opts, pdl.WithMethod("balanced-bibd"))
+	default:
+		opts = append(opts, pdl.WithMethod(*method))
+	}
+	// Forward -rows/-seed whenever the user set them (or the method
+	// consumes them), so Build can reject them on methods that would
+	// silently ignore them.
+	rowsSet := *rows != 0
+	seedSet := *method == "random"
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "rows":
+			rowsSet = true
+		case "seed":
+			seedSet = true
+		}
+	})
+	if rowsSet {
+		opts = append(opts, pdl.WithRows(*rows))
+	}
+	if seedSet {
+		opts = append(opts, pdl.WithSeed(*seed))
+	}
+	res, err := pdl.Build(*v, *k, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdlgen:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "pdlgen: built %s layout for v=%d k=%d (size %d)\n", how, *v, *k, l.Size)
+	l := res.Layout
+	fmt.Fprintf(os.Stderr, "pdlgen: built %s layout for v=%d k=%d (size %d)\n", res.Method, *v, *k, l.Size)
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -49,36 +78,6 @@ func main() {
 	if err := l.WriteJSON(w); err != nil {
 		fmt.Fprintln(os.Stderr, "pdlgen:", err)
 		os.Exit(1)
-	}
-}
-
-func build(method string, v, k, rows int, seed uint64) (*layout.Layout, string, error) {
-	switch method {
-	case "auto":
-		return repro.Layout(v, k)
-	case "ring":
-		l, err := repro.RingLayout(v, k)
-		return l, "ring", err
-	case "hg":
-		l, err := repro.HollandGibsonLayout(v, k)
-		return l, "holland-gibson", err
-	case "balanced":
-		l, err := repro.BalancedLayout(v, k)
-		return l, "flow-balanced", err
-	case "raid5":
-		if rows == 0 {
-			rows = k * (v - 1)
-		}
-		l, err := baseline.RAID5(v, rows)
-		return l, "raid5", err
-	case "random":
-		if rows == 0 {
-			rows = k * (v - 1)
-		}
-		l, err := baseline.Random(v, k, rows, seed)
-		return l, "random", err
-	default:
-		return nil, "", fmt.Errorf("unknown method %q", method)
 	}
 }
 

@@ -14,10 +14,9 @@ import (
 	"fmt"
 	"os"
 
-	"repro"
-	"repro/internal/disksim"
-	"repro/internal/layout"
-	"repro/internal/workload"
+	"repro/pdl"
+	"repro/pdl/layout"
+	"repro/pdl/sim"
 )
 
 func main() {
@@ -47,15 +46,14 @@ func main() {
 		}
 		fmt.Printf("layout: %s, v=%d size=%d\n", *layoutPath, l.V, l.Size)
 	} else {
-		var method string
-		var err error
-		l, method, err = repro.Layout(*v, *k)
+		res, err := pdl.Build(*v, *k)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("layout: %s, v=%d k=%d size=%d\n", method, *v, *k, l.Size)
+		l = res.Layout
+		fmt.Printf("layout: %s, v=%d k=%d size=%d\n", res.Method, *v, *k, l.Size)
 	}
-	a, err := disksim.New(l, disksim.Config{ServiceTime: *service, Copies: *copies})
+	a, err := sim.New(l, sim.Config{ServiceTime: *service, Copies: *copies})
 	if err != nil {
 		fatal(err)
 	}
@@ -70,7 +68,7 @@ func main() {
 			res.MaxSurvivorReads, a.DiskUnits(), res.SurvivorFraction, float64(*k-1)/float64(*v-1))
 		fmt.Printf("  makespan: %d ticks\n", res.Makespan)
 	case "online":
-		gen := workload.NewUniform(a.DataUnits(), *writeFrac, *seed)
+		gen := sim.NewUniform(a.DataUnits(), *writeFrac, *seed)
 		cres, rres, err := a.RebuildOnline(gen, *ops, *inter, *fail)
 		if err != nil {
 			fatal(err)
@@ -84,7 +82,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		gen := workload.NewUniform(a.DataUnits(), *writeFrac, *seed)
+		gen := sim.NewUniform(a.DataUnits(), *writeFrac, *seed)
 		res, err := a.ServeWorkload(gen, *ops, *inter)
 		if err != nil {
 			fatal(err)

@@ -14,8 +14,8 @@ import (
 	"io"
 	"os"
 
-	"repro"
-	"repro/internal/layout"
+	"repro/pdl"
+	"repro/pdl/layout"
 )
 
 func main() {
@@ -38,7 +38,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pdlverify:", err)
 		os.Exit(1)
 	}
-	fmt.Print(repro.Report(l))
+	fmt.Print(pdl.Report(l))
 	if *verifyData && l.ParityAssigned() {
 		d, err := layout.NewData(l, 8)
 		if err != nil {

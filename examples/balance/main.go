@@ -9,9 +9,9 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/design"
-	"repro/internal/layout"
+	"repro/pdl"
+	"repro/pdl/design"
+	"repro/pdl/layout"
 )
 
 func main() {
@@ -23,18 +23,15 @@ func main() {
 	b, r, lambda, _ := d.Params()
 	fmt.Printf("design: (v=9, k=3) BIBD with b=%d, r=%d, λ=%d\n\n", b, r, lambda)
 
-	hg, err := layout.FromDesignHG(d)
+	hg, err := pdl.Build(9, 3, pdl.WithMethod("holland-gibson"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	single, err := layout.FromDesignSingle(d)
+	single, err := pdl.Build(9, 3, pdl.WithMethod("balanced-bibd"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := core.BalanceParity(single); err != nil {
-		log.Fatal(err)
-	}
-	perfect, copies, err := core.PerfectlyBalancedFromDesign(d)
+	perfect, err := pdl.Build(9, 3, pdl.WithMethod("balanced-bibd"), pdl.WithParityPolicy(pdl.ParityPerfect))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,26 +41,27 @@ func main() {
 		fmt.Printf("%-28s size %3d  parity/disk %v  overhead [%v, %v]  spread %d\n",
 			name, l.Size, l.ParityCounts(), omin, omax, l.ParitySpread())
 	}
-	show("Holland-Gibson (k copies)", hg)
-	show("flow-balanced (1 copy)", single)
-	show(fmt.Sprintf("lcm copies (%d)", copies), perfect)
+	show("Holland-Gibson (k copies)", hg.Layout)
+	show("flow-balanced (1 copy)", single.Layout)
+	show(fmt.Sprintf("lcm copies (%d)", perfect.Copies), perfect.Layout)
 
-	fmt.Printf("\nthe single-copy layout is %dx smaller than Holland-Gibson with spread <= 1 (Corollary 16)\n", hg.Size/single.Size)
-	fmt.Printf("perfect balance needs exactly lcm(b,v)/b = %d copies (Corollary 17)\n", copies)
+	fmt.Printf("\nthe single-copy layout is %dx smaller than Holland-Gibson with spread <= 1 (Corollary 16)\n", hg.Layout.Size/single.Layout.Size)
+	fmt.Printf("perfect balance needs exactly lcm(b,v)/b = %d copies (Corollary 17)\n", perfect.Copies)
 
 	// Generalization: distinguished units (e.g. parity + distributed spare).
-	cs := make([]int, len(single.Stripes))
+	sl := single.Layout
+	cs := make([]int, len(sl.Stripes))
 	for i := range cs {
 		cs[i] = 2
 	}
-	chosen, err := core.SelectDistinguished(single, cs)
+	chosen, err := pdl.SelectDistinguished(sl, cs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	counts := make([]int, single.V)
+	counts := make([]int, sl.V)
 	for si, units := range chosen {
 		for _, ui := range units {
-			counts[single.Stripes[si].Units[ui].Disk]++
+			counts[sl.Stripes[si].Units[ui].Disk]++
 		}
 	}
 	fmt.Printf("\ndistributed sparing (2 distinguished units/stripe): per-disk counts %v\n", counts)

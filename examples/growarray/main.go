@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/pdl"
 )
 
 func main() {
@@ -20,36 +20,29 @@ func main() {
 	// Option 3: remove one disk from a 19-disk ring layout.
 	fmt.Printf("\n%-26s %6s %16s %22s\n", "construction", "size", "parity overhead", "reconstruction workload")
 	for _, q := range []int{17, 16} {
-		rl, err := core.NewRingLayout(q, 4)
+		res, err := pdl.Build(18, 4, pdl.WithMethod("stairway"), pdl.WithBase(q))
 		if err != nil {
 			log.Fatal(err)
 		}
-		l, info, err := core.Stairway(rl, 18)
-		if err != nil {
-			log.Fatal(err)
-		}
+		l := res.Layout
 		omin, omax := l.ParityOverheadRange()
 		wmin, wmax := l.ReconstructionWorkloadRange()
-		fmt.Printf("%-26s %6d [%v, %v] [%v, %v]\n",
-			fmt.Sprintf("stairway q=%d (c=%d,w=%d)", q, info.C, info.W), l.Size, omin, omax, wmin, wmax)
+		fmt.Printf("%-26s %6d [%v, %v] [%v, %v]\n", res.Method, l.Size, omin, omax, wmin, wmax)
 	}
-	rl19, err := core.NewRingLayout(19, 4)
+	res, err := pdl.Build(18, 4, pdl.WithMethod("removal"), pdl.WithBase(19))
 	if err != nil {
 		log.Fatal(err)
 	}
-	removed, err := core.RemoveDisk(rl19, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	omin, omax := removed.ParityOverheadRange()
-	wmin, wmax := removed.ReconstructionWorkloadRange()
-	fmt.Printf("%-26s %6d [%v, %v] [%v, %v]\n", "remove 1 from q=19", removed.Size, omin, omax, wmin, wmax)
+	l := res.Layout
+	omin, omax := l.ParityOverheadRange()
+	wmin, wmax := l.ReconstructionWorkloadRange()
+	fmt.Printf("%-26s %6d [%v, %v] [%v, %v]\n", res.Method, l.Size, omin, omax, wmin, wmax)
 
 	fmt.Println("\ntrade-off (Section 3.2): bases closer to v give smaller imbalance but larger layouts")
 
 	// The coverage guarantee: every v has a base.
 	missing := 0
-	for _, r := range core.CoverageScan(500) {
+	for _, r := range pdl.Coverage(500) {
 		if r.V >= 3 && !r.Covered {
 			missing++
 		}

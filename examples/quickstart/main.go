@@ -1,5 +1,6 @@
 // Quickstart: build a parity-declustered layout for an arbitrary array
-// size, inspect the paper's four conditions, and rebuild a failed disk
+// size, inspect the paper's four conditions, translate addresses through
+// the O(1) Mapper (healthy and degraded), and rebuild a failed disk
 // byte-exactly.
 package main
 
@@ -7,19 +8,36 @@ import (
 	"fmt"
 	"log"
 
-	"repro"
-	"repro/internal/layout"
+	"repro/pdl"
+	"repro/pdl/layout"
 )
 
 func main() {
 	// 24 disks is not a prime power: the library transparently builds a
 	// stairway transformation from a prime-power base.
-	l, method, err := repro.Layout(24, 5)
+	res, err := pdl.Build(24, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("construction: %s\n", method)
-	fmt.Print(repro.Report(l))
+	l := res.Layout
+	fmt.Printf("construction: %s\n", res.Method)
+	fmt.Print(pdl.Report(l))
+
+	// The serving hot path: O(1) logical -> physical translation.
+	m, err := res.NewMapper(l.Size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, err := m.Map(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("logical 0 lives at disk %d, offset %d\n", u.Disk, u.Offset)
+	dr, err := m.DegradedMap(0, u.Disk)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with disk %d down, logical 0 is the XOR of %d surviving units\n", u.Disk, len(dr.Survivors))
 
 	// Put real data on the array and prove a failed disk reconstructs.
 	data, err := layout.NewData(l, 16)

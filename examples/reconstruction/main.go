@@ -8,10 +8,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/disksim"
-	"repro/internal/workload"
+	"repro/pdl"
+	"repro/pdl/sim"
 )
 
 func main() {
@@ -20,31 +18,27 @@ func main() {
 	fmt.Printf("%-14s %8s %18s %10s\n", "layout", "size", "survivor fraction", "makespan")
 
 	// Declustered layouts at several stripe sizes.
-	type result struct {
-		name     string
-		makespan int64
-	}
 	var raid5Makespan int64
 	for _, k := range []int{16, 8, 4, 2} {
-		rl, err := core.NewRingLayout(v, k)
+		res, err := pdl.Build(v, k, pdl.WithMethod("ring"))
 		if err != nil {
 			log.Fatal(err)
 		}
-		a, err := disksim.New(rl.Layout, disksim.Config{})
+		a, err := sim.New(res.Layout, sim.Config{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := a.RebuildOffline(0, 0)
+		rres, err := a.RebuildOffline(0, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("k=%-12d %8d %18.4f %10d\n", k, rl.Size, res.SurvivorFraction, res.Makespan)
+		fmt.Printf("k=%-12d %8d %18.4f %10d\n", k, res.Layout.Size, rres.SurvivorFraction, rres.Makespan)
 	}
-	r5, err := baseline.RAID5(v, 16*(v-1))
+	r5, err := pdl.Build(v, 16, pdl.WithMethod("raid5"), pdl.WithRows(16*(v-1)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	ar, err := disksim.New(r5, disksim.Config{})
+	ar, err := sim.New(r5.Layout, sim.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,21 +47,21 @@ func main() {
 		log.Fatal(err)
 	}
 	raid5Makespan = rres.Makespan
-	fmt.Printf("%-14s %8d %18.4f %10d\n", "RAID5 (k=v)", r5.Size, rres.SurvivorFraction, rres.Makespan)
+	fmt.Printf("%-14s %8d %18.4f %10d\n", "RAID5 (k=v)", r5.Layout.Size, rres.SurvivorFraction, rres.Makespan)
 	fmt.Printf("\nsmaller k => less read per survivor => faster rebuild (RAID5 baseline %d ticks)\n", raid5Makespan)
 	fmt.Println("the cost: parity overhead 1/k of the array instead of 1/v")
 
 	// Online: rebuild competing with client traffic.
 	fmt.Println("\nonline rebuild under 30%-write client load:")
-	rl, err := core.NewRingLayout(v, 4)
+	res, err := pdl.Build(v, 4, pdl.WithMethod("ring"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	a, err := disksim.New(rl.Layout, disksim.Config{})
+	a, err := sim.New(res.Layout, sim.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	gen := workload.NewUniform(a.Mapping.DataUnits(), 0.3, 7)
+	gen := sim.NewUniform(a.Mapping.DataUnits(), 0.3, 7)
 	cres, rr, err := a.RebuildOnline(gen, 4000, 2, 0)
 	if err != nil {
 		log.Fatal(err)

@@ -9,18 +9,15 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/pdl"
 )
 
 func main() {
-	rl, err := core.NewRingLayout(13, 4)
+	res, err := pdl.Build(13, 4, pdl.WithSparing())
 	if err != nil {
 		log.Fatal(err)
 	}
-	sp, err := core.DistributedSparing(rl.Layout)
-	if err != nil {
-		log.Fatal(err)
-	}
+	sp := res.Sparing
 	fmt.Printf("array: v=13, k=4, %d stripes, one spare unit per stripe\n", len(sp.Stripes))
 	fmt.Printf("spare units per disk: %v (spread %d)\n", sp.SpareCounts(), sp.SpareSpread())
 

@@ -7,8 +7,9 @@ package baseline
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/design"
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 // RAID5 returns the classic left-symmetric RAID5 layout: v disks, rows of
@@ -41,7 +42,7 @@ func RAID5(v, rows int) (*layout.Layout, error) {
 // infeasible as v grows. maxTuples guards the explosion.
 func CompleteLayout(v, k, maxTuples int) (*layout.Layout, error) {
 	d := design.Complete(v, k, maxTuples)
-	return layout.FromDesignHG(d)
+	return core.FromDesignHG(d)
 }
 
 // Random builds a Merchant–Yu-style randomized declustered layout: rows of

@@ -3,7 +3,7 @@ package baseline
 import (
 	"testing"
 
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 func TestRAID5Structure(t *testing.T) {

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/design"
 	"repro/internal/flow"
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 // BalanceParity assigns the parity unit of every stripe using the paper's
@@ -100,7 +100,7 @@ func gcd(a, b int) int {
 // Holland–Gibson construction (Section 4, point 2). Parity counts differ
 // by at most one across disks.
 func BalancedFromDesign(d *design.Design) (*layout.Layout, error) {
-	l, err := layout.FromDesignSingle(d)
+	l, err := FromDesignSingle(d)
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +118,7 @@ func PerfectlyBalancedFromDesign(d *design.Design) (*layout.Layout, int, error) 
 		return nil, 0, err
 	}
 	copies := MinCopiesForPerfectParity(d.B(), d.V)
-	single, err := layout.FromDesignSingle(d)
+	single, err := FromDesignSingle(d)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/design"
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 func TestBalanceParityFloorCeil(t *testing.T) {
@@ -14,7 +14,7 @@ func TestBalanceParityFloorCeil(t *testing.T) {
 		if d == nil {
 			t.Fatalf("no design (%d,%d)", c.v, c.k)
 		}
-		l, err := layout.FromDesignSingle(d)
+		l, err := FromDesignSingle(d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,7 +42,7 @@ func TestBalanceParityFloorCeil(t *testing.T) {
 func TestBalanceParityCorollary16(t *testing.T) {
 	// Fixed stripe size: every disk gets floor(b/v) or ceil(b/v).
 	d := design.FromDifferenceSet(7, []int{1, 2, 4}) // b=7, v=7: b/v = 1
-	l, err := layout.FromDesignSingle(d)
+	l, err := FromDesignSingle(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestBalanceParitySpreadAtMostOne(t *testing.T) {
 	if d == nil {
 		t.Fatal("no design")
 	}
-	l, err := layout.FromDesignSingle(d)
+	l, err := FromDesignSingle(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestBalanceParityPerfectIffDivides(t *testing.T) {
 		if d == nil {
 			t.Fatalf("no design (%d,%d)", c.v, c.k)
 		}
-		l, err := layout.FromDesignSingle(d)
+		l, err := FromDesignSingle(d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +158,7 @@ func TestPerfectlyBalancedFromDesign(t *testing.T) {
 		}
 		// And one copy fewer cannot be perfect (necessity).
 		if copies > 1 {
-			single, err := layout.FromDesignSingle(d)
+			single, err := FromDesignSingle(d)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -217,7 +217,7 @@ func TestBalancedFromDesignSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hg, err := layout.FromDesignHG(d)
+	hg, err := FromDesignHG(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestBalancedFromDesignSize(t *testing.T) {
 func TestSelectDistinguishedParityEquivalent(t *testing.T) {
 	// cs = all ones reproduces Theorem 14.
 	d := design.Known(9, 3)
-	l, err := layout.FromDesignSingle(d)
+	l, err := FromDesignSingle(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestSelectDistinguishedTwoPerStripe(t *testing.T) {
 	// Distributed sparing flavor: choose 2 units per stripe (parity+spare).
 	// PG(2,3): b=13, v=13, so 26 distinguished units spread exactly 2 per disk.
 	d := design.FromDifferenceSet(13, []int{0, 1, 3, 9})
-	l, err := layout.FromDesignSingle(d)
+	l, err := FromDesignSingle(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestSelectDistinguishedTwoPerStripe(t *testing.T) {
 
 func TestSelectDistinguishedValidation(t *testing.T) {
 	d := design.Known(7, 3)
-	l, _ := layout.FromDesignSingle(d)
+	l, _ := FromDesignSingle(d)
 	if _, err := SelectDistinguished(l, []int{1}); err == nil {
 		t.Error("wrong cs length accepted")
 	}

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 // Extendible layouts (Section 5 future work): add a disk to a running

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/design"
+	"repro/pdl/layout"
+)
+
+// FromDesignHG builds a data layout from a BIBD by the Holland–Gibson
+// method (Section 1, Figure 3): the design is replicated k times, and in
+// copy c the parity unit of every stripe is the unit at tuple position c.
+// The layout has size k*r and parity overhead exactly 1/k on every disk.
+func FromDesignHG(d *design.Design) (*layout.Layout, error) {
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("core: FromDesignHG: %w", err)
+	}
+	return layout.FromTuplesHG(d.V, d.K, d.Tuples)
+}
+
+// FromDesignSingle builds a single-copy layout from a BIBD with parity left
+// unassigned (for the Section 4 flow-based balancing). The layout has size
+// r (k times smaller than FromDesignHG).
+func FromDesignSingle(d *design.Design) (*layout.Layout, error) {
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("core: FromDesignSingle: %w", err)
+	}
+	return layout.Assemble(d.V, d.Tuples)
+}

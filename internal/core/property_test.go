@@ -5,7 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/algebra"
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 // Property-based tests over randomized parameters: the paper's theorems
@@ -133,7 +133,7 @@ func TestPropertyBalanceParityFloorCeil(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		l, err := layout.FromDesignSingle(&rl.Design.Design)
+		l, err := FromDesignSingle(&rl.Design.Design)
 		if err != nil {
 			return false
 		}

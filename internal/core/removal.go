@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/flow"
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 // removalSpecs computes, for a ring layout with the given disks removed,

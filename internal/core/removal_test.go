@@ -3,7 +3,7 @@ package core
 import (
 	"testing"
 
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 func TestRemoveDiskTheorem8(t *testing.T) {

@@ -15,7 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/design"
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 // RingLayout is the Section 3.1 layout: one copy of a ring-based block

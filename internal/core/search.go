@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/algebra"
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 // FindStairwayBase returns, for a target array size v, the largest prime
@@ -66,7 +66,16 @@ func LayoutForAnyV(v, k int) (*layout.Layout, string, error) {
 		}
 		return rl.Layout, "ring", nil
 	}
-	// Find the largest prime-power base q with k <= q and valid (c, w).
+	return StairwayForV(v, k)
+}
+
+// StairwayForV searches prime-power bases for a stairway transformation
+// reaching v with stripe size k: the largest base q with k <= q and valid
+// (c, w) first, then the extended (wide-step) stairway when Equations
+// (8)-(9) have no solution from any base. This is the single source of
+// truth for base selection, shared by LayoutForAnyV and the public
+// "stairway" construction method.
+func StairwayForV(v, k int) (*layout.Layout, string, error) {
 	for q := v - 1; q >= k; q-- {
 		if _, _, isPP := algebra.IsPrimePower(q); !isPP {
 			continue
@@ -84,8 +93,6 @@ func LayoutForAnyV(v, k int) (*layout.Layout, string, error) {
 		}
 		return out, fmt.Sprintf("stairway(q=%d)", q), nil
 	}
-	// Fall back to the extended (wide-step) stairway when Equations
-	// (8)-(9) have no solution from any base.
 	for q := v - 1; q >= k && q >= v/2; q-- {
 		if _, _, isPP := algebra.IsPrimePower(q); !isPP {
 			continue
@@ -100,7 +107,7 @@ func LayoutForAnyV(v, k int) (*layout.Layout, string, error) {
 		}
 		return out, fmt.Sprintf("stairway-wide(q=%d)", q), nil
 	}
-	return nil, "", fmt.Errorf("core: LayoutForAnyV(%d,%d): no prime-power base found", v, k)
+	return nil, "", fmt.Errorf("core: StairwayForV(%d,%d): no prime-power base found", v, k)
 }
 
 // FeasibilityMethod identifies a layout construction whose size is being

@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/algebra"
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 func TestFindStairwayBase(t *testing.T) {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/flow"
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 // Distributed sparing (Section 5): reserve one spare unit per stripe,

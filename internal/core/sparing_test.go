@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/design"
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 func TestDistributedSparingBalanced(t *testing.T) {
@@ -79,7 +79,7 @@ func TestRebuildToSparesDeclustersWrites(t *testing.T) {
 
 func TestDistributedSparingRequiresParity(t *testing.T) {
 	d := design.FromDifferenceSet(7, []int{1, 2, 4})
-	l, err := layout.FromDesignSingle(d)
+	l, err := FromDesignSingle(d)
 	if err != nil {
 		t.Fatal(err)
 	}

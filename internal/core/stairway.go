@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 // StairwayInfo reports the parameters of a stairway transformation

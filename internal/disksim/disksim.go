@@ -18,8 +18,8 @@ package disksim
 import (
 	"fmt"
 
-	"repro/internal/layout"
 	"repro/internal/workload"
+	"repro/pdl/layout"
 )
 
 // Config parametrizes the array model.
@@ -196,7 +196,11 @@ func (a *Array) WriteLogical(logical int, t int64) (int64, error) {
 		return 0, err
 	}
 	s := a.stripeOf(u)
-	pu := a.inCopy(s.ParityUnit(), u.Offset)
+	spu, ok := s.ParityUnit()
+	if !ok {
+		return 0, fmt.Errorf("disksim: WriteLogical: stripe has no assigned parity")
+	}
+	pu := a.inCopy(spu, u.Offset)
 	switch {
 	case u.Disk == a.Failed:
 		// Reconstruct-write: read all surviving data units, write parity.

@@ -6,7 +6,6 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/design"
-	"repro/internal/layout"
 	"repro/internal/workload"
 )
 
@@ -284,14 +283,14 @@ func TestParityContentionBalancedVsSkewed(t *testing.T) {
 	// A layout with all parity on one disk must show higher max write
 	// contention than a balanced one.
 	d := design.FromDifferenceSet(7, []int{1, 2, 4})
-	balanced, err := layout.FromDesignSingle(d)
+	balanced, err := core.FromDesignSingle(d)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := core.BalanceParity(balanced); err != nil {
 		t.Fatal(err)
 	}
-	skewed, err := layout.FromDesignSingle(d)
+	skewed, err := core.FromDesignSingle(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,7 +358,7 @@ func TestResetClearsState(t *testing.T) {
 
 func TestNewRequiresParity(t *testing.T) {
 	d := design.FromDifferenceSet(7, []int{1, 2, 4})
-	l, err := layout.FromDesignSingle(d)
+	l, err := core.FromDesignSingle(d)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/layout"
 	"repro/internal/workload"
+	"repro/pdl/layout"
 )
 
 // End-to-end integration: drive the same workload through the timing

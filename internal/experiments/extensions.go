@@ -6,8 +6,8 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/design"
-	"repro/internal/layout"
 	"repro/internal/reliability"
+	"repro/pdl/layout"
 )
 
 // The E-series experiments implement the paper's Section 5 "next steps":
@@ -101,7 +101,7 @@ func E3Conditions56(quick bool) (*Table, error) {
 	}
 	cases = append(cases, cse{"ring v=9 k=3", rl.Layout})
 	d := design.Known(9, 3)
-	hg, err := layout.FromDesignHG(d)
+	hg, err := core.FromDesignHG(d)
 	if err != nil {
 		return nil, err
 	}

@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/design"
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 func gridTable(id, title string, l *layout.Layout) *Table {
@@ -58,7 +58,7 @@ func F1ParityStripe(bool) (*Table, error) {
 // for v=4, k=3 derived from the complete design of 3-subsets of 4 disks.
 func F2DeclusteredLayout(bool) (*Table, error) {
 	d := design.Complete(4, 3, 0)
-	l, err := layout.FromDesignSingle(d)
+	l, err := core.FromDesignSingle(d)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +77,7 @@ func F2DeclusteredLayout(bool) (*Table, error) {
 // parity.
 func F3BIBDLayout(bool) (*Table, error) {
 	d := design.Complete(4, 3, 0)
-	l, err := layout.FromDesignHG(d)
+	l, err := core.FromDesignHG(d)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +142,7 @@ func stairwayFigure(id, title string, q, k, v int) (*Table, error) {
 // per-disk parity counts.
 func F7ParityAssignmentGraph(bool) (*Table, error) {
 	d := design.FromDifferenceSet(7, []int{1, 2, 4})
-	l, err := layout.FromDesignSingle(d)
+	l, err := core.FromDesignSingle(d)
 	if err != nil {
 		return nil, err
 	}

@@ -6,7 +6,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/core"
 	"repro/internal/design"
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 // T1RingDesignParams verifies Theorem 1's parameters and Theorem 2's

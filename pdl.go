@@ -1,113 +1,75 @@
-// Package repro is the public facade of the parity-declustered layout
-// library, a full reproduction of Schwabe & Sutherland, "Improved
+// Package repro is the historical root facade of the parity-declustered
+// layout library, a full reproduction of Schwabe & Sutherland, "Improved
 // Parity-Declustered Layouts for Disk Arrays" (SPAA 1994 / JCSS 1996).
 //
-// The facade wires together the substrates in internal/:
+// Deprecated: the supported public API now lives in the repro/pdl package
+// tree — see repro/pdl (builder, method registry, Mapper, structured
+// errors) and repro/pdl/layout (value types, metrics, data engine, JSON).
+// This package remains as thin delegating wrappers for source
+// compatibility. Migration:
 //
-//   - algebra: finite commutative rings with unit (fields GF(p^m), Z_n,
-//     cross products) — the raw material of ring-based block designs;
-//   - design: BIBDs — ring-based designs (Theorem 1), the k <= M(v)
-//     characterization (Theorem 2), redundancy-reduced designs
-//     (Theorems 4-6), the size lower bound (Theorem 7), and a catalog of
-//     known designs;
-//   - layout: parity-declustered data layouts, the four Holland-Gibson
-//     conditions, exact balance metrics, address mapping, XOR parity;
-//   - core: ring-based layouts, approximately balanced layouts by disk
-//     removal (Theorems 8-9) and the stairway transformation
-//     (Theorems 10-12), and flow-based optimal parity distribution
-//     (Theorems 13-14, Corollaries 15-17);
-//   - flow, baseline, workload, disksim, experiments: the supporting
-//     machinery and the paper's evaluation.
-//
-// Quick start:
-//
-//	l, method, err := repro.Layout(24, 5)   // any v, any reasonable k
-//	...
-//	fmt.Println(repro.Report(l), method)
+//	repro.Layout(v, k)              ->  pdl.Build(v, k)
+//	repro.RingLayout(v, k)          ->  pdl.Build(v, k, pdl.WithMethod("ring"))
+//	repro.BalancedLayout(v, k)      ->  pdl.Build(v, k, pdl.WithMethod("balanced-bibd"))
+//	repro.HollandGibsonLayout(v, k) ->  pdl.Build(v, k, pdl.WithMethod("holland-gibson"))
+//	repro.Report(l)                 ->  pdl.Report(l)
 package repro
 
 import (
-	"fmt"
-	"strings"
-
-	"repro/internal/core"
-	"repro/internal/design"
-	"repro/internal/layout"
+	"repro/pdl"
+	"repro/pdl/layout"
 )
 
 // Layout builds a parity-declustered layout for an array of v disks with
-// parity stripe size k, choosing the best construction the paper offers:
-// a ring-based layout when v is a prime power, otherwise a stairway
-// transformation from the largest prime-power base, falling back to a
-// flow-balanced layout over a catalog BIBD when no stairway base exists
-// (e.g. k very close to a non-prime-power v). The returned string names
-// the method used.
+// parity stripe size k, choosing the best construction the paper offers.
+// The returned string names the method used.
+//
+// Deprecated: use pdl.Build(v, k); the method tag is Result.Method.
 func Layout(v, k int) (*layout.Layout, string, error) {
-	l, method, err := core.LayoutForAnyV(v, k)
-	if err == nil {
-		return l, method, nil
+	res, err := pdl.Build(v, k)
+	if err != nil {
+		return nil, "", err
 	}
-	if d := design.Known(v, k); d != nil {
-		bl, berr := core.BalancedFromDesign(d)
-		if berr == nil {
-			return bl, "balanced-bibd", nil
-		}
-	}
-	return nil, "", err
+	return res.Layout, res.Method, nil
 }
 
 // RingLayout builds the Section 3.1 ring-based layout (perfect balance,
-// size k(v-1)); v must allow k <= M(v) generators (prime-power v allows
-// any k <= v).
+// size k(v-1)); v must allow k <= M(v) generators.
+//
+// Deprecated: use pdl.Build(v, k, pdl.WithMethod("ring")).
 func RingLayout(v, k int) (*layout.Layout, error) {
-	rl, err := core.NewRingLayout(v, k)
+	res, err := pdl.Build(v, k, pdl.WithMethod("ring"))
 	if err != nil {
 		return nil, err
 	}
-	return rl.Layout, nil
+	return res.Layout, nil
 }
 
 // BalancedLayout builds a single-copy layout from the smallest known BIBD
-// for (v, k) and distributes parity optimally with the Section 4 network
-// flow method (parity counts differ by at most one across disks).
+// for (v, k) with network-flow-balanced parity.
+//
+// Deprecated: use pdl.Build(v, k, pdl.WithMethod("balanced-bibd")).
 func BalancedLayout(v, k int) (*layout.Layout, error) {
-	d := design.Known(v, k)
-	if d == nil {
-		return nil, fmt.Errorf("repro: no known BIBD for v=%d, k=%d", v, k)
+	res, err := pdl.Build(v, k, pdl.WithMethod("balanced-bibd"))
+	if err != nil {
+		return nil, err
 	}
-	return core.BalancedFromDesign(d)
+	return res.Layout, nil
 }
 
 // HollandGibsonLayout builds the baseline k-copy rotated-parity layout of
 // Holland and Gibson from the smallest known BIBD for (v, k).
+//
+// Deprecated: use pdl.Build(v, k, pdl.WithMethod("holland-gibson")).
 func HollandGibsonLayout(v, k int) (*layout.Layout, error) {
-	d := design.Known(v, k)
-	if d == nil {
-		return nil, fmt.Errorf("repro: no known BIBD for v=%d, k=%d", v, k)
+	res, err := pdl.Build(v, k, pdl.WithMethod("holland-gibson"))
+	if err != nil {
+		return nil, err
 	}
-	return layout.FromDesignHG(d)
+	return res.Layout, nil
 }
 
 // Report summarizes a layout against the paper's four conditions.
-func Report(l *layout.Layout) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "disks: %d, size: %d units/disk, stripes: %d\n", l.V, l.Size, len(l.Stripes))
-	smin, smax := l.StripeSizes()
-	fmt.Fprintf(&b, "stripe sizes: [%d, %d]\n", smin, smax)
-	if err := l.Check(); err != nil {
-		fmt.Fprintf(&b, "condition 1 (reconstructability): VIOLATED: %v\n", err)
-	} else {
-		fmt.Fprintf(&b, "condition 1 (reconstructability): ok\n")
-	}
-	if l.ParityAssigned() {
-		omin, omax := l.ParityOverheadRange()
-		fmt.Fprintf(&b, "condition 2 (parity overhead): [%v, %v], spread %d\n", omin, omax, l.ParitySpread())
-	} else {
-		fmt.Fprintf(&b, "condition 2 (parity overhead): parity unassigned\n")
-	}
-	wmin, wmax := l.ReconstructionWorkloadRange()
-	fmt.Fprintf(&b, "condition 3 (reconstruction workload): [%v, %v]\n", wmin, wmax)
-	fmt.Fprintf(&b, "condition 4 (mapping): table height %d, feasible (<=%d): %v\n",
-		l.Size, layout.FeasibleTableSize, l.Feasible())
-	return b.String()
-}
+//
+// Deprecated: use pdl.Report.
+func Report(l *layout.Layout) string { return pdl.Report(l) }

@@ -1,0 +1,107 @@
+// Package design is the public surface for balanced incomplete block
+// designs (BIBDs), the combinatorial objects under parity-declustered
+// layouts: catalog lookup, the paper's algebraic constructions
+// (Theorems 1, 4, 5, 6), complete designs, resolution into parallel
+// classes, and the Theorem 7 size lower bound.
+//
+// Design values are plain data (V, K, Tuples) and flow directly into
+// pdl.Build results and pdl/layout constructions.
+package design
+
+import (
+	"fmt"
+
+	idesign "repro/internal/design"
+)
+
+// Design is a block design: a collection of K-element tuples (blocks)
+// over the element set {0, ..., V-1}. Verify checks the BIBD conditions
+// and Params reports (b, r, λ). Tuple element order is significant for
+// layout constructions; balance checks ignore it.
+type Design = idesign.Design
+
+// Known returns the smallest cataloged BIBD for (v, k), or nil when the
+// catalog has none.
+func Known(v, k int) *Design { return idesign.Known(v, k) }
+
+// MinB returns the Theorem 7 lower bound on the number of blocks of any
+// (v, k) BIBD.
+func MinB(v, k int) int { return idesign.MinB(v, k) }
+
+// Complete returns the complete design: every k-subset of {0..v-1} once,
+// capped at maxTuples blocks.
+func Complete(v, k, maxTuples int) *Design { return idesign.Complete(v, k, maxTuples) }
+
+// Ring builds the Theorem 1 ring-based design for (v, k); it fails when
+// k > M(v) (Theorem 2).
+func Ring(v, k int) (*Design, error) {
+	rd, err := idesign.NewRingDesignForVK(v, k)
+	if err != nil {
+		return nil, err
+	}
+	return &rd.Design, nil
+}
+
+// Theorem4 builds the redundancy-reduced design of Theorem 4, returning
+// the design and its reduction factor over the full ring design.
+func Theorem4(v, k int) (*Design, int, error) { return idesign.Theorem4Design(v, k) }
+
+// Theorem5 builds the redundancy-reduced design of Theorem 5, returning
+// the design and its reduction factor.
+func Theorem5(v, k int) (*Design, int, error) { return idesign.Theorem5Design(v, k) }
+
+// Subfield builds the λ = 1 subfield design of Theorem 6, returning the
+// design and its reduction factor.
+func Subfield(v, k int) (*Design, int, error) { return idesign.SubfieldDesign(v, k) }
+
+// Resolve attempts to partition the design's blocks into parallel classes
+// (each class covering every element exactly once) within maxNodes search
+// nodes. ok is false when no resolution was found.
+func Resolve(d *Design, maxNodes int) ([][]int, bool) { return idesign.Resolve(d, maxNodes) }
+
+// IsResolutionValid checks a claimed resolution.
+func IsResolutionValid(d *Design, classes [][]int) bool {
+	return idesign.IsResolutionValid(d, classes)
+}
+
+// Build resolves a named construction, mirroring the pdldesign CLI:
+// known|ring|thm4|thm5|subfield|complete. It returns the design and a
+// human-readable description of the construction used.
+func Build(method string, v, k int) (*Design, string, error) {
+	switch method {
+	case "known":
+		d := Known(v, k)
+		if d == nil {
+			return nil, "", fmt.Errorf("design: no known design for v=%d k=%d", v, k)
+		}
+		return d, "catalog", nil
+	case "ring":
+		d, err := Ring(v, k)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, "ring-based (Theorem 1)", nil
+	case "thm4":
+		d, f, err := Theorem4(v, k)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, fmt.Sprintf("Theorem 4 (reduction factor %d)", f), nil
+	case "thm5":
+		d, f, err := Theorem5(v, k)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, fmt.Sprintf("Theorem 5 (reduction factor %d)", f), nil
+	case "subfield":
+		d, f, err := Subfield(v, k)
+		if err != nil {
+			return nil, "", err
+		}
+		return d, fmt.Sprintf("Theorem 6 subfield (reduction factor %d)", f), nil
+	case "complete":
+		return Complete(v, k, 1_000_000), "complete", nil
+	default:
+		return nil, "", fmt.Errorf("design: unknown method %q", method)
+	}
+}

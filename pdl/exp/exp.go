@@ -1,0 +1,17 @@
+// Package exp is the public surface of the paper's evaluation: every
+// figure, table, and simulator study as a runnable experiment producing a
+// printable Table.
+package exp
+
+import "repro/internal/experiments"
+
+// Table is one experiment's result: an id (e.g. "T5"), caption, column
+// headers, and rows; String renders it for terminals.
+type Table = experiments.Table
+
+// All runs every experiment in order. quick=true scales heavy scans down
+// to laptop-fast parameters; quick=false runs the full paper-scale
+// parameters (e.g. the v <= 10,000 coverage scan).
+func All(quick bool) ([]*Table, error) {
+	return experiments.All(quick)
+}

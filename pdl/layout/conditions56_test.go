@@ -50,7 +50,7 @@ func TestParallelismProfileRAID5Like(t *testing.T) {
 
 func TestParallelismProfileDeclustered(t *testing.T) {
 	d := design.FromDifferenceSet(13, []int{0, 1, 3, 9})
-	l, err := FromDesignHG(d)
+	l, err := fromDesignHG(d)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,7 +48,7 @@ func TestPropertyHGLayoutAlwaysValid(t *testing.T) {
 	f := func(i uint8) bool {
 		idx := int(i) % len(sets)
 		d := design.FromDifferenceSet(vs[idx], sets[idx])
-		l, err := FromDesignHG(d)
+		l, err := fromDesignHG(d)
 		if err != nil {
 			return false
 		}
@@ -61,10 +61,10 @@ func TestPropertyHGLayoutAlwaysValid(t *testing.T) {
 
 func TestFromDesignHGRejectsInvalid(t *testing.T) {
 	bad := &design.Design{V: 4, K: 2, Tuples: [][]int{{0, 1}, {0, 1}, {2, 3}, {2, 3}}}
-	if _, err := FromDesignHG(bad); err == nil {
+	if _, err := fromDesignHG(bad); err == nil {
 		t.Error("unbalanced design accepted")
 	}
-	if _, err := FromDesignSingle(bad); err == nil {
+	if _, err := fromDesignSingle(bad); err == nil {
 		t.Error("unbalanced design accepted by single")
 	}
 }

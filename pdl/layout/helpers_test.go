@@ -1,0 +1,21 @@
+package layout
+
+import "repro/internal/design"
+
+// fromDesignHG and fromDesignSingle mirror internal/core.FromDesignHG and
+// FromDesignSingle, which moved out of this package when it went public so
+// it would not depend on internal/. The tests keep exercising the same
+// verified-design entry points.
+func fromDesignHG(d *design.Design) (*Layout, error) {
+	if err := d.Verify(); err != nil {
+		return nil, err
+	}
+	return FromTuplesHG(d.V, d.K, d.Tuples)
+}
+
+func fromDesignSingle(d *design.Design) (*Layout, error) {
+	if err := d.Verify(); err != nil {
+		return nil, err
+	}
+	return Assemble(d.V, d.Tuples)
+}

@@ -6,9 +6,20 @@ import (
 	"io"
 )
 
+// JSONVersion is the current version of the layout interchange schema.
+// Version history:
+//
+//	0 (implicit): the pre-1.0 schema without a version field
+//	1: identical payload plus an explicit "version" field
+//
+// ReadJSON accepts any version up to JSONVersion and rejects newer ones,
+// so layouts serialized by older releases keep loading.
+const JSONVersion = 1
+
 // jsonLayout is the stable JSON interchange schema used by the CLI tools:
 // stripes are lists of [disk, offset] pairs plus a parity index.
 type jsonLayout struct {
+	Version int          `json:"version,omitempty"`
 	V       int          `json:"v"`
 	Size    int          `json:"size"`
 	Stripes []jsonStripe `json:"stripes"`
@@ -19,9 +30,9 @@ type jsonStripe struct {
 	Parity int      `json:"parity"`
 }
 
-// WriteJSON serializes the layout.
+// WriteJSON serializes the layout at schema version JSONVersion.
 func (l *Layout) WriteJSON(w io.Writer) error {
-	jl := jsonLayout{V: l.V, Size: l.Size, Stripes: make([]jsonStripe, len(l.Stripes))}
+	jl := jsonLayout{Version: JSONVersion, V: l.V, Size: l.Size, Stripes: make([]jsonStripe, len(l.Stripes))}
 	for i, s := range l.Stripes {
 		units := make([][2]int, len(s.Units))
 		for j, u := range s.Units {
@@ -34,11 +45,16 @@ func (l *Layout) WriteJSON(w io.Writer) error {
 	return enc.Encode(jl)
 }
 
-// ReadJSON deserializes a layout and validates it structurally.
+// ReadJSON deserializes a layout and validates it structurally. Layouts
+// written by any schema version up to JSONVersion are accepted; newer
+// versions are rejected with a descriptive error.
 func ReadJSON(r io.Reader) (*Layout, error) {
 	var jl jsonLayout
 	if err := json.NewDecoder(r).Decode(&jl); err != nil {
 		return nil, fmt.Errorf("layout: ReadJSON: %w", err)
+	}
+	if jl.Version < 0 || jl.Version > JSONVersion {
+		return nil, fmt.Errorf("layout: ReadJSON: unsupported schema version %d (this build reads up to %d)", jl.Version, JSONVersion)
 	}
 	l := &Layout{V: jl.V, Size: jl.Size, Stripes: make([]Stripe, len(jl.Stripes))}
 	for i, s := range jl.Stripes {

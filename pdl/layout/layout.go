@@ -2,15 +2,15 @@
 // of a disk array's units into parity stripes, parity placement, the four
 // Holland–Gibson layout conditions the paper evaluates (reconstructability,
 // parity balance, reconstruction-workload balance, mapping efficiency), the
-// Holland–Gibson k-copy construction from BIBDs, logical address mapping,
-// and an XOR parity engine for byte-accurate reconstruction.
+// Holland–Gibson k-copy construction from block-design tuples, logical
+// address mapping, and an XOR parity engine for byte-accurate
+// reconstruction.
+//
+// This package is part of the public API (see repro/pdl); it depends on
+// nothing under internal/.
 package layout
 
-import (
-	"fmt"
-
-	"repro/internal/design"
-)
+import "fmt"
 
 // FeasibleTableSize is the paper's Condition 4 feasibility bound: a layout
 // is considered feasible if its per-disk size (which equals the lookup
@@ -30,12 +30,13 @@ type Stripe struct {
 	Parity int
 }
 
-// ParityUnit returns the parity unit. It panics if parity is unassigned.
-func (s *Stripe) ParityUnit() Unit {
+// ParityUnit returns the parity unit, with ok=false when parity is
+// unassigned (Parity < 0) or the index is out of range.
+func (s *Stripe) ParityUnit() (Unit, bool) {
 	if s.Parity < 0 || s.Parity >= len(s.Units) {
-		panic(fmt.Sprintf("layout: stripe has no assigned parity (index %d)", s.Parity))
+		return Unit{}, false
 	}
-	return s.Units[s.Parity]
+	return s.Units[s.Parity], true
 }
 
 // Layout is a parity-declustered data layout: V disks of Size units each,
@@ -169,41 +170,37 @@ func (l *Layout) StripeSizes() (min, max int) {
 // FeasibleTableSize.
 func (l *Layout) Feasible() bool { return l.Size <= FeasibleTableSize }
 
-// FromDesignHG builds a data layout from a BIBD by the Holland–Gibson
-// method (Section 1, Figure 3): the design is replicated k times, and in
-// copy c the parity unit of every stripe is the unit at tuple position c.
-// The layout has size k*r and parity overhead exactly 1/k on every disk.
-func FromDesignHG(d *design.Design) (*Layout, error) {
-	if err := d.Verify(); err != nil {
-		return nil, fmt.Errorf("layout: FromDesignHG: %w", err)
+// FromTuplesHG builds a data layout from block-design tuples by the
+// Holland–Gibson method (Section 1, Figure 3): the tuple set is replicated
+// k times, and in copy c the parity unit of every stripe is the unit at
+// tuple position c. Every tuple must have exactly k elements. For a BIBD
+// the layout has size k*r and parity overhead exactly 1/k on every disk.
+// Only structural invariants are checked here; balance guarantees require
+// the tuples to form a BIBD (use pdl.Build with the "holland-gibson"
+// method for cataloged designs, or Check the result's conditions).
+func FromTuplesHG(v, k int, tuples [][]int) (*Layout, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("layout: FromTuplesHG: k = %d < 1", k)
 	}
-	k := d.K
-	stripeDisks := make([][]int, 0, k*len(d.Tuples))
-	for c := 0; c < k; c++ {
-		for _, tuple := range d.Tuples {
-			stripeDisks = append(stripeDisks, tuple)
+	for i, tuple := range tuples {
+		if len(tuple) != k {
+			return nil, fmt.Errorf("layout: FromTuplesHG: tuple %d has %d elements, want k = %d", i, len(tuple), k)
 		}
 	}
-	l, err := Assemble(d.V, stripeDisks)
+	stripeDisks := make([][]int, 0, k*len(tuples))
+	for c := 0; c < k; c++ {
+		stripeDisks = append(stripeDisks, tuples...)
+	}
+	l, err := Assemble(v, stripeDisks)
 	if err != nil {
 		return nil, err
 	}
 	for c := 0; c < k; c++ {
-		for t := range d.Tuples {
-			l.Stripes[c*len(d.Tuples)+t].Parity = c
+		for t := range tuples {
+			l.Stripes[c*len(tuples)+t].Parity = c
 		}
 	}
 	return l, nil
-}
-
-// FromDesignSingle builds a single-copy layout from a BIBD with parity left
-// unassigned (for the Section 4 flow-based balancing). The layout has size
-// r (k times smaller than FromDesignHG).
-func FromDesignSingle(d *design.Design) (*Layout, error) {
-	if err := d.Verify(); err != nil {
-		return nil, fmt.Errorf("layout: FromDesignSingle: %w", err)
-	}
-	return Assemble(d.V, d.Tuples)
 }
 
 // Copies returns a layout consisting of n vertical copies of l stacked on

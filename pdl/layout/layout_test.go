@@ -71,7 +71,7 @@ func TestCheckDetectsBadParityIndex(t *testing.T) {
 }
 
 func TestFromDesignHGFano(t *testing.T) {
-	l, err := FromDesignHG(fano())
+	l, err := fromDesignHG(fano())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestFromDesignHGBalancedForAllCatalog(t *testing.T) {
 		if d == nil {
 			t.Fatalf("no known design (%d,%d)", c.v, c.k)
 		}
-		l, err := FromDesignHG(d)
+		l, err := fromDesignHG(d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +121,7 @@ func TestFromDesignHGBalancedForAllCatalog(t *testing.T) {
 
 func TestFromDesignSingleSize(t *testing.T) {
 	d := fano()
-	l, err := FromDesignSingle(d)
+	l, err := fromDesignSingle(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestStripeSizes(t *testing.T) {
 }
 
 func TestCopies(t *testing.T) {
-	l, err := FromDesignHG(fano())
+	l, err := fromDesignHG(fano())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestFeasible(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
-	l, _ := FromDesignHG(fano())
+	l, _ := fromDesignHG(fano())
 	c := l.Clone()
 	c.Stripes[0].Units[0].Disk = 99
 	c.Stripes[0].Parity = -1
@@ -189,12 +189,17 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
-func TestParityUnitPanicsUnassigned(t *testing.T) {
+func TestParityUnitUnassigned(t *testing.T) {
 	s := Stripe{Units: []Unit{{0, 0}}, Parity: -1}
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic")
-		}
-	}()
-	s.ParityUnit()
+	if _, ok := s.ParityUnit(); ok {
+		t.Error("unassigned parity reported ok")
+	}
+	s.Parity = 0
+	if u, ok := s.ParityUnit(); !ok || u != (Unit{0, 0}) {
+		t.Errorf("assigned parity: got %v, %v", u, ok)
+	}
+	s.Parity = 5
+	if _, ok := s.ParityUnit(); ok {
+		t.Error("out-of-range parity index reported ok")
+	}
 }

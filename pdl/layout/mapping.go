@@ -23,6 +23,12 @@ type Mapping struct {
 
 // NewMapping builds the lookup tables for a layout with assigned parity.
 func NewMapping(l *Layout) (*Mapping, error) {
+	if l.Size <= 0 {
+		// A size-0 layout is constructible (e.g. Assemble with no
+		// stripes) but has no addressable units; rejecting it here keeps
+		// Map/Logical free of divide-by-zero on every public path.
+		return nil, fmt.Errorf("layout: NewMapping: layout size %d must be positive", l.Size)
+	}
 	if !l.ParityAssigned() {
 		return nil, fmt.Errorf("layout: NewMapping: parity not fully assigned")
 	}
@@ -52,6 +58,20 @@ func NewMapping(l *Layout) (*Mapping, error) {
 
 // DataUnits returns the number of logical data units in one layout copy.
 func (m *Mapping) DataUnits() int { return len(m.forward) }
+
+// ForwardUnit returns the physical unit of logical data unit i within one
+// layout copy, with no revalidation: i must be in [0, DataUnits()). It is
+// the raw table access behind Map for callers (like pdl.Mapper) that have
+// validated their disk geometry once up front.
+func (m *Mapping) ForwardUnit(i int) Unit { return m.forward[i] }
+
+// LogicalIndex returns the logical data index of the physical position
+// (disk, offset) within one layout copy, or -1 for parity units. Like
+// ForwardUnit, it is the raw table access behind Logical: disk must be in
+// [0, V) and offset in [0, Size).
+func (m *Mapping) LogicalIndex(disk, offset int) int {
+	return m.reverse[disk*m.layout.Size+offset]
+}
 
 // TableEntries returns the size of the in-memory lookup table (the
 // Condition 4 memory metric): one entry per unit of one disk per table,

@@ -8,7 +8,7 @@ import (
 
 func hgFanoLayout(t *testing.T) *Layout {
 	t.Helper()
-	l, err := FromDesignHG(design.FromDifferenceSet(7, []int{1, 2, 4}))
+	l, err := fromDesignHG(design.FromDifferenceSet(7, []int{1, 2, 4}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,10 @@ func TestMappingParityNotLogical(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range l.Stripes {
-		pu := l.Stripes[i].ParityUnit()
+		pu, ok := l.Stripes[i].ParityUnit()
+		if !ok {
+			t.Fatalf("stripe %d has no parity", i)
+		}
 		if _, ok := m.Logical(pu, l.Size); ok {
 			t.Fatalf("parity unit %v mapped to a logical address", pu)
 		}
@@ -89,7 +92,7 @@ func TestMappingRejectsNonMultipleDisk(t *testing.T) {
 }
 
 func TestMappingRequiresParity(t *testing.T) {
-	l, err := FromDesignSingle(design.FromDifferenceSet(7, []int{1, 2, 4}))
+	l, err := fromDesignSingle(design.FromDifferenceSet(7, []int{1, 2, 4}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,5 +204,21 @@ func TestNewDataRejectsBadUnitSize(t *testing.T) {
 	l := hgFanoLayout(t)
 	if _, err := NewData(l, 0); err == nil {
 		t.Error("unit size 0 accepted")
+	}
+}
+
+func TestMappingRejectsZeroSize(t *testing.T) {
+	// Size-0 layouts are constructible (Assemble with no stripes) but
+	// have no addressable units; NewMapping and NewData must reject them
+	// instead of letting Map divide by zero.
+	empty, err := Assemble(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMapping(empty); err == nil {
+		t.Error("zero-size layout accepted by NewMapping")
+	}
+	if _, err := NewData(empty, 8); err == nil {
+		t.Error("zero-size layout accepted by NewData")
 	}
 }

@@ -42,7 +42,7 @@ func TestRatioPanics(t *testing.T) {
 
 func TestParityCountsHG(t *testing.T) {
 	d := design.FromDifferenceSet(7, []int{1, 2, 4})
-	l, err := FromDesignHG(d)
+	l, err := fromDesignHG(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestParityCountsHG(t *testing.T) {
 
 func TestReconstructionReadsFano(t *testing.T) {
 	d := design.FromDifferenceSet(7, []int{1, 2, 4})
-	l, err := FromDesignHG(d)
+	l, err := fromDesignHG(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestWorkloadMatrixSymmetryBIBD(t *testing.T) {
 	// For fixed-size stripes the workload matrix is symmetric (stripes
 	// crossing i and j are counted identically from both sides).
 	d := design.FromDifferenceSet(13, []int{0, 1, 3, 9})
-	l, err := FromDesignHG(d)
+	l, err := fromDesignHG(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestReconstructionWorkloadFormulaBIBD(t *testing.T) {
 		if d == nil {
 			t.Fatalf("no design (%d,%d)", c.v, c.k)
 		}
-		l, err := FromDesignHG(d)
+		l, err := fromDesignHG(d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,7 +139,7 @@ func TestRAID5FullWorkload(t *testing.T) {
 func TestParityLoadFixedStripeSize(t *testing.T) {
 	// For fixed stripe size k, L(d) = r/k = (number of stripes crossing d)/k.
 	d := design.FromDifferenceSet(7, []int{1, 2, 4})
-	l, err := FromDesignSingle(d)
+	l, err := fromDesignSingle(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestParityLoadMixedStripeSizes(t *testing.T) {
 
 func TestParityCountsIgnoreUnassigned(t *testing.T) {
 	d := design.FromDifferenceSet(7, []int{1, 2, 4})
-	l, err := FromDesignSingle(d)
+	l, err := fromDesignSingle(d)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -64,7 +64,10 @@ func (d *Data) WriteLogical(logical int, payload []byte) error {
 		return err
 	}
 	s := &d.Layout.Stripes[d.mapping.StripeAt(u)]
-	pu := s.ParityUnit()
+	pu, ok := s.ParityUnit()
+	if !ok {
+		return fmt.Errorf("layout: WriteLogical: stripe has no assigned parity")
+	}
 	old := d.unit(u)
 	par := d.unit(pu)
 	for i := 0; i < d.UnitSize; i++ {

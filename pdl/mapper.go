@@ -1,0 +1,134 @@
+package pdl
+
+import (
+	"fmt"
+
+	"repro/pdl/layout"
+)
+
+// Mapper is the serving hot path: precomputed O(1) translation between
+// logical data-unit addresses and physical (disk, offset) positions, with
+// a degraded-mode variant for reads while a disk is down. Implementations
+// are safe for concurrent readers once built.
+type Mapper interface {
+	// DataUnits returns the number of addressable logical data units.
+	DataUnits() int
+
+	// DiskUnits returns the configured disk size in units.
+	DiskUnits() int
+
+	// Map translates a logical address to its physical position: one
+	// table lookup plus constant arithmetic (Condition 4).
+	Map(logical int) (layout.Unit, error)
+
+	// Logical inverts Map; ok is false for parity units or positions
+	// outside the array.
+	Logical(u layout.Unit) (int, bool)
+
+	// DegradedMap resolves a logical address while disk failed is down.
+	// When the home unit survives, it is returned directly; when it lived
+	// on the failed disk, the surviving units of its stripe are returned
+	// so the caller can reconstruct the payload by XOR.
+	DegradedMap(logical, failed int) (DegradedRead, error)
+}
+
+// DegradedRead is the result of Mapper.DegradedMap.
+type DegradedRead struct {
+	// Unit is the home position of the logical address (on the failed
+	// disk when Degraded).
+	Unit layout.Unit
+
+	// Degraded reports whether the home disk is the failed one.
+	Degraded bool
+
+	// Survivors holds, when Degraded, the stripe's surviving units
+	// (including parity) whose XOR reconstructs the payload.
+	Survivors []layout.Unit
+}
+
+// tableMapper implements Mapper over layout.Mapping's precomputed tables,
+// baking in the disk geometry (validated once at construction, so the
+// per-lookup path is table access plus constant arithmetic) and adding
+// the degraded-mode stripe resolution.
+type tableMapper struct {
+	l           *layout.Layout
+	m           *layout.Mapping
+	diskUnits   int
+	copies      int
+	dataPerCopy int
+	capacity    int
+}
+
+// NewMapper builds the lookup tables for a layout with fully assigned
+// parity, for disks of diskUnits units (a positive multiple of the layout
+// size; the layout tiles vertically).
+func NewMapper(l *layout.Layout, diskUnits int) (Mapper, error) {
+	if l.Size <= 0 {
+		return nil, fmt.Errorf("pdl: NewMapper: layout size %d must be positive", l.Size)
+	}
+	if diskUnits <= 0 || diskUnits%l.Size != 0 {
+		return nil, fmt.Errorf("pdl: NewMapper: disk size %d not a positive multiple of layout size %d", diskUnits, l.Size)
+	}
+	m, err := layout.NewMapping(l)
+	if err != nil {
+		return nil, fmt.Errorf("pdl: NewMapper: %w", err)
+	}
+	copies := diskUnits / l.Size
+	return &tableMapper{
+		l:           l,
+		m:           m,
+		diskUnits:   diskUnits,
+		copies:      copies,
+		dataPerCopy: m.DataUnits(),
+		capacity:    m.DataUnits() * copies,
+	}, nil
+}
+
+func (t *tableMapper) DataUnits() int { return t.capacity }
+
+func (t *tableMapper) DiskUnits() int { return t.diskUnits }
+
+func (t *tableMapper) Map(logical int) (layout.Unit, error) {
+	if logical < 0 || logical >= t.capacity {
+		return layout.Unit{}, fmt.Errorf("pdl: Map: logical %d outside [0,%d)", logical, t.capacity)
+	}
+	copyIdx := logical / t.dataPerCopy
+	u := t.m.ForwardUnit(logical - copyIdx*t.dataPerCopy)
+	u.Offset += copyIdx * t.l.Size
+	return u, nil
+}
+
+func (t *tableMapper) Logical(u layout.Unit) (int, bool) {
+	if u.Disk < 0 || u.Disk >= t.l.V || u.Offset < 0 || u.Offset >= t.diskUnits {
+		return 0, false
+	}
+	copyIdx := u.Offset / t.l.Size
+	base := t.m.LogicalIndex(u.Disk, u.Offset-copyIdx*t.l.Size)
+	if base < 0 {
+		return 0, false
+	}
+	return base + copyIdx*t.dataPerCopy, true
+}
+
+func (t *tableMapper) DegradedMap(logical, failed int) (DegradedRead, error) {
+	if failed < 0 || failed >= t.l.V {
+		return DegradedRead{}, fmt.Errorf("pdl: DegradedMap: failed disk %d outside [0,%d)", failed, t.l.V)
+	}
+	u, err := t.Map(logical)
+	if err != nil {
+		return DegradedRead{}, err
+	}
+	if u.Disk != failed {
+		return DegradedRead{Unit: u}, nil
+	}
+	copyBase := (u.Offset / t.l.Size) * t.l.Size
+	s := &t.l.Stripes[t.m.StripeAt(u)]
+	survivors := make([]layout.Unit, 0, len(s.Units)-1)
+	for _, su := range s.Units {
+		if su.Disk == failed {
+			continue
+		}
+		survivors = append(survivors, layout.Unit{Disk: su.Disk, Offset: su.Offset + copyBase})
+	}
+	return DegradedRead{Unit: u, Degraded: true, Survivors: survivors}, nil
+}

@@ -1,0 +1,190 @@
+package pdl
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/design"
+	"repro/pdl/layout"
+)
+
+// builtinOptionUse records which tuning options each built-in method
+// consumes, so Build can reject options a construction would silently
+// ignore (handing back a different layout than requested). Third-party
+// registrations are not listed and may consume any option. Maintained
+// together with the init registrations below; TestBuiltinOptionUseInSync
+// guards the pairing.
+// anyK marks methods whose stripes always span the whole array, so k only
+// sizes defaults (rows) and may exceed v — matching the historical CLI.
+var builtinOptionUse = map[string]struct{ base, rows, seed, anyK bool }{
+	"":               {}, // automatic selection
+	"ring":           {},
+	"balanced-bibd":  {},
+	"holland-gibson": {},
+	"stairway":       {base: true},
+	"removal":        {base: true},
+	"raid5":          {rows: true, anyK: true},
+	"random":         {rows: true, seed: true},
+}
+
+// The built-in construction methods. Each is a Constructor registered
+// under the name listed in Methods(); WithMethod selects one, and Build's
+// automatic selection composes ring, stairway, and balanced-bibd.
+func init() {
+	mustRegister("ring", buildRing)
+	mustRegister("stairway", buildStairway)
+	mustRegister("balanced-bibd", buildBalancedBIBD)
+	mustRegister("holland-gibson", buildHollandGibson)
+	mustRegister("removal", buildRemoval)
+	mustRegister("raid5", buildRAID5)
+	mustRegister("random", buildRandom)
+	builtinMethods = Methods()
+}
+
+// builtinMethods snapshots the registry right after the built-in
+// registrations, before any third-party RegisterMethod calls.
+var builtinMethods []string
+
+// buildRing: the Section 3.1 ring-based layout (perfect balance, size
+// k(v-1)); requires k <= M(v) generators (prime-power v allows any k <= v).
+func buildRing(v, k int, o *Options) (*layout.Layout, string, error) {
+	rl, err := core.NewRingLayout(v, k)
+	if err != nil {
+		return nil, "", err
+	}
+	return rl.Layout, "ring", nil
+}
+
+// buildStairway: Theorems 10-12. Reaches a non-prime-power v from a
+// prime-power base q < v (WithBase pins q; otherwise the largest workable
+// base is searched), falling back to the wide-step extension when
+// Equations (8)-(9) have no solution.
+func buildStairway(v, k int, o *Options) (*layout.Layout, string, error) {
+	try := func(q int) (*layout.Layout, string, error) {
+		rl, err := core.NewRingLayout(q, k)
+		if err != nil {
+			return nil, "", err
+		}
+		l, _, nerr := core.Stairway(rl, v)
+		if nerr == nil {
+			return l, fmt.Sprintf("stairway(q=%d)", q), nil
+		}
+		l, _, werr := core.StairwayWide(rl, v)
+		if werr != nil {
+			return nil, "", fmt.Errorf("%w; wide-step fallback: %w", nerr, werr)
+		}
+		return l, fmt.Sprintf("stairway-wide(q=%d)", q), nil
+	}
+	if o.Base != 0 {
+		if o.Base >= v {
+			return nil, "", fmt.Errorf("%w: stairway base q=%d must be below v=%d", ErrBadParams, o.Base, v)
+		}
+		return try(o.Base)
+	}
+	return core.StairwayForV(v, k)
+}
+
+// buildBalancedBIBD: a single copy of the smallest known BIBD with parity
+// distributed by the Section 4 network flow (spread at most one).
+func buildBalancedBIBD(v, k int, o *Options) (*layout.Layout, string, error) {
+	d := design.Known(v, k)
+	if d == nil {
+		return nil, "", fmt.Errorf("no known BIBD for v=%d, k=%d", v, k)
+	}
+	// Every non-default parity policy discards the constructor's
+	// assignment, so solving the flow here would be wasted work: hand the
+	// policy the unassigned single copy instead.
+	if o.ParityPolicy != ParityDefault {
+		l, err := core.FromDesignSingle(d)
+		if err != nil {
+			return nil, "", err
+		}
+		return l, "balanced-bibd", nil
+	}
+	l, err := core.BalancedFromDesign(d)
+	if err != nil {
+		return nil, "", err
+	}
+	return l, "balanced-bibd", nil
+}
+
+// buildHollandGibson: the baseline k-copy rotated-parity layout of Holland
+// and Gibson over the smallest known BIBD.
+func buildHollandGibson(v, k int, o *Options) (*layout.Layout, string, error) {
+	d := design.Known(v, k)
+	if d == nil {
+		return nil, "", fmt.Errorf("no known BIBD for v=%d, k=%d", v, k)
+	}
+	l, err := core.FromDesignHG(d)
+	if err != nil {
+		return nil, "", err
+	}
+	return l, "holland-gibson", nil
+}
+
+// buildRemoval: Theorems 8-9. Builds a ring layout on the smallest
+// workable prime power q > v (WithBase pins q) and removes the q-v
+// highest-numbered disks, trading a bounded imbalance for coverage of
+// awkward array sizes.
+func buildRemoval(v, k int, o *Options) (*layout.Layout, string, error) {
+	try := func(q int) (*layout.Layout, string, error) {
+		rl, err := core.NewRingLayout(q, k)
+		if err != nil {
+			return nil, "", err
+		}
+		removed := make([]int, q-v)
+		for i := range removed {
+			removed[i] = v + i
+		}
+		l, err := core.RemoveDisks(rl, removed)
+		if err != nil {
+			return nil, "", err
+		}
+		return l, fmt.Sprintf("removal(q=%d,-%d)", q, q-v), nil
+	}
+	if o.Base != 0 {
+		if o.Base <= v {
+			return nil, "", fmt.Errorf("%w: removal base q=%d must exceed v=%d", ErrBadParams, o.Base, v)
+		}
+		return try(o.Base)
+	}
+	for q := v + 1; q <= 2*v+2; q++ {
+		if _, _, isPP := algebra.IsPrimePower(q); !isPP {
+			continue
+		}
+		if l, tag, err := try(q); err == nil {
+			return l, tag, nil
+		}
+	}
+	return nil, "", fmt.Errorf("no prime-power removal base in (%d, %d]", v, 2*v+2)
+}
+
+// buildRAID5: the classic left-symmetric rotated-parity baseline; stripes
+// span the whole array (the effective stripe size is v, whatever k says).
+func buildRAID5(v, k int, o *Options) (*layout.Layout, string, error) {
+	rows := o.Rows
+	if rows == 0 {
+		rows = k * (v - 1)
+	}
+	l, err := baseline.RAID5(v, rows)
+	if err != nil {
+		return nil, "", err
+	}
+	return l, "raid5", nil
+}
+
+// buildRandom: the Merchant–Yu-style randomized declustered baseline
+// (k must divide v); deterministic for a fixed WithSeed.
+func buildRandom(v, k int, o *Options) (*layout.Layout, string, error) {
+	rows := o.Rows
+	if rows == 0 {
+		rows = k * (v - 1)
+	}
+	l, err := baseline.Random(v, k, rows, o.Seed)
+	if err != nil {
+		return nil, "", err
+	}
+	return l, "random", nil
+}

@@ -1,0 +1,109 @@
+package pdl
+
+// ParityPolicy selects how Build post-processes parity placement.
+type ParityPolicy int
+
+const (
+	// ParityDefault keeps whatever parity placement the construction
+	// method produced (ring layouts: perfectly balanced; holland-gibson:
+	// rotated across copies; balanced-bibd: network-flow balanced).
+	ParityDefault ParityPolicy = iota
+
+	// ParityFlow discards any existing placement and reassigns parity with
+	// the Section 4 network-flow method: every disk gets floor(L(d)) or
+	// ceil(L(d)) parity units (spread at most one, Corollary 16).
+	ParityFlow
+
+	// ParityPerfect replicates the layout lcm(b, v)/b times and
+	// flow-balances, guaranteeing an identical parity count on every disk
+	// (Corollary 17). Result.Copies reports the replication factor.
+	ParityPerfect
+
+	// ParityNone strips parity assignments, leaving every stripe's parity
+	// index -1 (useful as input to external placement schemes).
+	ParityNone
+)
+
+func (p ParityPolicy) String() string {
+	switch p {
+	case ParityDefault:
+		return "default"
+	case ParityFlow:
+		return "flow"
+	case ParityPerfect:
+		return "perfect"
+	case ParityNone:
+		return "none"
+	default:
+		return "unknown"
+	}
+}
+
+// Options collects the knobs Build accepts. Registered constructors
+// receive the resolved Options, so third-party methods can honor the same
+// switches.
+type Options struct {
+	// Method pins a construction from the registry ("" = automatic
+	// selection: ring for prime-power v, else stairway, else
+	// balanced-bibd).
+	Method string
+
+	// ParityPolicy post-processes parity placement; see the constants.
+	ParityPolicy ParityPolicy
+
+	// Sparing additionally designates one distributed spare unit per
+	// stripe (Section 5) via the Theorem 14 flow; Result.Sparing carries
+	// the assignment.
+	Sparing bool
+
+	// MaxSize, when positive, bounds the layout size (units per disk);
+	// Build fails with ErrInfeasible beyond it.
+	MaxSize int
+
+	// Base pins the prime-power base q for the stairway and removal
+	// methods (0 = search).
+	Base int
+
+	// Rows sets the number of stripe rows for the raid5 and random
+	// baselines (0 = k*(v-1), matching the ring-layout size).
+	Rows int
+
+	// Seed seeds the random baseline.
+	Seed uint64
+
+	// baseSet/rowsSet/seedSet record that the option was passed
+	// explicitly (even with its zero value), so Build can reject options
+	// the selected built-in method would silently ignore.
+	baseSet, rowsSet, seedSet bool
+}
+
+// Option mutates Options; pass them to Build.
+type Option func(*Options)
+
+// WithMethod pins a registered construction method by name (see Methods).
+func WithMethod(name string) Option { return func(o *Options) { o.Method = name } }
+
+// WithParityPolicy selects parity post-processing.
+func WithParityPolicy(p ParityPolicy) Option { return func(o *Options) { o.ParityPolicy = p } }
+
+// WithSparing requests a distributed-sparing assignment on the result.
+func WithSparing() Option { return func(o *Options) { o.Sparing = true } }
+
+// WithMaxSize bounds the layout size in units per disk; Build fails with
+// ErrInfeasible when the construction exceeds it.
+func WithMaxSize(units int) Option { return func(o *Options) { o.MaxSize = units } }
+
+// WithBase pins the prime-power base q for stairway/removal constructions.
+func WithBase(q int) Option {
+	return func(o *Options) { o.Base, o.baseSet = q, true }
+}
+
+// WithRows sets the row count for the raid5/random baseline methods.
+func WithRows(rows int) Option {
+	return func(o *Options) { o.Rows, o.rowsSet = rows, true }
+}
+
+// WithSeed seeds the random baseline method.
+func WithSeed(seed uint64) Option {
+	return func(o *Options) { o.Seed, o.seedSet = seed, true }
+}

@@ -1,0 +1,66 @@
+package pdl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/pdl/layout"
+)
+
+// Constructor builds a layout for (v, k) honoring the resolved Options.
+// It returns the layout and a human-readable method tag (e.g.
+// "stairway(q=16)") that Build surfaces as Result.Method.
+type Constructor func(v, k int, o *Options) (*layout.Layout, string, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Constructor{}
+)
+
+// RegisterMethod adds a construction method to the registry under a
+// unique name, making it addressable via WithMethod without any facade
+// changes. It fails on an empty name, a nil constructor, or a duplicate
+// registration.
+func RegisterMethod(name string, fn Constructor) error {
+	if name == "" {
+		return fmt.Errorf("pdl: RegisterMethod: empty name")
+	}
+	if fn == nil {
+		return fmt.Errorf("pdl: RegisterMethod(%q): nil constructor", name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("pdl: RegisterMethod(%q): already registered", name)
+	}
+	registry[name] = fn
+	return nil
+}
+
+// Methods returns the names of all registered construction methods,
+// sorted.
+func Methods() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookupMethod resolves a registered constructor.
+func lookupMethod(name string) (Constructor, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	fn, ok := registry[name]
+	return fn, ok
+}
+
+func mustRegister(name string, fn Constructor) {
+	if err := RegisterMethod(name, fn); err != nil {
+		panic(err)
+	}
+}

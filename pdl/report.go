@@ -1,0 +1,64 @@
+package pdl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/pdl/layout"
+)
+
+// Report summarizes a layout against the paper's four conditions.
+func Report(l *layout.Layout) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "disks: %d, size: %d units/disk, stripes: %d\n", l.V, l.Size, len(l.Stripes))
+	smin, smax := l.StripeSizes()
+	fmt.Fprintf(&b, "stripe sizes: [%d, %d]\n", smin, smax)
+	if err := l.Check(); err != nil {
+		fmt.Fprintf(&b, "condition 1 (reconstructability): VIOLATED: %v\n", err)
+	} else {
+		fmt.Fprintf(&b, "condition 1 (reconstructability): ok\n")
+	}
+	if l.ParityAssigned() {
+		omin, omax := l.ParityOverheadRange()
+		fmt.Fprintf(&b, "condition 2 (parity overhead): [%v, %v], spread %d\n", omin, omax, l.ParitySpread())
+	} else {
+		fmt.Fprintf(&b, "condition 2 (parity overhead): parity unassigned\n")
+	}
+	wmin, wmax := l.ReconstructionWorkloadRange()
+	fmt.Fprintf(&b, "condition 3 (reconstruction workload): [%v, %v]\n", wmin, wmax)
+	fmt.Fprintf(&b, "condition 4 (mapping): table height %d, feasible (<=%d): %v\n",
+		l.Size, layout.FeasibleTableSize, l.Feasible())
+	return b.String()
+}
+
+// Sparing is a layout whose stripes each designate one distributed spare
+// unit, disjoint from parity (Section 5); produced by WithSparing or
+// DistributedSparing.
+type Sparing = core.SparedLayout
+
+// DistributedSparing assigns one spare unit per stripe of a layout with
+// assigned parity, using the Theorem 14 flow so per-disk spare counts are
+// within one of each other.
+func DistributedSparing(l *layout.Layout) (*Sparing, error) {
+	return core.DistributedSparing(l)
+}
+
+// SelectDistinguished solves the generalized distinguished-unit problem
+// (the extension after Theorem 14): choose cs[s] units from each stripe s
+// so every disk holds either floor or ceil of its distinguished load.
+// Returns, per stripe, the chosen unit indices.
+func SelectDistinguished(l *layout.Layout, cs []int) ([][]int, error) {
+	return core.SelectDistinguished(l, cs)
+}
+
+// CoverageResult summarizes, for one array size v, how a layout is
+// reachable: directly (prime-power v) or via a stairway base (q, c, w).
+type CoverageResult = core.CoverageResult
+
+// Coverage verifies the paper's Section 3.2 claim that every v up to maxV
+// admits a direct ring layout or a stairway base, one result per v in
+// [2, maxV].
+func Coverage(maxV int) []CoverageResult {
+	return core.CoverageScan(maxV)
+}

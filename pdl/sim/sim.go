@@ -1,0 +1,69 @@
+// Package sim is the public surface of the event-driven disk-array
+// simulator the paper's evaluation runs on: offline and online rebuild,
+// client workloads (healthy or degraded), and latency statistics, all
+// driven by a pdl/layout.Layout.
+package sim
+
+import (
+	"repro/internal/disksim"
+	"repro/internal/workload"
+	"repro/pdl/layout"
+)
+
+// Array is a simulated disk array governed by a layout.
+type Array = disksim.Array
+
+// Config tunes the simulator (service time, seek model, copies per disk).
+type Config = disksim.Config
+
+// SeekParams enables the seek-aware service-time model.
+type SeekParams = disksim.SeekParams
+
+// DiskStats accumulates per-disk counters during a run.
+type DiskStats = disksim.DiskStats
+
+// RebuildResult reports a reconstruction run (survivor reads, makespan).
+type RebuildResult = disksim.RebuildResult
+
+// WorkloadResult reports a client-workload run (latency distribution).
+type WorkloadResult = disksim.WorkloadResult
+
+// LatencyRecorder collects latencies and reports percentiles.
+type LatencyRecorder = disksim.LatencyRecorder
+
+// New builds a simulated array over a layout with assigned parity.
+func New(l *layout.Layout, cfg Config) (*Array, error) {
+	return disksim.New(l, cfg)
+}
+
+// Generator produces a stream of client operations.
+type Generator = workload.Generator
+
+// Op is one client operation (read or write of a logical unit).
+type Op = workload.Op
+
+// OpKind distinguishes reads from writes.
+type OpKind = workload.OpKind
+
+// Operation kinds.
+const (
+	Read  = workload.Read
+	Write = workload.Write
+)
+
+// NewUniform returns a uniformly random workload over n logical units
+// with the given write fraction, deterministic for a fixed seed.
+func NewUniform(n int, writeFrac float64, seed uint64) Generator {
+	return workload.NewUniform(n, writeFrac, seed)
+}
+
+// NewSequential returns a sequential scan workload over n logical units.
+func NewSequential(n int, kind OpKind) Generator {
+	return workload.NewSequential(n, kind)
+}
+
+// NewZipf returns a Zipf-skewed (hot-spot) workload over n logical units
+// with exponent theta, deterministic for a fixed seed.
+func NewZipf(n int, theta, writeFrac float64, seed uint64) Generator {
+	return workload.NewZipf(n, theta, writeFrac, seed)
+}

@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/layout"
+	"repro/pdl/layout"
 )
 
 func TestLayoutFacadePrimePower(t *testing.T) {

@@ -7,6 +7,12 @@
 //	pdlsim -v 17 -k 4 -mode rebuild
 //	pdlsim -v 17 -k 4 -mode online -ops 5000 -write 0.3
 //	pdlsim -v 17 -k 4 -mode serve -fail 2
+//	pdlsim -v 17 -k 4 -mode serve -fail 2 -trace
+//
+// With -trace, the compiled pdl/plan I/O plan for a sampled request (and
+// for the first rebuild stripe, in rebuild modes) is dumped before the
+// run — the physical reads and writes, grouped by dependency stage, that
+// the engine will execute.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"repro/pdl"
 	"repro/pdl/layout"
+	"repro/pdl/plan"
 	"repro/pdl/sim"
 )
 
@@ -31,6 +38,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload seed")
 	layoutPath := flag.String("layout", "", "simulate a pdlgen JSON layout instead of generating one")
 	copies := flag.Int("copies", 1, "layout copies per disk (disk size = copies * layout size)")
+	trace := flag.Bool("trace", false, "dump the compiled I/O plan for a sampled request before the run")
 	flag.Parse()
 
 	var l *layout.Layout
@@ -56,6 +64,9 @@ func main() {
 	a, err := sim.New(l, sim.Config{ServiceTime: *service, Copies: *copies})
 	if err != nil {
 		fatal(err)
+	}
+	if *trace {
+		tracePlans(a, *mode, *fail, *writeFrac, *seed)
 	}
 	switch *mode {
 	case "rebuild":
@@ -97,6 +108,47 @@ func main() {
 			res.MaxLatency, res.Completion)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+// tracePlans compiles and dumps the I/O plans the engine would execute
+// for a request sampled from the workload (a fresh generator with the run
+// seed, so the run itself is unperturbed), plus the first rebuild stripe
+// schedule in the rebuild modes.
+func tracePlans(a *sim.Array, mode string, fail int, writeFrac float64, seed uint64) {
+	pln := a.Planner()
+	failed := -1
+	if mode != "serve" || fail >= 0 {
+		failed = fail
+	}
+	op := sim.NewUniform(a.DataUnits(), writeFrac, seed).Next()
+	var p plan.Plan
+	var err error
+	if op.Kind == sim.Write {
+		err = pln.Write(op.Logical, failed, &p)
+	} else {
+		err = pln.Read(op.Logical, failed, &p)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace: sampled request plan (%d reads, %d writes, %d stages)\n  %s\n",
+		p.Reads(), p.Writes(), p.Stages(), p.String())
+	if err := pln.FullStripeWrite(op.Logical, failed, &p); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace: full-stripe alternative for the same address\n  %s\n", p.String())
+	if (mode == "rebuild" || mode == "online") && failed >= 0 {
+		rb, err := pln.Rebuild(failed)
+		if err != nil {
+			fatal(err)
+		}
+		min, max := rb.Balance()
+		fmt.Printf("trace: rebuild schedule for disk %d: %d stripe plans, per-disk reads in [%d,%d]\n",
+			failed, len(rb.Plans), min, max)
+		if len(rb.Plans) > 0 {
+			fmt.Printf("  first stripe: %s\n", rb.Plans[0].String())
+		}
 	}
 }
 

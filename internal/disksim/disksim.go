@@ -1,487 +1,57 @@
-// Package disksim is an event-driven multi-disk array simulator, the
-// substitute for the Holland–Gibson raidSim testbed the paper's planned
-// experiments use. It models each disk as a serial server with a fixed
-// per-unit service time, drives it with client workloads and
-// reconstruction traffic, and reports the metrics the paper's layout
-// conditions govern: per-disk rebuild read counts, rebuild makespan,
-// degraded-mode costs, and parity-update contention.
-//
-// The time model is timestamp propagation: a request issued at time t to
-// disk d starts at max(t, d.busyUntil) and occupies the disk for
-// ServiceTime ticks. Dependencies (a small write's parity write waits for
-// its two reads) propagate completion times. This is a deterministic,
-// work-conserving approximation of a FIFO disk queue — sufficient for the
-// relative comparisons the paper makes (who wins and by what factor), not
-// for absolute latency calibration.
+// Package disksim is a compatibility shim over the public pdl/sim
+// disk-array simulator. The engine itself — plan compilation via
+// pdl/plan and timestamp-propagation execution — lives in repro/pdl/sim;
+// this package re-exports it so internal callers and the original
+// simulator test suite (which doubles as an equivalence check for the
+// plan-based engine) keep compiling unchanged. New code should use
+// repro/pdl/sim directly.
 package disksim
 
 import (
-	"fmt"
-
-	"repro/internal/workload"
 	"repro/pdl/layout"
+	"repro/pdl/sim"
 )
 
 // Config parametrizes the array model.
-type Config struct {
-	// ServiceTime is ticks per unit read or write. Default 1.
-	ServiceTime int64
-	// Seek, when non-nil, adds a positioning cost on top of ServiceTime:
-	// Base + PerUnit * |offset - head| ticks, with the head left at the
-	// request's offset. This is the seek-aware ablation model; nil keeps
-	// the constant-service model.
-	Seek *SeekParams
-	// Copies tiles the layout vertically: each disk holds Copies * Size
-	// units (the paper's multiple-copies-for-larger-disks deployment).
-	// Default 1.
-	Copies int
-}
+type Config = sim.Config
 
 // SeekParams describes the optional seek-distance cost model.
-type SeekParams struct {
-	Base    int64
-	PerUnit float64
-}
+type SeekParams = sim.SeekParams
 
 // DiskStats accumulates per-disk counters.
-type DiskStats struct {
-	Reads, Writes int64
-	BusyTime      int64
-}
+type DiskStats = sim.DiskStats
 
-// Array simulates a disk array under a layout.
+// RebuildResult reports an offline reconstruction.
+type RebuildResult = sim.RebuildResult
+
+// WorkloadResult reports a served client workload.
+type WorkloadResult = sim.WorkloadResult
+
+// LatencyRecorder accumulates operation latencies and reports percentiles.
+type LatencyRecorder = sim.LatencyRecorder
+
+// Array simulates a disk array under a layout. It wraps sim.Array, which
+// executes pdl/plan plans for every operation.
 type Array struct {
-	L       *layout.Layout
-	Mapping *layout.Mapping
-	cfg     Config
-	// busyUntil per disk.
-	busyUntil []int64
-	// head tracks each disk's last serviced offset (seek model).
-	head  []int
-	Stats []DiskStats
-	// Failed marks a failed disk (-1 = healthy array).
-	Failed int
+	*sim.Array
 }
 
 // New builds a simulator for a layout with assigned parity.
 func New(l *layout.Layout, cfg Config) (*Array, error) {
-	m, err := layout.NewMapping(l)
+	a, err := sim.New(l, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.ServiceTime <= 0 {
-		cfg.ServiceTime = 1
-	}
-	if cfg.Copies <= 0 {
-		cfg.Copies = 1
-	}
-	return &Array{
-		L:         l,
-		Mapping:   m,
-		cfg:       cfg,
-		busyUntil: make([]int64, l.V),
-		head:      make([]int, l.V),
-		Stats:     make([]DiskStats, l.V),
-		Failed:    -1,
-	}, nil
+	return &Array{a}, nil
 }
 
-// Reset clears disk state and statistics.
-func (a *Array) Reset() {
-	for i := range a.busyUntil {
-		a.busyUntil[i] = 0
-		a.head[i] = 0
-		a.Stats[i] = DiskStats{}
-	}
-	a.Failed = -1
-}
-
-// Fail marks a disk as failed; subsequent reads of its units go degraded.
-func (a *Array) Fail(disk int) error {
-	if disk < 0 || disk >= a.L.V {
-		return fmt.Errorf("disksim: Fail(%d): disk out of range", disk)
-	}
-	a.Failed = disk
-	return nil
-}
-
-// issueAt schedules one unit operation at a specific offset of a disk at
-// earliest time t and returns its completion time, applying the seek
-// model when configured.
+// issueAt preserves the historical name of the scheduling primitive for
+// the in-package test suite.
 func (a *Array) issueAt(disk, offset int, t int64, write bool) int64 {
-	start := t
-	if a.busyUntil[disk] > start {
-		start = a.busyUntil[disk]
-	}
-	service := a.cfg.ServiceTime
-	if a.cfg.Seek != nil {
-		dist := offset - a.head[disk]
-		if dist < 0 {
-			dist = -dist
-		}
-		service += a.cfg.Seek.Base + int64(a.cfg.Seek.PerUnit*float64(dist))
-		a.head[disk] = offset
-	}
-	finish := start + service
-	a.busyUntil[disk] = finish
-	if write {
-		a.Stats[disk].Writes++
-	} else {
-		a.Stats[disk].Reads++
-	}
-	a.Stats[disk].BusyTime += service
-	return finish
-}
-
-// issue schedules a unit operation when only the disk matters (constant
-// model callers that track units pass offsets via issueAt).
-func (a *Array) issue(disk int, t int64, write bool) int64 {
-	return a.issueAt(disk, a.head[disk], t, write)
+	return a.Issue(disk, offset, t, write)
 }
 
 // stripeOf returns the stripe covering a physical unit.
 func (a *Array) stripeOf(u layout.Unit) *layout.Stripe {
 	return &a.L.Stripes[a.Mapping.StripeAt(u)]
-}
-
-// DiskUnits returns the simulated per-disk capacity in units.
-func (a *Array) DiskUnits() int { return a.L.Size * a.cfg.Copies }
-
-// DataUnits returns the logical data capacity across all copies.
-func (a *Array) DataUnits() int { return a.Mapping.DataUnits() * a.cfg.Copies }
-
-// inCopy translates a copy-0 stripe unit into the copy containing offset.
-func (a *Array) inCopy(u layout.Unit, offset int) layout.Unit {
-	copyIdx := offset / a.L.Size
-	return layout.Unit{Disk: u.Disk, Offset: u.Offset%a.L.Size + copyIdx*a.L.Size}
-}
-
-// ReadLogical simulates a client read arriving at time t and returns its
-// completion time. Healthy path: one unit read. Degraded path (unit on the
-// failed disk): read every surviving unit of the stripe (XOR
-// reconstruction on the fly).
-func (a *Array) ReadLogical(logical int, t int64) (int64, error) {
-	u, err := a.Mapping.Map(logical, a.DiskUnits())
-	if err != nil {
-		return 0, err
-	}
-	if u.Disk != a.Failed {
-		return a.issueAt(u.Disk, u.Offset, t, false), nil
-	}
-	s := a.stripeOf(u)
-	var done int64
-	for _, su := range s.Units {
-		if su.Disk == a.Failed {
-			continue
-		}
-		cu := a.inCopy(su, u.Offset)
-		if f := a.issueAt(cu.Disk, cu.Offset, t, false); f > done {
-			done = f
-		}
-	}
-	return done, nil
-}
-
-// WriteLogical simulates a client small write arriving at time t: read old
-// data and old parity, then write new data and new parity (the Figure 1
-// read-modify-write). Degraded variants:
-//   - data disk failed: reconstruct-write — read surviving data units of
-//     the stripe, then write parity only;
-//   - parity disk failed: write data only.
-//
-// Returns the completion time.
-func (a *Array) WriteLogical(logical int, t int64) (int64, error) {
-	u, err := a.Mapping.Map(logical, a.DiskUnits())
-	if err != nil {
-		return 0, err
-	}
-	s := a.stripeOf(u)
-	spu, ok := s.ParityUnit()
-	if !ok {
-		return 0, fmt.Errorf("disksim: WriteLogical: stripe has no assigned parity")
-	}
-	pu := a.inCopy(spu, u.Offset)
-	switch {
-	case u.Disk == a.Failed:
-		// Reconstruct-write: read all surviving data units, write parity.
-		var ready int64 = t
-		for _, su := range s.Units {
-			cu := a.inCopy(su, u.Offset)
-			if cu.Disk == a.Failed || cu == pu {
-				continue
-			}
-			if f := a.issueAt(cu.Disk, cu.Offset, t, false); f > ready {
-				ready = f
-			}
-		}
-		if pu.Disk == a.Failed {
-			return ready, nil // both gone: nothing persistent to update
-		}
-		return a.issueAt(pu.Disk, pu.Offset, ready, true), nil
-	case pu.Disk == a.Failed:
-		return a.issueAt(u.Disk, u.Offset, t, true), nil
-	default:
-		rd := a.issueAt(u.Disk, u.Offset, t, false)
-		rp := a.issueAt(pu.Disk, pu.Offset, t, false)
-		ready := rd
-		if rp > ready {
-			ready = rp
-		}
-		wd := a.issueAt(u.Disk, u.Offset, ready, true)
-		wp := a.issueAt(pu.Disk, pu.Offset, ready, true)
-		if wp > wd {
-			return wp, nil
-		}
-		return wd, nil
-	}
-}
-
-// WriteFullStripe simulates a large write covering every data unit of the
-// stripe holding `logical` (the Condition 5 "Large Write Optimization"):
-// parity is computed from the new data alone, so the stripe's k units are
-// written with NO pre-reads — k writes vs 4 ops per unit for small
-// writes. Returns the completion time.
-func (a *Array) WriteFullStripe(logical int, t int64) (int64, error) {
-	u, err := a.Mapping.Map(logical, a.DiskUnits())
-	if err != nil {
-		return 0, err
-	}
-	s := a.stripeOf(u)
-	var done int64
-	for _, su := range s.Units {
-		cu := a.inCopy(su, u.Offset)
-		if cu.Disk == a.Failed {
-			continue
-		}
-		if f := a.issueAt(cu.Disk, cu.Offset, t, true); f > done {
-			done = f
-		}
-	}
-	return done, nil
-}
-
-// RebuildResult reports an offline reconstruction.
-type RebuildResult struct {
-	Failed       int
-	PerDiskReads []int64
-	// MaxSurvivorReads is the bottleneck read count (determines rebuild
-	// time when disks run in parallel).
-	MaxSurvivorReads int64
-	// SurvivorFraction is the bottleneck fraction of a surviving disk read.
-	SurvivorFraction float64
-	// Makespan is the simulated completion time.
-	Makespan int64
-}
-
-// RebuildOffline simulates reconstructing a failed disk with no competing
-// traffic: every stripe crossing the failed disk reads all its surviving
-// units (writes to the replacement disk are not modeled — the paper's
-// metric is survivor read load).
-func (a *Array) RebuildOffline(failed int, start int64) (RebuildResult, error) {
-	if failed < 0 || failed >= a.L.V {
-		return RebuildResult{}, fmt.Errorf("disksim: RebuildOffline(%d): disk out of range", failed)
-	}
-	res := RebuildResult{Failed: failed, PerDiskReads: make([]int64, a.L.V)}
-	var makespan int64
-	for c := 0; c < a.cfg.Copies; c++ {
-		base := c * a.L.Size
-		for si := range a.L.Stripes {
-			s := &a.L.Stripes[si]
-			crosses := false
-			for _, u := range s.Units {
-				if u.Disk == failed {
-					crosses = true
-					break
-				}
-			}
-			if !crosses {
-				continue
-			}
-			for _, u := range s.Units {
-				if u.Disk == failed {
-					continue
-				}
-				res.PerDiskReads[u.Disk]++
-				if f := a.issueAt(u.Disk, u.Offset+base, start, false); f > makespan {
-					makespan = f
-				}
-			}
-		}
-	}
-	for d, r := range res.PerDiskReads {
-		if d != failed && r > res.MaxSurvivorReads {
-			res.MaxSurvivorReads = r
-		}
-	}
-	res.SurvivorFraction = float64(res.MaxSurvivorReads) / float64(a.DiskUnits())
-	res.Makespan = makespan - start
-	return res, nil
-}
-
-// WorkloadResult reports a served client workload.
-type WorkloadResult struct {
-	Ops          int
-	TotalLatency int64
-	MaxLatency   int64
-	// Completion is the time the last operation finished.
-	Completion int64
-	// PerDiskBusy is each disk's total busy time.
-	PerDiskBusy []int64
-	// Latencies holds every operation latency for percentile reporting.
-	Latencies *LatencyRecorder
-}
-
-// AvgLatency returns mean operation latency in ticks.
-func (r WorkloadResult) AvgLatency() float64 {
-	if r.Ops == 0 {
-		return 0
-	}
-	return float64(r.TotalLatency) / float64(r.Ops)
-}
-
-// ServeWorkload issues n operations from gen, one every interArrival
-// ticks, and reports latency statistics. Run Fail beforehand to measure
-// degraded mode.
-func (a *Array) ServeWorkload(gen workload.Generator, n int, interArrival int64) (WorkloadResult, error) {
-	res := WorkloadResult{Ops: n, PerDiskBusy: make([]int64, a.L.V), Latencies: &LatencyRecorder{}}
-	var t int64
-	for i := 0; i < n; i++ {
-		op := gen.Next()
-		var done int64
-		var err error
-		switch op.Kind {
-		case workload.Read:
-			done, err = a.ReadLogical(op.Logical, t)
-		case workload.Write:
-			done, err = a.WriteLogical(op.Logical, t)
-		}
-		if err != nil {
-			return res, err
-		}
-		lat := done - t
-		res.Latencies.Record(lat)
-		res.TotalLatency += lat
-		if lat > res.MaxLatency {
-			res.MaxLatency = lat
-		}
-		if done > res.Completion {
-			res.Completion = done
-		}
-		t += interArrival
-	}
-	for d := range res.PerDiskBusy {
-		res.PerDiskBusy[d] = a.Stats[d].BusyTime
-	}
-	return res, nil
-}
-
-// RebuildOnline simulates reconstruction competing with a client workload:
-// client ops arrive every interArrival ticks while rebuild reads for the
-// failed disk are issued in the gaps (one stripe per client op, round
-// robin), modeling a rebuild throttled to client activity. Returns the
-// client result and the rebuild result.
-func (a *Array) RebuildOnline(gen workload.Generator, nOps int, interArrival int64, failed int) (WorkloadResult, RebuildResult, error) {
-	if err := a.Fail(failed); err != nil {
-		return WorkloadResult{}, RebuildResult{}, err
-	}
-	// Collect stripes crossing the failed disk, once per layout copy.
-	type rbs struct{ stripe, base int }
-	var rebuildStripes []rbs
-	for c := 0; c < a.cfg.Copies; c++ {
-		for si := range a.L.Stripes {
-			for _, u := range a.L.Stripes[si].Units {
-				if u.Disk == failed {
-					rebuildStripes = append(rebuildStripes, rbs{si, c * a.L.Size})
-					break
-				}
-			}
-		}
-	}
-	cres := WorkloadResult{Ops: nOps, PerDiskBusy: make([]int64, a.L.V), Latencies: &LatencyRecorder{}}
-	rres := RebuildResult{Failed: failed, PerDiskReads: make([]int64, a.L.V)}
-	var t int64
-	nextStripe := 0
-	var rebuildDone int64
-	for i := 0; i < nOps; i++ {
-		op := gen.Next()
-		var done int64
-		var err error
-		switch op.Kind {
-		case workload.Read:
-			done, err = a.ReadLogical(op.Logical, t)
-		case workload.Write:
-			done, err = a.WriteLogical(op.Logical, t)
-		}
-		if err != nil {
-			return cres, rres, err
-		}
-		lat := done - t
-		cres.Latencies.Record(lat)
-		cres.TotalLatency += lat
-		if lat > cres.MaxLatency {
-			cres.MaxLatency = lat
-		}
-		if done > cres.Completion {
-			cres.Completion = done
-		}
-		// Issue one rebuild stripe in the gap.
-		if nextStripe < len(rebuildStripes) {
-			rb := rebuildStripes[nextStripe]
-			s := &a.L.Stripes[rb.stripe]
-			nextStripe++
-			for _, u := range s.Units {
-				if u.Disk == failed {
-					continue
-				}
-				rres.PerDiskReads[u.Disk]++
-				if f := a.issueAt(u.Disk, u.Offset+rb.base, t, false); f > rebuildDone {
-					rebuildDone = f
-				}
-			}
-		}
-		t += interArrival
-	}
-	// Drain remaining rebuild stripes.
-	for ; nextStripe < len(rebuildStripes); nextStripe++ {
-		rb := rebuildStripes[nextStripe]
-		s := &a.L.Stripes[rb.stripe]
-		for _, u := range s.Units {
-			if u.Disk == failed {
-				continue
-			}
-			rres.PerDiskReads[u.Disk]++
-			if f := a.issueAt(u.Disk, u.Offset+rb.base, t, false); f > rebuildDone {
-				rebuildDone = f
-			}
-		}
-	}
-	for d, r := range rres.PerDiskReads {
-		if d != failed && r > rres.MaxSurvivorReads {
-			rres.MaxSurvivorReads = r
-		}
-	}
-	rres.SurvivorFraction = float64(rres.MaxSurvivorReads) / float64(a.DiskUnits())
-	rres.Makespan = rebuildDone
-	for d := range cres.PerDiskBusy {
-		cres.PerDiskBusy[d] = a.Stats[d].BusyTime
-	}
-	return cres, rres, nil
-}
-
-// ParityContention serves a pure small-write workload and returns the
-// maximum and mean per-disk write counts — the Condition 2 bottleneck
-// measure: disks holding more parity absorb more parity-update writes.
-func (a *Array) ParityContention(gen workload.Generator, n int) (maxWrites int64, meanWrites float64, err error) {
-	if _, err := a.ServeWorkload(gen, n, 1); err != nil {
-		return 0, 0, err
-	}
-	var total int64
-	for d := range a.Stats {
-		w := a.Stats[d].Writes
-		total += w
-		if w > maxWrites {
-			maxWrites = w
-		}
-	}
-	return maxWrites, float64(total) / float64(a.L.V), nil
 }

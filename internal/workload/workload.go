@@ -1,175 +1,59 @@
-// Package workload provides deterministic client I/O generators for the
-// disk-array simulator: uniform random, sequential, and Zipf-skewed
-// read/write streams over a logical address space.
+// Package workload is a compatibility shim over the public pdl/sim
+// workload generators (uniform random, sequential, Zipf-skewed, and
+// weighted mixes): the implementations moved to repro/pdl/sim so godoc
+// renders them on the supported surface. Internal callers keep this
+// import path; new code should use repro/pdl/sim directly.
 package workload
 
-import (
-	"fmt"
-	"math"
-)
+import "repro/pdl/sim"
 
 // OpKind distinguishes reads from writes.
-type OpKind int
+type OpKind = sim.OpKind
 
+// Operation kinds.
 const (
-	// Read is a data-unit read.
-	Read OpKind = iota
-	// Write is a data-unit write (read-modify-write at the array).
-	Write
+	Read  = sim.Read
+	Write = sim.Write
 )
 
 // Op is one client operation on a logical data unit.
-type Op struct {
-	Kind    OpKind
-	Logical int
-}
+type Op = sim.Op
 
 // Generator produces a deterministic operation stream.
-type Generator interface {
-	// Next returns the next operation.
-	Next() Op
-	// Name identifies the generator in experiment tables.
-	Name() string
-}
+type Generator = sim.Generator
 
-// RNG is a xorshift64* pseudorandom generator: deterministic, seedable,
-// dependency-free. The zero value is invalid; use NewRNG.
-type RNG struct {
-	state uint64
-}
+// RNG is a xorshift64* pseudorandom generator.
+type RNG = sim.RNG
 
 // NewRNG returns a seeded generator.
-func NewRNG(seed uint64) *RNG {
-	if seed == 0 {
-		seed = 0x9E3779B97F4A7C15
-	}
-	return &RNG{state: seed}
-}
+func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
 
-// Uint64 returns the next raw value.
-func (r *RNG) Uint64() uint64 {
-	r.state ^= r.state >> 12
-	r.state ^= r.state << 25
-	r.state ^= r.state >> 27
-	return r.state * 2685821657736338717
-}
-
-// Intn returns a value in [0, n).
-func (r *RNG) Intn(n int) int {
-	if n <= 0 {
-		panic(fmt.Sprintf("workload: Intn(%d): n must be positive", n))
-	}
-	return int(r.Uint64() % uint64(n))
-}
-
-// Float64 returns a value in [0, 1).
-func (r *RNG) Float64() float64 {
-	return float64(r.Uint64()>>11) / float64(1<<53)
-}
-
-// Uniform generates uniformly random addresses with the given write
-// fraction (0 = read-only, 1 = write-only).
-type Uniform struct {
-	rng       *RNG
-	n         int
-	writeFrac float64
-}
+// Uniform generates uniformly random addresses.
+type Uniform = sim.Uniform
 
 // NewUniform returns a uniform generator over n logical units.
 func NewUniform(n int, writeFrac float64, seed uint64) *Uniform {
-	if n < 1 {
-		panic("workload: NewUniform: n must be >= 1")
-	}
-	if writeFrac < 0 || writeFrac > 1 {
-		panic("workload: NewUniform: write fraction outside [0,1]")
-	}
-	return &Uniform{rng: NewRNG(seed), n: n, writeFrac: writeFrac}
+	return sim.NewUniform(n, writeFrac, seed)
 }
-
-// Next implements Generator.
-func (u *Uniform) Next() Op {
-	kind := Read
-	if u.rng.Float64() < u.writeFrac {
-		kind = Write
-	}
-	return Op{Kind: kind, Logical: u.rng.Intn(u.n)}
-}
-
-// Name implements Generator.
-func (u *Uniform) Name() string { return fmt.Sprintf("uniform(w=%.2f)", u.writeFrac) }
 
 // Sequential generates a sequential scan, wrapping at n.
-type Sequential struct {
-	n, pos int
-	kind   OpKind
-}
+type Sequential = sim.Sequential
 
 // NewSequential returns a sequential generator (all reads or all writes).
-func NewSequential(n int, kind OpKind) *Sequential {
-	if n < 1 {
-		panic("workload: NewSequential: n must be >= 1")
-	}
-	return &Sequential{n: n, kind: kind}
-}
+func NewSequential(n int, kind OpKind) *Sequential { return sim.NewSequential(n, kind) }
 
-// Next implements Generator.
-func (s *Sequential) Next() Op {
-	op := Op{Kind: s.kind, Logical: s.pos}
-	s.pos = (s.pos + 1) % s.n
-	return op
-}
-
-// Name implements Generator.
-func (s *Sequential) Name() string { return "sequential" }
-
-// Zipf generates Zipf-skewed addresses (hot spots), with exponent theta
-// (0 = uniform, ~1 = classic web skew) and the given write fraction.
-type Zipf struct {
-	rng       *RNG
-	cdf       []float64
-	writeFrac float64
-	theta     float64
-}
+// Zipf generates Zipf-skewed (hot-spot) addresses.
+type Zipf = sim.Zipf
 
 // NewZipf returns a Zipf generator over n logical units.
 func NewZipf(n int, theta, writeFrac float64, seed uint64) *Zipf {
-	if n < 1 {
-		panic("workload: NewZipf: n must be >= 1")
-	}
-	if theta < 0 {
-		panic("workload: NewZipf: theta must be >= 0")
-	}
-	cdf := make([]float64, n)
-	sum := 0.0
-	for i := 0; i < n; i++ {
-		sum += 1.0 / math.Pow(float64(i+1), theta)
-		cdf[i] = sum
-	}
-	for i := range cdf {
-		cdf[i] /= sum
-	}
-	return &Zipf{rng: NewRNG(seed), cdf: cdf, writeFrac: writeFrac, theta: theta}
+	return sim.NewZipf(n, theta, writeFrac, seed)
 }
 
-// Next implements Generator.
-func (z *Zipf) Next() Op {
-	kind := Read
-	if z.rng.Float64() < z.writeFrac {
-		kind = Write
-	}
-	u := z.rng.Float64()
-	// Binary search the CDF.
-	lo, hi := 0, len(z.cdf)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if z.cdf[mid] < u {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return Op{Kind: kind, Logical: lo}
-}
+// Mix interleaves several generators with fixed weights.
+type Mix = sim.Mix
 
-// Name implements Generator.
-func (z *Zipf) Name() string { return fmt.Sprintf("zipf(θ=%.2f,w=%.2f)", z.theta, z.writeFrac) }
+// NewMix returns a weighted mix of generators.
+func NewMix(seed uint64, gens []Generator, weights []float64) *Mix {
+	return sim.NewMix(seed, gens, weights)
+}

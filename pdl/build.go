@@ -131,7 +131,7 @@ func Build(v, k int, opts ...Option) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("pdl: Build(v=%d, k=%d): sparing: %w", v, k, err)
 		}
-		res.Sparing = sp
+		res.Sparing = (*Sparing)(sp)
 	}
 	return res, nil
 }

@@ -15,14 +15,43 @@ import (
 )
 
 // Design is a block design: a collection of K-element tuples (blocks)
-// over the element set {0, ..., V-1}. Verify checks the BIBD conditions
-// and Params reports (b, r, λ). Tuple element order is significant for
-// layout constructions; balance checks ignore it.
-type Design = idesign.Design
+// over the element set {0, ..., V-1}. A Design is not necessarily
+// balanced; Verify checks the BIBD conditions and Params reports
+// (b, r, λ). Tuple element order is significant for layout constructions;
+// balance checks ignore it.
+type Design struct {
+	V      int
+	K      int
+	Tuples [][]int
+}
+
+// internal converts to the implementation type; the structs are
+// field-identical, so the conversion is free.
+func (d *Design) internal() *idesign.Design { return (*idesign.Design)(d) }
+
+func fromInternal(d *idesign.Design) *Design { return (*Design)(d) }
+
+// B returns the number of tuples.
+func (d *Design) B() int { return len(d.Tuples) }
+
+// Clone returns a deep copy.
+func (d *Design) Clone() *Design { return fromInternal(d.internal().Clone()) }
+
+// Params verifies the BIBD conditions and returns the design parameters
+// (b, r, λ). ok is false if the design is not a BIBD.
+func (d *Design) Params() (b, r, lambda int, ok bool) { return d.internal().Params() }
+
+// Verify checks the BIBD conditions: every element in the same number of
+// tuples, every unordered pair in the same number of tuples.
+func (d *Design) Verify() error { return d.internal().Verify() }
+
+// ReplicationCount returns r, the number of tuples containing element 0
+// (well-defined for balanced designs).
+func (d *Design) ReplicationCount() int { return d.internal().ReplicationCount() }
 
 // Known returns the smallest cataloged BIBD for (v, k), or nil when the
 // catalog has none.
-func Known(v, k int) *Design { return idesign.Known(v, k) }
+func Known(v, k int) *Design { return fromInternal(idesign.Known(v, k)) }
 
 // MinB returns the Theorem 7 lower bound on the number of blocks of any
 // (v, k) BIBD.
@@ -30,7 +59,9 @@ func MinB(v, k int) int { return idesign.MinB(v, k) }
 
 // Complete returns the complete design: every k-subset of {0..v-1} once,
 // capped at maxTuples blocks.
-func Complete(v, k, maxTuples int) *Design { return idesign.Complete(v, k, maxTuples) }
+func Complete(v, k, maxTuples int) *Design {
+	return fromInternal(idesign.Complete(v, k, maxTuples))
+}
 
 // Ring builds the Theorem 1 ring-based design for (v, k); it fails when
 // k > M(v) (Theorem 2).
@@ -39,29 +70,40 @@ func Ring(v, k int) (*Design, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &rd.Design, nil
+	return fromInternal(&rd.Design), nil
 }
 
 // Theorem4 builds the redundancy-reduced design of Theorem 4, returning
 // the design and its reduction factor over the full ring design.
-func Theorem4(v, k int) (*Design, int, error) { return idesign.Theorem4Design(v, k) }
+func Theorem4(v, k int) (*Design, int, error) {
+	d, f, err := idesign.Theorem4Design(v, k)
+	return fromInternal(d), f, err
+}
 
 // Theorem5 builds the redundancy-reduced design of Theorem 5, returning
 // the design and its reduction factor.
-func Theorem5(v, k int) (*Design, int, error) { return idesign.Theorem5Design(v, k) }
+func Theorem5(v, k int) (*Design, int, error) {
+	d, f, err := idesign.Theorem5Design(v, k)
+	return fromInternal(d), f, err
+}
 
 // Subfield builds the λ = 1 subfield design of Theorem 6, returning the
 // design and its reduction factor.
-func Subfield(v, k int) (*Design, int, error) { return idesign.SubfieldDesign(v, k) }
+func Subfield(v, k int) (*Design, int, error) {
+	d, f, err := idesign.SubfieldDesign(v, k)
+	return fromInternal(d), f, err
+}
 
 // Resolve attempts to partition the design's blocks into parallel classes
 // (each class covering every element exactly once) within maxNodes search
 // nodes. ok is false when no resolution was found.
-func Resolve(d *Design, maxNodes int) ([][]int, bool) { return idesign.Resolve(d, maxNodes) }
+func Resolve(d *Design, maxNodes int) ([][]int, bool) {
+	return idesign.Resolve(d.internal(), maxNodes)
+}
 
 // IsResolutionValid checks a claimed resolution.
 func IsResolutionValid(d *Design, classes [][]int) bool {
-	return idesign.IsResolutionValid(d, classes)
+	return idesign.IsResolutionValid(d.internal(), classes)
 }
 
 // Build resolves a named construction, mirroring the pdldesign CLI:

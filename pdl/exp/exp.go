@@ -7,11 +7,33 @@ import "repro/internal/experiments"
 
 // Table is one experiment's result: an id (e.g. "T5"), caption, column
 // headers, and rows; String renders it for terminals.
-type Table = experiments.Table
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// internal converts to the implementation type; the structs are
+// field-identical, so the conversion is free.
+func (t *Table) internal() *experiments.Table { return (*experiments.Table)(t) }
+
+// AddRow appends a row built from arbitrary values (floats render with
+// four decimals).
+func (t *Table) AddRow(cells ...interface{}) { t.internal().AddRow(cells...) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string { return t.internal().String() }
 
 // All runs every experiment in order. quick=true scales heavy scans down
 // to laptop-fast parameters; quick=false runs the full paper-scale
 // parameters (e.g. the v <= 10,000 coverage scan).
 func All(quick bool) ([]*Table, error) {
-	return experiments.All(quick)
+	tables, err := experiments.All(quick)
+	out := make([]*Table, len(tables))
+	for i, tb := range tables {
+		out[i] = (*Table)(tb)
+	}
+	return out, err
 }

@@ -1,6 +1,9 @@
 package layout
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Mapping implements Condition 4: the translation between logical data-unit
 // addresses and physical (disk, offset) positions via one table lookup plus
@@ -11,14 +14,25 @@ import "fmt"
 // vertically: logical addresses beyond one layout's data capacity wrap to
 // the next copy, adding Size to the offset — the constant-arithmetic part
 // of the paper's mapping.
+//
+// All tables are dense slices indexed by disk*Size+offset or by stripe
+// index; the stripe table is a CSR (offset + flat units) representation so
+// per-stripe lookups return subslices without touching the Layout's
+// per-stripe allocations.
 type Mapping struct {
 	layout *Layout
 	// forward[i] = physical unit of logical data unit i (one copy).
 	forward []Unit
 	// reverse[disk*Size+offset] = logical index, or -1 for parity units.
-	reverse []int
+	reverse []int32
 	// stripeOf[disk*Size+offset] = stripe index covering that unit.
-	stripeOf []int
+	stripeOf []int32
+	// stripeOff/stripeUnits are the CSR stripe table: stripe si's units
+	// are stripeUnits[stripeOff[si]:stripeOff[si+1]], in stripe order.
+	stripeOff   []int32
+	stripeUnits []Unit
+	// stripeParity[si] = index of the parity unit within stripe si's units.
+	stripeParity []int32
 }
 
 // NewMapping builds the lookup tables for a layout with assigned parity.
@@ -32,32 +46,53 @@ func NewMapping(l *Layout) (*Mapping, error) {
 	if !l.ParityAssigned() {
 		return nil, fmt.Errorf("layout: NewMapping: parity not fully assigned")
 	}
+	entries := l.V * l.Size
+	if l.V > 0 && (entries/l.V != l.Size || entries > math.MaxInt32) {
+		return nil, fmt.Errorf("layout: NewMapping: %d x %d units overflow the 32-bit index tables", l.V, l.Size)
+	}
 	m := &Mapping{
-		layout:   l,
-		reverse:  make([]int, l.V*l.Size),
-		stripeOf: make([]int, l.V*l.Size),
+		layout:       l,
+		reverse:      make([]int32, entries),
+		stripeOf:     make([]int32, entries),
+		stripeOff:    make([]int32, len(l.Stripes)+1),
+		stripeParity: make([]int32, len(l.Stripes)),
 	}
 	for i := range m.reverse {
 		m.reverse[i] = -1
 		m.stripeOf[i] = -1
 	}
+	total := 0
+	for si := range l.Stripes {
+		total += len(l.Stripes[si].Units)
+	}
+	m.stripeUnits = make([]Unit, 0, total)
 	for si := range l.Stripes {
 		s := &l.Stripes[si]
+		m.stripeOff[si] = int32(len(m.stripeUnits))
+		m.stripeParity[si] = int32(s.Parity)
+		m.stripeUnits = append(m.stripeUnits, s.Units...)
 		for ui, u := range s.Units {
 			idx := u.Disk*l.Size + u.Offset
-			m.stripeOf[idx] = si
+			m.stripeOf[idx] = int32(si)
 			if ui == s.Parity {
 				continue
 			}
-			m.reverse[idx] = len(m.forward)
+			m.reverse[idx] = int32(len(m.forward))
 			m.forward = append(m.forward, u)
 		}
 	}
+	m.stripeOff[len(l.Stripes)] = int32(len(m.stripeUnits))
 	return m, nil
 }
 
+// Layout returns the layout the tables were built from.
+func (m *Mapping) Layout() *Layout { return m.layout }
+
 // DataUnits returns the number of logical data units in one layout copy.
 func (m *Mapping) DataUnits() int { return len(m.forward) }
+
+// NumStripes returns the number of parity stripes in one layout copy.
+func (m *Mapping) NumStripes() int { return len(m.stripeOff) - 1 }
 
 // ForwardUnit returns the physical unit of logical data unit i within one
 // layout copy, with no revalidation: i must be in [0, DataUnits()). It is
@@ -70,8 +105,19 @@ func (m *Mapping) ForwardUnit(i int) Unit { return m.forward[i] }
 // ForwardUnit, it is the raw table access behind Logical: disk must be in
 // [0, V) and offset in [0, Size).
 func (m *Mapping) LogicalIndex(disk, offset int) int {
-	return m.reverse[disk*m.layout.Size+offset]
+	return int(m.reverse[disk*m.layout.Size+offset])
 }
+
+// StripeUnits returns the units of stripe si (one layout copy) in stripe
+// order, as a subslice of the flat stripe table: no allocation, and the
+// caller must not modify it. si must be in [0, NumStripes()).
+func (m *Mapping) StripeUnits(si int) []Unit {
+	return m.stripeUnits[m.stripeOff[si]:m.stripeOff[si+1]]
+}
+
+// ParityIndex returns the index of stripe si's parity unit within
+// StripeUnits(si). si must be in [0, NumStripes()).
+func (m *Mapping) ParityIndex(si int) int { return int(m.stripeParity[si]) }
 
 // TableEntries returns the size of the in-memory lookup table (the
 // Condition 4 memory metric): one entry per unit of one disk per table,
@@ -105,7 +151,7 @@ func (m *Mapping) Logical(u Unit, diskUnits int) (int, bool) {
 		return 0, false
 	}
 	copyIdx := u.Offset / m.layout.Size
-	base := m.reverse[u.Disk*m.layout.Size+u.Offset%m.layout.Size]
+	base := int(m.reverse[u.Disk*m.layout.Size+u.Offset%m.layout.Size])
 	if base < 0 {
 		return 0, false
 	}
@@ -115,5 +161,5 @@ func (m *Mapping) Logical(u Unit, diskUnits int) (int, bool) {
 // StripeAt returns the stripe index covering a physical unit within one
 // layout copy.
 func (m *Mapping) StripeAt(u Unit) int {
-	return m.stripeOf[u.Disk*m.layout.Size+u.Offset%m.layout.Size]
+	return int(m.stripeOf[u.Disk*m.layout.Size+u.Offset%m.layout.Size])
 }

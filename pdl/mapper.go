@@ -8,8 +8,11 @@ import (
 
 // Mapper is the serving hot path: precomputed O(1) translation between
 // logical data-unit addresses and physical (disk, offset) positions, with
-// a degraded-mode variant for reads while a disk is down. Implementations
-// are safe for concurrent readers once built.
+// degraded-mode variants for reads while a disk is down and the stripe
+// lookups the pdl/plan compiler is built on. The Append* methods are the
+// allocation-free forms: they append into a caller-owned slice and never
+// allocate once that slice has capacity. Implementations are safe for
+// concurrent readers once built.
 type Mapper interface {
 	// DataUnits returns the number of addressable logical data units.
 	DataUnits() int
@@ -17,9 +20,21 @@ type Mapper interface {
 	// DiskUnits returns the configured disk size in units.
 	DiskUnits() int
 
+	// Disks returns the number of disks in the array.
+	Disks() int
+
+	// Stripes returns the total number of parity stripes across all
+	// layout copies on the configured disks.
+	Stripes() int
+
 	// Map translates a logical address to its physical position: one
 	// table lookup plus constant arithmetic (Condition 4).
 	Map(logical int) (layout.Unit, error)
+
+	// MapRange appends the physical positions of the n consecutive
+	// logical addresses starting at logical to dst and returns the
+	// extended slice: the batched, allocation-free form of Map.
+	MapRange(dst []layout.Unit, logical, n int) ([]layout.Unit, error)
 
 	// Logical inverts Map; ok is false for parity units or positions
 	// outside the array.
@@ -30,6 +45,25 @@ type Mapper interface {
 	// on the failed disk, the surviving units of its stripe are returned
 	// so the caller can reconstruct the payload by XOR.
 	DegradedMap(logical, failed int) (DegradedRead, error)
+
+	// AppendSurvivors is the allocation-free DegradedMap: when logical's
+	// home unit lies on disk failed, the stripe's surviving units
+	// (including parity, in stripe order) are appended to dst. It returns
+	// the extended slice, the home unit, and whether the home disk is the
+	// failed one (dst is returned unchanged when it is not).
+	AppendSurvivors(dst []layout.Unit, logical, failed int) (survivors []layout.Unit, home layout.Unit, degraded bool, err error)
+
+	// StripeOf returns the index (in [0, Stripes())) of the parity stripe
+	// containing a logical address, along with the address's home unit.
+	StripeOf(logical int) (stripe int, home layout.Unit, err error)
+
+	// ParityOf returns the parity unit of a stripe, copy-adjusted.
+	ParityOf(stripe int) (layout.Unit, error)
+
+	// AppendStripeUnits appends every unit of a stripe (copy-adjusted, in
+	// stripe order, parity included) to dst and returns the extended
+	// slice.
+	AppendStripeUnits(dst []layout.Unit, stripe int) ([]layout.Unit, error)
 }
 
 // DegradedRead is the result of Mapper.DegradedMap.
@@ -46,9 +80,9 @@ type DegradedRead struct {
 	Survivors []layout.Unit
 }
 
-// tableMapper implements Mapper over layout.Mapping's precomputed tables,
-// baking in the disk geometry (validated once at construction, so the
-// per-lookup path is table access plus constant arithmetic) and adding
+// tableMapper implements Mapper over layout.Mapping's precomputed dense
+// tables, baking in the disk geometry (validated once at construction, so
+// the per-lookup path is table access plus constant arithmetic) and adding
 // the degraded-mode stripe resolution.
 type tableMapper struct {
 	l           *layout.Layout
@@ -57,6 +91,7 @@ type tableMapper struct {
 	copies      int
 	dataPerCopy int
 	capacity    int
+	perCopy     int // stripes per layout copy
 }
 
 // NewMapper builds the lookup tables for a layout with fully assigned
@@ -66,12 +101,21 @@ func NewMapper(l *layout.Layout, diskUnits int) (Mapper, error) {
 	if l.Size <= 0 {
 		return nil, fmt.Errorf("pdl: NewMapper: layout size %d must be positive", l.Size)
 	}
-	if diskUnits <= 0 || diskUnits%l.Size != 0 {
-		return nil, fmt.Errorf("pdl: NewMapper: disk size %d not a positive multiple of layout size %d", diskUnits, l.Size)
-	}
 	m, err := layout.NewMapping(l)
 	if err != nil {
 		return nil, fmt.Errorf("pdl: NewMapper: %w", err)
+	}
+	return NewMapperFromMapping(m, diskUnits)
+}
+
+// NewMapperFromMapping wraps already-built mapping tables (from
+// layout.NewMapping) as a Mapper for disks of diskUnits units, sharing
+// the tables instead of rebuilding them — for callers that also use the
+// Mapping directly (e.g. the simulator or the layout Data engine).
+func NewMapperFromMapping(m *layout.Mapping, diskUnits int) (Mapper, error) {
+	l := m.Layout()
+	if diskUnits <= 0 || diskUnits%l.Size != 0 {
+		return nil, fmt.Errorf("pdl: NewMapper: disk size %d not a positive multiple of layout size %d", diskUnits, l.Size)
 	}
 	copies := diskUnits / l.Size
 	return &tableMapper{
@@ -81,12 +125,17 @@ func NewMapper(l *layout.Layout, diskUnits int) (Mapper, error) {
 		copies:      copies,
 		dataPerCopy: m.DataUnits(),
 		capacity:    m.DataUnits() * copies,
+		perCopy:     m.NumStripes(),
 	}, nil
 }
 
 func (t *tableMapper) DataUnits() int { return t.capacity }
 
 func (t *tableMapper) DiskUnits() int { return t.diskUnits }
+
+func (t *tableMapper) Disks() int { return t.l.V }
+
+func (t *tableMapper) Stripes() int { return t.perCopy * t.copies }
 
 func (t *tableMapper) Map(logical int) (layout.Unit, error) {
 	if logical < 0 || logical >= t.capacity {
@@ -96,6 +145,22 @@ func (t *tableMapper) Map(logical int) (layout.Unit, error) {
 	u := t.m.ForwardUnit(logical - copyIdx*t.dataPerCopy)
 	u.Offset += copyIdx * t.l.Size
 	return u, nil
+}
+
+func (t *tableMapper) MapRange(dst []layout.Unit, logical, n int) ([]layout.Unit, error) {
+	if n < 0 {
+		return dst, fmt.Errorf("pdl: MapRange: negative count %d", n)
+	}
+	if logical < 0 || logical > t.capacity-n {
+		return dst, fmt.Errorf("pdl: MapRange: [%d,%d) outside [0,%d)", logical, logical+n, t.capacity)
+	}
+	for i := logical; i < logical+n; i++ {
+		copyIdx := i / t.dataPerCopy
+		u := t.m.ForwardUnit(i - copyIdx*t.dataPerCopy)
+		u.Offset += copyIdx * t.l.Size
+		dst = append(dst, u)
+	}
+	return dst, nil
 }
 
 func (t *tableMapper) Logical(u layout.Unit) (int, bool) {
@@ -121,14 +186,72 @@ func (t *tableMapper) DegradedMap(logical, failed int) (DegradedRead, error) {
 	if u.Disk != failed {
 		return DegradedRead{Unit: u}, nil
 	}
+	stripe := t.m.StripeUnits(t.m.StripeAt(u))
+	survivors := t.appendStripeSurvivors(make([]layout.Unit, 0, len(stripe)-1), u, failed)
+	return DegradedRead{Unit: u, Degraded: true, Survivors: survivors}, nil
+}
+
+func (t *tableMapper) AppendSurvivors(dst []layout.Unit, logical, failed int) ([]layout.Unit, layout.Unit, bool, error) {
+	if failed < 0 || failed >= t.l.V {
+		return dst, layout.Unit{}, false, fmt.Errorf("pdl: AppendSurvivors: failed disk %d outside [0,%d)", failed, t.l.V)
+	}
+	u, err := t.Map(logical)
+	if err != nil {
+		return dst, layout.Unit{}, false, err
+	}
+	if u.Disk != failed {
+		return dst, u, false, nil
+	}
+	return t.appendStripeSurvivors(dst, u, failed), u, true, nil
+}
+
+// appendStripeSurvivors appends the surviving units of the stripe
+// containing physical unit u (which lies on disk failed), copy-adjusted.
+func (t *tableMapper) appendStripeSurvivors(dst []layout.Unit, u layout.Unit, failed int) []layout.Unit {
 	copyBase := (u.Offset / t.l.Size) * t.l.Size
-	s := &t.l.Stripes[t.m.StripeAt(u)]
-	survivors := make([]layout.Unit, 0, len(s.Units)-1)
-	for _, su := range s.Units {
+	for _, su := range t.m.StripeUnits(t.m.StripeAt(u)) {
 		if su.Disk == failed {
 			continue
 		}
-		survivors = append(survivors, layout.Unit{Disk: su.Disk, Offset: su.Offset + copyBase})
+		dst = append(dst, layout.Unit{Disk: su.Disk, Offset: su.Offset + copyBase})
 	}
-	return DegradedRead{Unit: u, Degraded: true, Survivors: survivors}, nil
+	return dst
+}
+
+func (t *tableMapper) StripeOf(logical int) (int, layout.Unit, error) {
+	u, err := t.Map(logical)
+	if err != nil {
+		return 0, layout.Unit{}, err
+	}
+	copyIdx := u.Offset / t.l.Size
+	return copyIdx*t.perCopy + t.m.StripeAt(u), u, nil
+}
+
+func (t *tableMapper) ParityOf(stripe int) (layout.Unit, error) {
+	si, copyBase, err := t.splitStripe("ParityOf", stripe)
+	if err != nil {
+		return layout.Unit{}, err
+	}
+	pu := t.m.StripeUnits(si)[t.m.ParityIndex(si)]
+	return layout.Unit{Disk: pu.Disk, Offset: pu.Offset + copyBase}, nil
+}
+
+func (t *tableMapper) AppendStripeUnits(dst []layout.Unit, stripe int) ([]layout.Unit, error) {
+	si, copyBase, err := t.splitStripe("AppendStripeUnits", stripe)
+	if err != nil {
+		return dst, err
+	}
+	for _, su := range t.m.StripeUnits(si) {
+		dst = append(dst, layout.Unit{Disk: su.Disk, Offset: su.Offset + copyBase})
+	}
+	return dst, nil
+}
+
+// splitStripe resolves a global stripe index into its per-copy index and
+// the copy's offset base.
+func (t *tableMapper) splitStripe(op string, stripe int) (si, copyBase int, err error) {
+	if stripe < 0 || stripe >= t.perCopy*t.copies {
+		return 0, 0, fmt.Errorf("pdl: %s: stripe %d outside [0,%d)", op, stripe, t.perCopy*t.copies)
+	}
+	return stripe % t.perCopy, (stripe / t.perCopy) * t.l.Size, nil
 }

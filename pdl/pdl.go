@@ -8,16 +8,21 @@
 //
 //   - pdl: the Build facade (functional options over a construction-method
 //     registry), the Mapper hot path for logical→physical address
-//     translation including degraded mode, structured errors, and the
-//     condition report;
+//     translation — including degraded mode and allocation-free
+//     append-style lookups — structured errors, and the condition report;
 //   - pdl/layout: the Layout/Stripe/Unit value types, the four
 //     Holland–Gibson condition metrics, address mapping, the XOR data
 //     engine, and the versioned JSON interchange format;
 //   - pdl/design: balanced incomplete block designs — catalog lookup and
 //     the paper's constructions (Theorems 1, 4, 5, 6), resolution, and
 //     the size lower bound (Theorem 7);
-//   - pdl/sim: the event-driven disk-array simulator and workload
-//     generators used for the paper's rebuild and service studies;
+//   - pdl/plan: the I/O-plan compiler — degraded reads over survivor XOR
+//     sets, read-modify-write parity updates, full-stripe writes, and
+//     per-stripe rebuild schedules, compiled against a Mapper with zero
+//     allocations per request;
+//   - pdl/sim: the event-driven disk-array simulator (an execution engine
+//     for pdl/plan) and workload generators used for the paper's rebuild
+//     and service studies;
 //   - pdl/exp: the paper's full evaluation (figures, tables, simulator
 //     studies) as runnable experiments.
 //

@@ -1,0 +1,385 @@
+// Package plan compiles logical disk-array operations into explicit
+// physical I/O plans over a pdl.Mapper: which units to read, which to
+// write, and in what order. A Plan is the unit of work a serving layer or
+// simulator executes — the request logic of parity declustering (degraded
+// reads over survivor XOR sets, read-modify-write parity updates, the
+// Condition 5 large-write optimization, and per-stripe rebuild schedules)
+// lives here once, instead of being re-implemented by every engine.
+//
+// Plans are flat step lists with barrier stages: every step in stage s may
+// start only after all steps in stage s-1 finished (a small write's two
+// writes wait for its two reads). Compilation is allocation-free in steady
+// state: a Planner reuses its scratch buffers and appends steps into the
+// caller's Plan, so a serving loop that recycles one Plan performs zero
+// allocations per request.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/pdl"
+	"repro/pdl/layout"
+)
+
+// Kind classifies a compiled plan.
+type Kind int
+
+const (
+	// Read is a healthy one-unit read.
+	Read Kind = iota
+
+	// DegradedRead reads every surviving unit of the stripe (the XOR
+	// survivor set) because the home unit's disk is down.
+	DegradedRead
+
+	// SmallWrite is the Figure 1 read-modify-write: read old data and old
+	// parity, then write new data and new parity.
+	SmallWrite
+
+	// ReconstructWrite handles a small write whose data disk is down:
+	// read the stripe's surviving data units, then write parity only.
+	ReconstructWrite
+
+	// DataOnlyWrite handles a small write whose parity disk is down:
+	// write the data unit, nothing else to maintain.
+	DataOnlyWrite
+
+	// FullStripeWrite is the Condition 5 large-write optimization: parity
+	// comes from the new data alone, so the whole stripe is written with
+	// no pre-reads.
+	FullStripeWrite
+
+	// RebuildStripe reads every surviving unit of one stripe crossing a
+	// failed disk, reconstructing that stripe's lost unit.
+	RebuildStripe
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case DegradedRead:
+		return "degraded-read"
+	case SmallWrite:
+		return "small-write"
+	case ReconstructWrite:
+		return "reconstruct-write"
+	case DataOnlyWrite:
+		return "data-only-write"
+	case FullStripeWrite:
+		return "full-stripe-write"
+	case RebuildStripe:
+		return "rebuild-stripe"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Step is one physical unit operation within a plan.
+type Step struct {
+	// Unit is the physical (disk, offset) position touched.
+	layout.Unit
+
+	// Write distinguishes writes from reads.
+	Write bool
+
+	// Stage is the barrier stage: the step may start once every step of
+	// the previous stage completed. Steps are ordered by stage.
+	Stage uint8
+}
+
+// Plan is a compiled physical I/O plan. The zero value is an empty plan;
+// reusing one Plan across compilations reuses its step storage.
+type Plan struct {
+	// Kind classifies the operation the steps implement.
+	Kind Kind
+
+	// Logical is the logical address the plan serves (-1 for rebuild
+	// stripe plans, which serve a whole stripe).
+	Logical int
+
+	// Steps lists the unit operations in execution order (by stage).
+	Steps []Step
+}
+
+// reset re-tags the plan and truncates its steps, keeping capacity.
+func (p *Plan) reset(kind Kind, logical int) {
+	p.Kind = kind
+	p.Logical = logical
+	p.Steps = p.Steps[:0]
+}
+
+// Reads returns the number of read steps.
+func (p *Plan) Reads() int {
+	n := 0
+	for i := range p.Steps {
+		if !p.Steps[i].Write {
+			n++
+		}
+	}
+	return n
+}
+
+// Writes returns the number of write steps.
+func (p *Plan) Writes() int { return len(p.Steps) - p.Reads() }
+
+// Stages returns the number of barrier stages.
+func (p *Plan) Stages() int {
+	if len(p.Steps) == 0 {
+		return 0
+	}
+	return int(p.Steps[len(p.Steps)-1].Stage) + 1
+}
+
+// String renders the plan for tracing: kind, logical address, and the
+// steps grouped by stage.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", p.Kind)
+	if p.Logical >= 0 {
+		fmt.Fprintf(&b, " logical %d", p.Logical)
+	}
+	if len(p.Steps) == 0 {
+		b.WriteString(": no steps")
+		return b.String()
+	}
+	cur := -1
+	for _, s := range p.Steps {
+		if int(s.Stage) != cur {
+			cur = int(s.Stage)
+			fmt.Fprintf(&b, "\n  stage %d:", cur)
+		}
+		op := "read"
+		if s.Write {
+			op = "write"
+		}
+		fmt.Fprintf(&b, " %s(d%d,o%d)", op, s.Disk, s.Offset)
+	}
+	return b.String()
+}
+
+// Planner compiles logical operations against one Mapper. A Planner
+// reuses internal scratch space, so it is NOT safe for concurrent use;
+// create one per serving goroutine (they share the read-only Mapper).
+type Planner struct {
+	m   pdl.Mapper
+	buf []layout.Unit
+}
+
+// NewPlanner returns a plan compiler over a Mapper.
+func NewPlanner(m pdl.Mapper) *Planner {
+	if m == nil {
+		panic("plan: NewPlanner: nil Mapper")
+	}
+	return &Planner{m: m}
+}
+
+// Mapper returns the Mapper plans are compiled against.
+func (p *Planner) Mapper() pdl.Mapper { return p.m }
+
+// checkFailed validates a failed-disk argument (-1 = healthy array).
+func (p *Planner) checkFailed(op string, failed int) error {
+	if failed < -1 || failed >= p.m.Disks() {
+		return fmt.Errorf("plan: %s: failed disk %d outside [-1,%d)", op, failed, p.m.Disks())
+	}
+	return nil
+}
+
+// Read compiles a one-unit read of a logical address into dst. With
+// failed >= 0 and the address's home unit on that disk, the plan becomes
+// a DegradedRead over the stripe's survivor XOR set.
+func (p *Planner) Read(logical, failed int, dst *Plan) error {
+	if err := p.checkFailed("Read", failed); err != nil {
+		return err
+	}
+	if failed < 0 {
+		u, err := p.m.Map(logical)
+		if err != nil {
+			return err
+		}
+		dst.reset(Read, logical)
+		dst.Steps = append(dst.Steps, Step{Unit: u})
+		return nil
+	}
+	survivors, home, degraded, err := p.m.AppendSurvivors(p.buf[:0], logical, failed)
+	p.buf = survivors[:0]
+	if err != nil {
+		return err
+	}
+	if !degraded {
+		dst.reset(Read, logical)
+		dst.Steps = append(dst.Steps, Step{Unit: home})
+		return nil
+	}
+	dst.reset(DegradedRead, logical)
+	for _, u := range survivors {
+		dst.Steps = append(dst.Steps, Step{Unit: u})
+	}
+	return nil
+}
+
+// Write compiles a small write of a logical address into dst: the
+// read-modify-write of data and parity, or its degraded variants
+// (ReconstructWrite when the data disk is down, DataOnlyWrite when the
+// parity disk is down).
+func (p *Planner) Write(logical, failed int, dst *Plan) error {
+	if err := p.checkFailed("Write", failed); err != nil {
+		return err
+	}
+	stripe, home, err := p.m.StripeOf(logical)
+	if err != nil {
+		return err
+	}
+	parity, err := p.m.ParityOf(stripe)
+	if err != nil {
+		return err
+	}
+	switch {
+	case failed >= 0 && home.Disk == failed:
+		// Reconstruct-write: read all surviving data units, write parity.
+		units, err := p.m.AppendStripeUnits(p.buf[:0], stripe)
+		p.buf = units[:0]
+		if err != nil {
+			return err
+		}
+		dst.reset(ReconstructWrite, logical)
+		for _, u := range units {
+			if u.Disk == failed || u == parity {
+				continue
+			}
+			dst.Steps = append(dst.Steps, Step{Unit: u})
+		}
+		if parity.Disk != failed {
+			dst.Steps = append(dst.Steps, Step{Unit: parity, Write: true, Stage: 1})
+		}
+		return nil
+	case failed >= 0 && parity.Disk == failed:
+		dst.reset(DataOnlyWrite, logical)
+		dst.Steps = append(dst.Steps, Step{Unit: home, Write: true})
+		return nil
+	default:
+		dst.reset(SmallWrite, logical)
+		dst.Steps = append(dst.Steps,
+			Step{Unit: home},
+			Step{Unit: parity},
+			Step{Unit: home, Write: true, Stage: 1},
+			Step{Unit: parity, Write: true, Stage: 1},
+		)
+		return nil
+	}
+}
+
+// FullStripeWrite compiles a large write covering every data unit of the
+// stripe holding logical (Condition 5): the stripe's units are written
+// with no pre-reads, skipping the failed disk when one is down.
+func (p *Planner) FullStripeWrite(logical, failed int, dst *Plan) error {
+	if err := p.checkFailed("FullStripeWrite", failed); err != nil {
+		return err
+	}
+	stripe, _, err := p.m.StripeOf(logical)
+	if err != nil {
+		return err
+	}
+	units, err := p.m.AppendStripeUnits(p.buf[:0], stripe)
+	p.buf = units[:0]
+	if err != nil {
+		return err
+	}
+	dst.reset(FullStripeWrite, logical)
+	for _, u := range units {
+		if u.Disk == failed {
+			continue
+		}
+		dst.Steps = append(dst.Steps, Step{Unit: u, Write: true})
+	}
+	return nil
+}
+
+// Rebuild compiles the full reconstruction schedule for a failed disk:
+// one RebuildStripe plan per stripe crossing it, in disk-scan order, plus
+// the per-disk read counts the schedule induces — the reconstruction-
+// workload balance the paper's Condition 3 governs.
+func (p *Planner) Rebuild(failed int) (*Rebuild, error) {
+	if failed < 0 || failed >= p.m.Disks() {
+		return nil, fmt.Errorf("plan: Rebuild: failed disk %d outside [0,%d)", failed, p.m.Disks())
+	}
+	rb := &Rebuild{Failed: failed, Reads: make([]int64, p.m.Disks())}
+	for s := 0; s < p.m.Stripes(); s++ {
+		units, err := p.m.AppendStripeUnits(p.buf[:0], s)
+		p.buf = units[:0]
+		if err != nil {
+			return nil, err
+		}
+		crosses := false
+		for _, u := range units {
+			if u.Disk == failed {
+				crosses = true
+				break
+			}
+		}
+		if !crosses {
+			continue
+		}
+		var pl Plan
+		pl.reset(RebuildStripe, -1)
+		for _, u := range units {
+			if u.Disk == failed {
+				continue
+			}
+			pl.Steps = append(pl.Steps, Step{Unit: u})
+			rb.Reads[u.Disk]++
+		}
+		rb.Plans = append(rb.Plans, pl)
+	}
+	return rb, nil
+}
+
+// Rebuild is a compiled reconstruction schedule for one failed disk.
+type Rebuild struct {
+	// Failed is the disk being reconstructed.
+	Failed int
+
+	// Plans holds one RebuildStripe plan per stripe crossing the failed
+	// disk, in disk-scan order (copy by copy, stripe by stripe).
+	Plans []Plan
+
+	// Reads[d] is the number of unit reads the schedule issues to disk d.
+	Reads []int64
+}
+
+// MaxSurvivorReads returns the bottleneck read count over surviving
+// disks: it determines rebuild time when disks run in parallel.
+func (r *Rebuild) MaxSurvivorReads() int64 {
+	var max int64
+	for d, n := range r.Reads {
+		if d != r.Failed && n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Balance returns the minimum and maximum read counts over surviving
+// disks — equal under the paper's Condition 3 (every surviving disk
+// contributes the same reconstruction workload).
+func (r *Rebuild) Balance() (min, max int64) {
+	first := true
+	for d, n := range r.Reads {
+		if d == r.Failed {
+			continue
+		}
+		if first {
+			min, max = n, n
+			first = false
+			continue
+		}
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return min, max
+}

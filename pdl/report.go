@@ -35,13 +35,39 @@ func Report(l *layout.Layout) string {
 // Sparing is a layout whose stripes each designate one distributed spare
 // unit, disjoint from parity (Section 5); produced by WithSparing or
 // DistributedSparing.
-type Sparing = core.SparedLayout
+type Sparing struct {
+	*layout.Layout
+	// Spare[i] is the unit index of stripe i's spare.
+	Spare []int
+}
+
+// internal converts to the implementation type; the structs are
+// field-identical, so the conversion is free.
+func (s *Sparing) internal() *core.SparedLayout { return (*core.SparedLayout)(s) }
+
+// SpareCounts returns the number of spare units per disk.
+func (s *Sparing) SpareCounts() []int { return s.internal().SpareCounts() }
+
+// SpareSpread returns max - min of the per-disk spare counts (Theorem 14
+// guarantees at most 1).
+func (s *Sparing) SpareSpread() int { return s.internal().SpareSpread() }
+
+// RebuildToSpares simulates reconstructing a failed disk into the spare
+// units: writes[d] counts reconstruction writes landing on disk d, and
+// spareLost counts stripes whose spare itself was on the failed disk.
+func (s *Sparing) RebuildToSpares(failed int) (writes []int, spareLost int, err error) {
+	return s.internal().RebuildToSpares(failed)
+}
 
 // DistributedSparing assigns one spare unit per stripe of a layout with
 // assigned parity, using the Theorem 14 flow so per-disk spare counts are
 // within one of each other.
 func DistributedSparing(l *layout.Layout) (*Sparing, error) {
-	return core.DistributedSparing(l)
+	sp, err := core.DistributedSparing(l)
+	if err != nil {
+		return nil, err
+	}
+	return (*Sparing)(sp), nil
 }
 
 // SelectDistinguished solves the generalized distinguished-unit problem
@@ -54,11 +80,21 @@ func SelectDistinguished(l *layout.Layout, cs []int) ([][]int, error) {
 
 // CoverageResult summarizes, for one array size v, how a layout is
 // reachable: directly (prime-power v) or via a stairway base (q, c, w).
-type CoverageResult = core.CoverageResult
+type CoverageResult struct {
+	V       int
+	Direct  bool // v is a prime power: exact ring layout, no stairway needed
+	Q, C, W int  // stairway parameters when !Direct
+	Covered bool
+}
 
 // Coverage verifies the paper's Section 3.2 claim that every v up to maxV
 // admits a direct ring layout or a stairway base, one result per v in
 // [2, maxV].
 func Coverage(maxV int) []CoverageResult {
-	return core.CoverageScan(maxV)
+	scan := core.CoverageScan(maxV)
+	out := make([]CoverageResult, len(scan))
+	for i, r := range scan {
+		out[i] = CoverageResult(r)
+	}
+	return out
 }

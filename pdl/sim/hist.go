@@ -1,4 +1,4 @@
-package disksim
+package sim
 
 import "sort"
 

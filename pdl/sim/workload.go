@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind int
+
+const (
+	// Read is a data-unit read.
+	Read OpKind = iota
+	// Write is a data-unit write (read-modify-write at the array).
+	Write
+)
+
+// Op is one client operation on a logical data unit.
+type Op struct {
+	Kind    OpKind
+	Logical int
+}
+
+// Generator produces a deterministic operation stream.
+type Generator interface {
+	// Next returns the next operation.
+	Next() Op
+	// Name identifies the generator in experiment tables.
+	Name() string
+}
+
+// RNG is a xorshift64* pseudorandom generator: deterministic, seedable,
+// dependency-free. The zero value is invalid; use NewRNG.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a seeded generator.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw value.
+func (r *RNG) Uint64() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 2685821657736338717
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("sim: Intn(%d): n must be positive", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Uniform generates uniformly random addresses with the given write
+// fraction (0 = read-only, 1 = write-only).
+type Uniform struct {
+	rng       *RNG
+	n         int
+	writeFrac float64
+}
+
+// NewUniform returns a uniform generator over n logical units.
+func NewUniform(n int, writeFrac float64, seed uint64) *Uniform {
+	if n < 1 {
+		panic("sim: NewUniform: n must be >= 1")
+	}
+	if writeFrac < 0 || writeFrac > 1 {
+		panic("sim: NewUniform: write fraction outside [0,1]")
+	}
+	return &Uniform{rng: NewRNG(seed), n: n, writeFrac: writeFrac}
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() Op {
+	kind := Read
+	if u.rng.Float64() < u.writeFrac {
+		kind = Write
+	}
+	return Op{Kind: kind, Logical: u.rng.Intn(u.n)}
+}
+
+// Name implements Generator.
+func (u *Uniform) Name() string { return fmt.Sprintf("uniform(w=%.2f)", u.writeFrac) }
+
+// Sequential generates a sequential scan, wrapping at n.
+type Sequential struct {
+	n, pos int
+	kind   OpKind
+}
+
+// NewSequential returns a sequential generator (all reads or all writes).
+func NewSequential(n int, kind OpKind) *Sequential {
+	if n < 1 {
+		panic("sim: NewSequential: n must be >= 1")
+	}
+	return &Sequential{n: n, kind: kind}
+}
+
+// Next implements Generator.
+func (s *Sequential) Next() Op {
+	op := Op{Kind: s.kind, Logical: s.pos}
+	s.pos = (s.pos + 1) % s.n
+	return op
+}
+
+// Name implements Generator.
+func (s *Sequential) Name() string { return "sequential" }
+
+// Zipf generates Zipf-skewed addresses (hot spots), with exponent theta
+// (0 = uniform, ~1 = classic web skew) and the given write fraction.
+type Zipf struct {
+	rng       *RNG
+	cdf       []float64
+	writeFrac float64
+	theta     float64
+}
+
+// NewZipf returns a Zipf generator over n logical units.
+func NewZipf(n int, theta, writeFrac float64, seed uint64) *Zipf {
+	if n < 1 {
+		panic("sim: NewZipf: n must be >= 1")
+	}
+	if theta < 0 {
+		panic("sim: NewZipf: theta must be >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: NewRNG(seed), cdf: cdf, writeFrac: writeFrac, theta: theta}
+}
+
+// Next implements Generator.
+func (z *Zipf) Next() Op {
+	kind := Read
+	if z.rng.Float64() < z.writeFrac {
+		kind = Write
+	}
+	u := z.rng.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return Op{Kind: kind, Logical: lo}
+}
+
+// Name implements Generator.
+func (z *Zipf) Name() string { return fmt.Sprintf("zipf(θ=%.2f,w=%.2f)", z.theta, z.writeFrac) }
+
+// Mix interleaves several generators with fixed weights — e.g. a mostly
+// sequential backup stream plus a Zipf online workload. Selection is
+// deterministic from the seed.
+type Mix struct {
+	rng  *RNG
+	gens []Generator
+	cum  []float64
+}
+
+// NewMix returns a weighted mix of generators. Weights must be positive;
+// they are normalized internally.
+func NewMix(seed uint64, gens []Generator, weights []float64) *Mix {
+	if len(gens) == 0 || len(gens) != len(weights) {
+		panic("sim: NewMix: need matching non-empty generators and weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			panic("sim: NewMix: weights must be positive")
+		}
+		total += w
+	}
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1.0
+	return &Mix{rng: NewRNG(seed), gens: gens, cum: cum}
+}
+
+// Next implements Generator.
+func (m *Mix) Next() Op {
+	u := m.rng.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return m.gens[i].Next()
+		}
+	}
+	return m.gens[len(m.gens)-1].Next()
+}
+
+// Name implements Generator.
+func (m *Mix) Name() string {
+	names := make([]string, len(m.gens))
+	for i, g := range m.gens {
+		names[i] = g.Name()
+	}
+	return fmt.Sprintf("mix(%s)", strings.Join(names, "+"))
+}

@@ -2,14 +2,21 @@ package layout
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"fmt"
 )
 
 // Data is an in-memory disk array with real bytes governed by a layout:
 // every stripe's parity unit holds the XOR of its data units. It provides
 // byte-accurate writes (read-modify-write parity updates, Figure 1) and
-// failed-disk reconstruction, and is the storage engine behind the
-// simulator's correctness checks.
+// failed-disk reconstruction.
+//
+// Data is deliberately simple and single-threaded: it is the reference
+// model the concurrent serving engine (repro/pdl/store) is
+// property-tested against, and the correctness oracle behind the
+// simulator's checks. Production byte serving belongs in pdl/store; both
+// engines share the same XOR kernel (crypto/subtle.XORBytes), so this
+// model contains no duplicated parity arithmetic.
 type Data struct {
 	Layout   *Layout
 	UnitSize int
@@ -70,9 +77,8 @@ func (d *Data) WriteLogical(logical int, payload []byte) error {
 	}
 	old := d.unit(u)
 	par := d.unit(pu)
-	for i := 0; i < d.UnitSize; i++ {
-		par[i] ^= old[i] ^ payload[i]
-	}
+	subtle.XORBytes(par, par, old)
+	subtle.XORBytes(par, par, payload)
 	copy(old, payload)
 	return nil
 }
@@ -82,14 +88,9 @@ func (d *Data) VerifyParity() error {
 	buf := make([]byte, d.UnitSize)
 	for si := range d.Layout.Stripes {
 		s := &d.Layout.Stripes[si]
-		for i := range buf {
-			buf[i] = 0
-		}
+		clear(buf)
 		for _, u := range s.Units {
-			b := d.unit(u)
-			for i := range buf {
-				buf[i] ^= b[i]
-			}
+			subtle.XORBytes(buf, buf, d.unit(u))
 		}
 		for _, x := range buf {
 			if x != 0 {
@@ -128,10 +129,7 @@ func (d *Data) ReconstructDisk(failed int) ([]byte, error) {
 			if u.Disk == failed {
 				continue
 			}
-			b := d.unit(u)
-			for i := range out {
-				out[i] ^= b[i]
-			}
+			subtle.XORBytes(out, out, d.unit(u))
 		}
 		covered[target.Offset] = true
 	}
@@ -163,10 +161,7 @@ func (d *Data) DegradedRead(logical, failed int) ([]byte, error) {
 		if su.Disk == failed {
 			continue
 		}
-		b := d.unit(su)
-		for i := range out {
-			out[i] ^= b[i]
-		}
+		subtle.XORBytes(out, out, d.unit(su))
 	}
 	return out, nil
 }

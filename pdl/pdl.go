@@ -23,6 +23,10 @@
 //   - pdl/sim: the event-driven disk-array simulator (an execution engine
 //     for pdl/plan) and workload generators used for the paper's rebuild
 //     and service studies;
+//   - pdl/store: the concurrent byte-storage engine — a Store executing
+//     plans against per-disk backends (in-memory slabs or files) with
+//     degraded serving, online rebuild, and a zero-allocation hot path;
+//     store.Open wires a Build result straight into a serving array;
 //   - pdl/exp: the paper's full evaluation (figures, tables, simulator
 //     studies) as runnable experiments.
 //

@@ -84,6 +84,11 @@ type Step struct {
 	// Write distinguishes writes from reads.
 	Write bool
 
+	// Parity marks the step touching the stripe's parity unit, so a byte
+	// executor can tell data payloads from the XOR checksum without
+	// re-resolving the stripe.
+	Parity bool
+
 	// Stage is the barrier stage: the step may start once every step of
 	// the previous stage completed. Steps are ordered by stage.
 	Stage uint8
@@ -99,14 +104,27 @@ type Plan struct {
 	// stripe plans, which serve a whole stripe).
 	Logical int
 
+	// Stripe is the global index of the parity stripe the plan operates
+	// on; byte executors key their per-stripe write locks on it.
+	Stripe int
+
+	// Target is the unit the plan reconstructs or cannot touch because
+	// its disk is down: the lost home unit for DegradedRead and
+	// ReconstructWrite, the lost parity unit for DataOnlyWrite, and the
+	// unit being rebuilt for RebuildStripe. It is the zero Unit for
+	// healthy plans (Read, SmallWrite, FullStripeWrite).
+	Target layout.Unit
+
 	// Steps lists the unit operations in execution order (by stage).
 	Steps []Step
 }
 
 // reset re-tags the plan and truncates its steps, keeping capacity.
-func (p *Plan) reset(kind Kind, logical int) {
+func (p *Plan) reset(kind Kind, logical, stripe int) {
 	p.Kind = kind
 	p.Logical = logical
+	p.Stripe = stripe
+	p.Target = layout.Unit{}
 	p.Steps = p.Steps[:0]
 }
 
@@ -193,28 +211,31 @@ func (p *Planner) Read(logical, failed int, dst *Plan) error {
 	if err := p.checkFailed("Read", failed); err != nil {
 		return err
 	}
-	if failed < 0 {
-		u, err := p.m.Map(logical)
-		if err != nil {
-			return err
-		}
-		dst.reset(Read, logical)
-		dst.Steps = append(dst.Steps, Step{Unit: u})
-		return nil
-	}
-	survivors, home, degraded, err := p.m.AppendSurvivors(p.buf[:0], logical, failed)
-	p.buf = survivors[:0]
+	stripe, home, err := p.m.StripeOf(logical)
 	if err != nil {
 		return err
 	}
-	if !degraded {
-		dst.reset(Read, logical)
+	if failed < 0 || home.Disk != failed {
+		dst.reset(Read, logical, stripe)
 		dst.Steps = append(dst.Steps, Step{Unit: home})
 		return nil
 	}
-	dst.reset(DegradedRead, logical)
-	for _, u := range survivors {
-		dst.Steps = append(dst.Steps, Step{Unit: u})
+	parity, err := p.m.ParityOf(stripe)
+	if err != nil {
+		return err
+	}
+	units, err := p.m.AppendStripeUnits(p.buf[:0], stripe)
+	p.buf = units[:0]
+	if err != nil {
+		return err
+	}
+	dst.reset(DegradedRead, logical, stripe)
+	dst.Target = home
+	for _, u := range units {
+		if u.Disk == failed {
+			continue
+		}
+		dst.Steps = append(dst.Steps, Step{Unit: u, Parity: u == parity})
 	}
 	return nil
 }
@@ -243,7 +264,8 @@ func (p *Planner) Write(logical, failed int, dst *Plan) error {
 		if err != nil {
 			return err
 		}
-		dst.reset(ReconstructWrite, logical)
+		dst.reset(ReconstructWrite, logical, stripe)
+		dst.Target = home
 		for _, u := range units {
 			if u.Disk == failed || u == parity {
 				continue
@@ -251,20 +273,21 @@ func (p *Planner) Write(logical, failed int, dst *Plan) error {
 			dst.Steps = append(dst.Steps, Step{Unit: u})
 		}
 		if parity.Disk != failed {
-			dst.Steps = append(dst.Steps, Step{Unit: parity, Write: true, Stage: 1})
+			dst.Steps = append(dst.Steps, Step{Unit: parity, Write: true, Parity: true, Stage: 1})
 		}
 		return nil
 	case failed >= 0 && parity.Disk == failed:
-		dst.reset(DataOnlyWrite, logical)
+		dst.reset(DataOnlyWrite, logical, stripe)
+		dst.Target = parity
 		dst.Steps = append(dst.Steps, Step{Unit: home, Write: true})
 		return nil
 	default:
-		dst.reset(SmallWrite, logical)
+		dst.reset(SmallWrite, logical, stripe)
 		dst.Steps = append(dst.Steps,
 			Step{Unit: home},
-			Step{Unit: parity},
+			Step{Unit: parity, Parity: true},
 			Step{Unit: home, Write: true, Stage: 1},
-			Step{Unit: parity, Write: true, Stage: 1},
+			Step{Unit: parity, Write: true, Parity: true, Stage: 1},
 		)
 		return nil
 	}
@@ -281,17 +304,21 @@ func (p *Planner) FullStripeWrite(logical, failed int, dst *Plan) error {
 	if err != nil {
 		return err
 	}
+	parity, err := p.m.ParityOf(stripe)
+	if err != nil {
+		return err
+	}
 	units, err := p.m.AppendStripeUnits(p.buf[:0], stripe)
 	p.buf = units[:0]
 	if err != nil {
 		return err
 	}
-	dst.reset(FullStripeWrite, logical)
+	dst.reset(FullStripeWrite, logical, stripe)
 	for _, u := range units {
 		if u.Disk == failed {
 			continue
 		}
-		dst.Steps = append(dst.Steps, Step{Unit: u, Write: true})
+		dst.Steps = append(dst.Steps, Step{Unit: u, Write: true, Parity: u == parity})
 	}
 	return nil
 }
@@ -311,9 +338,11 @@ func (p *Planner) Rebuild(failed int) (*Rebuild, error) {
 		if err != nil {
 			return nil, err
 		}
+		var lost layout.Unit
 		crosses := false
 		for _, u := range units {
 			if u.Disk == failed {
+				lost = u
 				crosses = true
 				break
 			}
@@ -321,13 +350,18 @@ func (p *Planner) Rebuild(failed int) (*Rebuild, error) {
 		if !crosses {
 			continue
 		}
+		parity, err := p.m.ParityOf(s)
+		if err != nil {
+			return nil, err
+		}
 		var pl Plan
-		pl.reset(RebuildStripe, -1)
+		pl.reset(RebuildStripe, -1, s)
+		pl.Target = lost
 		for _, u := range units {
 			if u.Disk == failed {
 				continue
 			}
-			pl.Steps = append(pl.Steps, Step{Unit: u})
+			pl.Steps = append(pl.Steps, Step{Unit: u, Parity: u == parity})
 			rb.Reads[u.Disk]++
 		}
 		rb.Plans = append(rb.Plans, pl)

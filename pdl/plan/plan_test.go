@@ -208,6 +208,15 @@ func TestSmallWritePlanShape(t *testing.T) {
 	if p.Steps[2].Unit != home || !p.Steps[2].Write || p.Steps[3].Unit != parity || !p.Steps[3].Write {
 		t.Errorf("stage 1 not writes of home+parity: %+v", p.Steps[2:])
 	}
+	// Byte-executor metadata: the stripe index and the parity marks.
+	if p.Stripe != stripe {
+		t.Errorf("plan stripe %d, want %d", p.Stripe, stripe)
+	}
+	for i, s := range p.Steps {
+		if s.Parity != (s.Unit == parity) {
+			t.Errorf("step %d parity mark %v for unit %v (parity is %v)", i, s.Parity, s.Unit, parity)
+		}
+	}
 }
 
 // TestWriteDegradedVariants pins the two degraded small-write shapes:
@@ -239,13 +248,16 @@ func TestWriteDegradedVariants(t *testing.T) {
 	if p.Kind != plan.ReconstructWrite {
 		t.Fatalf("data-disk failure: kind %v", p.Kind)
 	}
-	if p.Writes() != 1 || p.Steps[len(p.Steps)-1].Unit != parity {
-		t.Errorf("reconstruct-write should end with one parity write, got %+v", p.Steps)
+	if p.Writes() != 1 || p.Steps[len(p.Steps)-1].Unit != parity || !p.Steps[len(p.Steps)-1].Parity {
+		t.Errorf("reconstruct-write should end with one marked parity write, got %+v", p.Steps)
 	}
 	for _, s := range p.Steps[:len(p.Steps)-1] {
 		if s.Write || s.Disk == home.Disk || s.Unit == parity {
 			t.Errorf("reconstruct-write pre-read %+v touches failed disk or parity", s)
 		}
+	}
+	if p.Stripe != stripe || p.Target != home {
+		t.Errorf("reconstruct-write stripe %d target %v, want %d, lost home %v", p.Stripe, p.Target, stripe, home)
 	}
 
 	if err := pln.Write(0, parity.Disk, &p); err != nil {
@@ -253,6 +265,9 @@ func TestWriteDegradedVariants(t *testing.T) {
 	}
 	if p.Kind != plan.DataOnlyWrite || len(p.Steps) != 1 || !p.Steps[0].Write || p.Steps[0].Unit != home {
 		t.Fatalf("parity-disk failure: got %v %+v, want single write of %v", p.Kind, p.Steps, home)
+	}
+	if p.Stripe != stripe || p.Target != parity {
+		t.Errorf("data-only write stripe %d target %v, want %d, lost parity %v", p.Stripe, p.Target, stripe, parity)
 	}
 }
 
@@ -321,6 +336,12 @@ func TestRebuildBalance(t *testing.T) {
 	for _, p := range rb.Plans {
 		if p.Kind != plan.RebuildStripe || p.Writes() != 0 {
 			t.Fatalf("rebuild stripe plan %v has writes", p.Kind)
+		}
+		if p.Target.Disk != 4 {
+			t.Fatalf("rebuild target %v not on failed disk 4", p.Target)
+		}
+		if p.Stripe < 0 || p.Stripe >= m.Stripes() {
+			t.Fatalf("rebuild stripe index %d outside [0,%d)", p.Stripe, m.Stripes())
 		}
 		total += int64(len(p.Steps))
 	}

@@ -1,0 +1,168 @@
+package store_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/pdl"
+	"repro/pdl/store"
+)
+
+// benchGeometry mirrors BENCH_plan.json: ring v=17 k=4, 4 layout copies
+// per disk, 4 KiB units (~1 MiB per disk).
+const benchUnitSize = 4096
+
+func benchStore(b *testing.B) *store.Store {
+	b.Helper()
+	res, err := pdl.Build(17, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := store.Open(res, 4*res.Layout.Size, benchUnitSize, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, benchUnitSize)
+	for i := 0; i < s.Capacity(); i++ {
+		if err := s.Write(i, payload(buf, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// failedHomes returns logical addresses whose home unit lies on disk f,
+// i.e. the worst case for degraded reads.
+func failedHomes(b *testing.B, s *store.Store, f int) []int {
+	b.Helper()
+	var homes []int
+	for i := 0; i < s.Capacity(); i++ {
+		u, err := s.Mapper().Map(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if u.Disk == f {
+			homes = append(homes, i)
+		}
+	}
+	return homes
+}
+
+func BenchmarkStoreRead(b *testing.B) {
+	s := benchStore(b)
+	dst := make([]byte, benchUnitSize)
+	b.SetBytes(benchUnitSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Read(i%s.Capacity(), dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreReadParallel(b *testing.B) {
+	s := benchStore(b)
+	b.SetBytes(benchUnitSize)
+	b.ReportAllocs()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]byte, benchUnitSize)
+		for pb.Next() {
+			logical := int(next.Add(1)) % s.Capacity()
+			if err := s.Read(logical, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkStoreDegradedRead(b *testing.B) {
+	s := benchStore(b)
+	if err := s.Fail(3); err != nil {
+		b.Fatal(err)
+	}
+	homes := failedHomes(b, s, 3)
+	dst := make([]byte, benchUnitSize)
+	b.SetBytes(benchUnitSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Read(homes[i%len(homes)], dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreWrite(b *testing.B) {
+	s := benchStore(b)
+	src := make([]byte, benchUnitSize)
+	payload(src, 99)
+	b.SetBytes(benchUnitSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Write(i%s.Capacity(), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreWriteParallel(b *testing.B) {
+	s := benchStore(b)
+	b.SetBytes(benchUnitSize)
+	b.ReportAllocs()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		src := make([]byte, benchUnitSize)
+		payload(src, 7)
+		for pb.Next() {
+			logical := int(next.Add(1)) % s.Capacity()
+			if err := s.Write(logical, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkStoreFullStripeWriteAt(b *testing.B) {
+	s := benchStore(b)
+	// One stripe's data payload (k-1 units), stripe-aligned: takes the
+	// Condition 5 no-preread path.
+	span := 3 * benchUnitSize
+	src := make([]byte, span)
+	payload(src, 5)
+	stripes := s.Size() / int64(span)
+	b.SetBytes(int64(span))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i) % stripes * int64(span)
+		if _, err := s.WriteAt(src, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreRebuild measures the online reconstruction rate: bytes of
+// the failed disk rebuilt per second (no foreground load).
+func BenchmarkStoreRebuild(b *testing.B) {
+	s := benchStore(b)
+	diskBytes := int64(s.Mapper().DiskUnits()) * benchUnitSize
+	spare := store.NewMemDisk(diskBytes)
+	b.SetBytes(diskBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Fail(3); err != nil {
+			b.Fatal(err)
+		}
+		old := s.DiskBackend(3)
+		if err := s.Rebuild(spare); err != nil {
+			b.Fatal(err)
+		}
+		spare = old.(*store.MemDisk)
+	}
+}

@@ -1,0 +1,122 @@
+package store_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/pdl"
+	"repro/pdl/store"
+)
+
+// TestRebuildUnderLoad is the ISSUE's rebuild-under-load check: a disk
+// fails mid-workload, the online rebuild runs while a writer keeps
+// mutating both the failed store and a never-failed control store with
+// the identical operation sequence, and afterwards the rebuilt store
+// must match the control byte-exactly — every logical unit and the
+// rebuilt disk's raw contents.
+func TestRebuildUnderLoad(t *testing.T) {
+	const (
+		unitSize = 48
+		failDisk = 4
+	)
+	res, err := pdl.Build(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskUnits := 2 * res.Layout.Size
+	subject, err := store.Open(res, diskUnits, unitSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	control, err := store.Open(res, diskUnits, unitSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	buf := make([]byte, unitSize)
+	writeBoth := func(logical int) {
+		rng.Read(buf)
+		if err := subject.Write(logical, buf); err != nil {
+			t.Error(err)
+		}
+		if err := control.Write(logical, buf); err != nil {
+			t.Error(err)
+		}
+	}
+
+	// Warm both stores with the same dataset, then fail a disk
+	// mid-workload on the subject only.
+	for i := 0; i < subject.Capacity(); i++ {
+		writeBoth(i)
+	}
+	if err := subject.Fail(failDisk); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writer and rebuilder run concurrently; the writer keeps the two
+	// stores in lockstep (same ops, same order) while stripes stream
+	// onto the replacement.
+	replacement := store.NewMemDisk(int64(diskUnits) * unitSize)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	rebuildErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		rebuildErr <- subject.Rebuild(replacement)
+	}()
+	for i := 0; i < 4000; i++ {
+		writeBoth(rng.Intn(subject.Capacity()))
+	}
+	wg.Wait()
+	if err := <-rebuildErr; err != nil {
+		t.Fatal(err)
+	}
+	if subject.Failed() != -1 {
+		t.Fatalf("Failed() = %d after rebuild", subject.Failed())
+	}
+	// A tail of post-rebuild traffic, still in lockstep.
+	for i := 0; i < 500; i++ {
+		writeBoth(rng.Intn(subject.Capacity()))
+	}
+
+	if err := subject.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := control.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, unitSize)
+	want := make([]byte, unitSize)
+	for logical := 0; logical < subject.Capacity(); logical++ {
+		if err := subject.Read(logical, got); err != nil {
+			t.Fatal(err)
+		}
+		if err := control.Read(logical, want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("logical %d: rebuilt store %x != control %x", logical, got, want)
+		}
+	}
+	// The replacement's raw bytes (now serving disk failDisk) must equal
+	// the control's never-failed disk byte-for-byte.
+	diskBytes := int64(diskUnits) * unitSize
+	gotDisk := make([]byte, diskBytes)
+	wantDisk := make([]byte, diskBytes)
+	if _, err := subject.DiskBackend(failDisk).ReadAt(gotDisk, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if _, err := control.DiskBackend(failDisk).ReadAt(wantDisk, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotDisk, wantDisk) {
+		t.Fatal("rebuilt disk contents differ from never-failed control")
+	}
+	if subject.DiskBackend(failDisk) != store.Backend(replacement) {
+		t.Error("replacement backend did not take the failed disk's slot")
+	}
+}

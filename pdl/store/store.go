@@ -1,0 +1,754 @@
+// Package store is the serving engine of the parity-declustered layout
+// library: a Store owns one byte Backend per disk (in-memory MemDisk
+// slabs or FileDisk files) and executes pdl/plan I/O plans against them —
+// healthy and degraded reads, read-modify-write and full-stripe parity
+// writes, and an online Rebuild that streams survivor XOR reconstruction
+// onto a replacement disk while foreground traffic continues.
+//
+// The engine is built for concurrency: plan compilation state lives in a
+// sync.Pool of per-request scratch (a plan.Planner, a reusable Plan, and
+// XOR buffers), so the healthy Read/Write hot path performs zero
+// allocations per request; parity atomicity comes from striped per-stripe
+// RWMutexes (readers share, writers and the rebuilder serialize per
+// stripe); per-disk counters are atomics feeding a Stats snapshot.
+//
+// Correctness is anchored to pdl/layout's single-threaded Data engine:
+// the reference model the store's property tests compare every byte
+// against (see TestStoreMatchesDataModel).
+package store
+
+import (
+	"crypto/subtle"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/pdl"
+	"repro/pdl/layout"
+	"repro/pdl/plan"
+)
+
+// maxLockStripes bounds the striped-lock table: enough locks that
+// concurrent writers on distinct stripes rarely collide, small enough to
+// make the rebuild/fail all-locks barrier cheap.
+const maxLockStripes = 256
+
+// DiskStats is one disk's operation counters.
+type DiskStats struct {
+	// Reads and Writes count physical unit-range operations issued.
+	Reads, Writes int64
+
+	// ReadBytes and WriteBytes count the bytes those operations moved.
+	ReadBytes, WriteBytes int64
+
+	// Degraded counts the physical operations issued on behalf of
+	// degraded-mode plans (survivor XOR reads, reconstruct-writes,
+	// rebuild traffic).
+	Degraded int64
+}
+
+// Stats is a point-in-time snapshot of a Store's state.
+type Stats struct {
+	// Failed is the failed disk, -1 when the array is healthy.
+	Failed int
+
+	// Rebuilding reports whether an online Rebuild is in progress.
+	Rebuilding bool
+
+	// Disks holds per-disk counters, indexed by disk.
+	Disks []DiskStats
+}
+
+// diskCounters is the atomics-backed stats block, padded to a cache line
+// so disks don't false-share under concurrent traffic.
+type diskCounters struct {
+	reads, writes, readBytes, writeBytes, degraded atomic.Int64
+	_                                              [24]byte
+}
+
+// scratch is the per-request compilation and XOR state recycled through
+// the Store's pool: with it, a steady-state healthy Read or Write
+// allocates nothing.
+type scratch struct {
+	pln   *plan.Planner
+	p     plan.Plan
+	a, b  []byte
+	units []layout.Unit
+}
+
+// Store serves reads and writes against real bytes under a
+// parity-declustered layout. All methods are safe for concurrent use.
+type Store struct {
+	mapper   pdl.Mapper
+	unitSize int
+	capacity int // logical data units
+	size     int64
+	// minSpan is the smallest stripe's data payload in bytes: the
+	// cheapest possible full-stripe write, gating the fast-path probe.
+	minSpan int
+
+	// locks are the striped per-stripe RW locks: stripe s is guarded by
+	// locks[s&lockMask]. failed, disks, rebuildDst, and rebuilt change
+	// only while holding every lock, so holding any one of them (even
+	// shared) gives a consistent view of all four.
+	locks    []sync.RWMutex
+	lockMask int
+
+	// admin serializes Fail/Rebuild state transitions.
+	admin      sync.Mutex
+	rebuilding bool
+
+	disks []Backend
+	// failed is the failed disk (-1 healthy). It is stored only while
+	// holding every lock; the atomic lets the hot path compile a plan
+	// against a pre-lock guess and revalidate once the stripe lock is
+	// held.
+	failed     atomic.Int32
+	rebuildDst Backend
+	// rebuilt[s] records that stripe s has been copied onto rebuildDst;
+	// it is read and written only under stripe s's lock, so degraded
+	// writes keep already-rebuilt stripes current on the replacement.
+	rebuilt []bool
+
+	counters []diskCounters
+	pool     sync.Pool
+}
+
+// New builds a Store executing plans over mapper against one Backend per
+// disk. Each backend must hold at least mapper.DiskUnits()*unitSize
+// bytes; unit payloads are unitSize bytes.
+func New(mapper pdl.Mapper, unitSize int, disks []Backend) (*Store, error) {
+	if mapper == nil {
+		return nil, fmt.Errorf("store: New: nil Mapper")
+	}
+	if unitSize < 1 {
+		return nil, fmt.Errorf("store: New: unit size %d < 1", unitSize)
+	}
+	if len(disks) != mapper.Disks() {
+		return nil, fmt.Errorf("store: New: %d backends for %d disks", len(disks), mapper.Disks())
+	}
+	need := int64(mapper.DiskUnits()) * int64(unitSize)
+	for d, b := range disks {
+		if b == nil {
+			return nil, fmt.Errorf("store: New: nil backend for disk %d", d)
+		}
+		if b.Size() < need {
+			return nil, fmt.Errorf("store: New: disk %d holds %d bytes, layout needs %d", d, b.Size(), need)
+		}
+	}
+	n := 1
+	for n < mapper.Stripes() && n < maxLockStripes {
+		n <<= 1
+	}
+	s := &Store{
+		mapper:   mapper,
+		unitSize: unitSize,
+		capacity: mapper.DataUnits(),
+		size:     int64(mapper.DataUnits()) * int64(unitSize),
+		locks:    make([]sync.RWMutex, n),
+		lockMask: n - 1,
+		disks:    append([]Backend(nil), disks...),
+		rebuilt:  make([]bool, mapper.Stripes()),
+		counters: make([]diskCounters, mapper.Disks()),
+	}
+	s.failed.Store(-1)
+	var units []layout.Unit
+	for stripe := 0; stripe < mapper.Stripes(); stripe++ {
+		var err error
+		units, err = mapper.AppendStripeUnits(units[:0], stripe)
+		if err != nil {
+			return nil, fmt.Errorf("store: New: %w", err)
+		}
+		if span := (len(units) - 1) * unitSize; s.minSpan == 0 || span < s.minSpan {
+			s.minSpan = span
+		}
+	}
+	s.pool.New = func() any {
+		return &scratch{
+			pln: plan.NewPlanner(mapper),
+			a:   make([]byte, unitSize),
+			b:   make([]byte, unitSize),
+		}
+	}
+	return s, nil
+}
+
+// Open is the convenience constructor over the pdl facade: it builds the
+// Mapper for a pdl.Build result on disks of diskUnits units and serves it
+// from the given backends. A nil backends slice provisions one MemDisk
+// per disk, sized exactly for the geometry.
+func Open(res *pdl.Result, diskUnits, unitSize int, backends []Backend) (*Store, error) {
+	m, err := res.NewMapper(diskUnits)
+	if err != nil {
+		return nil, fmt.Errorf("store: Open: %w", err)
+	}
+	if backends == nil {
+		backends = make([]Backend, m.Disks())
+		for d := range backends {
+			backends[d] = NewMemDisk(int64(diskUnits) * int64(unitSize))
+		}
+	}
+	return New(m, unitSize, backends)
+}
+
+// Mapper returns the address translator the store serves.
+func (s *Store) Mapper() pdl.Mapper { return s.mapper }
+
+// UnitSize returns the payload size of one stripe unit in bytes.
+func (s *Store) UnitSize() int { return s.unitSize }
+
+// Capacity returns the number of addressable logical data units.
+func (s *Store) Capacity() int { return s.capacity }
+
+// Size returns the logical byte capacity (Capacity * UnitSize).
+func (s *Store) Size() int64 { return s.size }
+
+// Failed returns the failed disk, -1 when healthy.
+func (s *Store) Failed() int { return int(s.failed.Load()) }
+
+// DiskBackend returns the Backend currently serving disk d, for tools
+// and tests inspecting a quiesced store; the store may swap it during
+// Rebuild.
+func (s *Store) DiskBackend(d int) Backend {
+	s.locks[0].RLock()
+	defer s.locks[0].RUnlock()
+	return s.disks[d]
+}
+
+// Stats snapshots the per-disk counters and failure state.
+func (s *Store) Stats() Stats {
+	st := Stats{Failed: s.Failed(), Disks: make([]DiskStats, len(s.counters))}
+	s.admin.Lock()
+	st.Rebuilding = s.rebuilding
+	s.admin.Unlock()
+	for d := range s.counters {
+		c := &s.counters[d]
+		st.Disks[d] = DiskStats{
+			Reads:      c.reads.Load(),
+			Writes:     c.writes.Load(),
+			ReadBytes:  c.readBytes.Load(),
+			WriteBytes: c.writeBytes.Load(),
+			Degraded:   c.degraded.Load(),
+		}
+	}
+	return st
+}
+
+// Close closes every backend, returning the first error.
+func (s *Store) Close() error {
+	var first error
+	for _, b := range s.disks {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// lockFor returns the striped lock guarding a stripe.
+func (s *Store) lockFor(stripe int) *sync.RWMutex { return &s.locks[stripe&s.lockMask] }
+
+// lockAll acquires every striped lock (in order), quiescing all ops; it
+// guards failure-state transitions.
+func (s *Store) lockAll() {
+	for i := range s.locks {
+		s.locks[i].Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for i := len(s.locks) - 1; i >= 0; i-- {
+		s.locks[i].Unlock()
+	}
+}
+
+// noteIO bumps one disk's counters for a physical operation of n bytes.
+func (s *Store) noteIO(disk int, write, degraded bool, n int) {
+	c := &s.counters[disk]
+	if write {
+		c.writes.Add(1)
+		c.writeBytes.Add(int64(n))
+	} else {
+		c.reads.Add(1)
+		c.readBytes.Add(int64(n))
+	}
+	if degraded {
+		c.degraded.Add(1)
+	}
+}
+
+// byteOff converts a unit position plus an intra-unit offset to a disk
+// byte offset.
+func (s *Store) byteOff(u layout.Unit, within int) int64 {
+	return int64(u.Offset)*int64(s.unitSize) + int64(within)
+}
+
+// Fail marks a disk failed: reads of its units go degraded (survivor
+// XOR), writes switch to their degraded plans. Only a single failure is
+// supported; a second Fail before Rebuild completes is an error.
+func (s *Store) Fail(disk int) error {
+	if disk < 0 || disk >= len(s.disks) {
+		return fmt.Errorf("store: Fail(%d): disk outside [0,%d)", disk, len(s.disks))
+	}
+	s.admin.Lock()
+	defer s.admin.Unlock()
+	if s.rebuilding {
+		return fmt.Errorf("store: Fail(%d): rebuild in progress", disk)
+	}
+	s.lockAll()
+	defer s.unlockAll()
+	if f := s.failed.Load(); f >= 0 {
+		return fmt.Errorf("store: Fail(%d): disk %d already failed", disk, f)
+	}
+	s.failed.Store(int32(disk))
+	clear(s.rebuilt)
+	return nil
+}
+
+// Read fills dst (exactly UnitSize bytes) with the payload of a logical
+// data unit, reconstructing it from survivors when its disk is down.
+func (s *Store) Read(logical int, dst []byte) error {
+	if len(dst) != s.unitSize {
+		return fmt.Errorf("store: Read: dst is %d bytes, want unit size %d", len(dst), s.unitSize)
+	}
+	sc := s.pool.Get().(*scratch)
+	err := s.readUnit(sc, logical, 0, dst)
+	s.pool.Put(sc)
+	return err
+}
+
+// Write stores src (exactly UnitSize bytes) as the payload of a logical
+// data unit, maintaining parity via the compiled small-write (or its
+// degraded variant).
+func (s *Store) Write(logical int, src []byte) error {
+	if len(src) != s.unitSize {
+		return fmt.Errorf("store: Write: src is %d bytes, want unit size %d", len(src), s.unitSize)
+	}
+	sc := s.pool.Get().(*scratch)
+	err := s.writeUnit(sc, logical, 0, src)
+	s.pool.Put(sc)
+	return err
+}
+
+// ReadAt implements io.ReaderAt over the logical byte space
+// [0, Size()), spanning units and stripes as needed.
+func (s *Store) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("store: ReadAt: negative offset %d", off)
+	}
+	sc := s.pool.Get().(*scratch)
+	defer s.pool.Put(sc)
+	n := 0
+	for len(p) > 0 {
+		if off >= s.size {
+			return n, io.EOF
+		}
+		logical := int(off / int64(s.unitSize))
+		within := int(off % int64(s.unitSize))
+		chunk := s.unitSize - within
+		if chunk > len(p) {
+			chunk = len(p)
+		}
+		if err := s.readUnit(sc, logical, within, p[:chunk]); err != nil {
+			return n, err
+		}
+		p = p[chunk:]
+		off += int64(chunk)
+		n += chunk
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt over the logical byte space. Writes
+// covering every data unit of a stripe take the no-preread full-stripe
+// path (Condition 5); the rest are per-unit read-modify-writes.
+func (s *Store) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("store: WriteAt: negative offset %d", off)
+	}
+	if off+int64(len(p)) > s.size {
+		return 0, fmt.Errorf("store: WriteAt: [%d,%d) outside store of %d bytes", off, off+int64(len(p)), s.size)
+	}
+	sc := s.pool.Get().(*scratch)
+	defer s.pool.Put(sc)
+	n := 0
+	for len(p) > 0 {
+		logical := int(off / int64(s.unitSize))
+		within := int(off % int64(s.unitSize))
+		if within == 0 && len(p) >= s.minSpan {
+			if done, err := s.tryFullStripe(sc, logical, p); err != nil {
+				return n, err
+			} else if done > 0 {
+				p = p[done:]
+				off += int64(done)
+				n += done
+				continue
+			}
+		}
+		chunk := s.unitSize - within
+		if chunk > len(p) {
+			chunk = len(p)
+		}
+		if err := s.writeUnit(sc, logical, within, p[:chunk]); err != nil {
+			return n, err
+		}
+		p = p[chunk:]
+		off += int64(chunk)
+		n += chunk
+	}
+	return n, nil
+}
+
+// readUnit serves bytes [within, within+len(p)) of one logical unit. The
+// plan is compiled against a pre-lock snapshot of the failed disk and
+// revalidated once the stripe lock is held (the stripe itself never
+// depends on the failure state), so the hot path resolves the stripe
+// tables exactly once.
+func (s *Store) readUnit(sc *scratch, logical, within int, p []byte) error {
+	failed := int(s.failed.Load())
+	if err := sc.pln.Read(logical, failed, &sc.p); err != nil {
+		return err
+	}
+	lk := s.lockFor(sc.p.Stripe)
+	lk.RLock()
+	defer lk.RUnlock()
+	if cur := int(s.failed.Load()); cur != failed {
+		if err := sc.pln.Read(logical, cur, &sc.p); err != nil {
+			return err
+		}
+	}
+	if sc.p.Kind == plan.Read {
+		u := sc.p.Steps[0].Unit
+		if _, err := s.disks[u.Disk].ReadAt(p, s.byteOff(u, within)); err != nil {
+			return fmt.Errorf("store: read disk %d: %w", u.Disk, err)
+		}
+		s.noteIO(u.Disk, false, false, len(p))
+		return nil
+	}
+	// Degraded: XOR the survivor set's ranges into p.
+	clear(p)
+	a := sc.a[:len(p)]
+	for _, st := range sc.p.Steps {
+		if _, err := s.disks[st.Disk].ReadAt(a, s.byteOff(st.Unit, within)); err != nil {
+			return fmt.Errorf("store: degraded read disk %d: %w", st.Disk, err)
+		}
+		subtle.XORBytes(p, p, a)
+		s.noteIO(st.Disk, false, true, len(a))
+	}
+	return nil
+}
+
+// writeUnit stores bytes [within, within+len(p)) of one logical unit,
+// updating the stripe's parity range to match. Plan compilation follows
+// the same pre-lock-compile/revalidate protocol as readUnit.
+func (s *Store) writeUnit(sc *scratch, logical, within int, p []byte) error {
+	failed := int(s.failed.Load())
+	if err := sc.pln.Write(logical, failed, &sc.p); err != nil {
+		return err
+	}
+	stripe := sc.p.Stripe
+	lk := s.lockFor(stripe)
+	lk.Lock()
+	defer lk.Unlock()
+	if cur := int(s.failed.Load()); cur != failed {
+		if err := sc.pln.Write(logical, cur, &sc.p); err != nil {
+			return err
+		}
+	}
+	switch sc.p.Kind {
+	case plan.SmallWrite:
+		// Figure 1 read-modify-write: parity ^= old data ^ new data. The
+		// stage 0 steps carry the Parity mark telling the payloads apart.
+		data, parity := sc.p.Steps[0].Unit, sc.p.Steps[1].Unit
+		if sc.p.Steps[0].Parity {
+			data, parity = parity, data
+		}
+		a, b := sc.a[:len(p)], sc.b[:len(p)]
+		if _, err := s.disks[data.Disk].ReadAt(a, s.byteOff(data, within)); err != nil {
+			return fmt.Errorf("store: small write read disk %d: %w", data.Disk, err)
+		}
+		if _, err := s.disks[parity.Disk].ReadAt(b, s.byteOff(parity, within)); err != nil {
+			return fmt.Errorf("store: small write read disk %d: %w", parity.Disk, err)
+		}
+		s.noteIO(data.Disk, false, false, len(a))
+		s.noteIO(parity.Disk, false, false, len(b))
+		subtle.XORBytes(b, b, a)
+		subtle.XORBytes(b, b, p)
+		if _, err := s.disks[data.Disk].WriteAt(p, s.byteOff(data, within)); err != nil {
+			return fmt.Errorf("store: small write disk %d: %w", data.Disk, err)
+		}
+		if _, err := s.disks[parity.Disk].WriteAt(b, s.byteOff(parity, within)); err != nil {
+			return fmt.Errorf("store: small write disk %d: %w", parity.Disk, err)
+		}
+		s.noteIO(data.Disk, true, false, len(p))
+		s.noteIO(parity.Disk, true, false, len(b))
+		return nil
+
+	case plan.ReconstructWrite:
+		// Data disk down: new parity range = payload ^ surviving data.
+		b := sc.b[:len(p)]
+		copy(b, p)
+		a := sc.a[:len(p)]
+		var parity layout.Unit
+		for _, st := range sc.p.Steps {
+			if st.Parity {
+				parity = st.Unit
+				continue
+			}
+			if _, err := s.disks[st.Disk].ReadAt(a, s.byteOff(st.Unit, within)); err != nil {
+				return fmt.Errorf("store: reconstruct write read disk %d: %w", st.Disk, err)
+			}
+			subtle.XORBytes(b, b, a)
+			s.noteIO(st.Disk, false, true, len(a))
+		}
+		if _, err := s.disks[parity.Disk].WriteAt(b, s.byteOff(parity, within)); err != nil {
+			return fmt.Errorf("store: reconstruct write disk %d: %w", parity.Disk, err)
+		}
+		s.noteIO(parity.Disk, true, true, len(b))
+		// The lost unit's new content is the payload itself; keep an
+		// already-rebuilt stripe current on the replacement.
+		if s.rebuildDst != nil && s.rebuilt[stripe] {
+			if _, err := s.rebuildDst.WriteAt(p, s.byteOff(sc.p.Target, within)); err != nil {
+				return fmt.Errorf("store: reconstruct write replacement: %w", err)
+			}
+			s.noteIO(sc.p.Target.Disk, true, true, len(p))
+		}
+		return nil
+
+	case plan.DataOnlyWrite:
+		// Parity disk down: write the data unit; if the stripe is already
+		// rebuilt, patch the replacement's parity (parity ^= old ^ new).
+		data := sc.p.Steps[0].Unit
+		patch := s.rebuildDst != nil && s.rebuilt[stripe]
+		a := sc.a[:len(p)]
+		if patch {
+			if _, err := s.disks[data.Disk].ReadAt(a, s.byteOff(data, within)); err != nil {
+				return fmt.Errorf("store: data-only write read disk %d: %w", data.Disk, err)
+			}
+			s.noteIO(data.Disk, false, true, len(a))
+		}
+		if _, err := s.disks[data.Disk].WriteAt(p, s.byteOff(data, within)); err != nil {
+			return fmt.Errorf("store: data-only write disk %d: %w", data.Disk, err)
+		}
+		s.noteIO(data.Disk, true, true, len(p))
+		if patch {
+			b := sc.b[:len(p)]
+			off := s.byteOff(sc.p.Target, within)
+			if _, err := s.rebuildDst.ReadAt(b, off); err != nil {
+				return fmt.Errorf("store: data-only write replacement read: %w", err)
+			}
+			subtle.XORBytes(b, b, a)
+			subtle.XORBytes(b, b, p)
+			if _, err := s.rebuildDst.WriteAt(b, off); err != nil {
+				return fmt.Errorf("store: data-only write replacement: %w", err)
+			}
+			s.noteIO(sc.p.Target.Disk, true, true, len(b))
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("store: writeUnit: unexpected plan kind %v", sc.p.Kind)
+	}
+}
+
+// tryFullStripe writes p's prefix through the Condition 5 full-stripe
+// path when logical is the first data unit of its stripe and p covers
+// the stripe's whole data payload. It returns the bytes consumed (0 when
+// the fast path does not apply).
+func (s *Store) tryFullStripe(sc *scratch, logical int, p []byte) (int, error) {
+	stripe, _, err := s.mapper.StripeOf(logical)
+	if err != nil {
+		return 0, err
+	}
+	units, err := s.mapper.AppendStripeUnits(sc.units[:0], stripe)
+	sc.units = units[:0]
+	if err != nil {
+		return 0, err
+	}
+	dataUnits := len(units) - 1
+	span := dataUnits * s.unitSize
+	if len(p) < span {
+		return 0, nil
+	}
+	parity, err := s.mapper.ParityOf(stripe)
+	if err != nil {
+		return 0, err
+	}
+	first := -1
+	for _, u := range units {
+		if u == parity {
+			continue
+		}
+		first, _ = s.mapper.Logical(u)
+		break
+	}
+	if first != logical {
+		return 0, nil
+	}
+	lk := s.lockFor(stripe)
+	lk.Lock()
+	defer lk.Unlock()
+	// New parity is the XOR of the new data alone: no pre-reads.
+	b := sc.b[:s.unitSize]
+	clear(b)
+	for i := 0; i < dataUnits; i++ {
+		subtle.XORBytes(b, b, p[i*s.unitSize:(i+1)*s.unitSize])
+	}
+	failed := int(s.failed.Load())
+	redirect := s.rebuildDst != nil && s.rebuilt[stripe]
+	idx := 0
+	for _, u := range units {
+		var payload []byte
+		if u == parity {
+			payload = b
+		} else {
+			payload = p[idx*s.unitSize : (idx+1)*s.unitSize]
+			idx++
+		}
+		switch {
+		case u.Disk != failed:
+			if _, err := s.disks[u.Disk].WriteAt(payload, s.byteOff(u, 0)); err != nil {
+				return 0, fmt.Errorf("store: full-stripe write disk %d: %w", u.Disk, err)
+			}
+			s.noteIO(u.Disk, true, false, len(payload))
+		case redirect:
+			if _, err := s.rebuildDst.WriteAt(payload, s.byteOff(u, 0)); err != nil {
+				return 0, fmt.Errorf("store: full-stripe write replacement: %w", err)
+			}
+			s.noteIO(u.Disk, true, true, len(payload))
+		}
+		// A not-yet-rebuilt unit on the failed disk is simply skipped:
+		// Rebuild reconstructs it from the survivors just written.
+	}
+	return span, nil
+}
+
+// Rebuild reconstructs the failed disk's bytes onto replacement, stripe
+// by stripe under the per-stripe locks, while foreground reads and
+// writes continue degraded; when every stripe is copied, the replacement
+// atomically takes the failed disk's slot and the array is healthy
+// again. The replaced backend is not closed; the caller owns it.
+func (s *Store) Rebuild(replacement Backend) error {
+	s.admin.Lock()
+	if s.rebuilding {
+		s.admin.Unlock()
+		return fmt.Errorf("store: Rebuild: already in progress")
+	}
+	need := int64(s.mapper.DiskUnits()) * int64(s.unitSize)
+	if replacement == nil || replacement.Size() < need {
+		s.admin.Unlock()
+		return fmt.Errorf("store: Rebuild: replacement smaller than %d bytes", need)
+	}
+	s.lockAll()
+	failed := int(s.failed.Load())
+	if failed < 0 {
+		s.unlockAll()
+		s.admin.Unlock()
+		return fmt.Errorf("store: Rebuild: no failed disk")
+	}
+	clear(s.rebuilt)
+	s.rebuildDst = replacement
+	s.rebuilding = true
+	s.unlockAll()
+	s.admin.Unlock()
+
+	finish := func(swap bool) {
+		s.admin.Lock()
+		s.lockAll()
+		if swap {
+			s.disks[failed] = replacement
+			s.failed.Store(-1)
+		}
+		s.rebuildDst = nil
+		clear(s.rebuilt)
+		s.rebuilding = false
+		s.unlockAll()
+		s.admin.Unlock()
+	}
+
+	sc := s.pool.Get().(*scratch)
+	defer s.pool.Put(sc)
+	rb, err := sc.pln.Rebuild(failed)
+	if err != nil {
+		finish(false)
+		return err
+	}
+	for i := range rb.Plans {
+		if err := s.rebuildStripe(sc, &rb.Plans[i]); err != nil {
+			finish(false)
+			return err
+		}
+	}
+	finish(true)
+	return nil
+}
+
+// rebuildStripe reconstructs one stripe's lost unit onto the replacement
+// under the stripe's write lock.
+func (s *Store) rebuildStripe(sc *scratch, pl *plan.Plan) error {
+	lk := s.lockFor(pl.Stripe)
+	lk.Lock()
+	defer lk.Unlock()
+	a, b := sc.a[:s.unitSize], sc.b[:s.unitSize]
+	clear(b)
+	for _, st := range pl.Steps {
+		if _, err := s.disks[st.Disk].ReadAt(a, s.byteOff(st.Unit, 0)); err != nil {
+			return fmt.Errorf("store: rebuild read disk %d: %w", st.Disk, err)
+		}
+		subtle.XORBytes(b, b, a)
+		s.noteIO(st.Disk, false, true, len(a))
+	}
+	if _, err := s.rebuildDst.WriteAt(b, s.byteOff(pl.Target, 0)); err != nil {
+		return fmt.Errorf("store: rebuild write replacement: %w", err)
+	}
+	s.noteIO(pl.Target.Disk, true, true, len(b))
+	s.rebuilt[pl.Stripe] = true
+	return nil
+}
+
+// VerifyParity checks every stripe's XOR invariant against the stored
+// bytes, taking each stripe's read lock in turn; stripes crossing a
+// currently-failed disk are skipped (their lost unit is not available to
+// check).
+func (s *Store) VerifyParity() error {
+	sc := s.pool.Get().(*scratch)
+	defer s.pool.Put(sc)
+	for stripe := 0; stripe < s.mapper.Stripes(); stripe++ {
+		if err := s.verifyStripe(sc, stripe); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) verifyStripe(sc *scratch, stripe int) error {
+	lk := s.lockFor(stripe)
+	lk.RLock()
+	defer lk.RUnlock()
+	units, err := s.mapper.AppendStripeUnits(sc.units[:0], stripe)
+	sc.units = units[:0]
+	if err != nil {
+		return err
+	}
+	failed := int(s.failed.Load())
+	for _, u := range units {
+		if u.Disk == failed {
+			return nil
+		}
+	}
+	a, b := sc.a[:s.unitSize], sc.b[:s.unitSize]
+	clear(b)
+	for _, u := range units {
+		if _, err := s.disks[u.Disk].ReadAt(a, s.byteOff(u, 0)); err != nil {
+			return fmt.Errorf("store: verify read disk %d: %w", u.Disk, err)
+		}
+		subtle.XORBytes(b, b, a)
+	}
+	for _, x := range b {
+		if x != 0 {
+			return fmt.Errorf("store: stripe %d parity mismatch", stripe)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package units_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/cmd/internal/units"
+)
+
+func TestMBPerSec(t *testing.T) {
+	cases := []struct {
+		n       int64
+		elapsed time.Duration
+		want    float64
+	}{
+		{1e6, time.Second, 1},                // exactly one decimal MB
+		{5e8, 500 * time.Millisecond, 1000},  // scaling with sub-second time
+		{1 << 20, time.Second, 1.048576},     // a binary MiB is NOT 1 MB
+		{0, time.Second, 0},                  // no bytes, no rate
+		{1e6, 0, 0},                          // degenerate elapsed
+		{1e6, -time.Second, 0},               // degenerate elapsed
+		{3e6, 2 * time.Second, 1.5},          // fractional rates survive
+		{123456789, time.Second, 123.456789}, // decimal, not rounded
+	}
+	for _, c := range cases {
+		if got := units.MBPerSec(c.n, c.elapsed); got != c.want {
+			t.Errorf("MBPerSec(%d, %v) = %v, want %v", c.n, c.elapsed, got, c.want)
+		}
+	}
+}
+
+func TestFormatMBPerSec(t *testing.T) {
+	if got := units.FormatMBPerSec(123456789, time.Second); got != "123.5 MB/s" {
+		t.Errorf("FormatMBPerSec = %q, want %q", got, "123.5 MB/s")
+	}
+	if got := units.FormatMBPerSec(0, 0); got != "0.0 MB/s" {
+		t.Errorf("FormatMBPerSec degenerate = %q, want %q", got, "0.0 MB/s")
+	}
+}

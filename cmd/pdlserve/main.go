@@ -1,0 +1,341 @@
+// Command pdlserve runs and drives the pdl/serve network front end: a
+// TCP server batching client requests into parity-declustered array I/O,
+// a throughput benchmark against a live server, and a loadgen mode
+// replaying the pdl/sim workload mixes over the wire.
+//
+// Usage:
+//
+//	pdlserve serve -addr :9911 -v 17 -k 4 -copies 4 -unit 4096
+//	pdlserve bench -clients 64 -seconds 2          # self-hosted server
+//	pdlserve bench -addr host:9911 -clients 64     # remote server
+//	pdlserve loadgen -workload zipf -theta 0.9 -write-frac 0.3 -ops 200000
+//	pdlserve loadgen -addr host:9911 -workload mix -fail 3
+//
+// All rates are decimal MB/s (1 MB = 1e6 bytes), matching `go test
+// -bench` and the BENCH_*.json records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/cmd/internal/units"
+	"repro/pdl"
+	"repro/pdl/serve"
+	"repro/pdl/sim"
+	"repro/pdl/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		die(fmt.Errorf("usage: pdlserve <serve|bench|loadgen> [flags]"))
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "serve":
+		err = cmdServe(args)
+	case "bench":
+		err = cmdBench(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
+	default:
+		err = fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	if err != nil {
+		die(err)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "pdlserve:", err)
+	os.Exit(1)
+}
+
+// arrayFlags is the geometry flag set shared by serve and the
+// self-hosted bench/loadgen modes.
+type arrayFlags struct {
+	v, k, copies, unit, depth, workers int
+	flush                              time.Duration
+}
+
+func addArrayFlags(fs *flag.FlagSet) *arrayFlags {
+	a := &arrayFlags{}
+	fs.IntVar(&a.v, "v", 17, "number of disks")
+	fs.IntVar(&a.k, "k", 4, "parity stripe size")
+	fs.IntVar(&a.copies, "copies", 4, "layout copies per disk")
+	fs.IntVar(&a.unit, "unit", 4096, "unit size in bytes")
+	fs.IntVar(&a.depth, "depth", serve.DefaultQueueDepth, "submission queue depth / max batch size")
+	fs.IntVar(&a.workers, "workers", 0, "executor goroutines (0 = GOMAXPROCS)")
+	fs.DurationVar(&a.flush, "flush", serve.DefaultFlushDelay, "batch flush deadline (negative = immediate)")
+	return a
+}
+
+// newFrontend builds a MemDisk-backed array and its batching frontend.
+func (a *arrayFlags) newFrontend() (*serve.Frontend, error) {
+	res, err := pdl.Build(a.v, a.k)
+	if err != nil {
+		return nil, err
+	}
+	s, err := store.Open(res, a.copies*res.Layout.Size, a.unit, nil)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("array: %s v=%d k=%d, %d units of %d B (%s logical)\n",
+		res.Method, a.v, a.k, s.Capacity(), a.unit, fmtBytes(s.Size()))
+	return serve.New(s, serve.Config{QueueDepth: a.depth, FlushDelay: a.flush, Workers: a.workers}), nil
+}
+
+func fmtBytes(n int64) string {
+	return fmt.Sprintf("%.1f MB", float64(n)/units.BytesPerMB)
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":9911", "listen address")
+	a := addArrayFlags(fs)
+	fs.Parse(args)
+	front, err := a.newFrontend()
+	if err != nil {
+		return err
+	}
+	defer front.Store().Close()
+	defer front.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(front)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down")
+		srv.Close()
+	}()
+	fmt.Printf("serving on %s (queue depth %d, flush %v)\n", ln.Addr(), a.depth, a.flush)
+	return srv.Serve(ln)
+}
+
+// dialOrSelfHost connects to addr, or (addr empty) hosts an in-process
+// server on a loopback socket so bench/loadgen still drive real TCP.
+func dialOrSelfHost(addr string, a *arrayFlags) (*serve.Client, func(), error) {
+	cleanup := func() {}
+	if addr == "" {
+		front, err := a.newFrontend()
+		if err != nil {
+			return nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		srv := serve.NewServer(front)
+		go srv.Serve(ln)
+		addr = ln.Addr().String()
+		fmt.Printf("self-hosted server on %s\n", addr)
+		cleanup = func() {
+			srv.Close()
+			front.Close()
+			front.Store().Close()
+		}
+	}
+	c, err := serve.Dial(addr)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	fmt.Printf("connected: %d disks, %d units of %d B\n", c.Disks(), c.Capacity(), c.UnitSize())
+	return c, func() { c.Close(); cleanup() }, nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	addr := fs.String("addr", "", "server address (empty: self-hosted)")
+	clients := fs.Int("clients", 64, "concurrent client goroutines")
+	secs := fs.Float64("seconds", 2, "seconds per measurement")
+	a := addArrayFlags(fs)
+	fs.Parse(args)
+	c, cleanup, err := dialOrSelfHost(*addr, a)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	unit := c.UnitSize()
+	capacity := c.Capacity()
+
+	run := func(name string, op func(c *serve.Client, i int, buf []byte) error) error {
+		deadline := time.Now().Add(time.Duration(*secs * float64(time.Second)))
+		var ops atomic.Int64
+		var wg sync.WaitGroup
+		errs := make(chan error, *clients)
+		var next atomic.Int64
+		start := time.Now()
+		for g := 0; g < *clients; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				buf := make([]byte, unit)
+				for time.Now().Before(deadline) {
+					i := int(next.Add(1)) % capacity
+					if err := op(c, i, buf); err != nil {
+						errs <- err
+						return
+					}
+					ops.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return err
+		}
+		el := time.Since(start)
+		fmt.Printf("%-8s %d clients: %10.0f ops/s  %12s\n",
+			name, *clients, float64(ops.Load())/el.Seconds(), units.FormatMBPerSec(ops.Load()*int64(unit), el))
+		return nil
+	}
+	if err := run("write", func(c *serve.Client, i int, buf []byte) error { return c.Write(i, buf) }); err != nil {
+		return err
+	}
+	if err := run("read", func(c *serve.Client, i int, buf []byte) error { return c.Read(i, buf) }); err != nil {
+		return err
+	}
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	if st.Frontend.Batches > 0 {
+		fmt.Printf("server: %d batches, mean size %.1f (%d flush-on-full, %d flush-on-deadline)\n",
+			st.Frontend.Batches, float64(st.Frontend.BatchedOps)/float64(st.Frontend.Batches),
+			st.Frontend.FlushFull, st.Frontend.FlushDeadline)
+	}
+	return nil
+}
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "", "server address (empty: self-hosted)")
+	workload := fs.String("workload", "uniform", "uniform|sequential|zipf|mix")
+	writeFrac := fs.Float64("write-frac", 0.3, "write fraction for uniform/zipf")
+	theta := fs.Float64("theta", 0.9, "zipf skew exponent")
+	clients := fs.Int("clients", 16, "concurrent client goroutines")
+	ops := fs.Int("ops", 100000, "total operations to replay")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	failDisk := fs.Int("fail", -1, "fail this disk first and replay degraded")
+	background := fs.Bool("background", false, "submit as Background class")
+	a := addArrayFlags(fs)
+	fs.Parse(args)
+	c, cleanup, err := dialOrSelfHost(*addr, a)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	capacity := c.Capacity()
+	unit := c.UnitSize()
+
+	if *failDisk >= 0 {
+		if err := c.Fail(*failDisk); err != nil {
+			return err
+		}
+		fmt.Printf("disk %d failed; replaying degraded\n", *failDisk)
+	}
+
+	// One deterministic generator per client, split by seed — the same
+	// mixes pdl/sim studies (uniform, sequential scan, Zipf hot spots,
+	// and the backup+online mix).
+	gens := make([]sim.Generator, *clients)
+	for g := range gens {
+		s := *seed + uint64(g)*0x9E37
+		switch *workload {
+		case "uniform":
+			gens[g] = sim.NewUniform(capacity, *writeFrac, s)
+		case "sequential":
+			gens[g] = sim.NewSequential(capacity, sim.Read)
+		case "zipf":
+			gens[g] = sim.NewZipf(capacity, *theta, *writeFrac, s)
+		case "mix":
+			gens[g] = sim.NewMix(s, []sim.Generator{
+				sim.NewSequential(capacity, sim.Write),
+				sim.NewZipf(capacity, *theta, *writeFrac, s+1),
+			}, []float64{0.2, 0.8})
+		default:
+			return fmt.Errorf("loadgen: unknown workload %q", *workload)
+		}
+	}
+	fmt.Printf("replaying %d ops of %s over %d clients\n", *ops, gens[0].Name(), *clients)
+
+	class := serve.Foreground
+	if *background {
+		class = serve.Background
+	}
+	perClient := *ops / *clients
+	var wg sync.WaitGroup
+	errs := make(chan error, *clients)
+	samples := make([][]int64, *clients)
+	var reads, writes atomic.Int64
+	start := time.Now()
+	for g := 0; g < *clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, unit)
+			lat := make([]int64, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				op := gens[g].Next()
+				t0 := time.Now()
+				var err error
+				if op.Kind == sim.Write {
+					err = c.WriteClass(op.Logical, buf, class)
+					writes.Add(1)
+				} else {
+					err = c.ReadClass(op.Logical, buf, class)
+					reads.Add(1)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				lat = append(lat, time.Since(t0).Nanoseconds())
+			}
+			samples[g] = lat
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	el := time.Since(start)
+
+	var rec sim.LatencyRecorder
+	for _, lat := range samples {
+		for _, s := range lat {
+			rec.Record(s)
+		}
+	}
+	total := reads.Load() + writes.Load()
+	fmt.Printf("%d ops (%d reads, %d writes) in %v: %10.0f ops/s  %s\n",
+		total, reads.Load(), writes.Load(), el.Round(time.Millisecond),
+		float64(total)/el.Seconds(), units.FormatMBPerSec(total*int64(unit), el))
+	fmt.Printf("latency: p50 %v  p95 %v  p99 %v  mean %v\n",
+		time.Duration(rec.Percentile(50)).Round(time.Microsecond),
+		time.Duration(rec.Percentile(95)).Round(time.Microsecond),
+		time.Duration(rec.Percentile(99)).Round(time.Microsecond),
+		time.Duration(rec.Mean()).Round(time.Microsecond))
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server: degraded ops %d; %d batches, mean size %.1f\n",
+		st.Store.Degraded, st.Frontend.Batches,
+		float64(st.Frontend.BatchedOps)/float64(max(st.Frontend.Batches, 1)))
+	return nil
+}

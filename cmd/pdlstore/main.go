@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/cmd/internal/units"
 	"repro/pdl"
 	"repro/pdl/layout"
 	"repro/pdl/store"
@@ -362,8 +363,8 @@ func cmdRebuild(args []string) error {
 	if err := writeMeta(*dir, m); err != nil {
 		return err
 	}
-	fmt.Printf("rebuilt disk %d: %d bytes in %v (%.1f MB/s)\n",
-		failed, diskBytes, elapsed.Round(time.Millisecond), float64(diskBytes)/1e6/elapsed.Seconds())
+	fmt.Printf("rebuilt disk %d: %d bytes in %v (%s)\n",
+		failed, diskBytes, elapsed.Round(time.Millisecond), units.FormatMBPerSec(diskBytes, elapsed))
 	return nil
 }
 
@@ -416,6 +417,8 @@ func cmdBench(args []string) error {
 			fmt.Fprintln(os.Stderr, "pdlstore: bench: restoring contents:", err)
 		}
 	}()
+	// Rates are decimal MB/s (1 MB = 1e6 B), matching `go test -bench`
+	// and BENCH_*.json; see repro/cmd/internal/units.
 	run := func(name string, op func(i int) error) error {
 		deadline := time.Now().Add(time.Duration(*secs * float64(time.Second)))
 		var ops int64
@@ -426,8 +429,8 @@ func cmdBench(args []string) error {
 			}
 			ops++
 		}
-		el := time.Since(start).Seconds()
-		fmt.Printf("%-16s %10.0f ops/s  %8.1f MB/s\n", name, float64(ops)/el, float64(ops)*float64(unit)/1e6/el)
+		el := time.Since(start)
+		fmt.Printf("%-16s %10.0f ops/s  %12s\n", name, float64(ops)/el.Seconds(), units.FormatMBPerSec(ops*int64(unit), el))
 		return nil
 	}
 	if err := run("read", func(i int) error { return s.Read(i, buf) }); err != nil {

@@ -1,0 +1,51 @@
+//go:build !race
+
+// The allocs regression gate (CI) for the serving front end: the
+// steady-state synchronous request path (Do/Read/Write against a warm
+// frontend) is allocation-bounded at zero per request — requests, batch
+// slices, and executor scratch all recycle through pools. A regression
+// fails `go test`. Excluded under -race: sync.Pool randomly drops items
+// under the race detector.
+
+package serve_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/pdl/serve"
+)
+
+func TestServeHotPathAllocs(t *testing.T) {
+	const unitSize = 1024
+	f := mustFrontend(t, 17, 4, 4, unitSize, serve.Config{FlushDelay: -1})
+	ctx := context.Background()
+	src := make([]byte, unitSize)
+	dst := make([]byte, unitSize)
+	capacity := f.Store().Capacity()
+	i := 0
+	for w := 0; w < 64; w++ {
+		if err := f.Write(ctx, w%capacity, src); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Read(ctx, w%capacity, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := f.Write(ctx, i%capacity, src); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); n != 0 {
+		t.Errorf("serve Write allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := f.Read(ctx, i%capacity, dst); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); n != 0 {
+		t.Errorf("serve Read allocates %v/op, want 0", n)
+	}
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/pdl/serve/wire"
+)
+
+// RemoteError is a failure reported by the server over the wire.
+type RemoteError struct {
+	// Msg is the server's error text.
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "serve: remote: " + e.Msg }
+
+// call is one in-flight request's completion state.
+type call struct {
+	dst  []byte  // read destination (copied from the response payload)
+	out  *[]byte // generic payload destination (stats), copied
+	done chan error
+}
+
+// Client speaks the wire protocol over one connection. It is safe for
+// concurrent use: goroutines' requests are pipelined over the shared
+// connection and matched to responses by id, so N concurrent callers
+// give the server N requests to coalesce into batches.
+type Client struct {
+	conn net.Conn
+	info wire.Info
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	enc []byte
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	nextID  uint64
+	sticky  error
+
+	callPool sync.Pool
+}
+
+// Dial connects to a serve.Server and performs the geometry handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial: %w", err)
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection (from Dial, or any net.Conn
+// speaking the protocol) and performs the geometry handshake.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriter(conn),
+		pending: make(map[uint64]*call),
+	}
+	c.callPool.New = func() any { return &call{done: make(chan error, 1)} }
+	go c.reader()
+	var raw []byte
+	if err := c.do(wire.OpInfo, Foreground, 0, nil, nil, &raw); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: handshake: %w", err)
+	}
+	if err := wire.DecodeInfo(raw, &c.info); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: handshake: %w", err)
+	}
+	return c, nil
+}
+
+// UnitSize returns the server's stripe-unit payload size in bytes.
+func (c *Client) UnitSize() int { return c.info.UnitSize }
+
+// Capacity returns the server's number of addressable logical units.
+func (c *Client) Capacity() int { return c.info.Capacity }
+
+// Disks returns the server's disk count.
+func (c *Client) Disks() int { return c.info.Disks }
+
+// Close closes the connection; in-flight calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Read fills dst (UnitSize bytes) with a logical unit's payload.
+func (c *Client) Read(logical int, dst []byte) error {
+	return c.ReadClass(logical, dst, Foreground)
+}
+
+// ReadClass is Read with an explicit priority class.
+func (c *Client) ReadClass(logical int, dst []byte, class Class) error {
+	if len(dst) != c.info.UnitSize {
+		return fmt.Errorf("serve: Read: dst is %d bytes, want unit size %d", len(dst), c.info.UnitSize)
+	}
+	return c.do(wire.OpRead, class, uint64(logical), nil, dst, nil)
+}
+
+// Write stores src (UnitSize bytes) as a logical unit's payload.
+func (c *Client) Write(logical int, src []byte) error {
+	return c.WriteClass(logical, src, Foreground)
+}
+
+// WriteClass is Write with an explicit priority class.
+func (c *Client) WriteClass(logical int, src []byte, class Class) error {
+	if len(src) != c.info.UnitSize {
+		return fmt.Errorf("serve: Write: src is %d bytes, want unit size %d", len(src), c.info.UnitSize)
+	}
+	return c.do(wire.OpWrite, class, uint64(logical), src, nil, nil)
+}
+
+// Fail marks a server disk failed; the array serves degraded after.
+func (c *Client) Fail(disk int) error {
+	return c.do(wire.OpFail, Foreground, uint64(disk), nil, nil, nil)
+}
+
+// Rebuild reconstructs the failed disk onto a fresh replacement on the
+// server, blocking until the array is healthy again.
+func (c *Client) Rebuild() error {
+	return c.do(wire.OpRebuild, Foreground, 0, nil, nil, nil)
+}
+
+// Stats fetches the server's store and frontend counters.
+func (c *Client) Stats() (ServerStats, error) {
+	var raw []byte
+	var st ServerStats
+	if err := c.do(wire.OpStats, Foreground, 0, nil, nil, &raw); err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return st, fmt.Errorf("serve: Stats: %w", err)
+	}
+	return st, nil
+}
+
+// do issues one request and blocks for its response.
+func (c *Client) do(op uint8, class Class, arg uint64, payload, dst []byte, out *[]byte) error {
+	cl := c.callPool.Get().(*call)
+	cl.dst = dst
+	cl.out = out
+
+	c.mu.Lock()
+	if c.sticky != nil {
+		err := c.sticky
+		c.mu.Unlock()
+		c.callPool.Put(cl)
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = cl
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	c.enc = wire.AppendRequest(c.enc[:0], &wire.Request{ID: id, Op: op, Class: uint8(class), Arg: arg, Payload: payload})
+	_, werr := c.bw.Write(c.enc)
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		c.mu.Lock()
+		if _, mine := c.pending[id]; mine {
+			delete(c.pending, id)
+			c.mu.Unlock()
+			c.callPool.Put(cl)
+			return fmt.Errorf("serve: send: %w", werr)
+		}
+		// The reader already completed (or failed) this call; take its
+		// verdict so the done channel is drained before pooling.
+		c.mu.Unlock()
+	}
+	err := <-cl.done
+	cl.dst, cl.out = nil, nil
+	c.callPool.Put(cl)
+	return err
+}
+
+// reader dispatches response frames to their waiting calls; on transport
+// failure every pending and future call gets the error.
+func (c *Client) reader() {
+	br := bufio.NewReader(c.conn)
+	var frame []byte
+	for {
+		body, err := wire.ReadFrame(br, frame)
+		if err != nil {
+			c.fail(fmt.Errorf("serve: connection: %w", err))
+			return
+		}
+		frame = body
+		var resp wire.Response
+		if err := wire.DecodeResponse(body, &resp); err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		cl, ok := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if !ok {
+			c.fail(fmt.Errorf("serve: response for unknown request %d", resp.ID))
+			return
+		}
+		var cerr error
+		switch {
+		case resp.Status == wire.StatusErr:
+			cerr = &RemoteError{Msg: string(resp.Payload)}
+		case cl.dst != nil:
+			if len(resp.Payload) != len(cl.dst) {
+				cerr = fmt.Errorf("serve: response payload %d bytes, want %d", len(resp.Payload), len(cl.dst))
+			} else {
+				copy(cl.dst, resp.Payload)
+			}
+		case cl.out != nil:
+			*cl.out = append([]byte(nil), resp.Payload...)
+		}
+		cl.done <- cerr
+	}
+}
+
+// fail poisons the client: pending calls complete with err, later calls
+// return it immediately.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.sticky == nil {
+		c.sticky = err
+	}
+	calls := c.pending
+	c.pending = make(map[uint64]*call)
+	c.mu.Unlock()
+	for _, cl := range calls {
+		cl.done <- err
+	}
+}

@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/pdl/serve/wire"
+	"repro/pdl/store"
+)
+
+// ServerStats is the JSON payload answering wire.OpStats.
+type ServerStats struct {
+	// Store is the byte engine's per-disk counters and failure state.
+	Store StoreStats `json:"store"`
+
+	// Frontend is the batching front end's counters.
+	Frontend Stats `json:"frontend"`
+}
+
+// StoreStats mirrors store.Stats for the wire (kept separate so the
+// protocol schema is explicit and stable).
+type StoreStats struct {
+	FailedDisk int   `json:"failed_disk"`
+	Rebuilding bool  `json:"rebuilding"`
+	Reads      int64 `json:"reads"`
+	Writes     int64 `json:"writes"`
+	ReadBytes  int64 `json:"read_bytes"`
+	WriteBytes int64 `json:"write_bytes"`
+	Degraded   int64 `json:"degraded"`
+}
+
+// Server carries the wire protocol over TCP connections, submitting
+// client requests to a Frontend. Requests from every connection share
+// the frontend's queues, so independent clients coalesce into the same
+// batches.
+type Server struct {
+	// Replacement provisions the spare backend a wire.OpRebuild rebuilds
+	// onto. Nil defaults to a fresh MemDisk sized for the geometry.
+	Replacement func() (store.Backend, error)
+
+	front *Frontend
+
+	mu     sync.Mutex
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// rebuilding gates OpRebuild: one replacement disk is provisioned at
+	// a time, so a burst of rebuild frames cannot amplify a few bytes of
+	// input into many disk-sized allocations.
+	rebuilding atomic.Bool
+
+	bufPool  sync.Pool // unit payload buffers
+	respPool sync.Pool // encoded response frames
+}
+
+// NewServer returns a Server submitting to front. Serve it on one or
+// more listeners; Close stops them all.
+func NewServer(front *Frontend) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		front:  front,
+		lns:    make(map[net.Listener]struct{}),
+		conns:  make(map[net.Conn]struct{}),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	unit := front.Store().UnitSize()
+	s.bufPool.New = func() any {
+		b := make([]byte, unit)
+		return &b
+	}
+	s.respPool.New = func() any {
+		b := make([]byte, 0, wire.RespHeaderLen+unit+4)
+		return &b
+	}
+	return s
+}
+
+// Serve accepts connections on ln until Close (or a listener error) and
+// handles each on its own goroutines. It blocks; run it in a goroutine.
+// After Close it returns nil.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.lns, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops all listeners and connections and waits for the handlers.
+// The Frontend and Store stay open (the caller owns them).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+	return nil
+}
+
+// handle runs one connection: a reader loop decoding and submitting
+// requests, and a writer goroutine serializing completed responses
+// (flushed when the queue momentarily drains, so TCP writes batch too).
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	out := make(chan *[]byte, 256)
+	var writerDone sync.WaitGroup
+	writerDone.Add(1)
+	go func() {
+		defer writerDone.Done()
+		bw := bufio.NewWriter(conn)
+		broken := false
+		for b := range out {
+			if !broken {
+				if _, err := bw.Write(*b); err != nil {
+					broken = true
+				} else if len(out) == 0 {
+					if err := bw.Flush(); err != nil {
+						broken = true
+					}
+				}
+			}
+			s.respPool.Put(b)
+		}
+	}()
+
+	// pending tracks in-flight submissions whose completions will still
+	// write to out; the channel closes only after they all land.
+	var pending sync.WaitGroup
+	br := bufio.NewReader(conn)
+	var frame []byte
+	for {
+		body, err := wire.ReadFrame(br, frame)
+		if err != nil {
+			break
+		}
+		frame = body
+		var req wire.Request
+		if err := wire.DecodeRequest(body, &req); err != nil {
+			// A malformed body means a broken peer; drop the connection
+			// (the request id cannot be trusted for an error reply).
+			break
+		}
+		s.dispatch(out, &pending, &req)
+	}
+	pending.Wait()
+	close(out)
+	writerDone.Wait()
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// dispatch routes one decoded request. req.Payload aliases the reader's
+// frame buffer and must be copied before the handler returns.
+func (s *Server) dispatch(out chan<- *[]byte, pending *sync.WaitGroup, req *wire.Request) {
+	st := s.front.Store()
+	switch req.Op {
+	case wire.OpInfo:
+		info := wire.Info{
+			UnitSize: st.UnitSize(),
+			Capacity: st.Capacity(),
+			Disks:    st.Mapper().Disks(),
+			Failed:   st.Failed(),
+		}
+		var buf [24]byte
+		s.respond(out, req.ID, wire.StatusOK, wire.AppendInfo(buf[:0], &info))
+
+	case wire.OpRead:
+		bp := s.bufPool.Get().(*[]byte)
+		id := req.ID
+		pending.Add(1)
+		err := s.front.Go(s.ctx, Op{Kind: Read, Class: Class(req.Class), Logical: int(req.Arg), Buf: *bp}, func(err error) {
+			if err != nil {
+				s.respondErr(out, id, err)
+			} else {
+				s.respond(out, id, wire.StatusOK, *bp)
+			}
+			s.bufPool.Put(bp)
+			pending.Done()
+		})
+		if err != nil {
+			s.bufPool.Put(bp)
+			pending.Done()
+			s.respondErr(out, id, err)
+		}
+
+	case wire.OpWrite:
+		if len(req.Payload) != st.UnitSize() {
+			s.respondErr(out, req.ID, fmt.Errorf("write payload %d bytes, want unit size %d", len(req.Payload), st.UnitSize()))
+			return
+		}
+		bp := s.bufPool.Get().(*[]byte)
+		copy(*bp, req.Payload)
+		id := req.ID
+		pending.Add(1)
+		err := s.front.Go(s.ctx, Op{Kind: Write, Class: Class(req.Class), Logical: int(req.Arg), Buf: *bp}, func(err error) {
+			if err != nil {
+				s.respondErr(out, id, err)
+			} else {
+				s.respond(out, id, wire.StatusOK, nil)
+			}
+			s.bufPool.Put(bp)
+			pending.Done()
+		})
+		if err != nil {
+			s.bufPool.Put(bp)
+			pending.Done()
+			s.respondErr(out, id, err)
+		}
+
+	case wire.OpFail:
+		if err := st.Fail(int(req.Arg)); err != nil {
+			s.respondErr(out, req.ID, err)
+		} else {
+			s.respond(out, req.ID, wire.StatusOK, nil)
+		}
+
+	case wire.OpRebuild:
+		id := req.ID
+		pending.Add(1)
+		go func() {
+			defer pending.Done()
+			if err := s.rebuild(); err != nil {
+				s.respondErr(out, id, err)
+			} else {
+				s.respond(out, id, wire.StatusOK, nil)
+			}
+		}()
+
+	case wire.OpStats:
+		b, err := json.Marshal(s.stats())
+		if err != nil {
+			s.respondErr(out, req.ID, err)
+		} else {
+			s.respond(out, req.ID, wire.StatusOK, b)
+		}
+
+	default:
+		s.respondErr(out, req.ID, fmt.Errorf("unknown op %d", req.Op))
+	}
+}
+
+func (s *Server) rebuild() error {
+	st := s.front.Store()
+	// Validate before provisioning: the replacement is a disk-sized
+	// allocation, and a hostile peer can send rebuild frames for free.
+	if st.Failed() < 0 {
+		return errors.New("rebuild: no failed disk")
+	}
+	if !s.rebuilding.CompareAndSwap(false, true) {
+		return errors.New("rebuild: already in progress")
+	}
+	defer s.rebuilding.Store(false)
+	var rep store.Backend
+	var err error
+	if s.Replacement != nil {
+		rep, err = s.Replacement()
+	} else {
+		rep = store.NewMemDisk(int64(st.Mapper().DiskUnits()) * int64(st.UnitSize()))
+	}
+	if err != nil {
+		return err
+	}
+	if err := st.Rebuild(rep); err != nil {
+		rep.Close()
+		return err
+	}
+	return nil
+}
+
+func (s *Server) stats() ServerStats {
+	st := s.front.Store().Stats()
+	out := ServerStats{Frontend: s.front.Stats()}
+	out.Store.FailedDisk = st.Failed
+	out.Store.Rebuilding = st.Rebuilding
+	for _, d := range st.Disks {
+		out.Store.Reads += d.Reads
+		out.Store.Writes += d.Writes
+		out.Store.ReadBytes += d.ReadBytes
+		out.Store.WriteBytes += d.WriteBytes
+		out.Store.Degraded += d.Degraded
+	}
+	return out
+}
+
+// respond encodes and queues one response frame.
+func (s *Server) respond(out chan<- *[]byte, id uint64, status uint8, payload []byte) {
+	bp := s.respPool.Get().(*[]byte)
+	*bp = wire.AppendResponse((*bp)[:0], &wire.Response{ID: id, Status: status, Payload: payload})
+	out <- bp
+}
+
+func (s *Server) respondErr(out chan<- *[]byte, id uint64, err error) {
+	if err == nil {
+		err = errors.New("unknown error")
+	}
+	s.respond(out, id, wire.StatusErr, []byte(err.Error()))
+}

@@ -1,0 +1,153 @@
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pdl/serve"
+)
+
+// TestServeSoak is the network mirror of pdl/store's concurrent hammer,
+// run under -race in CI: several TCP clients, each with several
+// goroutines on disjoint logical slices, hammer reads and writes while
+// the array degrades (Fail over the wire) and rebuilds (Rebuild over the
+// wire, mid-traffic). Every read is checked against the goroutine's own
+// model; afterward the store must verify parity and match the models.
+func TestServeSoak(t *testing.T) {
+	const (
+		unitSize   = 32
+		clients    = 2
+		goroutines = 4 // per client
+		opsPerGo   = 250
+	)
+	f := mustFrontend(t, 13, 4, 2, unitSize, serve.Config{QueueDepth: 32, FlushDelay: 100 * time.Microsecond})
+	addr := startServer(t, f)
+
+	conns := make([]*serve.Client, clients)
+	for i := range conns {
+		c, err := serve.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+	capacity := conns[0].Capacity()
+	lanes := clients * goroutines
+	// models[lane][logical] is the lane's expected payload (lanes own
+	// logical % lanes == lane).
+	models := make([]map[int][]byte, lanes)
+	for i := range models {
+		models[i] = make(map[int][]byte)
+	}
+
+	hammer := func(phase int) {
+		t.Helper()
+		var wg sync.WaitGroup
+		errs := make(chan error, lanes)
+		for lane := 0; lane < lanes; lane++ {
+			wg.Add(1)
+			go func(lane int) {
+				defer wg.Done()
+				c := conns[lane%clients]
+				rng := rand.New(rand.NewSource(int64(phase*lanes + lane)))
+				buf := make([]byte, unitSize)
+				got := make([]byte, unitSize)
+				for i := 0; i < opsPerGo; i++ {
+					logical := lane + lanes*rng.Intn(capacity/lanes)
+					if rng.Intn(3) == 0 {
+						if err := c.Read(logical, got); err != nil {
+							errs <- err
+							return
+						}
+						want, written := models[lane][logical]
+						if !written {
+							want = make([]byte, unitSize)
+						}
+						if !bytes.Equal(got, want) {
+							errs <- fmt.Errorf("lane %d phase %d logical %d: got %x want %x", lane, phase, logical, got, want)
+							return
+						}
+						continue
+					}
+					rng.Read(buf)
+					// Mixed classes: a slice of traffic rides the
+					// background queue.
+					class := serve.Foreground
+					if rng.Intn(5) == 0 {
+						class = serve.Background
+					}
+					if err := c.WriteClass(logical, buf, class); err != nil {
+						errs <- err
+						return
+					}
+					models[lane][logical] = append([]byte(nil), buf...)
+				}
+			}(lane)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+
+	sweep := func(tag string) {
+		t.Helper()
+		got := make([]byte, unitSize)
+		zero := make([]byte, unitSize)
+		for logical := 0; logical < capacity; logical++ {
+			if err := conns[logical%clients].Read(logical, got); err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			want, written := models[logical%lanes][logical]
+			if !written {
+				want = zero
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: logical %d: got %x want %x", tag, logical, got, want)
+			}
+		}
+	}
+
+	hammer(1)
+	if err := f.Store().VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	sweep("healthy")
+
+	// Disk down over the wire; all traffic continues degraded.
+	if err := conns[0].Fail(5); err != nil {
+		t.Fatal(err)
+	}
+	hammer(2)
+	sweep("degraded")
+
+	// Rebuild over the wire while the hammer keeps running.
+	rebuildErr := make(chan error, 1)
+	go func() { rebuildErr <- conns[1].Rebuild() }()
+	hammer(3)
+	if err := <-rebuildErr; err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Store().Failed(); got != -1 {
+		t.Fatalf("after rebuild: Failed() = %d", got)
+	}
+	if err := f.Store().VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	hammer(4)
+	sweep("rebuilt")
+
+	st, err := conns[0].Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Store.Degraded == 0 || st.Frontend.Background == 0 || st.Frontend.Batches == 0 {
+		t.Errorf("soak stats implausible: %+v", st)
+	}
+}

@@ -1,0 +1,205 @@
+// Package wire defines the length-prefixed binary protocol between
+// serve.Client and serve.Server.
+//
+// Every message is one frame: a 4-byte big-endian body length, then the
+// body. A request body is
+//
+//	id(8) op(1) class(1) arg(8) payload(...)
+//
+// and a response body is
+//
+//	id(8) status(1) payload(...)
+//
+// all integers big-endian. id correlates a response with its request, so
+// a connection may have many requests in flight and responses may arrive
+// in any order. arg carries the operand (logical unit for OpRead/OpWrite,
+// disk for OpFail, unused otherwise). payload carries the unit bytes for
+// OpWrite requests and OpRead responses, the error text for StatusErr
+// responses, and op-specific encodings elsewhere (see the serve package).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Request ops.
+const (
+	// OpInfo asks for the array geometry; the response payload is an Info.
+	OpInfo uint8 = 1 + iota
+
+	// OpRead reads the logical unit in Arg; the response payload is the
+	// unit's bytes.
+	OpRead
+
+	// OpWrite writes Payload (one unit) to the logical unit in Arg.
+	OpWrite
+
+	// OpFail marks disk Arg failed.
+	OpFail
+
+	// OpRebuild rebuilds the failed disk onto a fresh replacement.
+	OpRebuild
+
+	// OpStats asks for server statistics; the response payload is JSON.
+	OpStats
+
+	opMax = OpStats
+)
+
+// Response statuses.
+const (
+	// StatusOK carries the op's result payload.
+	StatusOK uint8 = iota
+
+	// StatusErr carries the error text as the payload.
+	StatusErr
+)
+
+const (
+	// ReqHeaderLen is a request body's fixed prefix length.
+	ReqHeaderLen = 8 + 1 + 1 + 8
+
+	// RespHeaderLen is a response body's fixed prefix length.
+	RespHeaderLen = 8 + 1
+
+	// MaxFrame is the largest frame body either side accepts: it bounds
+	// memory per connection against hostile length prefixes while
+	// leaving room for a 1 MiB unit payload plus headers.
+	MaxFrame = 1<<20 + ReqHeaderLen
+)
+
+// Request is a decoded request frame. Payload aliases the decode buffer;
+// copy it to retain it past the next frame.
+type Request struct {
+	ID      uint64
+	Op      uint8
+	Class   uint8
+	Arg     uint64
+	Payload []byte
+}
+
+// Response is a decoded response frame. Payload aliases the decode
+// buffer; copy it to retain it past the next frame.
+type Response struct {
+	ID      uint64
+	Status  uint8
+	Payload []byte
+}
+
+// AppendRequest appends r as a complete frame (length prefix included).
+func AppendRequest(dst []byte, r *Request) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(ReqHeaderLen+len(r.Payload)))
+	dst = binary.BigEndian.AppendUint64(dst, r.ID)
+	dst = append(dst, r.Op, r.Class)
+	dst = binary.BigEndian.AppendUint64(dst, r.Arg)
+	return append(dst, r.Payload...)
+}
+
+// DecodeRequest parses a request body (frame minus the length prefix)
+// into r. r.Payload aliases body.
+func DecodeRequest(body []byte, r *Request) error {
+	if len(body) < ReqHeaderLen {
+		return fmt.Errorf("wire: request body %d bytes, want >= %d", len(body), ReqHeaderLen)
+	}
+	r.ID = binary.BigEndian.Uint64(body)
+	r.Op = body[8]
+	r.Class = body[9]
+	r.Arg = binary.BigEndian.Uint64(body[10:])
+	r.Payload = body[ReqHeaderLen:]
+	if r.Op < OpInfo || r.Op > opMax {
+		return fmt.Errorf("wire: unknown op %d", r.Op)
+	}
+	return nil
+}
+
+// AppendResponse appends r as a complete frame (length prefix included).
+func AppendResponse(dst []byte, r *Response) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(RespHeaderLen+len(r.Payload)))
+	dst = binary.BigEndian.AppendUint64(dst, r.ID)
+	dst = append(dst, r.Status)
+	return append(dst, r.Payload...)
+}
+
+// DecodeResponse parses a response body (frame minus the length prefix)
+// into r. r.Payload aliases body.
+func DecodeResponse(body []byte, r *Response) error {
+	if len(body) < RespHeaderLen {
+		return fmt.Errorf("wire: response body %d bytes, want >= %d", len(body), RespHeaderLen)
+	}
+	r.ID = binary.BigEndian.Uint64(body)
+	r.Status = body[8]
+	r.Payload = body[RespHeaderLen:]
+	if r.Status != StatusOK && r.Status != StatusErr {
+		return fmt.Errorf("wire: unknown status %d", r.Status)
+	}
+	return nil
+}
+
+// ErrFrameTooLarge reports a length prefix above MaxFrame — a corrupt or
+// hostile peer.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+
+// ReadFrame reads one frame body from r, reusing buf when it has the
+// capacity; it returns the body (len == the frame's length prefix).
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Info is the geometry handshake payload answering OpInfo.
+type Info struct {
+	// UnitSize is the payload size of one stripe unit in bytes.
+	UnitSize int
+
+	// Capacity is the number of addressable logical data units.
+	Capacity int
+
+	// Disks is the number of disks in the array.
+	Disks int
+
+	// Failed is the failed disk, -1 when healthy.
+	Failed int
+}
+
+// infoLen is the encoded Info size: unit(4) capacity(8) disks(4) failed(4).
+const infoLen = 4 + 8 + 4 + 4
+
+// AppendInfo appends the Info encoding.
+func AppendInfo(dst []byte, in *Info) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(in.UnitSize))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(in.Capacity))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(in.Disks))
+	return binary.BigEndian.AppendUint32(dst, uint32(int32(in.Failed)))
+}
+
+// DecodeInfo parses an Info encoding.
+func DecodeInfo(body []byte, in *Info) error {
+	if len(body) != infoLen {
+		return fmt.Errorf("wire: info payload %d bytes, want %d", len(body), infoLen)
+	}
+	in.UnitSize = int(binary.BigEndian.Uint32(body))
+	in.Capacity = int(binary.BigEndian.Uint64(body[4:]))
+	in.Disks = int(binary.BigEndian.Uint32(body[12:]))
+	in.Failed = int(int32(binary.BigEndian.Uint32(body[16:])))
+	return nil
+}

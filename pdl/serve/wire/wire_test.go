@@ -1,0 +1,126 @@
+package wire_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/pdl/serve/wire"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []wire.Request{
+		{ID: 1, Op: wire.OpInfo},
+		{ID: 42, Op: wire.OpRead, Class: 1, Arg: 7},
+		{ID: 1 << 60, Op: wire.OpWrite, Arg: 99, Payload: []byte("unit payload bytes")},
+		{ID: 3, Op: wire.OpFail, Arg: 5},
+		{ID: 4, Op: wire.OpRebuild},
+		{ID: 5, Op: wire.OpStats},
+	}
+	for _, want := range cases {
+		frame := wire.AppendRequest(nil, &want)
+		if got := binary.BigEndian.Uint32(frame); int(got) != len(frame)-4 {
+			t.Fatalf("op %d: length prefix %d, frame body %d", want.Op, got, len(frame)-4)
+		}
+		var got wire.Request
+		if err := wire.DecodeRequest(frame[4:], &got); err != nil {
+			t.Fatalf("op %d: %v", want.Op, err)
+		}
+		if got.ID != want.ID || got.Op != want.Op || got.Class != want.Class || got.Arg != want.Arg || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("op %d: round trip diverges: %+v vs %+v", want.Op, got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []wire.Response{
+		{ID: 9, Status: wire.StatusOK},
+		{ID: 10, Status: wire.StatusOK, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+		{ID: 11, Status: wire.StatusErr, Payload: []byte("disk 3 on fire")},
+	}
+	for _, want := range cases {
+		frame := wire.AppendResponse(nil, &want)
+		var got wire.Response
+		if err := wire.DecodeResponse(frame[4:], &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != want.ID || got.Status != want.Status || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip diverges: %+v vs %+v", got, want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var req wire.Request
+	if err := wire.DecodeRequest(make([]byte, wire.ReqHeaderLen-1), &req); err == nil {
+		t.Error("short request body accepted")
+	}
+	bad := wire.AppendRequest(nil, &wire.Request{ID: 1, Op: 200})
+	if err := wire.DecodeRequest(bad[4:], &req); err == nil {
+		t.Error("unknown op accepted")
+	}
+	var resp wire.Response
+	if err := wire.DecodeResponse(make([]byte, wire.RespHeaderLen-1), &resp); err == nil {
+		t.Error("short response body accepted")
+	}
+	badResp := wire.AppendResponse(nil, &wire.Response{ID: 1, Status: 9})
+	if err := wire.DecodeResponse(badResp[4:], &resp); err == nil {
+		t.Error("unknown status accepted")
+	}
+}
+
+func TestReadFrame(t *testing.T) {
+	var stream []byte
+	stream = wire.AppendRequest(stream, &wire.Request{ID: 1, Op: wire.OpRead, Arg: 3})
+	stream = wire.AppendRequest(stream, &wire.Request{ID: 2, Op: wire.OpWrite, Arg: 4, Payload: []byte("abc")})
+	br := bufio.NewReader(bytes.NewReader(stream))
+	var buf []byte
+	for want := uint64(1); want <= 2; want++ {
+		body, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = body
+		var req wire.Request
+		if err := wire.DecodeRequest(body, &req); err != nil {
+			t.Fatal(err)
+		}
+		if req.ID != want {
+			t.Fatalf("frame order: got id %d want %d", req.ID, want)
+		}
+	}
+	if _, err := wire.ReadFrame(br, buf); err != io.EOF {
+		t.Fatalf("EOF: %v", err)
+	}
+
+	// Hostile length prefix.
+	huge := binary.BigEndian.AppendUint32(nil, wire.MaxFrame+1)
+	if _, err := wire.ReadFrame(bufio.NewReader(bytes.NewReader(huge)), nil); !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+
+	// Truncated body.
+	trunc := binary.BigEndian.AppendUint32(nil, 10)
+	trunc = append(trunc, 1, 2, 3)
+	if _, err := wire.ReadFrame(bufio.NewReader(bytes.NewReader(trunc)), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated frame: %v", err)
+	}
+}
+
+func TestInfoRoundTrip(t *testing.T) {
+	want := wire.Info{UnitSize: 4096, Capacity: 123456, Disks: 17, Failed: -1}
+	b := wire.AppendInfo(nil, &want)
+	var got wire.Info
+	if err := wire.DecodeInfo(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip diverges: %+v vs %+v", got, want)
+	}
+	if err := wire.DecodeInfo(b[:len(b)-1], &got); err == nil {
+		t.Error("short info accepted")
+	}
+}

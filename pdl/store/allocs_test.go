@@ -1,0 +1,59 @@
+//go:build !race
+
+// The allocs regression gate (CI) for the batch entry points: ReadVec
+// and WriteVec promise zero allocations per call in steady state (the
+// single-op gate lives in TestHotPathAllocs). Excluded under -race:
+// sync.Pool randomly drops items under the race detector.
+
+package store_test
+
+import (
+	"testing"
+
+	"repro/pdl/store"
+)
+
+func TestVecHotPathAllocs(t *testing.T) {
+	const unitSize = 4096
+	const depth = 32
+	s := mustStore(t, 17, 4, 4, unitSize)
+	wops := make([]store.VecOp, depth)
+	rops := make([]store.VecOp, depth)
+	for j := 0; j < depth; j++ {
+		wops[j].Buf = payload(make([]byte, unitSize), j)
+		rops[j].Buf = make([]byte, unitSize)
+	}
+	i := 0
+	setAddrs := func(ops []store.VecOp) {
+		for j := range ops {
+			ops[j].Logical = (i*depth + j) % s.Capacity()
+		}
+		i++
+	}
+	// Warm the pool's vec scratch.
+	for w := 0; w < 8; w++ {
+		setAddrs(wops)
+		if err := s.WriteVec(wops); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ReadVec(rops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		setAddrs(wops)
+		if err := s.WriteVec(wops); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("WriteVec allocates %v/batch, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		setAddrs(rops)
+		if err := s.ReadVec(rops); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("ReadVec allocates %v/batch, want 0", n)
+	}
+}

@@ -146,6 +146,51 @@ func BenchmarkStoreFullStripeWriteAt(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreWriteVec measures the batch entry point: 32 sequential
+// small writes per call, grouped per stripe with full-stripe promotion
+// (compare per-unit ns against BenchmarkStoreWrite).
+func BenchmarkStoreWriteVec(b *testing.B) {
+	s := benchStore(b)
+	const depth = 32
+	ops := make([]store.VecOp, depth)
+	for j := range ops {
+		ops[j].Buf = payload(make([]byte, benchUnitSize), j)
+	}
+	b.SetBytes(int64(depth * benchUnitSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ops {
+			ops[j].Logical = (i*depth + j) % s.Capacity()
+		}
+		if err := s.WriteVec(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreReadVec measures the read batch entry point: 32
+// sequential reads per call, one lock pass per stripe.
+func BenchmarkStoreReadVec(b *testing.B) {
+	s := benchStore(b)
+	const depth = 32
+	ops := make([]store.VecOp, depth)
+	for j := range ops {
+		ops[j].Buf = make([]byte, benchUnitSize)
+	}
+	b.SetBytes(int64(depth * benchUnitSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ops {
+			ops[j].Logical = (i*depth + j) % s.Capacity()
+		}
+		if err := s.ReadVec(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkStoreRebuild measures the online reconstruction rate: bytes of
 // the failed disk rebuilt per second (no foreground load).
 func BenchmarkStoreRebuild(b *testing.B) {

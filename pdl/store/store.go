@@ -75,6 +75,12 @@ type scratch struct {
 	p     plan.Plan
 	a, b  []byte
 	units []layout.Unit
+
+	// stripes and order are the vec-request grouping state: stripes[i] is
+	// the stripe of ops[i], order is the stripe-major permutation of op
+	// indexes (see prepareVec).
+	stripes []int32
+	order   []int32
 }
 
 // Store serves reads and writes against real bytes under a
@@ -418,6 +424,14 @@ func (s *Store) readUnit(sc *scratch, logical, within int, p []byte) error {
 			return err
 		}
 	}
+	return s.execReadLocked(sc, within, p)
+}
+
+// execReadLocked executes the compiled read plan in sc.p against bytes
+// [within, within+len(p)) of each unit. The caller holds the stripe's
+// lock (shared suffices) and has compiled sc.p under the current failure
+// state.
+func (s *Store) execReadLocked(sc *scratch, within int, p []byte) error {
 	if sc.p.Kind == plan.Read {
 		u := sc.p.Steps[0].Unit
 		if _, err := s.disks[u.Disk].ReadAt(p, s.byteOff(u, within)); err != nil {
@@ -447,8 +461,7 @@ func (s *Store) writeUnit(sc *scratch, logical, within int, p []byte) error {
 	if err := sc.pln.Write(logical, failed, &sc.p); err != nil {
 		return err
 	}
-	stripe := sc.p.Stripe
-	lk := s.lockFor(stripe)
+	lk := s.lockFor(sc.p.Stripe)
 	lk.Lock()
 	defer lk.Unlock()
 	if cur := int(s.failed.Load()); cur != failed {
@@ -456,6 +469,15 @@ func (s *Store) writeUnit(sc *scratch, logical, within int, p []byte) error {
 			return err
 		}
 	}
+	return s.execWriteLocked(sc, within, p)
+}
+
+// execWriteLocked executes the compiled write plan in sc.p against bytes
+// [within, within+len(p)) of the addressed unit, updating parity. The
+// caller holds the stripe's write lock and has compiled sc.p under the
+// current failure state.
+func (s *Store) execWriteLocked(sc *scratch, within int, p []byte) error {
+	stripe := sc.p.Stripe
 	switch sc.p.Kind {
 	case plan.SmallWrite:
 		// Figure 1 read-modify-write: parity ^= old data ^ new data. The
@@ -589,11 +611,25 @@ func (s *Store) tryFullStripe(sc *scratch, logical int, p []byte) (int, error) {
 	lk := s.lockFor(stripe)
 	lk.Lock()
 	defer lk.Unlock()
-	// New parity is the XOR of the new data alone: no pre-reads.
+	err = s.writeStripeLocked(sc, stripe, units, parity, func(i int) []byte {
+		return p[i*s.unitSize : (i+1)*s.unitSize]
+	})
+	if err != nil {
+		return 0, err
+	}
+	return span, nil
+}
+
+// writeStripeLocked writes one whole stripe with no pre-reads (the
+// Condition 5 large-write path): the new parity is the XOR of the new
+// data payloads alone. data(i) returns the payload of the stripe's i-th
+// data unit in stripe order; units holds the stripe's units (parity
+// included) and the caller holds the stripe's write lock.
+func (s *Store) writeStripeLocked(sc *scratch, stripe int, units []layout.Unit, parity layout.Unit, data func(int) []byte) error {
 	b := sc.b[:s.unitSize]
 	clear(b)
-	for i := 0; i < dataUnits; i++ {
-		subtle.XORBytes(b, b, p[i*s.unitSize:(i+1)*s.unitSize])
+	for i := 0; i < len(units)-1; i++ {
+		subtle.XORBytes(b, b, data(i))
 	}
 	failed := int(s.failed.Load())
 	redirect := s.rebuildDst != nil && s.rebuilt[stripe]
@@ -603,25 +639,25 @@ func (s *Store) tryFullStripe(sc *scratch, logical int, p []byte) (int, error) {
 		if u == parity {
 			payload = b
 		} else {
-			payload = p[idx*s.unitSize : (idx+1)*s.unitSize]
+			payload = data(idx)
 			idx++
 		}
 		switch {
 		case u.Disk != failed:
 			if _, err := s.disks[u.Disk].WriteAt(payload, s.byteOff(u, 0)); err != nil {
-				return 0, fmt.Errorf("store: full-stripe write disk %d: %w", u.Disk, err)
+				return fmt.Errorf("store: full-stripe write disk %d: %w", u.Disk, err)
 			}
 			s.noteIO(u.Disk, true, false, len(payload))
 		case redirect:
 			if _, err := s.rebuildDst.WriteAt(payload, s.byteOff(u, 0)); err != nil {
-				return 0, fmt.Errorf("store: full-stripe write replacement: %w", err)
+				return fmt.Errorf("store: full-stripe write replacement: %w", err)
 			}
 			s.noteIO(u.Disk, true, true, len(payload))
 		}
 		// A not-yet-rebuilt unit on the failed disk is simply skipped:
 		// Rebuild reconstructs it from the survivors just written.
 	}
-	return span, nil
+	return nil
 }
 
 // Rebuild reconstructs the failed disk's bytes onto replacement, stripe

@@ -6,10 +6,16 @@
 // Usage:
 //
 //	pdlserve serve -addr :9911 -v 17 -k 4 -copies 4 -unit 4096
+//	pdlserve serve -addr :9911 -dir a17 -backend mmap   # durable array
 //	pdlserve bench -clients 64 -seconds 2          # self-hosted server
 //	pdlserve bench -addr host:9911 -clients 64     # remote server
 //	pdlserve loadgen -workload zipf -theta 0.9 -write-frac 0.3 -ops 200000
 //	pdlserve loadgen -addr host:9911 -workload mix -fail 3
+//
+// With -dir, serve opens an existing pdlstore array directory (see
+// pdl/store/array) instead of a throwaway MemDisk array: bytes, disk
+// failures, and rebuilds all survive a server restart, because wire Fail
+// and Rebuild requests route through the array's manifest.
 //
 // All rates are decimal MB/s (1 MB = 1e6 bytes), matching `go test
 // -bench` and the BENCH_*.json records.
@@ -30,6 +36,7 @@ import (
 	"repro/pdl/serve"
 	"repro/pdl/sim"
 	"repro/pdl/store"
+	"repro/pdl/store/array"
 )
 
 func main() {
@@ -96,14 +103,43 @@ func fmtBytes(n int64) string {
 	return fmt.Sprintf("%.1f MB", float64(n)/units.BytesPerMB)
 }
 
+func degradedTag(s *store.Store) string {
+	if f := s.Failed(); f >= 0 {
+		return fmt.Sprintf(" (degraded: disk %d down)", f)
+	}
+	return ""
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":9911", "listen address")
+	dir := fs.String("dir", "", "existing array directory to serve (empty: throwaway MemDisk array)")
+	backend := fs.String("backend", string(array.File), "per-disk backend for -dir: file|mmap")
 	a := addArrayFlags(fs)
 	fs.Parse(args)
-	front, err := a.newFrontend()
-	if err != nil {
-		return err
+
+	var front *serve.Frontend
+	var arr *array.Array
+	if *dir != "" {
+		kind, err := array.ParseBackend(*backend)
+		if err != nil {
+			return err
+		}
+		arr, err = array.Open(*dir, array.WithBackend(kind))
+		if err != nil {
+			return err
+		}
+		s := arr.Store()
+		m := arr.Manifest()
+		fmt.Printf("array %s: %s v=%d k=%d, %d units of %d B (%s logical, %s backend)%s\n",
+			*dir, m.Method, m.V, m.K, s.Capacity(), m.UnitSize, fmtBytes(s.Size()), kind, degradedTag(s))
+		front = serve.New(s, serve.Config{QueueDepth: a.depth, FlushDelay: a.flush, Workers: a.workers})
+	} else {
+		var err error
+		front, err = a.newFrontend()
+		if err != nil {
+			return err
+		}
 	}
 	defer front.Store().Close()
 	defer front.Close()
@@ -112,6 +148,12 @@ func cmdServe(args []string) error {
 		return err
 	}
 	srv := serve.NewServer(front)
+	if arr != nil {
+		// Durable array: wire Fail/Rebuild go through the manifest so
+		// degraded and rebuilt states survive a server restart.
+		srv.FailDisk = arr.Fail
+		srv.RebuildDisk = func() error { _, err := arr.Rebuild(); return err }
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	go func() {

@@ -1,8 +1,9 @@
 // Command pdlstore drives the pdl/store byte-serving engine end-to-end
-// over a file-backed disk array: create an array, write and read bytes,
-// fail a disk (really scrubbing its file), serve degraded, rebuild the
-// lost disk from survivor XOR, verify parity, and micro-benchmark
-// throughput.
+// over a durable file-backed disk array (see pdl/store/array): create an
+// array, write and read bytes, fail a disk (really scrubbing its file,
+// with the failure persisted in the array manifest), serve degraded,
+// rebuild the lost disk from survivor XOR, verify parity, and
+// micro-benchmark throughput.
 //
 // Usage:
 //
@@ -13,32 +14,24 @@
 //	pdlstore read -dir a17 -at 0 -n 23        # served degraded
 //	pdlstore rebuild -dir a17
 //	pdlstore verify -dir a17
-//	pdlstore bench -dir a17
+//	pdlstore bench -dir a17 -backend mmap
+//
+// Every subcommand takes -backend file|mmap to pick the per-disk
+// Backend; the array directory format is backend-agnostic, so the same
+// array can be served either way (or by `pdlserve serve -dir`).
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"time"
 
 	"repro/cmd/internal/units"
-	"repro/pdl"
-	"repro/pdl/layout"
 	"repro/pdl/store"
+	"repro/pdl/store/array"
 )
-
-// meta is the on-disk array descriptor next to layout.json.
-type meta struct {
-	Version   int    `json:"version"`
-	Method    string `json:"method"`
-	UnitSize  int    `json:"unit_size"`
-	DiskUnits int    `json:"disk_units"`
-	Failed    int    `json:"failed"` // -1 = healthy
-}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -74,26 +67,21 @@ func die(err error) {
 	os.Exit(1)
 }
 
-func diskPath(dir string, d int) string { return filepath.Join(dir, fmt.Sprintf("disk%02d.dat", d)) }
-
-func writeMeta(dir string, m *meta) error {
-	b, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(filepath.Join(dir, "meta.json"), append(b, '\n'), 0o644)
+// addBackendFlag registers the shared -backend flag.
+func addBackendFlag(fs *flag.FlagSet) *string {
+	return fs.String("backend", string(array.File), "per-disk backend: file|mmap")
 }
 
-func readMeta(dir string) (*meta, error) {
-	b, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+// openArray opens dir with the selected backend.
+func openArray(dir, backend string) (*array.Array, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("-dir required")
+	}
+	kind, err := array.ParseBackend(backend)
 	if err != nil {
 		return nil, err
 	}
-	m := &meta{}
-	if err := json.Unmarshal(b, m); err != nil {
-		return nil, fmt.Errorf("meta.json: %w", err)
-	}
-	return m, nil
+	return array.Open(dir, array.WithBackend(kind))
 }
 
 func cmdInit(args []string) error {
@@ -104,95 +92,26 @@ func cmdInit(args []string) error {
 	copies := fs.Int("copies", 1, "layout copies per disk")
 	unit := fs.Int("unit", 4096, "unit size in bytes")
 	method := fs.String("method", "", "construction method (default: automatic)")
+	backend := addBackendFlag(fs)
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("init: -dir required")
 	}
-	var opts []pdl.Option
-	if *method != "" {
-		opts = append(opts, pdl.WithMethod(*method))
-	}
-	res, err := pdl.Build(*v, *k, opts...)
+	kind, err := array.ParseBackend(*backend)
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(*dir, 0o755); err != nil {
-		return err
-	}
-	lf, err := os.Create(filepath.Join(*dir, "layout.json"))
+	arr, err := array.Create(*dir, array.CreateOptions{
+		V: *v, K: *k, Copies: *copies, UnitSize: *unit, Method: *method, Backend: kind,
+	})
 	if err != nil {
 		return err
 	}
-	if err := res.Layout.WriteJSON(lf); err != nil {
-		lf.Close()
-		return err
-	}
-	if err := lf.Close(); err != nil {
-		return err
-	}
-	diskUnits := *copies * res.Layout.Size
-	diskBytes := int64(diskUnits) * int64(*unit)
-	for d := 0; d < *v; d++ {
-		fd, err := store.CreateFileDisk(diskPath(*dir, d), diskBytes)
-		if err != nil {
-			return err
-		}
-		if err := fd.Close(); err != nil {
-			return err
-		}
-	}
-	if err := writeMeta(*dir, &meta{Version: 1, Method: res.Method, UnitSize: *unit, DiskUnits: diskUnits, Failed: -1}); err != nil {
-		return err
-	}
-	s, err := openStore(*dir)
-	if err != nil {
-		return err
-	}
-	defer s.Close()
+	defer arr.Close()
+	m := arr.Manifest()
 	fmt.Printf("initialized %s: method %s, %d disks x %d units x %d B (logical capacity %d B)\n",
-		*dir, res.Method, *v, diskUnits, *unit, s.Size())
+		*dir, m.Method, m.V, m.DiskUnits, m.UnitSize, arr.Store().Size())
 	return nil
-}
-
-// openStore opens the array directory as a Store over FileDisks, with
-// the persisted failure state applied.
-func openStore(dir string) (*store.Store, error) {
-	m, err := readMeta(dir)
-	if err != nil {
-		return nil, err
-	}
-	lf, err := os.Open(filepath.Join(dir, "layout.json"))
-	if err != nil {
-		return nil, err
-	}
-	l, err := layout.ReadJSON(lf)
-	lf.Close()
-	if err != nil {
-		return nil, err
-	}
-	mapper, err := pdl.NewMapper(l, m.DiskUnits)
-	if err != nil {
-		return nil, err
-	}
-	backends := make([]store.Backend, l.V)
-	for d := range backends {
-		fd, err := store.OpenFileDisk(diskPath(dir, d))
-		if err != nil {
-			return nil, err
-		}
-		backends[d] = fd
-	}
-	s, err := store.New(mapper, m.UnitSize, backends)
-	if err != nil {
-		return nil, err
-	}
-	if m.Failed >= 0 {
-		if err := s.Fail(m.Failed); err != nil {
-			s.Close()
-			return nil, err
-		}
-	}
-	return s, nil
 }
 
 func cmdWrite(args []string) error {
@@ -201,10 +120,8 @@ func cmdWrite(args []string) error {
 	at := fs.Int64("at", 0, "logical byte offset")
 	data := fs.String("data", "", "literal bytes to write")
 	file := fs.String("file", "", "file to write (default stdin when -data empty)")
+	backend := addBackendFlag(fs)
 	fs.Parse(args)
-	if *dir == "" {
-		return fmt.Errorf("write: -dir required")
-	}
 	var p []byte
 	switch {
 	case *data != "":
@@ -222,16 +139,16 @@ func cmdWrite(args []string) error {
 		}
 		p = b
 	}
-	s, err := openStore(*dir)
+	arr, err := openArray(*dir, *backend)
 	if err != nil {
 		return err
 	}
-	defer s.Close()
-	n, err := s.WriteAt(p, *at)
+	defer arr.Close()
+	n, err := arr.Store().WriteAt(p, *at)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d bytes at %d%s\n", n, *at, degradedTag(s))
+	fmt.Printf("wrote %d bytes at %d%s\n", n, *at, degradedTag(arr.Store()))
 	return nil
 }
 
@@ -241,15 +158,14 @@ func cmdRead(args []string) error {
 	at := fs.Int64("at", 0, "logical byte offset")
 	n := fs.Int("n", 0, "bytes to read (0 = to end)")
 	out := fs.String("o", "", "output file (default stdout)")
+	backend := addBackendFlag(fs)
 	fs.Parse(args)
-	if *dir == "" {
-		return fmt.Errorf("read: -dir required")
-	}
-	s, err := openStore(*dir)
+	arr, err := openArray(*dir, *backend)
 	if err != nil {
 		return err
 	}
-	defer s.Close()
+	defer arr.Close()
+	s := arr.Store()
 	if *at < 0 || *at >= s.Size() {
 		return fmt.Errorf("read: offset %d outside store of %d bytes", *at, s.Size())
 	}
@@ -289,32 +205,20 @@ func cmdFail(args []string) error {
 	fs := flag.NewFlagSet("fail", flag.ExitOnError)
 	dir := fs.String("dir", "", "array directory")
 	disk := fs.Int("disk", -1, "disk to fail")
+	backend := addBackendFlag(fs)
 	fs.Parse(args)
-	if *dir == "" || *disk < 0 {
-		return fmt.Errorf("fail: -dir and -disk required")
+	if *disk < 0 {
+		return fmt.Errorf("fail: -disk required")
 	}
-	m, err := readMeta(*dir)
+	arr, err := openArray(*dir, *backend)
 	if err != nil {
 		return err
 	}
-	if m.Failed >= 0 {
-		return fmt.Errorf("disk %d already failed", m.Failed)
-	}
-	// Scrub the file so the bytes are genuinely gone: everything served
-	// from now on comes from survivor XOR.
-	st, err := os.Stat(diskPath(*dir, *disk))
-	if err != nil {
-		return err
-	}
-	fd, err := store.CreateFileDisk(diskPath(*dir, *disk), st.Size())
-	if err != nil {
-		return err
-	}
-	if err := fd.Close(); err != nil {
-		return err
-	}
-	m.Failed = *disk
-	if err := writeMeta(*dir, m); err != nil {
+	defer arr.Close()
+	// array.Fail scrubs the disk file and persists the failure in the
+	// manifest, so a restart keeps serving degraded instead of reading
+	// scrubbed zeros as data.
+	if err := arr.Fail(*disk); err != nil {
 		return err
 	}
 	fmt.Printf("disk %d failed and scrubbed; array now serves degraded\n", *disk)
@@ -324,45 +228,20 @@ func cmdFail(args []string) error {
 func cmdRebuild(args []string) error {
 	fs := flag.NewFlagSet("rebuild", flag.ExitOnError)
 	dir := fs.String("dir", "", "array directory")
+	backend := addBackendFlag(fs)
 	fs.Parse(args)
-	if *dir == "" {
-		return fmt.Errorf("rebuild: -dir required")
-	}
-	m, err := readMeta(*dir)
+	arr, err := openArray(*dir, *backend)
 	if err != nil {
 		return err
 	}
-	if m.Failed < 0 {
-		return fmt.Errorf("no failed disk to rebuild")
-	}
-	s, err := openStore(*dir)
+	defer arr.Close()
+	failed := arr.Store().Failed()
+	elapsed, err := arr.Rebuild()
 	if err != nil {
 		return err
 	}
+	m := arr.Manifest()
 	diskBytes := int64(m.DiskUnits) * int64(m.UnitSize)
-	tmp := diskPath(*dir, m.Failed) + ".rebuild"
-	replacement, err := store.CreateFileDisk(tmp, diskBytes)
-	if err != nil {
-		s.Close()
-		return err
-	}
-	start := time.Now()
-	if err := s.Rebuild(replacement); err != nil {
-		s.Close()
-		return err
-	}
-	elapsed := time.Since(start)
-	if err := s.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, diskPath(*dir, m.Failed)); err != nil {
-		return err
-	}
-	failed := m.Failed
-	m.Failed = -1
-	if err := writeMeta(*dir, m); err != nil {
-		return err
-	}
 	fmt.Printf("rebuilt disk %d: %d bytes in %v (%s)\n",
 		failed, diskBytes, elapsed.Round(time.Millisecond), units.FormatMBPerSec(diskBytes, elapsed))
 	return nil
@@ -371,19 +250,17 @@ func cmdRebuild(args []string) error {
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	dir := fs.String("dir", "", "array directory")
+	backend := addBackendFlag(fs)
 	fs.Parse(args)
-	if *dir == "" {
-		return fmt.Errorf("verify: -dir required")
-	}
-	s, err := openStore(*dir)
+	arr, err := openArray(*dir, *backend)
 	if err != nil {
 		return err
 	}
-	defer s.Close()
-	if err := s.VerifyParity(); err != nil {
+	defer arr.Close()
+	if err := arr.Store().VerifyParity(); err != nil {
 		return err
 	}
-	if f := s.Failed(); f >= 0 {
+	if f := arr.Store().Failed(); f >= 0 {
 		fmt.Printf("parity OK on all stripes not crossing failed disk %d\n", f)
 	} else {
 		fmt.Println("parity OK on all stripes")
@@ -395,15 +272,14 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	dir := fs.String("dir", "", "array directory")
 	secs := fs.Float64("seconds", 1, "seconds per measurement")
+	backend := addBackendFlag(fs)
 	fs.Parse(args)
-	if *dir == "" {
-		return fmt.Errorf("bench: -dir required")
-	}
-	s, err := openStore(*dir)
+	arr, err := openArray(*dir, *backend)
 	if err != nil {
 		return err
 	}
-	defer s.Close()
+	defer arr.Close()
+	s := arr.Store()
 	unit := s.UnitSize()
 	buf := make([]byte, unit)
 	// The write phase scribbles over the array; snapshot the logical

@@ -140,6 +140,20 @@ func (c *Client) Stats() (ServerStats, error) {
 
 // do issues one request and blocks for its response.
 func (c *Client) do(op uint8, class Class, arg uint64, payload, dst []byte, out *[]byte) error {
+	cl, err := c.start(op, class, arg, payload, dst, out)
+	if err != nil {
+		return err
+	}
+	return c.wait(cl)
+}
+
+// start registers and sends one request without blocking for its
+// response; the returned call must be handed to wait exactly once.
+// Concurrent starts pipeline over the shared connection, which is how
+// ReadAt/WriteAt spans reach the server's batch path: the in-flight unit
+// ops land in the frontend queues together and coalesce into
+// ReadVec/WriteVec passes.
+func (c *Client) start(op uint8, class Class, arg uint64, payload, dst []byte, out *[]byte) (*call, error) {
 	cl := c.callPool.Get().(*call)
 	cl.dst = dst
 	cl.out = out
@@ -149,7 +163,7 @@ func (c *Client) do(op uint8, class Class, arg uint64, payload, dst []byte, out 
 		err := c.sticky
 		c.mu.Unlock()
 		c.callPool.Put(cl)
-		return err
+		return nil, err
 	}
 	c.nextID++
 	id := c.nextID
@@ -169,12 +183,17 @@ func (c *Client) do(op uint8, class Class, arg uint64, payload, dst []byte, out 
 			delete(c.pending, id)
 			c.mu.Unlock()
 			c.callPool.Put(cl)
-			return fmt.Errorf("serve: send: %w", werr)
+			return nil, fmt.Errorf("serve: send: %w", werr)
 		}
-		// The reader already completed (or failed) this call; take its
-		// verdict so the done channel is drained before pooling.
+		// The reader already completed (or failed) this call; the caller
+		// still waits so the done channel drains before pooling.
 		c.mu.Unlock()
 	}
+	return cl, nil
+}
+
+// wait blocks for a started call's response and recycles the call.
+func (c *Client) wait(cl *call) error {
 	err := <-cl.done
 	cl.dst, cl.out = nil, nil
 	c.callPool.Put(cl)

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"repro/pdl/serve/wire"
+)
+
+// spanWindow bounds how many unit requests a ReadAt/WriteAt span keeps
+// in flight at once: enough concurrency to fill server batches (and,
+// for stripe-aligned writes, whole Condition 5 full-stripe promotions),
+// bounded so one huge span cannot monopolize client memory or starve
+// the connection.
+const spanWindow = 64
+
+// Size returns the server's logical byte capacity (Capacity × UnitSize).
+func (c *Client) Size() int64 {
+	return int64(c.info.Capacity) * int64(c.info.UnitSize)
+}
+
+// Failed returns the failed disk as of the connection handshake, -1 when
+// the array was healthy (live state is in Stats).
+func (c *Client) Failed() int { return c.info.Failed }
+
+// flight is one in-progress unit op of a striped span.
+type flight struct {
+	cl *call
+
+	// scratch is the full-unit buffer a partial read landed in; its
+	// [within, within+len(out)) range is copied to out on completion.
+	// nil for aligned ops that read directly into the span buffer.
+	scratch []byte
+	out     []byte
+	within  int
+
+	// n is the span bytes this op accounts for.
+	n int
+}
+
+// ReadAt reads len(p) bytes from the logical byte space starting at off,
+// striping the span into unit-granularity requests pipelined over the
+// connection — concurrent in-flight units land in the server frontend's
+// queues together and coalesce into ReadVec batch passes. Reads crossing
+// the end of the array return the available prefix and io.EOF. On a
+// request failure it returns the contiguous byte count confirmed before
+// the failing offset.
+func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	return c.ReadAtClass(p, off, Foreground)
+}
+
+// ReadAtClass is ReadAt with an explicit priority class.
+func (c *Client) ReadAtClass(p []byte, off int64, class Class) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("serve: ReadAt: negative offset %d", off)
+	}
+	unit := int64(c.info.UnitSize)
+	size := c.Size()
+	if off >= size {
+		return 0, io.EOF
+	}
+	eof := false
+	if off+int64(len(p)) > size {
+		p = p[:size-off]
+		eof = true
+	}
+	var window []flight
+	n := 0
+	var firstErr error
+	drain := func(all bool) {
+		for len(window) > 0 && (all || len(window) >= spanWindow) {
+			f := window[0]
+			window = window[1:]
+			err := c.wait(f.cl)
+			if err == nil && f.scratch != nil {
+				copy(f.out, f.scratch[f.within:f.within+len(f.out)])
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if firstErr == nil {
+				n += f.n
+			}
+		}
+	}
+	for len(p) > 0 && firstErr == nil {
+		logical := off / unit
+		within := int(off % unit)
+		chunk := int(min(unit-int64(within), int64(len(p))))
+		f := flight{out: p[:chunk], within: within, n: chunk}
+		dst := p[:chunk]
+		if chunk != int(unit) {
+			f.scratch = make([]byte, unit)
+			dst = f.scratch
+		}
+		cl, err := c.start(wire.OpRead, class, uint64(logical), nil, dst, nil)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		f.cl = cl
+		window = append(window, f)
+		p = p[chunk:]
+		off += int64(chunk)
+		drain(false)
+	}
+	drain(true)
+	if firstErr != nil {
+		return n, firstErr
+	}
+	if eof {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt writes len(p) bytes to the logical byte space starting at off,
+// striping the span into unit-granularity requests pipelined over the
+// connection so the server frontend coalesces them into WriteVec batch
+// passes — a stripe-aligned span's units arrive together and promote to
+// single Condition 5 full-stripe writes. Unit-unaligned head and tail
+// edges are client-side read-modify-writes, so a span is not atomic
+// against concurrent writers of the same units. On a request failure it
+// returns the contiguous byte count confirmed before the failing offset.
+func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	return c.WriteAtClass(p, off, Foreground)
+}
+
+// WriteAtClass is WriteAt with an explicit priority class.
+func (c *Client) WriteAtClass(p []byte, off int64, class Class) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("serve: WriteAt: negative offset %d", off)
+	}
+	unit := int64(c.info.UnitSize)
+	if off+int64(len(p)) > c.Size() {
+		return 0, fmt.Errorf("serve: WriteAt: [%d,%d) outside array of %d bytes", off, off+int64(len(p)), c.Size())
+	}
+	n := 0
+	// Unaligned head (or a short write inside one unit): read-modify-write.
+	if within := int(off % unit); within != 0 || int64(len(p)) < unit {
+		chunk := int(min(unit-int64(within), int64(len(p))))
+		if err := c.rmwUnit(off/unit, within, p[:chunk], class); err != nil {
+			return 0, err
+		}
+		n += chunk
+		off += int64(chunk)
+		p = p[chunk:]
+	}
+	// Aligned middle: pipelined full-unit writes. The wire encoder copies
+	// the payload before start returns, so p is not retained.
+	var window []flight
+	var firstErr error
+	drain := func(all bool) {
+		for len(window) > 0 && (all || len(window) >= spanWindow) {
+			f := window[0]
+			window = window[1:]
+			if err := c.wait(f.cl); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if firstErr == nil {
+				n += f.n
+			}
+		}
+	}
+	for int64(len(p)) >= unit && firstErr == nil {
+		cl, err := c.start(wire.OpWrite, class, uint64(off/unit), p[:unit], nil, nil)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		window = append(window, flight{cl: cl, n: int(unit)})
+		p = p[unit:]
+		off += unit
+		drain(false)
+	}
+	drain(true)
+	if firstErr != nil {
+		return n, firstErr
+	}
+	// Unaligned tail.
+	if len(p) > 0 {
+		if err := c.rmwUnit(off/unit, 0, p, class); err != nil {
+			return n, err
+		}
+		n += len(p)
+	}
+	return n, nil
+}
+
+// rmwUnit writes bytes [within, within+len(chunk)) of one logical unit
+// by reading the unit, patching the range, and writing it back.
+func (c *Client) rmwUnit(logical int64, within int, chunk []byte, class Class) error {
+	buf := make([]byte, c.info.UnitSize)
+	if err := c.do(wire.OpRead, class, uint64(logical), nil, buf, nil); err != nil {
+		return err
+	}
+	copy(buf[within:], chunk)
+	return c.do(wire.OpWrite, class, uint64(logical), buf, nil, nil)
+}

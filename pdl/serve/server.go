@@ -42,7 +42,19 @@ type StoreStats struct {
 type Server struct {
 	// Replacement provisions the spare backend a wire.OpRebuild rebuilds
 	// onto. Nil defaults to a fresh MemDisk sized for the geometry.
+	// Ignored when RebuildDisk is set.
 	Replacement func() (store.Backend, error)
+
+	// FailDisk, when non-nil, handles wire.OpFail instead of the store's
+	// in-memory Fail. Durable servers point it at array.Fail so the
+	// scrub and the persisted failure state survive a restart.
+	FailDisk func(disk int) error
+
+	// RebuildDisk, when non-nil, handles wire.OpRebuild instead of the
+	// default rebuild-onto-Replacement. Durable servers point it at
+	// array.Rebuild so the reconstructed bytes and the manifest state
+	// land on disk. The server still serializes rebuild requests.
+	RebuildDisk func() error
 
 	front *Frontend
 
@@ -258,7 +270,11 @@ func (s *Server) dispatch(out chan<- *[]byte, pending *sync.WaitGroup, req *wire
 		}
 
 	case wire.OpFail:
-		if err := st.Fail(int(req.Arg)); err != nil {
+		fail := st.Fail
+		if s.FailDisk != nil {
+			fail = s.FailDisk
+		}
+		if err := fail(int(req.Arg)); err != nil {
 			s.respondErr(out, req.ID, err)
 		} else {
 			s.respond(out, req.ID, wire.StatusOK, nil)
@@ -300,6 +316,9 @@ func (s *Server) rebuild() error {
 		return errors.New("rebuild: already in progress")
 	}
 	defer s.rebuilding.Store(false)
+	if s.RebuildDisk != nil {
+		return s.RebuildDisk()
+	}
 	var rep store.Backend
 	var err error
 	if s.Replacement != nil {

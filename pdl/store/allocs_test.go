@@ -1,15 +1,19 @@
 //go:build !race
 
-// The allocs regression gate (CI) for the batch entry points: ReadVec
+// The allocs regression gates (CI) for the batch entry points — ReadVec
 // and WriteVec promise zero allocations per call in steady state (the
-// single-op gate lives in TestHotPathAllocs). Excluded under -race:
-// sync.Pool randomly drops items under the race detector.
+// single-op gate lives in TestHotPathAllocs) — and for the MmapDisk
+// healthy read path. Excluded under -race: sync.Pool randomly drops
+// items under the race detector.
 
 package store_test
 
 import (
+	"fmt"
+	"path/filepath"
 	"testing"
 
+	"repro/pdl"
 	"repro/pdl/store"
 )
 
@@ -55,5 +59,50 @@ func TestVecHotPathAllocs(t *testing.T) {
 		}
 	}); n != 0 {
 		t.Errorf("ReadVec allocates %v/batch, want 0", n)
+	}
+}
+
+// TestMmapHotPathAllocs pins the acceptance criterion for the mmap
+// backend: a healthy Read against MmapDisk disks is a lock, a plan
+// lookup, and a memory copy — 0 allocs/op, like MemDisk.
+func TestMmapHotPathAllocs(t *testing.T) {
+	const unitSize = 4096
+	res, err := pdl.Build(17, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskUnits := 4 * res.Layout.Size
+	dir := t.TempDir()
+	backends := make([]store.Backend, res.Layout.V)
+	for d := range backends {
+		backends[d], err = store.CreateMmapDisk(filepath.Join(dir, fmt.Sprintf("disk%02d.dat", d)), int64(diskUnits)*unitSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := store.Open(res, diskUnits, unitSize, backends)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	src := make([]byte, unitSize)
+	dst := make([]byte, unitSize)
+	payload(src, 7)
+	for i := 0; i < 64; i++ {
+		if err := s.Write(i%s.Capacity(), src); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Read(i%s.Capacity(), dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		if err := s.Read(i%s.Capacity(), dst); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); n != 0 {
+		t.Errorf("healthy MmapDisk Read allocates %v/op, want 0", n)
 	}
 }

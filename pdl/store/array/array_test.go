@@ -1,0 +1,383 @@
+package array_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/pdl"
+	"repro/pdl/layout"
+	"repro/pdl/store/array"
+)
+
+// backends are the persistent BackendKinds every lifecycle test runs
+// against (Mmap resolves to the platform fallback where unsupported).
+var backends = []array.BackendKind{array.File, array.Mmap}
+
+// payload fills a deterministic, unit-distinct pattern.
+func payload(buf []byte, seed int) []byte {
+	for j := range buf {
+		buf[j] = byte(seed*31 + j*7 + 1)
+	}
+	return buf
+}
+
+// refModel rebuilds the layout the array was created with and wraps it in
+// the single-threaded layout.Data reference engine.
+func refModel(t *testing.T, v, k, unitSize int) *layout.Data {
+	t.Helper()
+	res, err := pdl.Build(v, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := layout.NewData(res.Layout, unitSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// TestArrayLifecycleCrashRecovery is the randomized crash/reopen
+// property test: a random sequence of unit writes, disk failures, and
+// rebuilds, with the array periodically "crashed" (dropped without
+// Close) and reopened — after every reopen the array must agree
+// byte-for-byte with the layout.Data reference model and remember its
+// failure state.
+func TestArrayLifecycleCrashRecovery(t *testing.T) {
+	for _, kind := range backends {
+		t.Run(string(kind), func(t *testing.T) {
+			const (
+				v, k     = 9, 3
+				unitSize = 32
+				ops      = 400
+			)
+			dir := t.TempDir()
+			arr, err := array.Create(dir, array.CreateOptions{V: v, K: k, UnitSize: unitSize, Backend: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := refModel(t, v, k, unitSize)
+			rng := rand.New(rand.NewSource(7))
+			buf := make([]byte, unitSize)
+			got := make([]byte, unitSize)
+			failed := -1
+
+			check := func(tag string, n int) {
+				t.Helper()
+				for i := 0; i < n; i++ {
+					logical := rng.Intn(arr.Store().Capacity())
+					want, err := model.ReadLogical(logical)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := arr.Store().Read(logical, got); err != nil {
+						t.Fatalf("%s: read %d: %v", tag, logical, err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("%s: logical %d: array %x != model %x", tag, logical, got, want)
+					}
+				}
+			}
+
+			for i := 0; i < ops; i++ {
+				switch r := rng.Intn(100); {
+				case r < 70: // unit write (healthy or degraded)
+					logical := rng.Intn(arr.Store().Capacity())
+					payload(buf, rng.Int())
+					if err := arr.Store().Write(logical, buf); err != nil {
+						t.Fatal(err)
+					}
+					if err := model.WriteLogical(logical, buf); err != nil {
+						t.Fatal(err)
+					}
+				case r < 78: // fail a random disk
+					if failed < 0 {
+						failed = rng.Intn(v)
+						if err := arr.Fail(failed); err != nil {
+							t.Fatal(err)
+						}
+					}
+				case r < 84: // rebuild
+					if failed >= 0 {
+						if _, err := arr.Rebuild(); err != nil {
+							t.Fatal(err)
+						}
+						failed = -1
+					}
+				default: // crash: drop without Close, reopen
+					arr, err = array.Open(dir, array.WithBackend(kind))
+					if err != nil {
+						t.Fatalf("reopen after crash: %v", err)
+					}
+					if got := arr.Store().Failed(); got != failed {
+						t.Fatalf("reopen forgot failure state: Failed() = %d, want %d", got, failed)
+					}
+					check("after crash", 20)
+				}
+			}
+
+			// Settle: rebuild if degraded, then the full sweep and the
+			// parity invariant must hold across one more crash/reopen.
+			if failed >= 0 {
+				if _, err := arr.Rebuild(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			arr, err = array.Open(dir, array.WithBackend(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer arr.Close()
+			for logical := 0; logical < arr.Store().Capacity(); logical++ {
+				want, err := model.ReadLogical(logical)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := arr.Store().Read(logical, got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("final sweep: logical %d diverges", logical)
+				}
+			}
+			if err := arr.Store().VerifyParity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestArrayFailPersistsAcrossCrash pins the headline durability fix: a
+// scrubbed disk must never be served as healthy after a restart.
+func TestArrayFailPersistsAcrossCrash(t *testing.T) {
+	for _, kind := range backends {
+		t.Run(string(kind), func(t *testing.T) {
+			const (
+				v, k     = 7, 3
+				unitSize = 64
+			)
+			dir := t.TempDir()
+			arr, err := array.Create(dir, array.CreateOptions{V: v, K: k, UnitSize: unitSize, Backend: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, unitSize)
+			for i := 0; i < arr.Store().Capacity(); i++ {
+				if err := arr.Store().Write(i, payload(buf, i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := arr.Fail(2); err != nil {
+				t.Fatal(err)
+			}
+			if m := arr.Manifest(); m.Disks[2].State != array.DiskFailed || m.Failed() != 2 {
+				t.Fatalf("manifest after Fail: %+v", m.Disks)
+			}
+
+			// Crash (no Close), reopen: still degraded, bytes still correct.
+			arr, err = array.Open(dir, array.WithBackend(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if arr.Store().Failed() != 2 {
+				t.Fatalf("restart forgot the scrubbed disk: Failed() = %d, want 2", arr.Store().Failed())
+			}
+			got := make([]byte, unitSize)
+			for i := 0; i < arr.Store().Capacity(); i++ {
+				if err := arr.Store().Read(i, got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, payload(buf, i)) {
+					t.Fatalf("degraded read %d after restart diverges", i)
+				}
+			}
+
+			// Degraded writes survive another crash too.
+			if err := arr.Store().Write(3, payload(buf, 10007)); err != nil {
+				t.Fatal(err)
+			}
+			arr, err = array.Open(dir, array.WithBackend(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := arr.Store().Read(3, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload(buf, 10007)) {
+				t.Fatal("degraded write lost across restart")
+			}
+
+			// Rebuild, close cleanly, reopen: healthy, history recorded.
+			if _, err := arr.Rebuild(); err != nil {
+				t.Fatal(err)
+			}
+			if err := arr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			arr, err = array.Open(dir, array.WithBackend(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer arr.Close()
+			if arr.Store().Failed() != -1 {
+				t.Fatalf("after rebuild+restart: Failed() = %d, want -1", arr.Store().Failed())
+			}
+			if m := arr.Manifest(); m.Disks[2].State != array.DiskRebuilt {
+				t.Fatalf("rebuild history not recorded: disk 2 state %q", m.Disks[2].State)
+			}
+			if err := arr.Store().VerifyParity(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTornManifestAndStaleStaging proves the atomic-rename protocol: a
+// crash mid-Sync leaves array.json.tmp (possibly garbage) next to a good
+// array.json, and a crash mid-Rebuild leaves a stale .rebuild staging
+// file — Open must use the committed manifest, ignore and remove both
+// leftovers, and serve the committed bytes.
+func TestTornManifestAndStaleStaging(t *testing.T) {
+	const unitSize = 64
+	dir := t.TempDir()
+	arr, err := array.Create(dir, array.CreateOptions{V: 7, K: 3, UnitSize: unitSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, unitSize)
+	for i := 0; i < arr.Store().Capacity(); i++ {
+		if err := arr.Store().Write(i, payload(buf, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := arr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn Sync and the interrupted rebuild.
+	torn := filepath.Join(dir, array.ManifestName+".tmp")
+	if err := os.WriteFile(torn, []byte(`{"version": 9, "truncated`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "disk03.dat.rebuild")
+	if err := os.WriteFile(stale, []byte("stale reconstruction"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	arr, err = array.Open(dir)
+	if err != nil {
+		t.Fatalf("Open with torn staging files: %v", err)
+	}
+	defer arr.Close()
+	for _, leftover := range []string{torn, stale} {
+		if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+			t.Errorf("leftover %s survived Open", filepath.Base(leftover))
+		}
+	}
+	got := make([]byte, unitSize)
+	for i := 0; i < arr.Store().Capacity(); i++ {
+		if err := arr.Store().Read(i, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload(buf, i)) {
+			t.Fatalf("read %d diverges after torn-manifest recovery", i)
+		}
+	}
+	if err := arr.Store().VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenErrors pins the failure modes: version skew, corrupt JSON,
+// geometry mismatches, and bad backends all error cleanly.
+func TestOpenErrors(t *testing.T) {
+	if _, err := array.Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("Open of a non-array directory accepted")
+	}
+
+	mk := func(t *testing.T) string {
+		dir := t.TempDir()
+		arr, err := array.Create(dir, array.CreateOptions{V: 5, K: 3, UnitSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr.Close()
+		return dir
+	}
+
+	t.Run("VersionSkew", func(t *testing.T) {
+		dir := mk(t)
+		b, err := os.ReadFile(filepath.Join(dir, array.ManifestName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		skewed := bytes.Replace(b, []byte(`"version": 1`), []byte(`"version": 99`), 1)
+		if bytes.Equal(skewed, b) {
+			t.Fatal("version field not found to skew")
+		}
+		if err := os.WriteFile(filepath.Join(dir, array.ManifestName), skewed, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = array.Open(dir)
+		if !errors.Is(err, array.ErrVersion) {
+			t.Fatalf("future-format Open: %v, want ErrVersion", err)
+		}
+	})
+
+	t.Run("CorruptManifest", func(t *testing.T) {
+		dir := mk(t)
+		if err := os.WriteFile(filepath.Join(dir, array.ManifestName), []byte("{"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := array.Open(dir); err == nil {
+			t.Error("corrupt manifest accepted")
+		}
+	})
+
+	t.Run("TruncatedDisk", func(t *testing.T) {
+		dir := mk(t)
+		if err := os.Truncate(filepath.Join(dir, "disk01.dat"), 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := array.Open(dir); err == nil {
+			t.Error("truncated disk file accepted")
+		}
+	})
+
+	t.Run("BadBackend", func(t *testing.T) {
+		dir := mk(t)
+		if _, err := array.Open(dir, array.WithBackend("ramdouble")); err == nil {
+			t.Error("unknown backend kind accepted")
+		}
+	})
+
+	t.Run("CreateTwice", func(t *testing.T) {
+		dir := mk(t)
+		if _, err := array.Create(dir, array.CreateOptions{V: 5, K: 3}); err == nil {
+			t.Error("Create over an existing array accepted")
+		}
+	})
+}
+
+// TestDiskPath pins that the manifest owns disk naming.
+func TestDiskPath(t *testing.T) {
+	dir := t.TempDir()
+	arr, err := array.Create(dir, array.CreateOptions{V: 5, K: 3, UnitSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arr.Close()
+	p, err := arr.DiskPath(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("DiskPath(4) = %s: %v", p, err)
+	}
+	if _, err := arr.DiskPath(5); err == nil {
+		t.Error("out-of-range DiskPath accepted")
+	}
+}

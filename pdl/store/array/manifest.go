@@ -1,0 +1,197 @@
+package array
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FormatVersion is the manifest format this package writes. Open rejects
+// manifests from a newer format with ErrVersion rather than guessing; a
+// future format bump reads old versions here, in one place.
+const FormatVersion = 1
+
+// ManifestName is the manifest file inside an array directory.
+const ManifestName = "array.json"
+
+// LayoutName is the layout file inside an array directory.
+const LayoutName = "layout.json"
+
+// manifestTmp is the staging name Sync writes before the atomic rename;
+// a crash mid-Sync leaves it behind and Open ignores it.
+const manifestTmp = ManifestName + ".tmp"
+
+// DiskState is one disk's recorded condition.
+type DiskState string
+
+const (
+	// DiskHealthy serves its own bytes.
+	DiskHealthy DiskState = "healthy"
+
+	// DiskFailed has lost its bytes (the file is scrubbed): its units are
+	// reconstructed from survivor XOR until a rebuild completes.
+	DiskFailed DiskState = "failed"
+
+	// DiskRebuilt serves its own bytes again after a completed rebuild —
+	// healthy, with its history recorded.
+	DiskRebuilt DiskState = "rebuilt"
+)
+
+// DiskInfo is one disk's manifest entry.
+type DiskInfo struct {
+	// File is the disk's file name inside the array directory. The
+	// manifest owns naming: tools never derive disk paths themselves.
+	File string `json:"file"`
+
+	// State is the disk's recorded condition.
+	State DiskState `json:"state"`
+}
+
+// Manifest is the decoded array.json: everything needed to reopen an
+// array directory — layout construction parameters, geometry, and
+// per-disk state — with a format version first so future formats stay
+// recognizable.
+type Manifest struct {
+	// Version is the manifest format version (FormatVersion when written
+	// by this package).
+	Version int `json:"version"`
+
+	// Method names the construction that built the layout (informational;
+	// the layout itself is read from layout.json).
+	Method string `json:"method"`
+
+	// V and K echo the build parameters: array size and parity stripe size.
+	V int `json:"v"`
+	K int `json:"k"`
+
+	// UnitSize is the stripe-unit payload size in bytes.
+	UnitSize int `json:"unit_size"`
+
+	// DiskUnits is each disk's size in units (a multiple of the layout
+	// size: the layout-copies factor is DiskUnits/Layout.Size).
+	DiskUnits int `json:"disk_units"`
+
+	// Disks holds one entry per disk, indexed by disk number.
+	Disks []DiskInfo `json:"disks"`
+}
+
+// Failed returns the failed disk, -1 when every disk serves its own
+// bytes. (The store engine supports a single failure at a time, and
+// DecodeManifest enforces it.)
+func (m *Manifest) Failed() int {
+	for d := range m.Disks {
+		if m.Disks[d].State == DiskFailed {
+			return d
+		}
+	}
+	return -1
+}
+
+// clone returns a deep copy.
+func (m *Manifest) clone() *Manifest {
+	out := *m
+	out.Disks = append([]DiskInfo(nil), m.Disks...)
+	return &out
+}
+
+// DecodeManifest parses and validates a manifest. It never panics on
+// hostile input: truncated, type-skewed, or out-of-range documents return
+// errors (FuzzOpenManifest pins this). Version skew beyond FormatVersion
+// is ErrVersion.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	m := &Manifest{}
+	if err := json.Unmarshal(b, m); err != nil {
+		return nil, fmt.Errorf("array: manifest: %w", err)
+	}
+	if m.Version < 1 {
+		return nil, fmt.Errorf("array: manifest: bad version %d", m.Version)
+	}
+	if m.Version > FormatVersion {
+		return nil, fmt.Errorf("array: manifest: %w: format %d, this build reads <= %d", ErrVersion, m.Version, FormatVersion)
+	}
+	if m.V < 2 {
+		return nil, fmt.Errorf("array: manifest: v=%d, want >= 2", m.V)
+	}
+	if m.K < 2 || m.K > m.V {
+		return nil, fmt.Errorf("array: manifest: k=%d outside [2,%d]", m.K, m.V)
+	}
+	if m.UnitSize < 1 {
+		return nil, fmt.Errorf("array: manifest: unit size %d < 1", m.UnitSize)
+	}
+	if m.DiskUnits < 1 {
+		return nil, fmt.Errorf("array: manifest: disk units %d < 1", m.DiskUnits)
+	}
+	if int64(m.DiskUnits)*int64(m.UnitSize) > 1<<56 {
+		return nil, fmt.Errorf("array: manifest: disk of %d x %d bytes implausibly large", m.DiskUnits, m.UnitSize)
+	}
+	if len(m.Disks) != m.V {
+		return nil, fmt.Errorf("array: manifest: %d disk entries for v=%d", len(m.Disks), m.V)
+	}
+	failed := -1
+	seen := make(map[string]int, len(m.Disks))
+	for d := range m.Disks {
+		e := &m.Disks[d]
+		// Disk files must be plain names inside the array directory: a
+		// hostile manifest must not reach outside it.
+		if e.File == "" || e.File != filepath.Base(e.File) || e.File == "." || e.File == ".." ||
+			strings.ContainsAny(e.File, `/\`) {
+			return nil, fmt.Errorf("array: manifest: disk %d: bad file name %q", d, e.File)
+		}
+		// And they must be distinct: two disks over one file would
+		// silently clobber each other's bytes.
+		if prev, dup := seen[e.File]; dup {
+			return nil, fmt.Errorf("array: manifest: disks %d and %d share file %q", prev, d, e.File)
+		}
+		seen[e.File] = d
+		switch e.State {
+		case DiskHealthy, DiskRebuilt:
+		case DiskFailed:
+			if failed >= 0 {
+				return nil, fmt.Errorf("array: manifest: disks %d and %d both failed (single-failure engine)", failed, d)
+			}
+			failed = d
+		default:
+			return nil, fmt.Errorf("array: manifest: disk %d: unknown state %q", d, e.State)
+		}
+	}
+	return m, nil
+}
+
+// encode renders the manifest as the canonical on-disk JSON.
+func (m *Manifest) encode() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("array: manifest: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// writeManifest atomically replaces dir's manifest: write the staging
+// file, then rename over array.json, so a crash at any point leaves
+// either the old or the new manifest — never a torn one.
+func writeManifest(dir string, m *Manifest) error {
+	b, err := m.encode()
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestTmp)
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// readManifest loads and validates dir's manifest.
+func readManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeManifest(b)
+}

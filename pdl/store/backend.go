@@ -9,7 +9,18 @@ import (
 // Backend is one disk's byte storage. The Store issues ReadAt/WriteAt
 // calls whose ranges it has already bounds-checked and serialized per
 // parity stripe; a Backend must support concurrent calls on disjoint
-// ranges (both MemDisk and FileDisk do).
+// ranges (MemDisk, FileDisk, and MmapDisk all do).
+//
+// Every Backend honors the same contract, pinned by the exported
+// conformance suite in repro/pdl/store/storetest (new implementations
+// must pass it):
+//
+//   - Size is stable: it never changes over the backend's lifetime.
+//   - ReadAt at or past Size returns (0, io.EOF); a read crossing Size
+//     returns the available prefix and io.EOF.
+//   - WriteAt never grows the disk: a write extending past Size fails
+//     without writing anything.
+//   - Negative offsets are errors.
 type Backend interface {
 	io.ReaderAt
 	io.WriterAt
@@ -57,8 +68,9 @@ func (d *MemDisk) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("store: MemDisk.WriteAt: negative offset %d", off)
 	}
-	if off+int64(len(p)) > int64(len(d.b)) {
-		return 0, fmt.Errorf("store: MemDisk.WriteAt: [%d,%d) outside disk of %d bytes", off, off+int64(len(p)), len(d.b))
+	// Overflow-safe: off+len(p) could wrap for offsets near MaxInt64.
+	if off > int64(len(d.b)) || int64(len(p)) > int64(len(d.b))-off {
+		return 0, fmt.Errorf("store: MemDisk.WriteAt: [%d,%d+%d) outside disk of %d bytes", off, off, len(p), len(d.b))
 	}
 	return copy(d.b[off:], p), nil
 }
@@ -108,10 +120,28 @@ func OpenFileDisk(path string) (*FileDisk, error) {
 }
 
 // ReadAt implements io.ReaderAt on the file.
-func (d *FileDisk) ReadAt(p []byte, off int64) (int, error) { return d.f.ReadAt(p, off) }
+func (d *FileDisk) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("store: FileDisk.ReadAt: negative offset %d", off)
+	}
+	if off >= d.size {
+		return 0, io.EOF
+	}
+	return d.f.ReadAt(p, off)
+}
 
-// WriteAt implements io.WriterAt on the file.
-func (d *FileDisk) WriteAt(p []byte, off int64) (int, error) { return d.f.WriteAt(p, off) }
+// WriteAt implements io.WriterAt on the file. Writes past the recorded
+// size fail: a disk does not grow, even though the file could.
+func (d *FileDisk) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("store: FileDisk.WriteAt: negative offset %d", off)
+	}
+	// Overflow-safe: off+len(p) could wrap for offsets near MaxInt64.
+	if off > d.size || int64(len(p)) > d.size-off {
+		return 0, fmt.Errorf("store: FileDisk.WriteAt: [%d,%d+%d) outside disk of %d bytes", off, off, len(p), d.size)
+	}
+	return d.f.WriteAt(p, off)
+}
 
 // Size returns the file size recorded at open time.
 func (d *FileDisk) Size() int64 { return d.size }

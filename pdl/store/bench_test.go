@@ -1,6 +1,8 @@
 package store_test
 
 import (
+	"fmt"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 
@@ -186,6 +188,85 @@ func BenchmarkStoreReadVec(b *testing.B) {
 			ops[j].Logical = (i*depth + j) % s.Capacity()
 		}
 		if err := s.ReadVec(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBackendStore builds the bench-geometry store over real disk
+// files, one per disk, created by mk in a fresh temp dir.
+func benchBackendStore(b *testing.B, mk func(path string, size int64) (store.Backend, error)) *store.Store {
+	b.Helper()
+	res, err := pdl.Build(17, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	diskUnits := 4 * res.Layout.Size
+	diskBytes := int64(diskUnits) * benchUnitSize
+	dir := b.TempDir()
+	backends := make([]store.Backend, res.Layout.V)
+	for d := range backends {
+		bk, err := mk(filepath.Join(dir, fmt.Sprintf("disk%02d.dat", d)), diskBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		backends[d] = bk
+	}
+	s, err := store.Open(res, diskUnits, benchUnitSize, backends)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	buf := make([]byte, benchUnitSize)
+	for i := 0; i < s.Capacity(); i++ {
+		if err := s.Write(i, payload(buf, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func benchFileStore(b *testing.B) *store.Store {
+	return benchBackendStore(b, func(path string, size int64) (store.Backend, error) {
+		return store.CreateFileDisk(path, size)
+	})
+}
+
+func benchMmapStore(b *testing.B) *store.Store {
+	return benchBackendStore(b, func(path string, size int64) (store.Backend, error) {
+		return store.CreateMmapDisk(path, size)
+	})
+}
+
+// The backend comparison pairs: the same healthy unit read/write loops
+// as BenchmarkStoreRead/BenchmarkStoreWrite, against file-backed disks
+// over positioned I/O (FileDisk) and over a shared memory mapping
+// (MmapDisk). BENCH_store.json records the spread.
+func BenchmarkStoreReadFileDisk(b *testing.B)  { benchReadLoop(b, benchFileStore(b)) }
+func BenchmarkStoreReadMmapDisk(b *testing.B)  { benchReadLoop(b, benchMmapStore(b)) }
+func BenchmarkStoreWriteFileDisk(b *testing.B) { benchWriteLoop(b, benchFileStore(b)) }
+func BenchmarkStoreWriteMmapDisk(b *testing.B) { benchWriteLoop(b, benchMmapStore(b)) }
+
+func benchReadLoop(b *testing.B, s *store.Store) {
+	dst := make([]byte, benchUnitSize)
+	b.SetBytes(benchUnitSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Read(i%s.Capacity(), dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWriteLoop(b *testing.B, s *store.Store) {
+	src := make([]byte, benchUnitSize)
+	payload(src, 99)
+	b.SetBytes(benchUnitSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Write(i%s.Capacity(), src); err != nil {
 			b.Fatal(err)
 		}
 	}

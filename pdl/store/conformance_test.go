@@ -1,0 +1,80 @@
+package store_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/pdl/store"
+	"repro/pdl/store/storetest"
+)
+
+// TestBackendConformance runs the exported storetest contract suite
+// against every shipped Backend, so MemDisk, FileDisk, and MmapDisk (real
+// mapping or platform fallback alike) share one pinned behavior.
+func TestBackendConformance(t *testing.T) {
+	t.Run("MemDisk", func(t *testing.T) {
+		storetest.TestBackend(t, func(t testing.TB, size int64) store.Backend {
+			return store.NewMemDisk(size)
+		})
+	})
+	t.Run("FileDisk", func(t *testing.T) {
+		storetest.TestBackend(t, func(t testing.TB, size int64) store.Backend {
+			d, err := store.CreateFileDisk(filepath.Join(t.TempDir(), "disk.dat"), size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		})
+	})
+	t.Run("MmapDisk", func(t *testing.T) {
+		storetest.TestBackend(t, func(t testing.TB, size int64) store.Backend {
+			d, err := store.CreateMmapDisk(filepath.Join(t.TempDir(), "disk.dat"), size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		})
+	})
+}
+
+// TestMmapDiskPersists checks bytes written through the mapping are
+// visible to a fresh open (Flush + reopen round trip), and that Close is
+// idempotent.
+func TestMmapDiskPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.dat")
+	const size = 1 << 14
+	d, err := store.CreateMmapDisk(path, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload(make([]byte, 777), 3)
+	if _, err := d.WriteAt(want, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	r, err := store.OpenMmapDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != size {
+		t.Fatalf("reopened Size() = %d, want %d", r.Size(), size)
+	}
+	got := make([]byte, len(want))
+	if _, err := r.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d: %#x != %#x", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,68 @@
+//go:build !(linux || darwin)
+
+package store
+
+import "os"
+
+// MmapDisk on platforms without a wired-up memory mapping falls back to
+// positioned file I/O: the same API (including Flush) over a FileDisk, so
+// callers select the backend unconditionally and the conformance suite
+// covers whichever implementation the platform provides.
+type MmapDisk struct {
+	fd *FileDisk
+}
+
+// mmapSupported reports whether this build uses a real memory mapping
+// (false on the FileDisk-fallback platforms).
+const mmapSupported = false
+
+// CreateMmapDisk creates (or truncates) a file of size bytes and wraps it.
+func CreateMmapDisk(path string, size int64) (*MmapDisk, error) {
+	fd, err := CreateFileDisk(path, size)
+	if err != nil {
+		return nil, err
+	}
+	return &MmapDisk{fd: fd}, nil
+}
+
+// OpenMmapDisk opens an existing disk file; its size comes from Stat.
+func OpenMmapDisk(path string) (*MmapDisk, error) {
+	fd, err := OpenFileDisk(path)
+	if err != nil {
+		return nil, err
+	}
+	return &MmapDisk{fd: fd}, nil
+}
+
+// ReadAt implements io.ReaderAt on the file.
+func (d *MmapDisk) ReadAt(p []byte, off int64) (int, error) { return d.fd.ReadAt(p, off) }
+
+// WriteAt implements io.WriterAt on the file.
+func (d *MmapDisk) WriteAt(p []byte, off int64) (int, error) { return d.fd.WriteAt(p, off) }
+
+// Size returns the file size recorded at open time.
+func (d *MmapDisk) Size() int64 { return d.fd.Size() }
+
+// File returns the underlying file.
+func (d *MmapDisk) File() *os.File { return d.fd.File() }
+
+// Flush forces buffered bytes out to stable storage.
+func (d *MmapDisk) Flush() error {
+	if d.fd == nil {
+		return nil
+	}
+	return d.fd.File().Sync()
+}
+
+// Close flushes and closes the file. A second Close is a no-op.
+func (d *MmapDisk) Close() error {
+	if d.fd == nil {
+		return nil
+	}
+	err := d.Flush()
+	if cerr := d.fd.Close(); err == nil {
+		err = cerr
+	}
+	d.fd = nil
+	return err
+}

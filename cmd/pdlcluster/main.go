@@ -1,0 +1,473 @@
+// Command pdlcluster drives a sharded byte namespace over many pdlserve
+// endpoints: init writes the cluster.json manifest from live shard
+// geometry, status reports per-shard health, and bench/loadgen drive
+// striped span traffic through the cluster client, reporting aggregate
+// throughput plus per-shard latency percentiles.
+//
+// Usage:
+//
+//	pdlcluster init -manifest cluster.json -unit 65536 host1:9911 host2:9911 host3:9911
+//	pdlcluster status -manifest cluster.json -sync
+//	pdlcluster bench -manifest cluster.json -clients 32 -span 65536
+//	pdlcluster bench -selfhost 3 -clients 32            # in-process shards
+//	pdlcluster loadgen -manifest cluster.json -ops 100000 -write-frac 0.3
+//	pdlcluster loadgen -selfhost 3 -fail 1              # degrade shard 1 mid-run
+//
+// All rates are decimal MB/s (1 MB = 1e6 bytes), matching `go test
+// -bench` and the BENCH_*.json records.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/cmd/internal/units"
+	"repro/pdl"
+	"repro/pdl/cluster"
+	"repro/pdl/serve"
+	"repro/pdl/sim"
+	"repro/pdl/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		die(fmt.Errorf("usage: pdlcluster <init|status|bench|loadgen> [flags]"))
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "init":
+		err = cmdInit(args)
+	case "status":
+		err = cmdStatus(args)
+	case "bench":
+		err = cmdBench(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
+	default:
+		err = fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	if err != nil {
+		die(err)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "pdlcluster:", err)
+	os.Exit(1)
+}
+
+func cmdInit(args []string) error {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	manifest := fs.String("manifest", cluster.ManifestName, "manifest path to write")
+	unit := fs.Int64("unit", 65536, "shard-unit size in bytes (the striping granularity)")
+	policy := fs.String("policy", string(cluster.ByCapacity), "placement policy: capacity|round-robin")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-shard dial timeout")
+	fs.Parse(args)
+	addrs := fs.Args()
+	if len(addrs) == 0 {
+		return fmt.Errorf("init: no shard addresses given")
+	}
+
+	// Dial every shard and derive its capacity in shard-units from the
+	// live array, so the manifest never places more than a shard holds.
+	man := &cluster.Manifest{
+		Version:   cluster.FormatVersion,
+		UnitBytes: *unit,
+		Policy:    cluster.Policy(*policy),
+	}
+	for _, addr := range addrs {
+		c, err := dialTimeout(addr, *timeout)
+		if err != nil {
+			return fmt.Errorf("init: shard %s: %w", addr, err)
+		}
+		size := c.Size()
+		st := cluster.ShardHealthy
+		if c.Failed() >= 0 {
+			st = cluster.ShardDegraded
+		}
+		c.Close()
+		n := size / *unit
+		if n < 1 {
+			return fmt.Errorf("init: shard %s holds %d B, less than one %d B shard-unit", addr, size, *unit)
+		}
+		man.Shards = append(man.Shards, cluster.ShardInfo{Addr: addr, Units: n, State: st})
+		fmt.Printf("shard %-24s %8d units (%s)\n", addr, n, st)
+	}
+	m, err := man.Map()
+	if err != nil {
+		return err
+	}
+	if err := man.WriteFile(*manifest); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d shards, %s policy, %s namespace (%d units of %s)\n",
+		*manifest, m.Shards(), man.Policy, fmtBytes(m.Size()), m.Units(), fmtBytes(m.UnitBytes()))
+	return nil
+}
+
+func dialTimeout(addr string, d time.Duration) (*serve.Client, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return serve.DialContext(ctx, addr)
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	manifest := fs.String("manifest", cluster.ManifestName, "manifest path")
+	sync := fs.Bool("sync", false, "rewrite the manifest with the observed shard states")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-shard dial timeout")
+	fs.Parse(args)
+	man, err := cluster.ReadFile(*manifest)
+	if err != nil {
+		return err
+	}
+	m, err := man.Map()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d shards, %s policy, %s namespace\n", *manifest, m.Shards(), man.Policy, fmtBytes(m.Size()))
+
+	// Each shard is probed independently and best-effort — status must
+	// work precisely when part of the cluster is down.
+	changed := false
+	for s := range man.Shards {
+		sh := &man.Shards[s]
+		state := cluster.ShardDown
+		detail := "unreachable"
+		if c, err := dialTimeout(sh.Addr, *timeout); err == nil {
+			if st, err := c.Stats(); err == nil {
+				switch {
+				case st.Store.Rebuilding:
+					state = cluster.ShardRebuilding
+					detail = fmt.Sprintf("rebuilding disk %d", st.Store.FailedDisk)
+				case st.Store.FailedDisk >= 0:
+					state = cluster.ShardDegraded
+					detail = fmt.Sprintf("disk %d down, %d degraded ops", st.Store.FailedDisk, st.Store.Degraded)
+				default:
+					state = cluster.ShardHealthy
+					detail = fmt.Sprintf("%d reads, %d writes", st.Store.Reads, st.Store.Writes)
+				}
+			}
+			c.Close()
+		}
+		fmt.Printf("shard %d %-24s %8d units  %-11s %s\n", s, sh.Addr, sh.Units, state, detail)
+		if sh.State != state {
+			sh.State = state
+			changed = true
+		}
+	}
+	if *sync && changed {
+		if err := man.WriteFile(*manifest); err != nil {
+			return err
+		}
+		fmt.Printf("synced states to %s\n", *manifest)
+	}
+	return nil
+}
+
+// clusterFlags is the flag set shared by bench and loadgen: either a
+// manifest for a live cluster, or -selfhost N in-process MemDisk shards.
+type clusterFlags struct {
+	manifest         string
+	selfhost         int
+	unit             int64
+	v, k, copies     int
+	storeUnit, depth int
+	flush            time.Duration
+	retries          int
+	backoff          time.Duration
+}
+
+func addClusterFlags(fs *flag.FlagSet) *clusterFlags {
+	cf := &clusterFlags{}
+	fs.StringVar(&cf.manifest, "manifest", cluster.ManifestName, "manifest path")
+	fs.IntVar(&cf.selfhost, "selfhost", 0, "host N in-process shards instead of reading -manifest")
+	fs.Int64Var(&cf.unit, "unit", 65536, "shard-unit size for -selfhost")
+	fs.IntVar(&cf.v, "v", 17, "disks per self-hosted shard")
+	fs.IntVar(&cf.k, "k", 4, "parity stripe size per self-hosted shard")
+	fs.IntVar(&cf.copies, "copies", 4, "layout copies per disk for -selfhost")
+	fs.IntVar(&cf.storeUnit, "store-unit", 4096, "array stripe-unit size for -selfhost")
+	fs.IntVar(&cf.depth, "depth", serve.DefaultQueueDepth, "queue depth for -selfhost")
+	fs.DurationVar(&cf.flush, "flush", serve.DefaultFlushDelay, "batch flush deadline for -selfhost")
+	fs.IntVar(&cf.retries, "retries", cluster.DefaultRetries, "per-shard reconnect budget")
+	fs.DurationVar(&cf.backoff, "backoff", cluster.DefaultRetryBackoff, "initial retry backoff")
+	return cf
+}
+
+// open yields a connected cluster client: from the manifest, or from
+// -selfhost in-process shards (real TCP on loopback either way).
+func (cf *clusterFlags) open() (*cluster.Client, func(), error) {
+	cleanup := func() {}
+	var man *cluster.Manifest
+	if cf.selfhost > 0 {
+		var err error
+		man, cleanup, err = selfHost(cf)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		var err error
+		man, err = cluster.ReadFile(cf.manifest)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	c, err := cluster.Open(man, cluster.Options{Retries: cf.retries, RetryBackoff: cf.backoff})
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	m := c.Map()
+	fmt.Printf("cluster: %d shards, %s policy, %s namespace (unit %s)\n",
+		m.Shards(), man.Policy, fmtBytes(m.Size()), fmtBytes(m.UnitBytes()))
+	return c, func() { c.Close(); cleanup() }, nil
+}
+
+// selfHost stands up cf.selfhost MemDisk shards behind real TCP servers
+// and a capacity manifest over them.
+func selfHost(cf *clusterFlags) (*cluster.Manifest, func(), error) {
+	if cf.unit%int64(cf.storeUnit) != 0 {
+		return nil, nil, fmt.Errorf("selfhost: shard-unit %d is not a multiple of store unit %d", cf.unit, cf.storeUnit)
+	}
+	man := &cluster.Manifest{Version: cluster.FormatVersion, UnitBytes: cf.unit, Policy: cluster.ByCapacity}
+	var closers []func()
+	cleanup := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	for i := 0; i < cf.selfhost; i++ {
+		res, err := pdl.Build(cf.v, cf.k)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		s, err := store.Open(res, cf.copies*res.Layout.Size, cf.storeUnit, nil)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		front := serve.New(s, serve.Config{QueueDepth: cf.depth, FlushDelay: cf.flush})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			front.Close()
+			s.Close()
+			cleanup()
+			return nil, nil, err
+		}
+		srv := serve.NewServer(front)
+		go srv.Serve(ln)
+		closers = append(closers, func() { srv.Close(); front.Close(); s.Close() })
+		n := s.Size() / cf.unit
+		if n < 1 {
+			cleanup()
+			return nil, nil, fmt.Errorf("selfhost: shard holds %d B, less than one %d B shard-unit", s.Size(), cf.unit)
+		}
+		man.Shards = append(man.Shards, cluster.ShardInfo{Addr: ln.Addr().String(), Units: n, State: cluster.ShardHealthy})
+	}
+	fmt.Printf("self-hosted %d shards (v=%d k=%d, %s each)\n",
+		cf.selfhost, cf.v, cf.k, fmtBytes(man.Shards[0].Units*cf.unit))
+	return man, cleanup, nil
+}
+
+func fmtBytes(n int64) string {
+	if n < 10*units.BytesPerMB {
+		return fmt.Sprintf("%.1f kB", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%.1f MB", float64(n)/units.BytesPerMB)
+}
+
+// printShardStats renders the per-shard table bench and loadgen share.
+func printShardStats(c *cluster.Client) {
+	fmt.Printf("%-5s %-24s %-11s %8s %8s %9s %9s %9s %9s\n",
+		"shard", "addr", "state", "ops", "retries", "p50", "p95", "p99", "mean")
+	for s, st := range c.Stats() {
+		fmt.Printf("%-5d %-24s %-11s %8d %8d %9v %9v %9v %9v\n",
+			s, st.Addr, st.State, st.Ops, st.Retries,
+			st.P50.Round(time.Microsecond), st.P95.Round(time.Microsecond),
+			st.P99.Round(time.Microsecond), st.Mean.Round(time.Microsecond))
+	}
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	clients := fs.Int("clients", 32, "concurrent client goroutines")
+	span := fs.Int64("span", 65536, "bytes per operation")
+	secs := fs.Float64("seconds", 2, "seconds per measurement")
+	cf := addClusterFlags(fs)
+	fs.Parse(args)
+	c, cleanup, err := cf.open()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	size := c.Size()
+	unit := c.UnitBytes()
+	if *span > size {
+		return fmt.Errorf("bench: span %d exceeds namespace %d", *span, size)
+	}
+	spanSlots := (size - *span) / unit
+
+	run := func(name string, op func(p []byte, off int64) (int, error)) error {
+		deadline := time.Now().Add(time.Duration(*secs * float64(time.Second)))
+		var ops atomic.Int64
+		var wg sync.WaitGroup
+		errs := make(chan error, *clients)
+		start := time.Now()
+		for g := 0; g < *clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(g)*7919 + 1))
+				buf := make([]byte, *span)
+				rng.Read(buf)
+				for time.Now().Before(deadline) {
+					off := rng.Int63n(spanSlots+1) * unit
+					if _, err := op(buf, off); err != nil {
+						errs <- err
+						return
+					}
+					ops.Add(1)
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return err
+		}
+		el := time.Since(start)
+		fmt.Printf("%-8s %d clients x %s spans: %10.0f ops/s  %12s\n",
+			name, *clients, fmtBytes(*span), float64(ops.Load())/el.Seconds(),
+			units.FormatMBPerSec(ops.Load()**span, el))
+		return nil
+	}
+	if err := run("write", c.WriteAt); err != nil {
+		return err
+	}
+	if err := run("read", c.ReadAt); err != nil {
+		return err
+	}
+	printShardStats(c)
+	return nil
+}
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	clients := fs.Int("clients", 16, "concurrent client goroutines")
+	ops := fs.Int("ops", 50000, "total operations to replay")
+	span := fs.Int64("span", 65536, "max bytes per operation (spans are 1..span, unaligned)")
+	writeFrac := fs.Float64("write-frac", 0.3, "write fraction")
+	seed := fs.Int64("seed", 1, "workload seed")
+	failShard := fs.Int("fail", -1, "mid-run: fail a disk on this shard and keep going")
+	cf := addClusterFlags(fs)
+	fs.Parse(args)
+	c, cleanup, err := cf.open()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	size := c.Size()
+	if *span > size {
+		return fmt.Errorf("loadgen: span %d exceeds namespace %d", *span, size)
+	}
+
+	// Mid-run shard degradation: after ~1/3 of the ops, fail one disk on
+	// the victim shard over the wire. The cluster keeps serving — that
+	// shard reconstructs through parity; the rest are unaffected.
+	var failAt int64 = -1
+	if *failShard >= 0 {
+		if *failShard >= c.Shards() {
+			return fmt.Errorf("loadgen: -fail %d out of range (%d shards)", *failShard, c.Shards())
+		}
+		failAt = int64(*ops) / 3
+	}
+	var done atomic.Int64
+	failOnce := sync.OnceFunc(func() {
+		addr := c.Manifest().Shards[*failShard].Addr
+		sc, err := dialTimeout(addr, 5*time.Second)
+		if err != nil {
+			fmt.Printf("fail shard %d: %v\n", *failShard, err)
+			return
+		}
+		defer sc.Close()
+		if err := sc.Fail(0); err != nil {
+			fmt.Printf("fail shard %d: %v\n", *failShard, err)
+			return
+		}
+		fmt.Printf("shard %d: disk 0 failed mid-run; serving degraded\n", *failShard)
+	})
+
+	perClient := *ops / *clients
+	var wg sync.WaitGroup
+	errs := make(chan error, *clients)
+	samples := make([][]int64, *clients)
+	var reads, writes atomic.Int64
+	start := time.Now()
+	for g := 0; g < *clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(g)*0x9E37))
+			buf := make([]byte, *span)
+			rng.Read(buf)
+			lat := make([]int64, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				if d := done.Add(1); failAt >= 0 && d >= failAt {
+					failOnce()
+				}
+				n := 1 + rng.Int63n(*span)
+				off := rng.Int63n(size - n + 1)
+				t0 := time.Now()
+				var err error
+				if rng.Float64() < *writeFrac {
+					_, err = c.WriteAt(buf[:n], off)
+					writes.Add(1)
+				} else {
+					_, err = c.ReadAt(buf[:n], off)
+					reads.Add(1)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				lat = append(lat, time.Since(t0).Nanoseconds())
+			}
+			samples[g] = lat
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	el := time.Since(start)
+
+	var rec sim.LatencyRecorder
+	var bytesMoved int64
+	for _, lat := range samples {
+		for _, s := range lat {
+			rec.Record(s)
+		}
+	}
+	total := reads.Load() + writes.Load()
+	bytesMoved = total * (*span + 1) / 2 // spans are uniform on [1,span]
+	fmt.Printf("%d ops (%d reads, %d writes) in %v: %10.0f ops/s  ~%s\n",
+		total, reads.Load(), writes.Load(), el.Round(time.Millisecond),
+		float64(total)/el.Seconds(), units.FormatMBPerSec(bytesMoved, el))
+	fmt.Printf("span latency: p50 %v  p95 %v  p99 %v  mean %v\n",
+		time.Duration(rec.Percentile(50)).Round(time.Microsecond),
+		time.Duration(rec.Percentile(95)).Round(time.Microsecond),
+		time.Duration(rec.Percentile(99)).Round(time.Microsecond),
+		time.Duration(rec.Mean()).Round(time.Microsecond))
+	printShardStats(c)
+	return nil
+}

@@ -1,0 +1,18 @@
+package main
+
+// Example pins the walkthrough's printed output: stripe one namespace
+// over three declustered arrays, fail one shard's disk, keep serving,
+// rebuild online, verify — all asserted by `go test`.
+func Example() {
+	main()
+	// Output:
+	// cluster: 3 shards, 192 units of 128 B (24576 B namespace)
+	// placement: 32 + 64 + 96 units (capacity-weighted)
+	// wrote 24576 B across 3 shards
+	// read back: "one namespace, many declustered arrays"
+	// shard 1 disk 4 failed; degraded read: "one namespace, many declustered arrays"
+	// shard states: [healthy degraded healthy]
+	// shard 1 rebuilt online; shard states: [healthy healthy healthy]
+	// namespace sweep matches: true
+	// parity verified on all 3 shards
+}

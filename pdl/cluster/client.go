@@ -1,0 +1,601 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/pdl/serve"
+)
+
+// Options tunes a Client. The zero value selects the defaults.
+type Options struct {
+	// DialTimeout bounds each shard connect (initial dial and every
+	// reconnect). Default 5s.
+	DialTimeout time.Duration
+
+	// Retries is how many times a shard operation that failed with a
+	// transport error is retried over a fresh connection before the
+	// failure surfaces. Server-reported errors (serve.RemoteError) and
+	// caller bugs (serve.ErrClientClosed) never retry. Default 2.
+	Retries int
+
+	// RetryBackoff is the pause before the first retry, doubling per
+	// attempt. Default 25ms.
+	RetryBackoff time.Duration
+}
+
+// DefaultDialTimeout bounds shard connects when Options.DialTimeout is zero.
+const DefaultDialTimeout = 5 * time.Second
+
+// DefaultRetries is the per-operation reconnect budget when
+// Options.Retries is zero.
+const DefaultRetries = 2
+
+// DefaultRetryBackoff is the initial retry pause when
+// Options.RetryBackoff is zero.
+const DefaultRetryBackoff = 25 * time.Millisecond
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.DialTimeout <= 0 {
+		out.DialTimeout = DefaultDialTimeout
+	}
+	if out.Retries == 0 {
+		out.Retries = DefaultRetries
+	}
+	if out.Retries < 0 {
+		out.Retries = 0
+	}
+	if out.RetryBackoff <= 0 {
+		out.RetryBackoff = DefaultRetryBackoff
+	}
+	return out
+}
+
+// ShardError reports which shard a namespace operation failed on; it
+// supports errors.Is/As through Unwrap.
+type ShardError struct {
+	// Shard is the failing shard's index in placement order.
+	Shard int
+
+	// Addr is the shard's endpoint.
+	Addr string
+
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("cluster: shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// shardConn is one shard's connection state and counters. The serve
+// connection is replaced on transport failure; everything else persists
+// for the client's lifetime.
+type shardConn struct {
+	idx  int
+	addr string
+
+	// mu guards c. A nil c means the last connection broke (or was never
+	// dialed); the next operation redials. Dialing holds mu, so
+	// concurrent legs to a down shard wait for one reconnect instead of
+	// racing their own.
+	mu sync.Mutex
+	c  *serve.Client
+
+	hist                latHist
+	ops                 atomic.Int64
+	failures            atomic.Int64
+	retries, reconnects atomic.Int64
+	down                atomic.Bool
+}
+
+// Client serves one byte namespace over the cluster's shards. It is safe
+// for concurrent use: spans fan out per shard, and each shard's
+// serve.Client pipelines concurrent requests into the server's batch
+// path. Each shard is its own failure domain — a degraded or rebuilding
+// shard slows only the pieces placed on it.
+type Client struct {
+	m   *Map
+	man *Manifest
+	opt Options
+
+	shards []shardConn
+
+	fanPool sync.Pool
+}
+
+// fanout is one span operation's reusable scratch: per-shard local byte
+// extents and staging buffers. Pooled so the steady-state span path
+// allocates nothing.
+type fanout struct {
+	touched []bool
+	lo, hi  []int64
+	buf     [][]byte
+	errs    []error
+	wg      sync.WaitGroup
+}
+
+// Open connects to every shard in the manifest and validates the live
+// geometry against it: each shard's array unit size must divide
+// UnitBytes (so cluster pieces align with server stripe units and whole
+// stripes of small pieces can promote to full-stripe writes), and each
+// shard's byte capacity must cover its manifest units. Every shard must
+// be reachable; shards that die later are redialed per operation.
+func Open(man *Manifest, opts Options) (*Client, error) {
+	m, err := man.Map()
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{m: m, man: man.Clone(), opt: opts.withDefaults()}
+	c.shards = make([]shardConn, len(man.Shards))
+	c.fanPool.New = func() any {
+		n := len(c.shards)
+		return &fanout{
+			touched: make([]bool, n),
+			lo:      make([]int64, n),
+			hi:      make([]int64, n),
+			buf:     make([][]byte, n),
+			errs:    make([]error, n),
+		}
+	}
+	closeAll := func() {
+		for s := range c.shards {
+			if sc := c.shards[s].c; sc != nil {
+				sc.Close()
+			}
+		}
+	}
+	for s := range man.Shards {
+		sh := &c.shards[s]
+		sh.idx = s
+		sh.addr = man.Shards[s].Addr
+		sc, err := c.dial(sh.addr)
+		if err != nil {
+			closeAll()
+			return nil, &ShardError{Shard: s, Addr: sh.addr, Err: err}
+		}
+		if err := c.checkGeometry(man, s, sc); err != nil {
+			sc.Close()
+			closeAll()
+			return nil, err
+		}
+		sh.c = sc
+	}
+	return c, nil
+}
+
+func (c *Client) dial(addr string) (*serve.Client, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opt.DialTimeout)
+	defer cancel()
+	return serve.DialContext(ctx, addr)
+}
+
+// checkGeometry validates one live shard against its manifest entry.
+func (c *Client) checkGeometry(man *Manifest, s int, sc *serve.Client) error {
+	unit := int64(sc.UnitSize())
+	if unit < 1 || man.UnitBytes%unit != 0 {
+		return &ShardError{Shard: s, Addr: man.Shards[s].Addr,
+			Err: fmt.Errorf("cluster: array unit %d B does not divide shard-unit %d B", unit, man.UnitBytes)}
+	}
+	if need := man.Shards[s].Units * man.UnitBytes; sc.Size() < need {
+		return &ShardError{Shard: s, Addr: man.Shards[s].Addr,
+			Err: fmt.Errorf("cluster: array holds %d B, manifest places %d B", sc.Size(), need)}
+	}
+	return nil
+}
+
+// Map returns the shard map addressing the namespace.
+func (c *Client) Map() *Map { return c.m }
+
+// Manifest returns a copy of the manifest the client was opened with.
+func (c *Client) Manifest() *Manifest { return c.man.Clone() }
+
+// Size returns the namespace size in bytes.
+func (c *Client) Size() int64 { return c.m.Size() }
+
+// UnitBytes returns the shard-unit size in bytes.
+func (c *Client) UnitBytes() int64 { return c.m.UnitBytes() }
+
+// Shards returns the number of shards.
+func (c *Client) Shards() int { return len(c.shards) }
+
+// Close closes every shard connection. In-flight operations fail.
+func (c *Client) Close() error {
+	var first error
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.mu.Lock()
+		if sh.c != nil {
+			if err := sh.c.Close(); err != nil && first == nil {
+				first = err
+			}
+			sh.c = nil
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}
+
+// plan computes each shard's local byte extent for the span [off, off+n):
+// the contiguity property of the cycle map (local units are monotone in
+// namespace order) means one contiguous [lo, hi) range per shard.
+func (c *Client) plan(fo *fanout, off, n int64) {
+	for s := range fo.touched {
+		fo.touched[s] = false
+	}
+	u := c.m.unitBytes
+	g := off / u
+	for n > 0 {
+		within := off - g*u
+		ln := u - within
+		if ln > n {
+			ln = n
+		}
+		s, local := c.m.Locate(g)
+		lb := local*u + within
+		if !fo.touched[s] {
+			fo.touched[s] = true
+			fo.lo[s] = lb
+		}
+		fo.hi[s] = lb + ln
+		off += ln
+		n -= ln
+		g++
+	}
+}
+
+// stage sizes each touched shard's staging buffer to its extent, growing
+// (and keeping) capacity as needed — zero allocation in steady state.
+func (c *Client) stage(fo *fanout) {
+	for s := range fo.touched {
+		if !fo.touched[s] {
+			continue
+		}
+		need := int(fo.hi[s] - fo.lo[s])
+		if cap(fo.buf[s]) < need {
+			fo.buf[s] = make([]byte, need)
+		}
+		fo.buf[s] = fo.buf[s][:need]
+	}
+}
+
+// gather copies the span's bytes from p into the per-shard staging
+// buffers (the write direction).
+func (c *Client) gather(fo *fanout, p []byte, off int64) {
+	u := c.m.unitBytes
+	g := off / u
+	pi := 0
+	for pi < len(p) {
+		within := off - g*u
+		ln := u - within
+		if rest := int64(len(p) - pi); ln > rest {
+			ln = rest
+		}
+		s, local := c.m.Locate(g)
+		copy(fo.buf[s][local*u+within-fo.lo[s]:], p[pi:pi+int(ln)])
+		pi += int(ln)
+		off += ln
+		g++
+	}
+}
+
+// scatter copies the per-shard staging buffers back into p (the read
+// direction), skipping shards whose leg failed: their staging bytes are
+// not data, and the confirmed-prefix contract still requires the bytes
+// before the first failing piece to land in p.
+func (c *Client) scatter(fo *fanout, p []byte, off int64) {
+	u := c.m.unitBytes
+	g := off / u
+	pi := 0
+	for pi < len(p) {
+		within := off - g*u
+		ln := u - within
+		if rest := int64(len(p) - pi); ln > rest {
+			ln = rest
+		}
+		s, local := c.m.Locate(g)
+		if fo.errs[s] == nil {
+			from := local*u + within - fo.lo[s]
+			copy(p[pi:pi+int(ln)], fo.buf[s][from:from+ln])
+		}
+		pi += int(ln)
+		off += ln
+		g++
+	}
+}
+
+// confirmed returns the span's contiguous byte count before the first
+// piece whose shard failed, and the first failure in placement order —
+// the same contract as serve.Client spans, one level up.
+func (c *Client) confirmed(fo *fanout, off, n int64) (int, error) {
+	u := c.m.unitBytes
+	g := off / u
+	cn := 0
+	for n > 0 {
+		within := off - g*u
+		ln := u - within
+		if ln > n {
+			ln = n
+		}
+		s, _ := c.m.Locate(g)
+		if err := fo.errs[s]; err != nil {
+			return cn, &ShardError{Shard: s, Addr: c.shards[s].addr, Err: err}
+		}
+		cn += int(ln)
+		off += ln
+		n -= ln
+		g++
+	}
+	return cn, nil
+}
+
+func (c *Client) getFan() *fanout { return c.fanPool.Get().(*fanout) }
+
+func (c *Client) putFan(fo *fanout) {
+	for s := range fo.errs {
+		fo.errs[s] = nil
+	}
+	c.fanPool.Put(fo)
+}
+
+// ReadAt reads len(p) bytes of the namespace starting at off: the span
+// splits by shard and each shard's contiguous local range is fetched
+// concurrently over its connection (whose pipelined unit requests feed
+// the server's ReadVec batch path). Reads crossing the end of the
+// namespace return the available prefix and io.EOF. On a shard failure
+// it returns the contiguous byte count confirmed before the first
+// failing piece.
+func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	return c.ReadAtClass(p, off, serve.Foreground)
+}
+
+// ReadAtClass is ReadAt with an explicit priority class.
+func (c *Client) ReadAtClass(p []byte, off int64, class serve.Class) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("cluster: ReadAt: negative offset %d", off)
+	}
+	size := c.m.Size()
+	if off >= size {
+		return 0, io.EOF
+	}
+	eof := false
+	if off+int64(len(p)) > size {
+		p = p[:size-off]
+		eof = true
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	fo := c.getFan()
+	c.plan(fo, off, int64(len(p)))
+	c.stage(fo)
+	for s := range fo.touched {
+		if !fo.touched[s] {
+			continue
+		}
+		fo.wg.Add(1)
+		go func(s int) {
+			defer fo.wg.Done()
+			fo.errs[s] = c.shardDo(s, func(sc *serve.Client) error {
+				_, err := sc.ReadAtClass(fo.buf[s], fo.lo[s], class)
+				return err
+			})
+		}(s)
+	}
+	fo.wg.Wait()
+	n, err := c.confirmed(fo, off, int64(len(p)))
+	c.scatter(fo, p, off)
+	c.putFan(fo)
+	if err != nil {
+		return n, err
+	}
+	if eof {
+		return len(p), io.EOF
+	}
+	return len(p), nil
+}
+
+// WriteAt writes len(p) bytes of the namespace starting at off, split
+// and fanned out like ReadAt; a stripe-aligned span's pieces coalesce
+// into the shard servers' WriteVec batch path and promote to full-stripe
+// writes. Pieces unaligned to a shard's array unit are read-modify-writes
+// inside that shard's serve.Client, so a span is not atomic against
+// concurrent writers of the same units. On a shard failure it returns
+// the contiguous byte count confirmed before the first failing piece.
+func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	return c.WriteAtClass(p, off, serve.Foreground)
+}
+
+// WriteAtClass is WriteAt with an explicit priority class.
+func (c *Client) WriteAtClass(p []byte, off int64, class serve.Class) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("cluster: WriteAt: negative offset %d", off)
+	}
+	size := c.m.Size()
+	if off+int64(len(p)) > size {
+		return 0, fmt.Errorf("cluster: WriteAt: [%d,%d) outside namespace of %d bytes", off, off+int64(len(p)), size)
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	fo := c.getFan()
+	c.plan(fo, off, int64(len(p)))
+	c.stage(fo)
+	c.gather(fo, p, off)
+	for s := range fo.touched {
+		if !fo.touched[s] {
+			continue
+		}
+		fo.wg.Add(1)
+		go func(s int) {
+			defer fo.wg.Done()
+			fo.errs[s] = c.shardDo(s, func(sc *serve.Client) error {
+				_, err := sc.WriteAtClass(fo.buf[s], fo.lo[s], class)
+				return err
+			})
+		}(s)
+	}
+	fo.wg.Wait()
+	n, err := c.confirmed(fo, off, int64(len(p)))
+	c.putFan(fo)
+	if err != nil {
+		return n, err
+	}
+	return len(p), nil
+}
+
+// retryable reports whether a fresh connection could help: transport
+// failures yes; server-reported errors (the connection worked) and calls
+// on a client the caller closed (a bug) no.
+func retryable(err error) bool {
+	var remote *serve.RemoteError
+	return !errors.As(err, &remote) && !errors.Is(err, serve.ErrClientClosed)
+}
+
+// shardDo runs one shard leg with the per-shard retry/reconnect budget
+// and records its latency. The budget is per leg, so one flapping shard
+// delays only its own pieces.
+func (c *Client) shardDo(si int, op func(*serve.Client) error) error {
+	sh := &c.shards[si]
+	sh.ops.Add(1)
+	start := time.Now()
+	defer func() { sh.hist.record(time.Since(start)) }()
+	sc, err := sh.get(c)
+	for attempt := 0; ; attempt++ {
+		if err == nil {
+			if err = op(sc); err == nil {
+				sh.down.Store(false)
+				return nil
+			}
+		}
+		sh.failures.Add(1)
+		if !retryable(err) || attempt >= c.opt.Retries {
+			if retryable(err) {
+				sh.down.Store(true)
+			}
+			return err
+		}
+		if sc != nil {
+			sh.drop(sc)
+			sc = nil
+		}
+		time.Sleep(c.opt.RetryBackoff << attempt)
+		sh.retries.Add(1)
+		if sc, err = sh.get(c); err == nil {
+			sh.reconnects.Add(1)
+		}
+	}
+}
+
+// get returns the shard's live connection, dialing if the last one broke.
+func (sh *shardConn) get(c *Client) (*serve.Client, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.c != nil {
+		return sh.c, nil
+	}
+	sc, err := c.dial(sh.addr)
+	if err != nil {
+		return nil, err
+	}
+	// A reconnect revalidates geometry: the endpoint may have been
+	// restarted serving a different (or shrunken) array.
+	if err := c.checkGeometry(c.man, sh.idx, sc); err != nil {
+		sc.Close()
+		return nil, err
+	}
+	sh.c = sc
+	return sc, nil
+}
+
+// drop discards a connection observed broken; only the first observer
+// closes it (later drops of the same pointer are no-ops against a
+// replacement dialed in between).
+func (sh *shardConn) drop(sc *serve.Client) {
+	sh.mu.Lock()
+	if sh.c == sc {
+		sh.c = nil
+	}
+	sh.mu.Unlock()
+	sc.Close()
+}
+
+// ShardStats is one shard's client-side view.
+type ShardStats struct {
+	// Addr is the shard's endpoint; Units its addressable shard-units.
+	Addr  string `json:"addr"`
+	Units int64  `json:"units"`
+
+	// State is the live state: down when unreachable, else the server's
+	// rebuilding/degraded/healthy condition.
+	State ShardState `json:"state"`
+
+	// Ops counts shard legs; Failures leg attempts that errored;
+	// Retries legs retried after a transport error; Reconnects redials
+	// that succeeded.
+	Ops, Failures, Retries, Reconnects int64
+
+	// P50/P95/P99/Mean summarize leg latency (connect + all piece
+	// requests + retries) from a lock-free power-of-two histogram;
+	// percentiles resolve to bucket upper bounds.
+	P50, P95, P99, Mean time.Duration
+
+	// Server is the shard server's own counters; zero when unreachable.
+	Server serve.ServerStats
+}
+
+// Stats reports per-shard state and latency. It queries every shard
+// concurrently, best-effort: an unreachable shard reports ShardDown with
+// zero server counters instead of failing the call.
+func (c *Client) Stats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	var wg sync.WaitGroup
+	for s := range c.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sh := &c.shards[s]
+			st := &out[s]
+			st.Addr = sh.addr
+			st.Units = c.m.ShardUnits(s)
+			st.Ops = sh.ops.Load()
+			st.Failures = sh.failures.Load()
+			st.Retries = sh.retries.Load()
+			st.Reconnects = sh.reconnects.Load()
+			st.P50 = sh.hist.percentile(50)
+			st.P95 = sh.hist.percentile(95)
+			st.P99 = sh.hist.percentile(99)
+			st.Mean = sh.hist.mean()
+			sc, err := sh.get(c)
+			if err != nil {
+				st.State = ShardDown
+				return
+			}
+			srv, err := sc.Stats()
+			if err != nil {
+				sh.drop(sc)
+				st.State = ShardDown
+				return
+			}
+			st.Server = srv
+			switch {
+			case srv.Store.Rebuilding:
+				st.State = ShardRebuilding
+			case srv.Store.FailedDisk >= 0:
+				st.State = ShardDegraded
+			default:
+				st.State = ShardHealthy
+			}
+		}(s)
+	}
+	wg.Wait()
+	return out
+}

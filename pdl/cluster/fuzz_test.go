@@ -1,0 +1,62 @@
+package cluster_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/pdl/cluster"
+)
+
+// FuzzDecodeClusterManifest throws arbitrary bytes at the cluster.json
+// decoder: it must error cleanly on hostile, truncated, or
+// version-skewed documents — never panic or index out of range — and
+// anything it accepts must build a shard map and survive an
+// encode/decode round trip with the validated invariants intact. Run as
+// a CI smoke alongside FuzzDecodeRequest and FuzzOpenManifest.
+func FuzzDecodeClusterManifest(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"version": 99}`))
+	f.Add([]byte(`{"version": 1, "unit_bytes": 4096, "shards": []}`))
+	f.Add([]byte(`{"version": 1, "unit_bytes": 4096, "policy": "round-robin",
+		"shards": [{"addr": "a:1", "units": 8}, {"addr": "b:1", "units": 16}]}`))
+	f.Add([]byte(`{"version": 1, "unit_bytes": 65536, "policy": "capacity",
+		"shards": [{"addr": "a:1", "units": 3, "state": "healthy"},
+		           {"addr": "b:1", "units": 5, "state": "degraded"},
+		           {"addr": "c:1", "units": 7, "state": "rebuilding"},
+		           {"addr": "d:1", "units": 9, "state": "down"}]}`))
+	f.Add([]byte(`{"version": 1, "unit_bytes": 16,
+		"shards": [{"addr": "a:1", "units": 2097152}, {"addr": "b:1", "units": 2097153}]}`))
+	f.Add([]byte(`{"version": 1, "unit_bytes": 4096,
+		"shards": [{"addr": "a:1", "units": 4}, {"addr": "a:1", "units": 4}]}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		m, err := cluster.DecodeManifest(body)
+		if err != nil {
+			return
+		}
+		// Accepted manifests satisfy the invariants Open relies on.
+		if m.Version < 1 || m.Version > cluster.FormatVersion || m.UnitBytes < 1 || len(m.Shards) < 1 {
+			t.Fatalf("decoder accepted out-of-invariant manifest: %+v", m)
+		}
+		mp, err := m.Map()
+		if err != nil {
+			t.Fatalf("accepted manifest does not map: %v", err)
+		}
+		if mp.Shards() != len(m.Shards) || mp.Size() < 1 {
+			t.Fatalf("map geometry inconsistent: %d shards, %d bytes", mp.Shards(), mp.Size())
+		}
+		re, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := cluster.DecodeManifest(re)
+		if err != nil {
+			t.Fatalf("re-encoded manifest rejected: %v", err)
+		}
+		if again.Version != m.Version || again.UnitBytes != m.UnitBytes ||
+			again.Policy != m.Policy || len(again.Shards) != len(m.Shards) {
+			t.Fatalf("round trip diverges:\n in %+v\nout %+v", m, again)
+		}
+	})
+}

@@ -1,0 +1,173 @@
+package cluster_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/pdl"
+	"repro/pdl/cluster"
+	"repro/pdl/serve"
+	"repro/pdl/store"
+)
+
+// shardStoreUnit is the array stripe-unit size every test shard serves;
+// shard-unit sizes in tests are multiples of it so cluster pieces align
+// with server units.
+const shardStoreUnit = 32
+
+// testShard is one in-process pdlserve endpoint: a MemDisk-backed
+// declustered store behind a batching frontend behind a TCP server on an
+// ephemeral loopback port. The store and frontend outlive server
+// restarts, so tests can kill and revive the network face of a shard
+// while its data persists — exactly what a crashed-and-restarted
+// pdlserve looks like to the cluster client.
+type testShard struct {
+	t         testing.TB
+	store     *store.Store
+	front     *serve.Frontend
+	addr      string
+	diskBytes int64 // replacement-disk size for Rebuild
+
+	srv  *serve.Server
+	done chan error
+}
+
+// startShard provisions a shard whose array holds at least needBytes,
+// built from storeUnit-sized stripe units.
+func startShard(t testing.TB, needBytes int64, storeUnit int, cfg serve.Config) *testShard {
+	t.Helper()
+	res, err := pdl.Build(13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale whole layout copies until the logical capacity covers the
+	// manifest's placement.
+	copies := 1
+	var s *store.Store
+	for {
+		s, err = store.Open(res, copies*res.Layout.Size, storeUnit, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Size() >= needBytes {
+			break
+		}
+		s.Close()
+		copies *= 2
+	}
+	ts := &testShard{
+		t:         t,
+		store:     s,
+		front:     serve.New(s, cfg),
+		diskBytes: int64(copies*res.Layout.Size) * int64(storeUnit),
+	}
+	t.Cleanup(func() {
+		ts.stopServer()
+		ts.front.Close()
+		s.Close()
+	})
+	ts.listen("127.0.0.1:0")
+	return ts
+}
+
+// listen starts (or restarts) the shard's TCP server on addr.
+func (ts *testShard) listen(addr string) {
+	ts.t.Helper()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		ts.t.Fatal(err)
+	}
+	ts.addr = ln.Addr().String()
+	ts.srv = serve.NewServer(ts.front)
+	ts.done = make(chan error, 1)
+	srv := ts.srv
+	done := ts.done
+	go func() { done <- srv.Serve(ln) }()
+}
+
+// stopServer kills the shard's network face; the store keeps its bytes.
+func (ts *testShard) stopServer() {
+	if ts.srv == nil {
+		return
+	}
+	ts.srv.Close()
+	if err := <-ts.done; err != nil {
+		ts.t.Errorf("shard %s: Serve: %v", ts.addr, err)
+	}
+	ts.srv = nil
+}
+
+// restartServer revives the shard on its previous port, like a restarted
+// pdlserve process reopening the same array.
+func (ts *testShard) restartServer() {
+	ts.t.Helper()
+	if ts.srv != nil {
+		ts.t.Fatal("restartServer: server still running")
+	}
+	// The old listener is closed, so the port is free to rebind; retry
+	// briefly in case the close is still settling.
+	addr := ts.addr
+	for i := 0; ; i++ {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			if i < 50 {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			ts.t.Fatal(err)
+		}
+		ts.srv = serve.NewServer(ts.front)
+		ts.done = make(chan error, 1)
+		srv := ts.srv
+		done := ts.done
+		go func() { done <- srv.Serve(ln) }()
+		return
+	}
+}
+
+// testCluster is a full in-process cluster: N shards and the manifest
+// placing shardUnits[s] shard-units on each.
+type testCluster struct {
+	shards []*testShard
+	man    *cluster.Manifest
+}
+
+// startCluster provisions len(shardUnits) shards (arrays of
+// shardStoreUnit stripe units) and a manifest striping unitBytes-sized
+// shard-units over them under the given policy.
+func startCluster(t testing.TB, unitBytes int64, shardUnits []int64, policy cluster.Policy, cfg serve.Config) *testCluster {
+	return startClusterUnit(t, shardStoreUnit, unitBytes, shardUnits, policy, cfg)
+}
+
+// startClusterUnit is startCluster with an explicit array stripe-unit
+// size (benchmarks use realistic units; tests use tiny ones for churn).
+func startClusterUnit(t testing.TB, storeUnit int, unitBytes int64, shardUnits []int64, policy cluster.Policy, cfg serve.Config) *testCluster {
+	t.Helper()
+	tc := &testCluster{man: &cluster.Manifest{
+		Version:   cluster.FormatVersion,
+		UnitBytes: unitBytes,
+		Policy:    policy,
+	}}
+	for _, units := range shardUnits {
+		ts := startShard(t, units*unitBytes, storeUnit, cfg)
+		tc.shards = append(tc.shards, ts)
+		tc.man.Shards = append(tc.man.Shards, cluster.ShardInfo{
+			Addr:  ts.addr,
+			Units: units,
+			State: cluster.ShardHealthy,
+		})
+	}
+	return tc
+}
+
+// open connects a cluster client to the harness.
+func (tc *testCluster) open(t testing.TB, opts cluster.Options) *cluster.Client {
+	t.Helper()
+	c, err := cluster.Open(tc.man, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}

@@ -1,0 +1,59 @@
+package cluster
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latHist is a fixed, lock-free latency histogram: one power-of-two
+// nanosecond bucket per bit length. Unlike sim.LatencyRecorder it stores
+// no samples, so a long-lived cluster client records forever in O(1)
+// memory with a single atomic add per observation — nothing on the
+// fan-out hot path allocates or locks for it.
+type latHist struct {
+	buckets [64]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func (h *latHist) record(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1
+	}
+	h.buckets[bits.Len64(uint64(ns))-1].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) by nearest rank,
+// resolved to its bucket's upper bound (a conservative estimate within
+// 2x), or 0 with no observations.
+func (h *latHist) percentile(p float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 || p <= 0 || p > 100 {
+		return 0
+	}
+	rank := int64(p/100*float64(n) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b := range h.buckets {
+		seen += h.buckets[b].Load()
+		if seen >= rank {
+			return time.Duration(int64(1) << (b + 1))
+		}
+	}
+	return time.Duration(int64(1) << 62)
+}
+
+// mean returns the average observed latency, or 0 with no observations.
+func (h *latHist) mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}

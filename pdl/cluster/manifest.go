@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FormatVersion is the manifest format this package writes. Decoding
+// rejects manifests from a newer format with ErrVersion rather than
+// guessing; a future format bump reads old versions here, in one place.
+const FormatVersion = 1
+
+// ManifestName is the conventional manifest file name.
+const ManifestName = "cluster.json"
+
+// manifestTmpSuffix is the staging suffix WriteFile writes before the
+// atomic rename; a crash mid-write leaves it behind, harmlessly.
+const manifestTmpSuffix = ".tmp"
+
+// ErrVersion reports a manifest written by a newer format than this
+// build reads; it supports errors.Is.
+var ErrVersion = errors.New("unsupported cluster manifest format version")
+
+// ShardState is one shard's recorded condition. It is observational —
+// the shard map never consults it — recorded so operators and tools see
+// the cluster's last known shape without dialing every endpoint.
+type ShardState string
+
+const (
+	// ShardHealthy serves with all disks up.
+	ShardHealthy ShardState = "healthy"
+
+	// ShardDegraded serves with a failed disk, reconstructing that
+	// disk's units from survivor XOR on every read.
+	ShardDegraded ShardState = "degraded"
+
+	// ShardRebuilding serves degraded while an online rebuild streams
+	// the failed disk onto a replacement.
+	ShardRebuilding ShardState = "rebuilding"
+
+	// ShardDown was unreachable when the state was recorded.
+	ShardDown ShardState = "down"
+)
+
+func validShardState(s ShardState) bool {
+	switch s {
+	case ShardHealthy, ShardDegraded, ShardRebuilding, ShardDown:
+		return true
+	}
+	return false
+}
+
+// ShardInfo is one shard's manifest entry.
+type ShardInfo struct {
+	// Addr is the shard's pdlserve endpoint (host:port).
+	Addr string `json:"addr"`
+
+	// Units is the shard's capacity in shard-units of UnitBytes bytes.
+	Units int64 `json:"units"`
+
+	// State is the shard's recorded condition.
+	State ShardState `json:"state"`
+}
+
+// Manifest is the decoded cluster.json: everything needed to address the
+// namespace — shard-unit size, placement policy, and the shard list in
+// placement order — with a format version first so future formats stay
+// recognizable. Shard order is part of the address space: reordering
+// entries reshuffles placement.
+type Manifest struct {
+	// Version is the manifest format version (FormatVersion when written
+	// by this package).
+	Version int `json:"version"`
+
+	// UnitBytes is the shard-unit size: the granularity at which the
+	// namespace stripes across shards. It must be a multiple of every
+	// shard's array unit size (Open enforces this against the live
+	// endpoints) so cluster pieces align with server stripe units.
+	UnitBytes int64 `json:"unit_bytes"`
+
+	// Policy selects the placement policy.
+	Policy Policy `json:"policy"`
+
+	// Shards lists the shards in placement order.
+	Shards []ShardInfo `json:"shards"`
+}
+
+// maxUnitBytes bounds UnitBytes against hostile manifests: 1 GiB per
+// shard-unit is far beyond any sane striping granularity.
+const maxUnitBytes = 1 << 30
+
+// Map builds the shard map the manifest describes.
+func (m *Manifest) Map() (*Map, error) {
+	units := make([]int64, len(m.Shards))
+	for s := range m.Shards {
+		units[s] = m.Shards[s].Units
+	}
+	return NewMap(m.UnitBytes, units, m.Policy)
+}
+
+// Clone returns a deep copy, so callers can derive a modified manifest
+// (say, updated shard states) without aliasing the original's shard list.
+func (m *Manifest) Clone() *Manifest {
+	out := *m
+	out.Shards = append([]ShardInfo(nil), m.Shards...)
+	return &out
+}
+
+// DecodeManifest parses and validates a manifest. It never panics on
+// hostile input: truncated, type-skewed, or out-of-range documents
+// return errors (FuzzDecodeClusterManifest pins this). Version skew
+// beyond FormatVersion is ErrVersion. An empty policy decodes as
+// ByCapacity, the default this package writes.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	m := &Manifest{}
+	if err := json.Unmarshal(b, m); err != nil {
+		return nil, fmt.Errorf("cluster: manifest: %w", err)
+	}
+	if m.Version < 1 {
+		return nil, fmt.Errorf("cluster: manifest: bad version %d", m.Version)
+	}
+	if m.Version > FormatVersion {
+		return nil, fmt.Errorf("cluster: manifest: %w: format %d, this build reads <= %d", ErrVersion, m.Version, FormatVersion)
+	}
+	if m.UnitBytes < 1 || m.UnitBytes > maxUnitBytes {
+		return nil, fmt.Errorf("cluster: manifest: unit bytes %d outside [1,%d]", m.UnitBytes, int64(maxUnitBytes))
+	}
+	if m.Policy == "" {
+		m.Policy = ByCapacity
+	}
+	if _, err := ParsePolicy(string(m.Policy)); err != nil {
+		return nil, err
+	}
+	if len(m.Shards) < 1 {
+		return nil, errors.New("cluster: manifest: no shards")
+	}
+	seen := make(map[string]int, len(m.Shards))
+	var total int64
+	for s := range m.Shards {
+		e := &m.Shards[s]
+		if e.Addr == "" || strings.ContainsAny(e.Addr, " \t\r\n") {
+			return nil, fmt.Errorf("cluster: manifest: shard %d: bad addr %q", s, e.Addr)
+		}
+		// Two shards on one endpoint would double-count its bytes: every
+		// placement would write the same array twice under different
+		// local offsets and the capacities would lie.
+		if prev, dup := seen[e.Addr]; dup {
+			return nil, fmt.Errorf("cluster: manifest: shards %d and %d share addr %q", prev, s, e.Addr)
+		}
+		seen[e.Addr] = s
+		if e.Units < 1 {
+			return nil, fmt.Errorf("cluster: manifest: shard %d: %d units, want >= 1", s, e.Units)
+		}
+		if e.State == "" {
+			e.State = ShardHealthy
+		}
+		if !validShardState(e.State) {
+			return nil, fmt.Errorf("cluster: manifest: shard %d: unknown state %q", s, e.State)
+		}
+		if e.Units > (1<<56)/m.UnitBytes {
+			return nil, fmt.Errorf("cluster: manifest: shard %d: %d x %d bytes implausibly large", s, e.Units, m.UnitBytes)
+		}
+		total += e.Units
+		if total > (1<<56)/m.UnitBytes {
+			return nil, fmt.Errorf("cluster: manifest: %d total units of %d bytes implausibly large", total, m.UnitBytes)
+		}
+	}
+	// The map construction enforces the remaining geometry (cycle table
+	// bounds); running it here means an accepted manifest always opens.
+	if _, err := m.Map(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// encode renders the manifest as the canonical on-disk JSON.
+func (m *Manifest) encode() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: manifest: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile atomically replaces path with the manifest: write a staging
+// file beside it, then rename, so a crash at any point leaves either the
+// old or the new manifest — never a torn one.
+func (m *Manifest) WriteFile(path string) error {
+	if _, err := DecodeManifest(mustEncode(m)); err != nil {
+		return fmt.Errorf("cluster: WriteFile: refusing to write invalid manifest: %w", err)
+	}
+	b, err := m.encode()
+	if err != nil {
+		return err
+	}
+	tmp := path + manifestTmpSuffix
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func mustEncode(m *Manifest) []byte {
+	b, err := m.encode()
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// ReadFile loads and validates the manifest at path. A leftover staging
+// file beside it is ignored (it lost the race to the rename).
+func ReadFile(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := DecodeManifest(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return m, nil
+}

@@ -1,0 +1,132 @@
+package cluster_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/pdl/cluster"
+)
+
+func validManifest() *cluster.Manifest {
+	return &cluster.Manifest{
+		Version:   cluster.FormatVersion,
+		UnitBytes: 4096,
+		Policy:    cluster.ByCapacity,
+		Shards: []cluster.ShardInfo{
+			{Addr: "10.0.0.1:9911", Units: 128, State: cluster.ShardHealthy},
+			{Addr: "10.0.0.2:9911", Units: 128, State: cluster.ShardDegraded},
+			{Addr: "10.0.0.3:9911", Units: 256, State: cluster.ShardHealthy},
+		},
+	}
+}
+
+// TestDecodeManifest walks the validation surface: hostile, truncated,
+// and out-of-range documents error cleanly; version skew is ErrVersion.
+func TestDecodeManifest(t *testing.T) {
+	bad := []struct {
+		name string
+		doc  string
+	}{
+		{"empty", ``},
+		{"truncated", `{"version": 1,`},
+		{"null", `null`},
+		{"no-version", `{"unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4}]}`},
+		{"zero-unit", `{"version": 1, "unit_bytes": 0, "shards": [{"addr": "a:1", "units": 4}]}`},
+		{"huge-unit", `{"version": 1, "unit_bytes": 1073741825, "shards": [{"addr": "a:1", "units": 4}]}`},
+		{"no-shards", `{"version": 1, "unit_bytes": 4096, "shards": []}`},
+		{"empty-addr", `{"version": 1, "unit_bytes": 4096, "shards": [{"addr": "", "units": 4}]}`},
+		{"space-addr", `{"version": 1, "unit_bytes": 4096, "shards": [{"addr": "a b:1", "units": 4}]}`},
+		{"dup-addr", `{"version": 1, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4}, {"addr": "a:1", "units": 4}]}`},
+		{"zero-units", `{"version": 1, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 0}]}`},
+		{"bad-state", `{"version": 1, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4, "state": "onfire"}]}`},
+		{"bad-policy", `{"version": 1, "unit_bytes": 4096, "policy": "hash", "shards": [{"addr": "a:1", "units": 4}]}`},
+		{"implausible", `{"version": 1, "unit_bytes": 1073741824, "shards": [{"addr": "a:1", "units": 281474976710656}]}`},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if m, err := cluster.DecodeManifest([]byte(tc.doc)); err == nil {
+				t.Fatalf("decoder accepted %q: %+v", tc.doc, m)
+			}
+		})
+	}
+
+	// Version skew is typed.
+	_, err := cluster.DecodeManifest([]byte(`{"version": 2, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4}]}`))
+	if !errors.Is(err, cluster.ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+
+	// Empty policy and state default to capacity/healthy.
+	m, err := cluster.DecodeManifest([]byte(`{"version": 1, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Policy != cluster.ByCapacity || m.Shards[0].State != cluster.ShardHealthy {
+		t.Fatalf("defaults not applied: policy %q state %q", m.Policy, m.Shards[0].State)
+	}
+}
+
+// TestManifestFileRoundTrip writes atomically and reopens identically;
+// a leftover staging file never shadows the real manifest.
+func TestManifestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, cluster.ManifestName)
+	m := validManifest()
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// A stale staging file (crash between write and rename) is ignored.
+	if err := os.WriteFile(path+".tmp", []byte("torn garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cluster.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UnitBytes != m.UnitBytes || got.Policy != m.Policy || len(got.Shards) != len(m.Shards) {
+		t.Fatalf("round trip diverges:\n in %+v\nout %+v", m, got)
+	}
+	for s := range m.Shards {
+		if got.Shards[s] != m.Shards[s] {
+			t.Fatalf("shard %d diverges: %+v != %+v", s, got.Shards[s], m.Shards[s])
+		}
+	}
+
+	// Overwrite is atomic: the new manifest replaces the old whole.
+	m.Shards[1].State = cluster.ShardHealthy
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err = cluster.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards[1].State != cluster.ShardHealthy {
+		t.Fatalf("overwrite not visible: %+v", got.Shards[1])
+	}
+
+	// WriteFile refuses an invalid manifest instead of clobbering a
+	// good one with it.
+	bad := validManifest()
+	bad.Shards[0].Units = 0
+	if err := bad.WriteFile(path); err == nil {
+		t.Fatal("WriteFile accepted invalid manifest")
+	}
+	if _, err := cluster.ReadFile(path); err != nil {
+		t.Fatalf("good manifest damaged by refused write: %v", err)
+	}
+}
+
+// TestManifestMap builds the shard map from the manifest geometry.
+func TestManifestMap(t *testing.T) {
+	m := validManifest()
+	mp, err := m.Map()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Shards() != 3 || mp.Units() != 128+128+256 || mp.UnitBytes() != 4096 {
+		t.Fatalf("map geometry: shards %d units %d unitBytes %d", mp.Shards(), mp.Units(), mp.UnitBytes())
+	}
+}

@@ -2,21 +2,34 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/pdl/serve/wire"
 )
 
-// RemoteError is a failure reported by the server over the wire.
+// RemoteError is a failure reported by the server over the wire: the
+// connection is fine, the server answered, and the answer was an error.
+// It is not a transport failure, so retrying over a fresh connection
+// cannot help.
 type RemoteError struct {
 	// Msg is the server's error text.
 	Msg string
 }
 
 func (e *RemoteError) Error() string { return "serve: remote: " + e.Msg }
+
+// ErrClientClosed reports a call on a Client whose Close was already
+// called — a caller bug, not a connection failure. Transport failures
+// (the server died, the network broke) surface as other errors, so a
+// pooling caller like pdl/cluster can tell retryable shard loss (redial)
+// from misuse (don't). It supports errors.Is.
+var ErrClientClosed = errors.New("serve: client closed")
 
 // call is one in-flight request's completion state.
 type call struct {
@@ -30,8 +43,14 @@ type call struct {
 // connection and matched to responses by id, so N concurrent callers
 // give the server N requests to coalesce into batches.
 type Client struct {
-	conn net.Conn
-	info wire.Info
+	conn   net.Conn
+	closed atomic.Bool
+
+	// infoMu guards info, the server geometry: set by the handshake and
+	// refreshed after Fail/Rebuild acks (or by RefreshInfo), so Failed
+	// and Size track same-session state changes made through this client.
+	infoMu sync.RWMutex
+	info   wire.Info
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
@@ -47,7 +66,15 @@ type Client struct {
 
 // Dial connects to a serve.Server and performs the geometry handshake.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext is Dial bounded by ctx: a deadline or cancellation aborts
+// the TCP connect (callers like pdl/cluster use it to put a dial timeout
+// on every shard, so one unreachable endpoint cannot hang a fan-out).
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: dial: %w", err)
 	}
@@ -64,29 +91,55 @@ func NewClient(conn net.Conn) (*Client, error) {
 	}
 	c.callPool.New = func() any { return &call{done: make(chan error, 1)} }
 	go c.reader()
-	var raw []byte
-	if err := c.do(wire.OpInfo, Foreground, 0, nil, nil, &raw); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("serve: handshake: %w", err)
-	}
-	if err := wire.DecodeInfo(raw, &c.info); err != nil {
+	if err := c.RefreshInfo(); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("serve: handshake: %w", err)
 	}
 	return c, nil
 }
 
+// RefreshInfo re-issues the geometry handshake, updating what UnitSize,
+// Capacity, Disks, Size, and Failed report. Fail and Rebuild call it
+// after their acks; call it directly to observe state changes made by
+// other clients of the same server.
+func (c *Client) RefreshInfo() error {
+	var raw []byte
+	if err := c.do(wire.OpInfo, Foreground, 0, nil, nil, &raw); err != nil {
+		return err
+	}
+	var in wire.Info
+	if err := wire.DecodeInfo(raw, &in); err != nil {
+		return err
+	}
+	c.infoMu.Lock()
+	c.info = in
+	c.infoMu.Unlock()
+	return nil
+}
+
+// geom snapshots the current geometry.
+func (c *Client) geom() wire.Info {
+	c.infoMu.RLock()
+	in := c.info
+	c.infoMu.RUnlock()
+	return in
+}
+
 // UnitSize returns the server's stripe-unit payload size in bytes.
-func (c *Client) UnitSize() int { return c.info.UnitSize }
+func (c *Client) UnitSize() int { return c.geom().UnitSize }
 
 // Capacity returns the server's number of addressable logical units.
-func (c *Client) Capacity() int { return c.info.Capacity }
+func (c *Client) Capacity() int { return c.geom().Capacity }
 
 // Disks returns the server's disk count.
-func (c *Client) Disks() int { return c.info.Disks }
+func (c *Client) Disks() int { return c.geom().Disks }
 
-// Close closes the connection; in-flight calls fail.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection; in-flight and later calls fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	return c.conn.Close()
+}
 
 // Read fills dst (UnitSize bytes) with a logical unit's payload.
 func (c *Client) Read(logical int, dst []byte) error {
@@ -95,8 +148,8 @@ func (c *Client) Read(logical int, dst []byte) error {
 
 // ReadClass is Read with an explicit priority class.
 func (c *Client) ReadClass(logical int, dst []byte, class Class) error {
-	if len(dst) != c.info.UnitSize {
-		return fmt.Errorf("serve: Read: dst is %d bytes, want unit size %d", len(dst), c.info.UnitSize)
+	if unit := c.UnitSize(); len(dst) != unit {
+		return fmt.Errorf("serve: Read: dst is %d bytes, want unit size %d", len(dst), unit)
 	}
 	return c.do(wire.OpRead, class, uint64(logical), nil, dst, nil)
 }
@@ -108,21 +161,31 @@ func (c *Client) Write(logical int, src []byte) error {
 
 // WriteClass is Write with an explicit priority class.
 func (c *Client) WriteClass(logical int, src []byte, class Class) error {
-	if len(src) != c.info.UnitSize {
-		return fmt.Errorf("serve: Write: src is %d bytes, want unit size %d", len(src), c.info.UnitSize)
+	if unit := c.UnitSize(); len(src) != unit {
+		return fmt.Errorf("serve: Write: src is %d bytes, want unit size %d", len(src), unit)
 	}
 	return c.do(wire.OpWrite, class, uint64(logical), src, nil, nil)
 }
 
-// Fail marks a server disk failed; the array serves degraded after.
+// Fail marks a server disk failed; the array serves degraded after. On
+// success the geometry is refreshed, so Failed reports the new state; a
+// refresh error is returned even though the server-side Fail succeeded.
 func (c *Client) Fail(disk int) error {
-	return c.do(wire.OpFail, Foreground, uint64(disk), nil, nil, nil)
+	if err := c.do(wire.OpFail, Foreground, uint64(disk), nil, nil, nil); err != nil {
+		return err
+	}
+	return c.RefreshInfo()
 }
 
 // Rebuild reconstructs the failed disk onto a fresh replacement on the
-// server, blocking until the array is healthy again.
+// server, blocking until the array is healthy again. On success the
+// geometry is refreshed, so Failed reports the rebuilt state; a refresh
+// error is returned even though the server-side rebuild succeeded.
 func (c *Client) Rebuild() error {
-	return c.do(wire.OpRebuild, Foreground, 0, nil, nil, nil)
+	if err := c.do(wire.OpRebuild, Foreground, 0, nil, nil, nil); err != nil {
+		return err
+	}
+	return c.RefreshInfo()
 }
 
 // Stats fetches the server's store and frontend counters.
@@ -178,6 +241,9 @@ func (c *Client) start(op uint8, class Class, arg uint64, payload, dst []byte, o
 	}
 	c.wmu.Unlock()
 	if werr != nil {
+		if c.closed.Load() {
+			werr = ErrClientClosed
+		}
 		c.mu.Lock()
 		if _, mine := c.pending[id]; mine {
 			delete(c.pending, id)
@@ -208,7 +274,13 @@ func (c *Client) reader() {
 	for {
 		body, err := wire.ReadFrame(br, frame)
 		if err != nil {
-			c.fail(fmt.Errorf("serve: connection: %w", err))
+			// A read error after Close is the expected teardown, not a
+			// transport failure: type it so callers can tell the two apart.
+			if c.closed.Load() {
+				c.fail(ErrClientClosed)
+			} else {
+				c.fail(fmt.Errorf("serve: connection: %w", err))
+			}
 			return
 		}
 		frame = body

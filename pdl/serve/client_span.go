@@ -16,12 +16,15 @@ const spanWindow = 64
 
 // Size returns the server's logical byte capacity (Capacity × UnitSize).
 func (c *Client) Size() int64 {
-	return int64(c.info.Capacity) * int64(c.info.UnitSize)
+	in := c.geom()
+	return int64(in.Capacity) * int64(in.UnitSize)
 }
 
-// Failed returns the failed disk as of the connection handshake, -1 when
-// the array was healthy (live state is in Stats).
-func (c *Client) Failed() int { return c.info.Failed }
+// Failed returns the failed disk, -1 when the array is healthy, as of
+// the last geometry refresh: the handshake, this client's own Fail or
+// Rebuild, or an explicit RefreshInfo. State changed by other clients is
+// visible after RefreshInfo (or in Stats).
+func (c *Client) Failed() int { return c.geom().Failed }
 
 // flight is one in-progress unit op of a striped span.
 type flight struct {
@@ -54,8 +57,9 @@ func (c *Client) ReadAtClass(p []byte, off int64, class Class) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("serve: ReadAt: negative offset %d", off)
 	}
-	unit := int64(c.info.UnitSize)
-	size := c.Size()
+	in := c.geom()
+	unit := int64(in.UnitSize)
+	size := int64(in.Capacity) * unit
 	if off >= size {
 		return 0, io.EOF
 	}
@@ -131,9 +135,11 @@ func (c *Client) WriteAtClass(p []byte, off int64, class Class) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("serve: WriteAt: negative offset %d", off)
 	}
-	unit := int64(c.info.UnitSize)
-	if off+int64(len(p)) > c.Size() {
-		return 0, fmt.Errorf("serve: WriteAt: [%d,%d) outside array of %d bytes", off, off+int64(len(p)), c.Size())
+	in := c.geom()
+	unit := int64(in.UnitSize)
+	size := int64(in.Capacity) * unit
+	if off+int64(len(p)) > size {
+		return 0, fmt.Errorf("serve: WriteAt: [%d,%d) outside array of %d bytes", off, off+int64(len(p)), size)
 	}
 	n := 0
 	// Unaligned head (or a short write inside one unit): read-modify-write.
@@ -190,7 +196,7 @@ func (c *Client) WriteAtClass(p []byte, off int64, class Class) (int, error) {
 // rmwUnit writes bytes [within, within+len(chunk)) of one logical unit
 // by reading the unit, patching the range, and writing it back.
 func (c *Client) rmwUnit(logical int64, within int, chunk []byte, class Class) error {
-	buf := make([]byte, c.info.UnitSize)
+	buf := make([]byte, c.UnitSize())
 	if err := c.do(wire.OpRead, class, uint64(logical), nil, buf, nil); err != nil {
 		return err
 	}

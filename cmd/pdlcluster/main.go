@@ -184,6 +184,7 @@ type clusterFlags struct {
 	flush            time.Duration
 	retries          int
 	backoff          time.Duration
+	conns            int
 }
 
 func addClusterFlags(fs *flag.FlagSet) *clusterFlags {
@@ -199,6 +200,7 @@ func addClusterFlags(fs *flag.FlagSet) *clusterFlags {
 	fs.DurationVar(&cf.flush, "flush", serve.DefaultFlushDelay, "batch flush deadline for -selfhost")
 	fs.IntVar(&cf.retries, "retries", cluster.DefaultRetries, "per-shard reconnect budget")
 	fs.DurationVar(&cf.backoff, "backoff", cluster.DefaultRetryBackoff, "initial retry backoff")
+	fs.IntVar(&cf.conns, "conns", 0, "TCP connections per shard (0 = CPU-aware default)")
 	return cf
 }
 
@@ -220,7 +222,7 @@ func (cf *clusterFlags) open() (*cluster.Client, func(), error) {
 			return nil, nil, err
 		}
 	}
-	c, err := cluster.Open(man, cluster.Options{Retries: cf.retries, RetryBackoff: cf.backoff})
+	c, err := cluster.Open(man, cluster.Options{Retries: cf.retries, RetryBackoff: cf.backoff, Conns: cf.conns})
 	if err != nil {
 		cleanup()
 		return nil, nil, err

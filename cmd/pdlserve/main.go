@@ -115,6 +115,9 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":9911", "listen address")
 	dir := fs.String("dir", "", "existing array directory to serve (empty: throwaway MemDisk array)")
 	backend := fs.String("backend", string(array.File), "per-disk backend for -dir: file|mmap")
+	noDelay := fs.Bool("nodelay", true, "set TCP_NODELAY on accepted connections")
+	rcvbuf := fs.Int("rcvbuf", 0, "kernel receive buffer per connection in bytes (0 = OS default)")
+	sndbuf := fs.Int("sndbuf", 0, "kernel send buffer per connection in bytes (0 = OS default)")
 	a := addArrayFlags(fs)
 	fs.Parse(args)
 
@@ -148,6 +151,9 @@ func cmdServe(args []string) error {
 		return err
 	}
 	srv := serve.NewServer(front)
+	srv.NoDelay = *noDelay
+	srv.ReadBuffer = *rcvbuf
+	srv.WriteBuffer = *sndbuf
 	if arr != nil {
 		// Durable array: wire Fail/Rebuild go through the manifest so
 		// degraded and rebuilt states survive a server restart.
@@ -167,7 +173,8 @@ func cmdServe(args []string) error {
 
 // dialOrSelfHost connects to addr, or (addr empty) hosts an in-process
 // server on a loopback socket so bench/loadgen still drive real TCP.
-func dialOrSelfHost(addr string, a *arrayFlags) (*serve.Client, func(), error) {
+// conns is the per-endpoint connection count (0 = CPU-aware default).
+func dialOrSelfHost(addr string, a *arrayFlags, conns int) (*serve.Client, func(), error) {
 	cleanup := func() {}
 	if addr == "" {
 		front, err := a.newFrontend()
@@ -188,7 +195,11 @@ func dialOrSelfHost(addr string, a *arrayFlags) (*serve.Client, func(), error) {
 			front.Store().Close()
 		}
 	}
-	c, err := serve.Dial(addr)
+	var opts []serve.Option
+	if conns > 0 {
+		opts = append(opts, serve.WithConns(conns))
+	}
+	c, err := serve.Dial(addr, opts...)
 	if err != nil {
 		cleanup()
 		return nil, nil, err
@@ -202,9 +213,10 @@ func cmdBench(args []string) error {
 	addr := fs.String("addr", "", "server address (empty: self-hosted)")
 	clients := fs.Int("clients", 64, "concurrent client goroutines")
 	secs := fs.Float64("seconds", 2, "seconds per measurement")
+	conns := fs.Int("conns", 0, "TCP connections to the server (0 = CPU-aware default)")
 	a := addArrayFlags(fs)
 	fs.Parse(args)
-	c, cleanup, err := dialOrSelfHost(*addr, a)
+	c, cleanup, err := dialOrSelfHost(*addr, a, *conns)
 	if err != nil {
 		return err
 	}
@@ -273,9 +285,10 @@ func cmdLoadgen(args []string) error {
 	seed := fs.Uint64("seed", 1, "workload seed")
 	failDisk := fs.Int("fail", -1, "fail this disk first and replay degraded")
 	background := fs.Bool("background", false, "submit as Background class")
+	conns := fs.Int("conns", 0, "TCP connections to the server (0 = CPU-aware default)")
 	a := addArrayFlags(fs)
 	fs.Parse(args)
-	c, cleanup, err := dialOrSelfHost(*addr, a)
+	c, cleanup, err := dialOrSelfHost(*addr, a, *conns)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,8 @@ package cluster_test
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/pdl/cluster"
@@ -79,5 +81,59 @@ func BenchmarkClusterWriteAt(b *testing.B) {
 		b.Run(fmt.Sprintf("span=%d", span), func(b *testing.B) {
 			benchCluster(b, span, true)
 		})
+	}
+}
+
+// BenchmarkClusterTCP drives pipelined 64 KiB spans from concurrent
+// goroutines over the full sharded network path — the cluster-level
+// counterpart of BenchmarkServeTCPWrite, exercising the wire-v2
+// streaming frames and multi-connection striping end to end.
+func BenchmarkClusterTCP(b *testing.B) {
+	const (
+		unitBytes = 4096
+		span      = 65536
+		clients   = 16
+	)
+	tc := startClusterUnit(b, 4096, unitBytes, []int64{64, 64, 64}, cluster.ByCapacity,
+		serve.Config{QueueDepth: 64, FlushDelay: -1})
+	c := tc.open(b, cluster.Options{})
+	size := c.Size()
+	slots := (size-span)/unitBytes + 1
+
+	seed := make([]byte, span)
+	rand.New(rand.NewSource(1)).Read(seed)
+	if _, err := c.WriteAt(seed, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(span)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			p := make([]byte, span)
+			rng.Read(p)
+			for {
+				n := next.Add(1) - 1
+				if n >= int64(b.N) {
+					return
+				}
+				off := (n * 17 % slots) * unitBytes
+				if _, err := c.WriteAt(p, off); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		b.Fatal(err)
 	}
 }

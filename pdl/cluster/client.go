@@ -27,6 +27,11 @@ type Options struct {
 	// RetryBackoff is the pause before the first retry, doubling per
 	// attempt. Default 25ms.
 	RetryBackoff time.Duration
+
+	// Conns is how many TCP connections to open per shard; pipelined
+	// operations stripe across them. Zero picks the serve package's
+	// CPU-aware default; negative means 1.
+	Conns int
 }
 
 // DefaultDialTimeout bounds shard connects when Options.DialTimeout is zero.
@@ -175,6 +180,12 @@ func Open(man *Manifest, opts Options) (*Client, error) {
 func (c *Client) dial(addr string) (*serve.Client, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opt.DialTimeout)
 	defer cancel()
+	if n := c.opt.Conns; n != 0 {
+		if n < 1 {
+			n = 1
+		}
+		return serve.DialContext(ctx, addr, serve.WithConns(n))
+	}
 	return serve.DialContext(ctx, addr)
 }
 

@@ -2,6 +2,7 @@ package cluster_test
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -29,6 +30,9 @@ type testShard struct {
 	addr      string
 	diskBytes int64 // replacement-disk size for Rebuild
 
+	// mu orders srv/done handoffs between a test goroutine restarting
+	// the server and the cleanup stopping it.
+	mu   sync.Mutex
 	srv  *serve.Server
 	done chan error
 }
@@ -79,30 +83,37 @@ func (ts *testShard) listen(addr string) {
 		ts.t.Fatal(err)
 	}
 	ts.addr = ln.Addr().String()
-	ts.srv = serve.NewServer(ts.front)
-	ts.done = make(chan error, 1)
-	srv := ts.srv
-	done := ts.done
+	srv := serve.NewServer(ts.front)
+	done := make(chan error, 1)
+	ts.mu.Lock()
+	ts.srv, ts.done = srv, done
+	ts.mu.Unlock()
 	go func() { done <- srv.Serve(ln) }()
 }
 
 // stopServer kills the shard's network face; the store keeps its bytes.
 func (ts *testShard) stopServer() {
-	if ts.srv == nil {
+	ts.mu.Lock()
+	srv, done := ts.srv, ts.done
+	ts.srv = nil
+	ts.mu.Unlock()
+	if srv == nil {
 		return
 	}
-	ts.srv.Close()
-	if err := <-ts.done; err != nil {
+	srv.Close()
+	if err := <-done; err != nil {
 		ts.t.Errorf("shard %s: Serve: %v", ts.addr, err)
 	}
-	ts.srv = nil
 }
 
 // restartServer revives the shard on its previous port, like a restarted
 // pdlserve process reopening the same array.
 func (ts *testShard) restartServer() {
 	ts.t.Helper()
-	if ts.srv != nil {
+	ts.mu.Lock()
+	running := ts.srv != nil
+	ts.mu.Unlock()
+	if running {
 		ts.t.Fatal("restartServer: server still running")
 	}
 	// The old listener is closed, so the port is free to rebind; retry
@@ -117,10 +128,11 @@ func (ts *testShard) restartServer() {
 			}
 			ts.t.Fatal(err)
 		}
-		ts.srv = serve.NewServer(ts.front)
-		ts.done = make(chan error, 1)
-		srv := ts.srv
-		done := ts.done
+		srv := serve.NewServer(ts.front)
+		done := make(chan error, 1)
+		ts.mu.Lock()
+		ts.srv, ts.done = srv, done
+		ts.mu.Unlock()
 		go func() { done <- srv.Serve(ln) }()
 		return
 	}

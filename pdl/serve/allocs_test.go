@@ -49,3 +49,49 @@ func TestServeHotPathAllocs(t *testing.T) {
 		t.Errorf("serve Read allocates %v/op, want 0", n)
 	}
 }
+
+// TestTCPHotPathAllocs gates the full network path: a synchronous unit
+// write and read over a real localhost TCP connection — client encode,
+// writev, server decode into pooled frame buffers, store pass, pooled
+// response, client demux into the caller's buffer — must stay at ≤1
+// allocation per operation end to end (AllocsPerRun counts every
+// goroutine: both client loops, both server loops, and the frontend).
+func TestTCPHotPathAllocs(t *testing.T) {
+	const unitSize = 1024
+	f := mustFrontend(t, 17, 4, 4, unitSize, serve.Config{FlushDelay: -1})
+	addr := startServer(t, f)
+	c, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	src := make([]byte, unitSize)
+	dst := make([]byte, unitSize)
+	capacity := c.Capacity()
+	// Warm every pool on every connection's loops.
+	for w := 0; w < 256; w++ {
+		if err := c.Write(w%capacity, src); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Read(w%capacity, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	if n := testing.AllocsPerRun(400, func() {
+		if err := c.Write(i%capacity, src); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); n > 1 {
+		t.Errorf("TCP Write allocates %v/op, want <=1", n)
+	}
+	if n := testing.AllocsPerRun(400, func() {
+		if err := c.Read(i%capacity, dst); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); n > 1 {
+		t.Errorf("TCP Read allocates %v/op, want <=1", n)
+	}
+}

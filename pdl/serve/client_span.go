@@ -8,11 +8,33 @@ import (
 )
 
 // spanWindow bounds how many unit requests a ReadAt/WriteAt span keeps
-// in flight at once: enough concurrency to fill server batches (and,
-// for stripe-aligned writes, whole Condition 5 full-stripe promotions),
-// bounded so one huge span cannot monopolize client memory or starve
-// the connection.
+// in flight at once on the v1 unit-op path: enough concurrency to fill
+// server batches (and, for stripe-aligned writes, whole Condition 5
+// full-stripe promotions), bounded so one huge span cannot monopolize
+// client memory or starve the connection.
 const spanWindow = 64
+
+const (
+	// streamMinUnits is the smallest aligned middle worth a v2 stream;
+	// below it the pipelined unit path is just as good and cheaper to
+	// set up.
+	streamMinUnits = 4
+
+	// maxSegUnits caps one stream segment. Spans larger than this split
+	// into several segments striped round-robin across the client's
+	// connections, so a single big span uses every TCP window.
+	maxSegUnits = 256
+)
+
+// streamChunkBytes is the largest whole-unit chunk payload (floor one
+// unit — a unit above wire.MaxChunk travels as a single-unit chunk).
+func streamChunkBytes(unit int) int {
+	cb := wire.MaxChunk / unit * unit
+	if cb < unit {
+		cb = unit
+	}
+	return cb
+}
 
 // Size returns the server's logical byte capacity (Capacity × UnitSize).
 func (c *Client) Size() int64 {
@@ -41,13 +63,29 @@ type flight struct {
 	n int
 }
 
-// ReadAt reads len(p) bytes from the logical byte space starting at off,
-// striping the span into unit-granularity requests pipelined over the
-// connection — concurrent in-flight units land in the server frontend's
-// queues together and coalesce into ReadVec batch passes. Reads crossing
-// the end of the array return the available prefix and io.EOF. On a
-// request failure it returns the contiguous byte count confirmed before
-// the failing offset.
+// streamEligible reports whether a span's aligned middle is big enough
+// for the v2 chunked-stream path (and the handshake accepted it).
+func (c *Client) streamEligible(plen int, off int64, unit int) bool {
+	if !c.useStreams || unit <= 0 {
+		return false
+	}
+	head := 0
+	if w := int(off % int64(unit)); w != 0 {
+		head = min(unit-w, plen)
+	}
+	return (plen-head)/unit >= streamMinUnits
+}
+
+// ReadAt reads len(p) bytes from the logical byte space starting at off.
+// Against a v2 server, large unit-aligned middles move as chunked read
+// streams (one OpReadSpan per segment, segments striped across the
+// client's connections, chunk payloads landing directly in p); the
+// unit-unaligned edges — and everything, against a v1 server — stripe
+// into unit-granularity requests pipelined over the connections, which
+// the server frontend coalesces into ReadVec batch passes. Reads
+// crossing the end of the array return the available prefix and io.EOF.
+// On a request failure it returns the contiguous byte count confirmed
+// before the failing offset.
 func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 	return c.ReadAtClass(p, off, Foreground)
 }
@@ -68,6 +106,88 @@ func (c *Client) ReadAtClass(p []byte, off int64, class Class) (int, error) {
 		p = p[:size-off]
 		eof = true
 	}
+	var n int
+	var err error
+	if c.streamEligible(len(p), off, in.UnitSize) {
+		n, err = c.readAtStream(p, off, in.UnitSize, class)
+	} else {
+		n, err = c.readAtUnits(p, off, unit, class)
+	}
+	if err != nil {
+		return n, err
+	}
+	if eof {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// readAtStream is the v2 path: synchronous partial-unit head and tail,
+// aligned middle as pipelined read-stream segments.
+func (c *Client) readAtStream(p []byte, off int64, unit int, class Class) (int, error) {
+	n := 0
+	if w := int(off % int64(unit)); w != 0 {
+		chunk := min(unit-w, len(p))
+		scratch := make([]byte, unit)
+		if err := c.do(wire.OpRead, class, uint64(off/int64(unit)), nil, scratch, nil); err != nil {
+			return 0, err
+		}
+		copy(p[:chunk], scratch[w:w+chunk])
+		n += chunk
+		off += int64(chunk)
+		p = p[chunk:]
+	}
+	midUnits := len(p) / unit
+	mid := p[:midUnits*unit]
+	tail := p[midUnits*unit:]
+	startUnit := int(off / int64(unit))
+
+	type seg struct {
+		cl    *call
+		bytes int
+	}
+	segs := make([]seg, 0, (midUnits+maxSegUnits-1)/maxSegUnits)
+	var firstErr error
+	for u := 0; u < midUnits; u += maxSegUnits {
+		k := min(maxSegUnits, midUnits-u)
+		cl, err := c.startReadSpan(c.pick(), startUnit+u, k, mid[u*unit:(u+k)*unit], class)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		segs = append(segs, seg{cl, k * unit})
+	}
+	// Wait for every started segment, even past a failure: later
+	// segments' chunks land in p, which the caller owns again the moment
+	// we return.
+	for _, sg := range segs {
+		recv, err := c.waitSpan(sg.cl)
+		if firstErr == nil {
+			if err != nil {
+				n += recv * unit // the stream's confirmed ordered prefix
+				firstErr = err
+			} else {
+				n += sg.bytes
+			}
+		}
+	}
+	if firstErr != nil {
+		return n, firstErr
+	}
+	if len(tail) > 0 {
+		scratch := make([]byte, unit)
+		if err := c.do(wire.OpRead, class, uint64(startUnit+midUnits), nil, scratch, nil); err != nil {
+			return n, err
+		}
+		copy(tail, scratch[:len(tail)])
+		n += len(tail)
+	}
+	return n, nil
+}
+
+// readAtUnits is the v1 path: every unit its own pipelined request.
+// p is already clamped to the array.
+func (c *Client) readAtUnits(p []byte, off, unit int64, class Class) (int, error) {
 	var window []flight
 	n := 0
 	var firstErr error
@@ -109,23 +229,21 @@ func (c *Client) ReadAtClass(p []byte, off int64, class Class) (int, error) {
 		drain(false)
 	}
 	drain(true)
-	if firstErr != nil {
-		return n, firstErr
-	}
-	if eof {
-		return n, io.EOF
-	}
-	return n, nil
+	return n, firstErr
 }
 
-// WriteAt writes len(p) bytes to the logical byte space starting at off,
-// striping the span into unit-granularity requests pipelined over the
-// connection so the server frontend coalesces them into WriteVec batch
-// passes — a stripe-aligned span's units arrive together and promote to
-// single Condition 5 full-stripe writes. Unit-unaligned head and tail
-// edges are client-side read-modify-writes, so a span is not atomic
-// against concurrent writers of the same units. On a request failure it
-// returns the contiguous byte count confirmed before the failing offset.
+// WriteAt writes len(p) bytes to the logical byte space starting at off.
+// Against a v2 server, large unit-aligned middles move as chunked write
+// streams (one OpWriteSpan + OpWriteChunk sequence per segment, striped
+// across the connections, chunk payloads sent as iovecs straight from
+// p); the edges — and everything, against a v1 server — stripe into
+// unit-granularity requests pipelined so the server frontend coalesces
+// them into WriteVec batch passes, with stripe-aligned spans promoting
+// to single Condition 5 full-stripe writes. Unit-unaligned head and
+// tail edges are client-side read-modify-writes, so a span is not
+// atomic against concurrent writers of the same units. On a request
+// failure it returns the contiguous byte count confirmed before the
+// failing offset.
 func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 	return c.WriteAtClass(p, off, Foreground)
 }
@@ -141,6 +259,74 @@ func (c *Client) WriteAtClass(p []byte, off int64, class Class) (int, error) {
 	if off+int64(len(p)) > size {
 		return 0, fmt.Errorf("serve: WriteAt: [%d,%d) outside array of %d bytes", off, off+int64(len(p)), size)
 	}
+	if c.streamEligible(len(p), off, in.UnitSize) {
+		return c.writeAtStream(p, off, in.UnitSize, class)
+	}
+	return c.writeAtUnits(p, off, unit, class)
+}
+
+// writeAtStream is the v2 path: synchronous read-modify-write edges,
+// aligned middle as pipelined write-stream segments.
+func (c *Client) writeAtStream(p []byte, off int64, unit int, class Class) (int, error) {
+	n := 0
+	if w := int(off % int64(unit)); w != 0 {
+		chunk := min(unit-w, len(p))
+		if err := c.rmwUnit(off/int64(unit), w, p[:chunk], class); err != nil {
+			return 0, err
+		}
+		n += chunk
+		off += int64(chunk)
+		p = p[chunk:]
+	}
+	midUnits := len(p) / unit
+	mid := p[:midUnits*unit]
+	tail := p[midUnits*unit:]
+	startUnit := int(off / int64(unit))
+
+	type seg struct {
+		cl    *call
+		bytes int
+	}
+	segs := make([]seg, 0, (midUnits+maxSegUnits-1)/maxSegUnits)
+	var firstErr error
+	for u := 0; u < midUnits; u += maxSegUnits {
+		k := min(maxSegUnits, midUnits-u)
+		cl, err := c.startWriteSpan(c.pick(), startUnit+u, mid[u*unit:(u+k)*unit], unit, class)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		segs = append(segs, seg{cl, k * unit})
+	}
+	// Wait for every started segment even past a failure: their chunk
+	// frames alias p, which the caller owns again once we return.
+	for _, sg := range segs {
+		_, err := c.waitSpan(sg.cl)
+		if firstErr == nil {
+			if err != nil {
+				// The server applies a write stream all-or-error; a failed
+				// segment confirms none of its bytes.
+				firstErr = err
+			} else {
+				n += sg.bytes
+			}
+		}
+	}
+	if firstErr != nil {
+		return n, firstErr
+	}
+	if len(tail) > 0 {
+		if err := c.rmwUnit(int64(startUnit+midUnits), 0, tail, class); err != nil {
+			return n, err
+		}
+		n += len(tail)
+	}
+	return n, nil
+}
+
+// writeAtUnits is the v1 path: read-modify-write edges and pipelined
+// full-unit writes. The span is already validated against the array.
+func (c *Client) writeAtUnits(p []byte, off, unit int64, class Class) (int, error) {
 	n := 0
 	// Unaligned head (or a short write inside one unit): read-modify-write.
 	if within := int(off % unit); within != 0 || int64(len(p)) < unit {
@@ -152,8 +338,9 @@ func (c *Client) WriteAtClass(p []byte, off int64, class Class) (int, error) {
 		off += int64(chunk)
 		p = p[chunk:]
 	}
-	// Aligned middle: pipelined full-unit writes. The wire encoder copies
-	// the payload before start returns, so p is not retained.
+	// Aligned middle: pipelined full-unit writes. Payload frames alias p
+	// until each call completes; p stays valid because we drain every
+	// in-flight call before returning.
 	var window []flight
 	var firstErr error
 	drain := func(all bool) {
@@ -191,6 +378,65 @@ func (c *Client) WriteAtClass(p []byte, off int64, class Class) (int, error) {
 		n += len(p)
 	}
 	return n, nil
+}
+
+// startReadSpan opens one OpReadSpan stream on cn: the server answers
+// with ordered chunk frames the reader lands directly in dst.
+func (c *Client) startReadSpan(cn *cconn, startUnit, units int, dst []byte, class Class) (*call, error) {
+	if err := cn.err(); err != nil {
+		return nil, err
+	}
+	cl := c.getCall()
+	cl.dst = dst
+	cl.units = units
+	cl.unit = len(dst) / units
+	id := cn.pend.put(cl)
+	fr := c.framePool.Get().(*frame)
+	h := wire.AppendRequestHeader(fr.hdr[:0], &wire.Request{ID: id, Op: wire.OpReadSpan, Class: uint8(class), Arg: uint64(startUnit)}, wire.SpanCountLen)
+	h = wire.AppendSpanCount(h, units)
+	fr.hn = len(h)
+	fr.payload = nil
+	if err := cn.enqueue(fr, id); err != nil {
+		c.putCall(cl)
+		return nil, err
+	}
+	return cl, nil
+}
+
+// startWriteSpan opens one OpWriteSpan stream on cn and enqueues its
+// chunk frames, whose payloads alias p (no copy): the caller must keep
+// p valid until the call completes.
+func (c *Client) startWriteSpan(cn *cconn, startUnit int, p []byte, unit int, class Class) (*call, error) {
+	if err := cn.err(); err != nil {
+		return nil, err
+	}
+	units := len(p) / unit
+	cl := c.getCall()
+	id := cn.pend.put(cl)
+	fr := c.framePool.Get().(*frame)
+	h := wire.AppendRequestHeader(fr.hdr[:0], &wire.Request{ID: id, Op: wire.OpWriteSpan, Class: uint8(class), Arg: uint64(startUnit)}, wire.SpanCountLen)
+	h = wire.AppendSpanCount(h, units)
+	fr.hn = len(h)
+	fr.payload = nil
+	if err := cn.enqueue(fr, id); err != nil {
+		c.putCall(cl)
+		return nil, err
+	}
+	cb := streamChunkBytes(unit)
+	for off := 0; off < len(p); off += cb {
+		n := min(cb, len(p)-off)
+		cfr := c.framePool.Get().(*frame)
+		ch := wire.AppendRequestHeader(cfr.hdr[:0], &wire.Request{ID: id, Op: wire.OpWriteChunk, Class: uint8(class), Arg: uint64(startUnit + off/unit)}, n)
+		cfr.hn = len(ch)
+		cfr.payload = p[off : off+n]
+		if err := cn.enqueue(cfr, id); err != nil {
+			// The connection died and we re-own the call; the partial
+			// stream dies with the connection.
+			c.putCall(cl)
+			return nil, err
+		}
+	}
+	return cl, nil
 }
 
 // rmwUnit writes bytes [within, within+len(chunk)) of one logical unit

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -35,10 +37,36 @@ type StoreStats struct {
 	Degraded   int64 `json:"degraded"`
 }
 
+const (
+	// srvReadBufSize is the per-connection read buffer: big enough that
+	// a burst of pipelined unit frames drains in one syscall.
+	srvReadBufSize = 64 << 10
+
+	// maxRespBatch bounds how many responses one writev gathers (each
+	// contributes up to two iovecs; Linux caps a writev at 1024).
+	maxRespBatch = 64
+
+	// maxConnSpans bounds concurrent OpReadSpan streams per connection:
+	// each holds a chunk buffer and a goroutine, and a hostile client
+	// could otherwise open them for the price of a 26-byte frame.
+	maxConnSpans = 32
+
+	// maxOpenStreams bounds open write streams per connection, for the
+	// same reason.
+	maxOpenStreams = 256
+)
+
 // Server carries the wire protocol over TCP connections, submitting
 // client requests to a Frontend. Requests from every connection share
 // the frontend's queues, so independent clients coalesce into the same
 // batches.
+//
+// The data path is zero-copy on both sides of the socket: request
+// payloads are read into reference-counted pooled buffers that flow
+// into store.WriteVec without an intermediate copy (the buffer recycles
+// only when every unit op that aliases it has completed), and response
+// payloads go out as header+payload iovec pairs via net.Buffers
+// (writev), recycling only after the gather write lands.
 type Server struct {
 	// Replacement provisions the spare backend a wire.OpRebuild rebuilds
 	// onto. Nil defaults to a fresh MemDisk sized for the geometry.
@@ -56,7 +84,20 @@ type Server struct {
 	// land on disk. The server still serializes rebuild requests.
 	RebuildDisk func() error
 
+	// NoDelay is applied (explicitly) to every accepted TCP connection.
+	// NewServer sets it true — request/response frames are latency
+	// bound and the server already batches writes via writev — but it
+	// can be cleared before Serve for WAN experiments.
+	NoDelay bool
+
+	// ReadBuffer and WriteBuffer, when positive, size the kernel socket
+	// buffers (SO_RCVBUF/SO_SNDBUF) of every accepted TCP connection.
+	// Zero keeps the OS defaults.
+	ReadBuffer  int
+	WriteBuffer int
+
 	front *Frontend
+	unit  int
 
 	mu     sync.Mutex
 	lns    map[net.Listener]struct{}
@@ -72,8 +113,11 @@ type Server struct {
 	// input into many disk-sized allocations.
 	rebuilding atomic.Bool
 
-	bufPool  sync.Pool // unit payload buffers
-	respPool sync.Pool // encoded response frames
+	bufPool   sync.Pool // *[]byte unit payload buffers
+	chunkPool sync.Pool // *[]byte read-span chunk buffers
+	respPool  sync.Pool // *srvResp
+	reqPool   sync.Pool // *srvReq with a prebuilt completion closure
+	framePool sync.Pool // *frameBuf refcounted request payload buffers
 }
 
 // NewServer returns a Server submitting to front. Serve it on one or
@@ -81,22 +125,44 @@ type Server struct {
 func NewServer(front *Frontend) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		front:  front,
-		lns:    make(map[net.Listener]struct{}),
-		conns:  make(map[net.Conn]struct{}),
-		ctx:    ctx,
-		cancel: cancel,
+		NoDelay: true,
+		front:   front,
+		unit:    front.Store().UnitSize(),
+		lns:     make(map[net.Listener]struct{}),
+		conns:   make(map[net.Conn]struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
 	}
-	unit := front.Store().UnitSize()
+	unit := s.unit
 	s.bufPool.New = func() any {
 		b := make([]byte, unit)
 		return &b
 	}
-	s.respPool.New = func() any {
-		b := make([]byte, 0, wire.RespHeaderLen+unit+4)
+	chunk := s.chunkUnits() * unit
+	s.chunkPool.New = func() any {
+		b := make([]byte, chunk)
 		return &b
 	}
+	s.respPool.New = func() any { return new(srvResp) }
+	s.reqPool.New = func() any {
+		sr := new(srvReq)
+		// The closure is allocated once per pooled object and reused for
+		// every request it carries — the per-request completion-closure
+		// alloc this replaces was a third of the TCP path's allocs/op.
+		sr.cb = func(err error) { sr.complete(err) }
+		return sr
+	}
+	s.framePool.New = func() any { return &frameBuf{pool: &s.framePool} }
 	return s
+}
+
+// chunkUnits is how many whole units one read-span chunk carries.
+func (s *Server) chunkUnits() int {
+	cu := wire.MaxChunk / s.unit
+	if cu < 1 {
+		cu = 1
+	}
+	return cu
 }
 
 // Serve accepts connections on ln until Close (or a listener error) and
@@ -157,53 +223,247 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// frameBuf is a reference-counted pooled request payload buffer. The
+// reader holds one reference while dispatching; each unit write op that
+// aliases the payload holds another until its completion runs, so the
+// buffer cannot recycle while the store still reads from it.
+type frameBuf struct {
+	pool *sync.Pool
+	refs atomic.Int32
+	b    []byte
+}
+
+func (fb *frameBuf) retain(n int32) { fb.refs.Add(n) }
+
+func (fb *frameBuf) release() {
+	if fb.refs.Add(-1) == 0 {
+		fb.pool.Put(fb)
+	}
+}
+
+// getFrame returns a frame buffer sized to n with one reference held.
+func (s *Server) getFrame(n int) *frameBuf {
+	fb := s.framePool.Get().(*frameBuf)
+	if cap(fb.b) < n {
+		fb.b = make([]byte, n)
+	}
+	fb.b = fb.b[:n]
+	fb.refs.Store(1)
+	return fb
+}
+
+// srvResp is one queued response: a fixed header plus a payload that
+// goes out as its own iovec. unitBuf/chunkBuf, when set, are pooled
+// buffers the payload aliases — returned to their pools only after the
+// writev that sends them lands (or the connection is known broken).
+type srvResp struct {
+	hdr      [wire.RespFrameHeaderLen]byte
+	payload  []byte
+	unitBuf  *[]byte
+	chunkBuf *[]byte
+}
+
+func (s *Server) getResp(id uint64, status uint8, payload []byte) *srvResp {
+	r := s.respPool.Get().(*srvResp)
+	wire.AppendResponseHeader(r.hdr[:0], id, status, len(payload))
+	r.payload = payload
+	return r
+}
+
+// srvReq is one in-flight unit op's pooled completion state. cb is
+// prebuilt at pool time and forwards to complete, so submitting an op
+// allocates nothing.
+type srvReq struct {
+	s   *Server
+	st  *connState
+	id  uint64
+	fb  *frameBuf // write: payload alias reference, released on completion
+	buf *[]byte   // read: pooled unit buffer the store fills
+	ws  *wstream  // stream write: per-span state, nil for plain unit ops
+	cb  func(error)
+}
+
+func (s *Server) getReq(st *connState, id uint64) *srvReq {
+	sr := s.reqPool.Get().(*srvReq)
+	sr.s = s
+	sr.st = st
+	sr.id = id
+	return sr
+}
+
+func (s *Server) putReq(sr *srvReq) {
+	sr.s = nil
+	sr.st = nil
+	sr.fb = nil
+	sr.buf = nil
+	sr.ws = nil
+	s.reqPool.Put(sr)
+}
+
+// complete is every unit op's completion: respond (or account the
+// stream), release the aliased buffers, recycle, and drop the pending
+// count last so the writer cannot close under a response in flight.
+func (sr *srvReq) complete(err error) {
+	s, st := sr.s, sr.st
+	switch {
+	case sr.ws != nil:
+		sr.fb.release()
+		sr.ws.unitDone(err)
+	case sr.fb != nil:
+		sr.fb.release()
+		if err != nil {
+			st.respondErr(sr.id, err)
+		} else {
+			st.send(s.getResp(sr.id, wire.StatusOK, nil))
+		}
+	default:
+		if err != nil {
+			s.bufPool.Put(sr.buf)
+			st.respondErr(sr.id, err)
+		} else {
+			r := s.getResp(sr.id, wire.StatusOK, *sr.buf)
+			r.unitBuf = sr.buf
+			st.send(r)
+		}
+	}
+	s.putReq(sr)
+	st.pending.Done()
+}
+
+// connState is one connection's server-side state. streams is owned by
+// the reader goroutine; pending counts every in-flight submission whose
+// completion will still queue a response.
+type connState struct {
+	s       *Server
+	out     chan *srvResp
+	pending sync.WaitGroup
+	streams map[uint64]*wstream
+	spanSem chan struct{}
+}
+
+func (st *connState) send(r *srvResp) { st.out <- r }
+
+func (st *connState) respondErr(id uint64, err error) {
+	if err == nil {
+		err = errors.New("unknown error")
+	}
+	st.send(st.s.getResp(id, wire.StatusErr, []byte(err.Error())))
+}
+
+// wstream is one open write stream. The reader goroutine owns the
+// sequencing state (wire.WriteStream, seen, poisoned); outstanding
+// carries one token per in-flight unit op plus one reader token dropped
+// when the final chunk has been submitted — whoever drops it to zero
+// sends the single stream response.
+type wstream struct {
+	wire.WriteStream
+	st    *connState
+	id    uint64
+	class Class
+
+	seen     int  // units arrived (reader-owned), valid or drained
+	poisoned bool // reader-owned: respond sent early, drain the rest
+
+	outstanding atomic.Int64
+	responded   atomic.Bool
+	errMu       sync.Mutex
+	firstErr    error
+}
+
+func (ws *wstream) fail(err error) {
+	ws.errMu.Lock()
+	if ws.firstErr == nil {
+		ws.firstErr = err
+	}
+	ws.errMu.Unlock()
+}
+
+func (ws *wstream) unitDone(err error) {
+	if err != nil {
+		ws.fail(err)
+	}
+	ws.drop()
+}
+
+// drop releases one outstanding token; the last one answers the stream.
+func (ws *wstream) drop() {
+	if ws.outstanding.Add(-1) != 0 {
+		return
+	}
+	if !ws.responded.CompareAndSwap(false, true) {
+		return
+	}
+	ws.errMu.Lock()
+	err := ws.firstErr
+	ws.errMu.Unlock()
+	if err != nil {
+		ws.st.respondErr(ws.id, err)
+	} else {
+		ws.st.send(ws.st.s.getResp(ws.id, wire.StatusOK, nil))
+	}
+}
+
 // handle runs one connection: a reader loop decoding and submitting
-// requests, and a writer goroutine serializing completed responses
-// (flushed when the queue momentarily drains, so TCP writes batch too).
+// requests, and a writer goroutine gathering completed responses into
+// writev batches.
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
-	out := make(chan *[]byte, 256)
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(s.NoDelay)
+		if s.ReadBuffer > 0 {
+			tc.SetReadBuffer(s.ReadBuffer)
+		}
+		if s.WriteBuffer > 0 {
+			tc.SetWriteBuffer(s.WriteBuffer)
+		}
+	}
+	st := &connState{
+		s:       s,
+		out:     make(chan *srvResp, 256),
+		spanSem: make(chan struct{}, maxConnSpans),
+	}
 	var writerDone sync.WaitGroup
 	writerDone.Add(1)
 	go func() {
 		defer writerDone.Done()
-		bw := bufio.NewWriter(conn)
-		broken := false
-		for b := range out {
-			if !broken {
-				if _, err := bw.Write(*b); err != nil {
-					broken = true
-				} else if len(out) == 0 {
-					if err := bw.Flush(); err != nil {
-						broken = true
-					}
-				}
-			}
-			s.respPool.Put(b)
-		}
+		st.writeLoop(conn)
 	}()
 
-	// pending tracks in-flight submissions whose completions will still
-	// write to out; the channel closes only after they all land.
-	var pending sync.WaitGroup
-	br := bufio.NewReader(conn)
-	var frame []byte
+	br := bufio.NewReaderSize(conn, srvReadBufSize)
+	var hdr [wire.ReqFrameHeaderLen]byte
+	var req wire.Request
 	for {
-		body, err := wire.ReadFrame(br, frame)
-		if err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			break
 		}
-		frame = body
-		var req wire.Request
-		if err := wire.DecodeRequest(body, &req); err != nil {
-			// A malformed body means a broken peer; drop the connection
+		pl, err := wire.DecodeRequestHeader(hdr[:], &req)
+		if err != nil {
+			// A malformed frame means a broken peer; drop the connection
 			// (the request id cannot be trusted for an error reply).
 			break
 		}
-		s.dispatch(out, &pending, &req)
+		var fb *frameBuf
+		req.Payload = nil
+		if pl > 0 {
+			fb = s.getFrame(pl)
+			if _, err := io.ReadFull(br, fb.b); err != nil {
+				fb.release()
+				break
+			}
+			req.Payload = fb.b
+		}
+		ok := s.dispatch(st, &req, fb)
+		if fb != nil {
+			fb.release()
+		}
+		if !ok {
+			break
+		}
 	}
-	pending.Wait()
-	close(out)
+	// In-flight completions still queue responses; close the channel
+	// only after they all land.
+	st.pending.Wait()
+	close(st.out)
 	writerDone.Wait()
 	conn.Close()
 	s.mu.Lock()
@@ -211,98 +471,333 @@ func (s *Server) handle(conn net.Conn) {
 	s.mu.Unlock()
 }
 
-// dispatch routes one decoded request. req.Payload aliases the reader's
-// frame buffer and must be copied before the handler returns.
-func (s *Server) dispatch(out chan<- *[]byte, pending *sync.WaitGroup, req *wire.Request) {
-	st := s.front.Store()
+// writeLoop drains st.out, gathering up to maxRespBatch responses into
+// one net.Buffers writev of header+payload iovecs. Pooled payload
+// buffers are released only after the gather write returns, so the
+// kernel never reads from a recycled buffer.
+func (st *connState) writeLoop(conn net.Conn) {
+	// bufs lives behind one stable pointer: Buffers.WriteTo has a pointer
+	// receiver, so a stack header would escape and allocate per writev.
+	bufs := new(net.Buffers)
+	batch := make([]*srvResp, 0, maxRespBatch)
+	broken := false
+	for r := range st.out {
+		batch = append(batch[:0], r)
+		// Yield before collecting: completions arrive in frontend-batch
+		// bursts, and letting the completing goroutine finish its burst
+		// turns per-response writevs into per-burst writevs (see the
+		// client writeLoop for the same trick).
+		runtime.Gosched()
+	collect:
+		for len(batch) < maxRespBatch {
+			select {
+			case r2, ok := <-st.out:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, r2)
+			default:
+				break collect
+			}
+		}
+		if !broken {
+			iov := (*bufs)[:0]
+			for _, b := range batch {
+				iov = append(iov, b.hdr[:])
+				if len(b.payload) > 0 {
+					iov = append(iov, b.payload)
+				}
+			}
+			*bufs = iov
+			if _, err := bufs.WriteTo(conn); err != nil {
+				broken = true
+			}
+			// WriteTo consumed *bufs; clear the backing array so pooled
+			// payloads are not pinned until the next batch.
+			for i := range iov {
+				iov[i] = nil
+			}
+			*bufs = iov
+		}
+		for i, b := range batch {
+			st.release(b)
+			batch[i] = nil
+		}
+	}
+}
+
+func (st *connState) release(r *srvResp) {
+	s := st.s
+	if r.unitBuf != nil {
+		s.bufPool.Put(r.unitBuf)
+		r.unitBuf = nil
+	}
+	if r.chunkBuf != nil {
+		s.chunkPool.Put(r.chunkBuf)
+		r.chunkBuf = nil
+	}
+	r.payload = nil
+	s.respPool.Put(r)
+}
+
+// dispatch routes one decoded request. req.Payload aliases fb's buffer;
+// handlers that hand it to the store retain fb per aliasing op. A false
+// return drops the connection (hostile or broken peer).
+func (s *Server) dispatch(st *connState, req *wire.Request, fb *frameBuf) bool {
+	stt := s.front.Store()
 	switch req.Op {
 	case wire.OpInfo:
 		info := wire.Info{
-			UnitSize: st.UnitSize(),
-			Capacity: st.Capacity(),
-			Disks:    st.Mapper().Disks(),
-			Failed:   st.Failed(),
+			UnitSize: stt.UnitSize(),
+			Capacity: stt.Capacity(),
+			Disks:    stt.Mapper().Disks(),
+			Failed:   stt.Failed(),
 		}
-		var buf [24]byte
-		s.respond(out, req.ID, wire.StatusOK, wire.AppendInfo(buf[:0], &info))
+		// Arg carries a v2 client's hello; a v1 client's Arg is 0 and
+		// gets the plain v1 payload it expects.
+		if v, feats := wire.DecodeHello(req.Arg); v >= wire.Version2 {
+			st.send(s.getResp(req.ID, wire.StatusOK, wire.AppendInfoV2(nil, &info, wire.Version2, feats&wire.Features)))
+		} else {
+			st.send(s.getResp(req.ID, wire.StatusOK, wire.AppendInfo(nil, &info)))
+		}
 
 	case wire.OpRead:
 		bp := s.bufPool.Get().(*[]byte)
-		id := req.ID
-		pending.Add(1)
-		err := s.front.Go(s.ctx, Op{Kind: Read, Class: Class(req.Class), Logical: int(req.Arg), Buf: *bp}, func(err error) {
-			if err != nil {
-				s.respondErr(out, id, err)
-			} else {
-				s.respond(out, id, wire.StatusOK, *bp)
-			}
+		sr := s.getReq(st, req.ID)
+		sr.buf = bp
+		st.pending.Add(1)
+		if err := s.front.Go(s.ctx, Op{Kind: Read, Class: Class(req.Class), Logical: int(req.Arg), Buf: *bp}, sr.cb); err != nil {
 			s.bufPool.Put(bp)
-			pending.Done()
-		})
-		if err != nil {
-			s.bufPool.Put(bp)
-			pending.Done()
-			s.respondErr(out, id, err)
+			s.putReq(sr)
+			st.pending.Done()
+			st.respondErr(req.ID, err)
 		}
 
 	case wire.OpWrite:
-		if len(req.Payload) != st.UnitSize() {
-			s.respondErr(out, req.ID, fmt.Errorf("write payload %d bytes, want unit size %d", len(req.Payload), st.UnitSize()))
-			return
+		if len(req.Payload) != s.unit {
+			st.respondErr(req.ID, fmt.Errorf("write payload %d bytes, want unit size %d", len(req.Payload), s.unit))
+			return true
 		}
-		bp := s.bufPool.Get().(*[]byte)
-		copy(*bp, req.Payload)
-		id := req.ID
-		pending.Add(1)
-		err := s.front.Go(s.ctx, Op{Kind: Write, Class: Class(req.Class), Logical: int(req.Arg), Buf: *bp}, func(err error) {
-			if err != nil {
-				s.respondErr(out, id, err)
-			} else {
-				s.respond(out, id, wire.StatusOK, nil)
-			}
-			s.bufPool.Put(bp)
-			pending.Done()
-		})
-		if err != nil {
-			s.bufPool.Put(bp)
-			pending.Done()
-			s.respondErr(out, id, err)
+		// The store writes straight from the read buffer: no copy. The
+		// op's reference keeps it alive until the completion runs.
+		fb.retain(1)
+		sr := s.getReq(st, req.ID)
+		sr.fb = fb
+		st.pending.Add(1)
+		if err := s.front.Go(s.ctx, Op{Kind: Write, Class: Class(req.Class), Logical: int(req.Arg), Buf: req.Payload}, sr.cb); err != nil {
+			fb.release()
+			s.putReq(sr)
+			st.pending.Done()
+			st.respondErr(req.ID, err)
 		}
 
+	case wire.OpReadSpan:
+		count, err := wire.DecodeSpanCount(req.Payload)
+		if err != nil {
+			st.respondErr(req.ID, err)
+			return true
+		}
+		capa := stt.Capacity()
+		if req.Arg >= uint64(capa) || count > capa-int(req.Arg) {
+			st.respondErr(req.ID, fmt.Errorf("span [%d,+%d) outside capacity %d", req.Arg, count, capa))
+			return true
+		}
+		st.spanSem <- struct{}{} // backpressure: bounded concurrent spans
+		st.pending.Add(1)
+		go s.readSpan(st, req.ID, Class(req.Class), int(req.Arg), count)
+
+	case wire.OpWriteSpan:
+		count, err := wire.DecodeSpanCount(req.Payload)
+		if err != nil {
+			// Without a parseable count the stream cannot be drained;
+			// drop the connection.
+			st.respondErr(req.ID, err)
+			return false
+		}
+		if st.streams == nil {
+			st.streams = make(map[uint64]*wstream)
+		}
+		if len(st.streams) >= maxOpenStreams {
+			return false
+		}
+		if _, dup := st.streams[req.ID]; dup {
+			return false
+		}
+		ws := &wstream{
+			WriteStream: wire.WriteStream{Start: int(req.Arg), Count: count},
+			st:          st,
+			id:          req.ID,
+			class:       Class(req.Class),
+		}
+		ws.outstanding.Store(1) // the reader's token
+		capa := stt.Capacity()
+		if req.Arg >= uint64(capa) || count > capa-int(req.Arg) {
+			// Answer now, but keep the stream registered poisoned: the
+			// client may have pipelined chunk frames before seeing the
+			// error, and they must drain by count, not kill the conn.
+			ws.poisoned = true
+			ws.responded.Store(true)
+			st.respondErr(req.ID, fmt.Errorf("span [%d,+%d) outside capacity %d", req.Arg, count, capa))
+		}
+		st.streams[req.ID] = ws
+
+	case wire.OpWriteChunk:
+		ws, ok := st.streams[req.ID]
+		if !ok {
+			return false // chunk for a stream never opened: broken peer
+		}
+		return s.writeChunk(st, ws, req, fb)
+
 	case wire.OpFail:
-		fail := st.Fail
+		fail := stt.Fail
 		if s.FailDisk != nil {
 			fail = s.FailDisk
 		}
 		if err := fail(int(req.Arg)); err != nil {
-			s.respondErr(out, req.ID, err)
+			st.respondErr(req.ID, err)
 		} else {
-			s.respond(out, req.ID, wire.StatusOK, nil)
+			st.send(s.getResp(req.ID, wire.StatusOK, nil))
 		}
 
 	case wire.OpRebuild:
 		id := req.ID
-		pending.Add(1)
+		st.pending.Add(1)
 		go func() {
-			defer pending.Done()
+			defer st.pending.Done()
 			if err := s.rebuild(); err != nil {
-				s.respondErr(out, id, err)
+				st.respondErr(id, err)
 			} else {
-				s.respond(out, id, wire.StatusOK, nil)
+				st.send(s.getResp(id, wire.StatusOK, nil))
 			}
 		}()
 
 	case wire.OpStats:
 		b, err := json.Marshal(s.stats())
 		if err != nil {
-			s.respondErr(out, req.ID, err)
+			st.respondErr(req.ID, err)
 		} else {
-			s.respond(out, req.ID, wire.StatusOK, b)
+			st.send(s.getResp(req.ID, wire.StatusOK, b))
 		}
 
 	default:
-		s.respondErr(out, req.ID, fmt.Errorf("unknown op %d", req.Op))
+		st.respondErr(req.ID, fmt.Errorf("unknown op %d", req.Op))
 	}
+	return true
+}
+
+// writeChunk feeds one OpWriteChunk frame into its stream: validate the
+// sequencing, then submit each unit as a write op whose buffer aliases
+// the frame payload (fb holds one reference per unit until that unit's
+// completion runs).
+func (s *Server) writeChunk(st *connState, ws *wstream, req *wire.Request, fb *frameBuf) bool {
+	unit := s.unit
+	if ws.poisoned {
+		// The stream already answered (early error); drain the client's
+		// remaining pipelined chunks by unit count.
+		if len(req.Payload) < unit {
+			return false // cannot make progress: broken peer
+		}
+		ws.seen += len(req.Payload) / unit
+		if ws.seen >= ws.Count {
+			delete(st.streams, req.ID)
+		}
+		return true
+	}
+	k, err := ws.Consume(req.Arg, len(req.Payload), unit)
+	if err != nil {
+		// Sequencing violation: answer once, then drain the rest of the
+		// declared count (the client may have pipelined ahead).
+		if ws.responded.CompareAndSwap(false, true) {
+			st.respondErr(req.ID, err)
+		}
+		ws.poisoned = true
+		adv := len(req.Payload) / unit
+		if adv < 1 {
+			adv = 1
+		}
+		ws.seen += adv
+		if ws.seen >= ws.Count {
+			delete(st.streams, req.ID)
+		}
+		return true
+	}
+	fb.retain(int32(k))
+	for i := 0; i < k; i++ {
+		sr := s.getReq(st, req.ID)
+		sr.fb = fb
+		sr.ws = ws
+		st.pending.Add(1)
+		ws.outstanding.Add(1)
+		buf := req.Payload[i*unit : (i+1)*unit]
+		if err := s.front.Go(s.ctx, Op{Kind: Write, Class: ws.class, Logical: int(req.Arg) + i, Buf: buf}, sr.cb); err != nil {
+			fb.release()
+			s.putReq(sr)
+			st.pending.Done()
+			ws.fail(err)
+			ws.drop()
+		}
+	}
+	ws.seen += k
+	if ws.seen >= ws.Count {
+		// Final chunk submitted: drop the reader token so the last unit
+		// completion (or this drop, if all already landed) answers.
+		delete(st.streams, req.ID)
+		ws.drop()
+	}
+	return true
+}
+
+// readSpan streams count units starting at start back as ordered
+// StatusChunk frames. Each chunk is a pooled buffer scatter-filled by
+// per-unit read ops through the frontend's batch path, handed to the
+// writer as one iovec, and recycled after its writev lands.
+func (s *Server) readSpan(st *connState, id uint64, class Class, start, count int) {
+	defer func() {
+		<-st.spanSem
+		st.pending.Done()
+	}()
+	unit := s.unit
+	cu := s.chunkUnits()
+	cbp := s.chunkPool.Get().(*[]byte)
+	for done := 0; done < count; {
+		k := min(cu, count-done)
+		chunk := (*cbp)[:k*unit]
+		var wg sync.WaitGroup
+		var errMu sync.Mutex
+		var firstErr error
+		cb := func(err error) {
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+			wg.Done()
+		}
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			if err := s.front.Go(s.ctx, Op{Kind: Read, Class: class, Logical: start + done + i, Buf: chunk[i*unit : (i+1)*unit]}, cb); err != nil {
+				cb(err)
+			}
+		}
+		wg.Wait()
+		errMu.Lock()
+		err := firstErr
+		errMu.Unlock()
+		if err != nil {
+			s.chunkPool.Put(cbp)
+			st.respondErr(id, err)
+			return
+		}
+		r := s.getResp(id, wire.StatusChunk, chunk)
+		r.chunkBuf = cbp
+		st.send(r)
+		// The writer owns that buffer now; take a fresh one.
+		cbp = s.chunkPool.Get().(*[]byte)
+		done += k
+	}
+	s.chunkPool.Put(cbp)
 }
 
 func (s *Server) rebuild() error {
@@ -349,18 +844,4 @@ func (s *Server) stats() ServerStats {
 		out.Store.Degraded += d.Degraded
 	}
 	return out
-}
-
-// respond encodes and queues one response frame.
-func (s *Server) respond(out chan<- *[]byte, id uint64, status uint8, payload []byte) {
-	bp := s.respPool.Get().(*[]byte)
-	*bp = wire.AppendResponse((*bp)[:0], &wire.Response{ID: id, Status: status, Payload: payload})
-	out <- bp
-}
-
-func (s *Server) respondErr(out chan<- *[]byte, id uint64, err error) {
-	if err == nil {
-		err = errors.New("unknown error")
-	}
-	s.respond(out, id, wire.StatusErr, []byte(err.Error()))
 }

@@ -1,0 +1,239 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pdl/serve"
+	"repro/pdl/serve/wire"
+)
+
+// rawV2Conn speaks the v2 framing by hand so tests can send frame
+// sequences the real client never emits — out-of-range spans, stale
+// chunk ids — and observe exactly how the server answers.
+type rawV2Conn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialRawV2(t *testing.T, addr string) *rawV2Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawV2Conn{conn: conn, br: bufio.NewReader(conn)}
+}
+
+func (r *rawV2Conn) send(t *testing.T, req *wire.Request) {
+	t.Helper()
+	if _, err := r.conn.Write(wire.AppendRequest(nil, req)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rawV2Conn) recv(t *testing.T) wire.Response {
+	t.Helper()
+	body, err := wire.ReadFrame(r.br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := wire.DecodeResponse(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestWriteStreamEarlyErrorDrains sends an out-of-range write span with
+// its chunks already pipelined behind it — the way the real client
+// races ahead — and checks the server answers the span once with an
+// error, absorbs every pipelined chunk, and keeps serving the
+// connection afterwards.
+func TestWriteStreamEarlyErrorDrains(t *testing.T) {
+	const unitSize = 32
+	f := mustFrontend(t, 13, 4, 1, unitSize, serve.Config{QueueDepth: 8, FlushDelay: -1})
+	addr := startServer(t, f)
+	rc := dialRawV2(t, addr)
+
+	capa := f.Store().Capacity()
+	const count = 4
+	start := capa - 2 // span sticks out past the end: rejected at open
+	rc.send(t, &wire.Request{ID: 1, Op: wire.OpWriteSpan, Arg: uint64(start),
+		Payload: wire.AppendSpanCount(nil, count)})
+	chunk := payload(make([]byte, 2*unitSize), 1)
+	rc.send(t, &wire.Request{ID: 1, Op: wire.OpWriteChunk, Arg: uint64(start), Payload: chunk})
+	rc.send(t, &wire.Request{ID: 1, Op: wire.OpWriteChunk, Arg: uint64(start + 2), Payload: chunk})
+
+	resp := rc.recv(t)
+	if resp.ID != 1 || resp.Status != wire.StatusErr {
+		t.Fatalf("span open: id %d status %d, want StatusErr", resp.ID, resp.Status)
+	}
+
+	// The connection survived the poisoned stream: a normal unit write
+	// still round-trips.
+	want := payload(make([]byte, unitSize), 2)
+	rc.send(t, &wire.Request{ID: 2, Op: wire.OpWrite, Arg: 0, Payload: want})
+	if resp := rc.recv(t); resp.ID != 2 || resp.Status != wire.StatusOK {
+		t.Fatalf("write after poisoned stream: id %d status %d", resp.ID, resp.Status)
+	}
+	rc.send(t, &wire.Request{ID: 3, Op: wire.OpRead, Arg: 0})
+	if resp := rc.recv(t); resp.Status != wire.StatusOK || !bytes.Equal(resp.Payload, want) {
+		t.Fatal("read after poisoned stream diverges")
+	}
+}
+
+// TestWriteChunkUnknownStreamDropsConn sends a chunk for a stream that
+// was never opened: the server cannot sequence it, so the connection
+// must drop (a broken peer, not a recoverable error).
+func TestWriteChunkUnknownStreamDropsConn(t *testing.T) {
+	const unitSize = 32
+	f := mustFrontend(t, 13, 4, 1, unitSize, serve.Config{QueueDepth: 8, FlushDelay: -1})
+	addr := startServer(t, f)
+	rc := dialRawV2(t, addr)
+
+	rc.send(t, &wire.Request{ID: 99, Op: wire.OpWriteChunk, Arg: 0,
+		Payload: make([]byte, unitSize)})
+	rc.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadFrame(rc.br, nil); err == nil {
+		t.Fatal("server answered a chunk for an unopened stream; want dropped connection")
+	}
+}
+
+// TestStreamMissequencedChunk opens a valid stream, then sends a chunk
+// at the wrong offset: the server must answer the stream id once with
+// an error, drain the remaining declared units, and keep the
+// connection serving.
+func TestStreamMissequencedChunk(t *testing.T) {
+	const unitSize = 32
+	f := mustFrontend(t, 13, 4, 1, unitSize, serve.Config{QueueDepth: 8, FlushDelay: -1})
+	addr := startServer(t, f)
+	rc := dialRawV2(t, addr)
+
+	const count = 4
+	rc.send(t, &wire.Request{ID: 7, Op: wire.OpWriteSpan, Arg: 0,
+		Payload: wire.AppendSpanCount(nil, count)})
+	chunk := payload(make([]byte, 2*unitSize), 3)
+	// Wrong offset: chunk claims unit 1, stream expects unit 0.
+	rc.send(t, &wire.Request{ID: 7, Op: wire.OpWriteChunk, Arg: 1, Payload: chunk})
+	rc.send(t, &wire.Request{ID: 7, Op: wire.OpWriteChunk, Arg: 3, Payload: chunk})
+
+	if resp := rc.recv(t); resp.ID != 7 || resp.Status != wire.StatusErr {
+		t.Fatalf("missequenced stream: id %d status %d, want StatusErr", resp.ID, resp.Status)
+	}
+	rc.send(t, &wire.Request{ID: 8, Op: wire.OpInfo})
+	if resp := rc.recv(t); resp.ID != 8 || resp.Status != wire.StatusOK {
+		t.Fatal("connection did not survive a missequenced stream")
+	}
+}
+
+// TestPipelinedCancelBufferSafety closes the client while a crowd of
+// goroutines has span reads and writes in flight, then immediately
+// scribbles over every caller-owned buffer. If the connection reader
+// (or any pooled-buffer recycling) still touched a buffer after its
+// call completed, the race detector catches the overlap — this is the
+// regression gate for the zero-copy invariant that a payload buffer is
+// never written after its caller has been released.
+func TestPipelinedCancelBufferSafety(t *testing.T) {
+	const unitSize = 64
+	f := mustFrontend(t, 13, 4, 2, unitSize, serve.Config{QueueDepth: 16, FlushDelay: -1})
+	addr := startServer(t, f)
+	c, err := serve.Dial(addr, serve.WithConns(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	size := c.Size()
+	const workers = 16
+	span := int(size / workers / 2)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := payload(make([]byte, span), g)
+			off := int64(g) * int64(span)
+			<-start
+			for i := 0; ; i++ {
+				var err error
+				if g%2 == 0 {
+					_, err = c.WriteAt(buf, off)
+				} else {
+					_, err = c.ReadAt(buf, off)
+				}
+				// The call returned: the client must have released the
+				// buffer entirely. Scribble over it at once — any late
+				// ReadFull into it (or writev still holding it as an
+				// iovec) is a race-detector hit.
+				for j := range buf {
+					buf[j] = byte(i)
+				}
+				if err != nil {
+					if !errors.Is(err, serve.ErrClientClosed) && !errors.Is(err, io.EOF) {
+						var re *serve.RemoteError
+						if errors.As(err, &re) {
+							t.Errorf("worker %d: unexpected remote error: %v", g, err)
+						}
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	time.Sleep(20 * time.Millisecond) // let the pipeline fill
+	c.Close()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("workers did not unwind after Close")
+	}
+}
+
+// TestStreamRoundTripLarge pushes a span large enough to split into
+// multiple stream segments across multiple connections and checks the
+// bytes against a mirror — the v2 data path end to end.
+func TestStreamRoundTripLarge(t *testing.T) {
+	const unitSize = 64
+	f := mustFrontend(t, 13, 4, 4, unitSize, serve.Config{QueueDepth: 16, FlushDelay: -1})
+	addr := startServer(t, f)
+	c, err := serve.Dial(addr, serve.WithConns(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if c.ProtocolVersion() != wire.Version2 || c.Features()&wire.FeatStreams == 0 {
+		t.Fatalf("handshake: v%d feats %#x, want v2 streams", c.ProtocolVersion(), c.Features())
+	}
+
+	size := c.Size()
+	span := int(size - 2*unitSize - 11)
+	want := payload(make([]byte, span), 5)
+	const off = int64(unitSize + 3) // unaligned head and tail around the stream
+	if n, err := c.WriteAt(want, off); err != nil || n != span {
+		t.Fatalf("WriteAt: n=%d err=%v", n, err)
+	}
+	got := make([]byte, span)
+	if n, err := c.ReadAt(got, off); err != nil || n != span {
+		t.Fatalf("ReadAt: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, want) {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("diverges at byte %d of %d", i, span)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package wire_test
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"repro/pdl/serve/wire"
@@ -9,16 +10,25 @@ import (
 
 // FuzzDecodeRequest throws arbitrary bodies at the request decoder: it
 // must never panic, and everything it accepts must re-encode to the
-// same body (the round-trip property). Run as a CI smoke with
-// -fuzztime 10s.
+// same body (the round-trip property). The v2 ops ride the same body
+// format, so they are covered here too; accepted span ops additionally
+// have their count payload decoded, and the header-only decoder
+// (DecodeRequestHeader, the server's streaming read path) must agree
+// with the full decoder on every accepted frame. Run as a CI smoke
+// with -fuzztime 10s.
 func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(make([]byte, wire.ReqHeaderLen))
 	for _, seed := range []wire.Request{
 		{ID: 1, Op: wire.OpInfo},
+		{ID: 2, Op: wire.OpInfo, Arg: wire.EncodeHello(wire.Version2, wire.FeatStreams)},
 		{ID: 42, Op: wire.OpRead, Class: 1, Arg: 7},
 		{ID: 9, Op: wire.OpWrite, Arg: 3, Payload: []byte("payload")},
 		{ID: 8, Op: wire.OpStats, Class: 200, Arg: ^uint64(0)},
+		{ID: 7, Op: wire.OpReadSpan, Arg: 5, Payload: wire.AppendSpanCount(nil, 16)},
+		{ID: 6, Op: wire.OpWriteSpan, Arg: 5, Payload: wire.AppendSpanCount(nil, 1<<20)},
+		{ID: 6, Op: wire.OpWriteChunk, Arg: 5, Payload: bytes.Repeat([]byte{0xAA}, 128)},
+		{ID: 5, Op: wire.OpReadSpan, Arg: 0, Payload: wire.AppendSpanCount(nil, wire.MaxSpanUnits)},
 	} {
 		f.Add(wire.AppendRequest(nil, &seed)[4:])
 	}
@@ -34,6 +44,89 @@ func FuzzDecodeRequest(f *testing.F) {
 		var again wire.Request
 		if err := wire.DecodeRequest(re[4:], &again); err != nil {
 			t.Fatalf("re-encoded body rejected: %v", err)
+		}
+
+		// The header-only decoder must agree with the full decoder.
+		var hreq wire.Request
+		n, err := wire.DecodeRequestHeader(re[:wire.ReqFrameHeaderLen], &hreq)
+		if err != nil {
+			t.Fatalf("header decoder rejects an accepted frame: %v", err)
+		}
+		if n != len(req.Payload) || hreq.ID != req.ID || hreq.Op != req.Op || hreq.Class != req.Class || hreq.Arg != req.Arg {
+			t.Fatalf("header decoder diverges: n=%d %+v vs %+v", n, hreq, req)
+		}
+
+		// Span ops: the count payload decoder must never panic, and an
+		// accepted count must re-encode identically.
+		if req.Op == wire.OpReadSpan || req.Op == wire.OpWriteSpan {
+			count, err := wire.DecodeSpanCount(req.Payload)
+			if err != nil {
+				return
+			}
+			if !bytes.Equal(wire.AppendSpanCount(nil, count), req.Payload) {
+				t.Fatalf("span count round trip diverges: %d from %x", count, req.Payload)
+			}
+		}
+	})
+}
+
+// FuzzWriteStream drives the chunked write-stream sequencer with
+// hostile frame sequences — wrong-offset chunks, ragged lengths,
+// over-count chunks, frames interleaved across two stream ids — and
+// checks its invariants: consumed units never exceed the declared
+// count, accepted chunks are exactly sequential, Done() iff every unit
+// arrived, and a rejected chunk leaves the stream state untouched. The
+// input encodes a frame script: each 11-byte record is
+// stream(1) argDelta(2) units(8... truncated) — see parse below. Run
+// as a CI smoke with -fuzztime 10s.
+func FuzzWriteStream(f *testing.F) {
+	// A clean two-chunk stream, an interleaved pair, and a hostile mix.
+	f.Add(uint16(4), uint16(8), []byte{0, 0, 0, 2, 0, 0, 0, 2, 1, 0, 0, 8})
+	f.Add(uint16(1), uint16(1), []byte{0, 0, 0, 1, 1, 0, 0, 1, 0, 0, 1, 1})
+	f.Add(uint16(3), uint16(0), []byte{0, 255, 255, 9, 0, 0, 0, 0, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, count0, count1 uint16, script []byte) {
+		const unit = 16
+		streams := [2]wire.WriteStream{
+			{Start: 100, Count: int(count0)},
+			{Start: 5000, Count: int(count1)},
+		}
+		consumed := [2]int{}
+		for len(script) >= 4 {
+			rec := script[:4]
+			script = script[4:]
+			s := int(rec[0]) & 1
+			ws := &streams[s]
+			// argDelta biases around the expected next unit so the fuzzer
+			// can find both the valid path and near-miss offsets.
+			argDelta := int(int8(rec[1]))
+			arg := uint64(ws.Next() + argDelta)
+			// Payload length in bytes: units*unit plus a possible ragged
+			// remainder bit.
+			n := int(binary.BigEndian.Uint16(rec[2:4]))
+			before := *ws
+			k, err := ws.Consume(arg, n, unit)
+			if err != nil {
+				if *ws != before {
+					t.Fatalf("rejected chunk mutated stream: %+v -> %+v", before, *ws)
+				}
+				continue
+			}
+			if argDelta != 0 {
+				t.Fatalf("non-sequential chunk accepted: delta %d", argDelta)
+			}
+			if n%unit != 0 || n == 0 || k != n/unit {
+				t.Fatalf("ragged chunk accepted: n=%d k=%d", n, k)
+			}
+			consumed[s] += k
+			if consumed[s] > int(ws.Count) {
+				t.Fatalf("stream %d over-consumed: %d of %d units", s, consumed[s], ws.Count)
+			}
+			if ws.Remaining() != ws.Count-consumed[s] {
+				t.Fatalf("remaining diverges: %d vs %d", ws.Remaining(), ws.Count-consumed[s])
+			}
+			if ws.Done() != (consumed[s] == ws.Count) {
+				t.Fatalf("Done()=%v with %d of %d units", ws.Done(), consumed[s], ws.Count)
+			}
 		}
 	})
 }

@@ -16,6 +16,41 @@
 // disk for OpFail, unused otherwise). payload carries the unit bytes for
 // OpWrite requests and OpRead responses, the error text for StatusErr
 // responses, and op-specific encodings elsewhere (see the serve package).
+//
+// # Versioning
+//
+// The frame format above is wire version 1 and never changes. Version 2
+// adds capabilities negotiated in-band on the existing OpInfo handshake,
+// so the two directions stay compatible without an extra round trip:
+//
+//   - A v2 client encodes a hello (its version and proposed feature
+//     bits) into OpInfo's otherwise-unused Arg. A v1 client sends Arg 0.
+//   - A v2 server answering a hello appends its version and the accepted
+//     feature intersection to the Info payload (DecodeInfoAny handles
+//     both lengths). Answering Arg 0 — a v1 client — it sends the plain
+//     v1 Info, so old clients decode exactly what they always did.
+//   - A v1 server ignores Arg and answers the plain Info; the v2 client
+//     sees no extension and downgrades to the v1 feature set.
+//
+// Negotiated features gate everything new: a client must not send a v2
+// op unless the handshake accepted the corresponding feature bit.
+//
+// # Chunked span streams (FeatStreams)
+//
+// Version 2's FeatStreams moves a large unit-aligned span as a stream of
+// bounded chunk frames instead of per-unit request/response pairs:
+//
+//   - OpReadSpan (Arg = first logical unit, payload = 4-byte unit
+//     count): the server answers with ordered StatusChunk frames, each
+//     carrying one or more whole units (at most MaxChunk bytes, floor
+//     one unit), sharing the request id. The stream ends implicitly when
+//     count units have been delivered, or terminally with StatusErr.
+//   - OpWriteSpan (Arg = first logical unit, payload = 4-byte unit
+//     count) opens a write stream. The data follows in OpWriteChunk
+//     frames with the same id, each carrying whole units with Arg = the
+//     chunk's first logical unit, strictly sequential (WriteStream is
+//     the canonical sequencing validator). One response — StatusOK or
+//     StatusErr — acknowledges the whole stream.
 package wire
 
 import (
@@ -28,6 +63,8 @@ import (
 // Request ops.
 const (
 	// OpInfo asks for the array geometry; the response payload is an Info.
+	// Arg 0 is a v1 client; a v2 client sends EncodeHello and the server
+	// answers with the extended Info (see DecodeInfoAny).
 	OpInfo uint8 = 1 + iota
 
 	// OpRead reads the logical unit in Arg; the response payload is the
@@ -46,7 +83,19 @@ const (
 	// OpStats asks for server statistics; the response payload is JSON.
 	OpStats
 
-	opMax = OpStats
+	// OpReadSpan (v2, FeatStreams) streams Payload's unit count back as
+	// StatusChunk frames starting at logical unit Arg.
+	OpReadSpan
+
+	// OpWriteSpan (v2, FeatStreams) opens a write stream of Payload's
+	// unit count starting at logical unit Arg.
+	OpWriteSpan
+
+	// OpWriteChunk (v2, FeatStreams) carries one write stream's next
+	// chunk: whole units, Arg = the chunk's first logical unit.
+	OpWriteChunk
+
+	opMax = OpWriteChunk
 )
 
 // Response statuses.
@@ -56,6 +105,33 @@ const (
 
 	// StatusErr carries the error text as the payload.
 	StatusErr
+
+	// StatusChunk (v2, FeatStreams) carries one ordered chunk of an
+	// OpReadSpan stream; the frame id names the stream.
+	StatusChunk
+)
+
+// Protocol versions negotiated on the OpInfo handshake.
+const (
+	// Version1 is the original fixed-format protocol.
+	Version1 uint8 = 1
+
+	// Version2 adds the hello handshake and feature-gated ops.
+	Version2 uint8 = 2
+)
+
+// Feature bits proposed and accepted in the hello handshake.
+const (
+	// FeatStreams enables the chunked span stream ops (OpReadSpan,
+	// OpWriteSpan, OpWriteChunk, StatusChunk).
+	FeatStreams uint64 = 1 << 0
+
+	// Features is every feature this package implements — what a v2
+	// endpoint proposes and the mask it accepts.
+	Features = FeatStreams
+
+	// helloFeatMask bounds the feature bits representable in a hello.
+	helloFeatMask = 1<<56 - 1
 )
 
 const (
@@ -65,11 +141,50 @@ const (
 	// RespHeaderLen is a response body's fixed prefix length.
 	RespHeaderLen = 8 + 1
 
+	// ReqFrameHeaderLen is a request frame's fixed prefix — the 4-byte
+	// length plus the fixed request header — the unit a streaming reader
+	// consumes before the payload.
+	ReqFrameHeaderLen = 4 + ReqHeaderLen
+
+	// RespFrameHeaderLen is a response frame's fixed prefix.
+	RespFrameHeaderLen = 4 + RespHeaderLen
+
 	// MaxFrame is the largest frame body either side accepts: it bounds
 	// memory per connection against hostile length prefixes while
 	// leaving room for a 1 MiB unit payload plus headers.
 	MaxFrame = 1<<20 + ReqHeaderLen
+
+	// MaxChunk is the most payload bytes one stream chunk frame carries.
+	// Chunks hold whole units, so the effective bound is the largest
+	// unit multiple <= MaxChunk, with a floor of one unit (a unit larger
+	// than MaxChunk travels as one single-unit chunk; MaxFrame still
+	// bounds it).
+	MaxChunk = 256 << 10
+
+	// SpanCountLen is the encoded span unit-count length (the OpReadSpan
+	// and OpWriteSpan payload).
+	SpanCountLen = 4
+
+	// MaxSpanUnits bounds one span stream's unit count against hostile
+	// or absurd requests; real spans segment well below it.
+	MaxSpanUnits = 1 << 28
 )
+
+// EncodeHello packs a client's protocol version and proposed feature
+// bits into OpInfo's Arg. The result is never zero for version >= 1, so
+// a v2 hello is always distinguishable from a v1 client's Arg 0.
+func EncodeHello(version uint8, features uint64) uint64 {
+	return uint64(version)<<56 | (features & helloFeatMask)
+}
+
+// DecodeHello unpacks an OpInfo Arg. Arg 0 — a v1 client — decodes as
+// (Version1, 0).
+func DecodeHello(arg uint64) (version uint8, features uint64) {
+	if arg == 0 {
+		return Version1, 0
+	}
+	return uint8(arg >> 56), arg & helloFeatMask
+}
 
 // Request is a decoded request frame. Payload aliases the decode buffer;
 // copy it to retain it past the next frame.
@@ -115,6 +230,42 @@ func DecodeRequest(body []byte, r *Request) error {
 	return nil
 }
 
+// DecodeRequestHeader parses a request frame's fixed prefix (length
+// plus header, ReqFrameHeaderLen bytes) into r and returns the payload
+// length still to be read. r.Payload is left nil: the caller reads the
+// payload into a buffer of its choosing — the zero-copy receive path.
+func DecodeRequestHeader(hdr []byte, r *Request) (payloadLen int, err error) {
+	if len(hdr) < ReqFrameHeaderLen {
+		return 0, fmt.Errorf("wire: request frame header %d bytes, want %d", len(hdr), ReqFrameHeaderLen)
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxFrame {
+		return 0, ErrFrameTooLarge
+	}
+	if n < ReqHeaderLen {
+		return 0, fmt.Errorf("wire: request body %d bytes, want >= %d", n, ReqHeaderLen)
+	}
+	r.ID = binary.BigEndian.Uint64(hdr[4:])
+	r.Op = hdr[12]
+	r.Class = hdr[13]
+	r.Arg = binary.BigEndian.Uint64(hdr[14:])
+	r.Payload = nil
+	if r.Op < OpInfo || r.Op > opMax {
+		return 0, fmt.Errorf("wire: unknown op %d", r.Op)
+	}
+	return int(n) - ReqHeaderLen, nil
+}
+
+// AppendRequestHeader appends a request frame's fixed prefix for a
+// payload of payloadLen bytes sent separately (via writev): the frame is
+// valid once exactly payloadLen payload bytes follow.
+func AppendRequestHeader(dst []byte, r *Request, payloadLen int) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(ReqHeaderLen+payloadLen))
+	dst = binary.BigEndian.AppendUint64(dst, r.ID)
+	dst = append(dst, r.Op, r.Class)
+	return binary.BigEndian.AppendUint64(dst, r.Arg)
+}
+
 // AppendResponse appends r as a complete frame (length prefix included).
 func AppendResponse(dst []byte, r *Response) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(RespHeaderLen+len(r.Payload)))
@@ -132,10 +283,103 @@ func DecodeResponse(body []byte, r *Response) error {
 	r.ID = binary.BigEndian.Uint64(body)
 	r.Status = body[8]
 	r.Payload = body[RespHeaderLen:]
-	if r.Status != StatusOK && r.Status != StatusErr {
+	if r.Status > StatusChunk {
 		return fmt.Errorf("wire: unknown status %d", r.Status)
 	}
 	return nil
+}
+
+// DecodeResponseHeader parses a response frame's fixed prefix (length
+// plus header, RespFrameHeaderLen bytes) into r and returns the payload
+// length still to be read, which the caller reads directly into its
+// destination buffer — the zero-copy receive path.
+func DecodeResponseHeader(hdr []byte, r *Response) (payloadLen int, err error) {
+	if len(hdr) < RespFrameHeaderLen {
+		return 0, fmt.Errorf("wire: response frame header %d bytes, want %d", len(hdr), RespFrameHeaderLen)
+	}
+	n := binary.BigEndian.Uint32(hdr)
+	if n > MaxFrame {
+		return 0, ErrFrameTooLarge
+	}
+	if n < RespHeaderLen {
+		return 0, fmt.Errorf("wire: response body %d bytes, want >= %d", n, RespHeaderLen)
+	}
+	r.ID = binary.BigEndian.Uint64(hdr[4:])
+	r.Status = hdr[12]
+	r.Payload = nil
+	if r.Status > StatusChunk {
+		return 0, fmt.Errorf("wire: unknown status %d", r.Status)
+	}
+	return int(n) - RespHeaderLen, nil
+}
+
+// AppendResponseHeader appends a response frame's fixed prefix for a
+// payload of payloadLen bytes sent separately (via writev).
+func AppendResponseHeader(dst []byte, id uint64, status uint8, payloadLen int) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(RespHeaderLen+payloadLen))
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	return append(dst, status)
+}
+
+// AppendSpanCount appends a span stream's unit count — the OpReadSpan
+// and OpWriteSpan payload.
+func AppendSpanCount(dst []byte, count int) []byte {
+	return binary.BigEndian.AppendUint32(dst, uint32(count))
+}
+
+// DecodeSpanCount parses an OpReadSpan/OpWriteSpan payload.
+func DecodeSpanCount(payload []byte) (count int, err error) {
+	if len(payload) != SpanCountLen {
+		return 0, fmt.Errorf("wire: span payload %d bytes, want %d", len(payload), SpanCountLen)
+	}
+	count = int(binary.BigEndian.Uint32(payload))
+	if count < 1 || count > MaxSpanUnits {
+		return 0, fmt.Errorf("wire: span count %d outside [1,%d]", count, MaxSpanUnits)
+	}
+	return count, nil
+}
+
+// WriteStream validates and sequences one v2 write stream's chunks: the
+// canonical chunked-stream decoder the server runs per open stream (and
+// the fuzz target hammers). Chunks must carry whole units, stay inside
+// the declared count, and arrive strictly sequentially.
+type WriteStream struct {
+	// Start is the stream's first logical unit; Count its declared
+	// length in units.
+	Start, Count int
+
+	consumed int
+}
+
+// Remaining returns the units not yet consumed.
+func (w *WriteStream) Remaining() int { return w.Count - w.consumed }
+
+// Next returns the logical unit the next chunk must start at.
+func (w *WriteStream) Next() int { return w.Start + w.consumed }
+
+// Done reports whether every declared unit has been consumed.
+func (w *WriteStream) Done() bool { return w.consumed >= w.Count }
+
+// Consume validates one chunk frame — arg is the frame's Arg, n its
+// payload length, unit the array's unit size — and accounts its units,
+// returning how many it carried. A non-nil error means the stream is
+// violated (the chunk was not consumed).
+func (w *WriteStream) Consume(arg uint64, n, unit int) (k int, err error) {
+	if unit <= 0 {
+		return 0, fmt.Errorf("wire: stream unit size %d", unit)
+	}
+	if n < unit || n%unit != 0 {
+		return 0, fmt.Errorf("wire: stream chunk %d bytes, want a positive multiple of unit %d", n, unit)
+	}
+	k = n / unit
+	if k > w.Remaining() {
+		return 0, fmt.Errorf("wire: stream chunk of %d units exceeds remaining %d", k, w.Remaining())
+	}
+	if want := w.Next(); arg != uint64(want) {
+		return 0, fmt.Errorf("wire: stream chunk starts at unit %d, want %d", arg, want)
+	}
+	w.consumed += k
+	return k, nil
 }
 
 // ErrFrameTooLarge reports a length prefix above MaxFrame — a corrupt or
@@ -184,7 +428,10 @@ type Info struct {
 // infoLen is the encoded Info size: unit(4) capacity(8) disks(4) failed(4).
 const infoLen = 4 + 8 + 4 + 4
 
-// AppendInfo appends the Info encoding.
+// infoExtLen is the v2 extension: version(1) features(8).
+const infoExtLen = 1 + 8
+
+// AppendInfo appends the v1 Info encoding.
 func AppendInfo(dst []byte, in *Info) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(in.UnitSize))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(in.Capacity))
@@ -192,7 +439,15 @@ func AppendInfo(dst []byte, in *Info) []byte {
 	return binary.BigEndian.AppendUint32(dst, uint32(int32(in.Failed)))
 }
 
-// DecodeInfo parses an Info encoding.
+// AppendInfoV2 appends the extended Info a v2 server sends a v2 client:
+// the v1 encoding plus the server's version and accepted feature bits.
+func AppendInfoV2(dst []byte, in *Info, version uint8, features uint64) []byte {
+	dst = AppendInfo(dst, in)
+	dst = append(dst, version)
+	return binary.BigEndian.AppendUint64(dst, features)
+}
+
+// DecodeInfo parses a v1 Info encoding.
 func DecodeInfo(body []byte, in *Info) error {
 	if len(body) != infoLen {
 		return fmt.Errorf("wire: info payload %d bytes, want %d", len(body), infoLen)
@@ -202,4 +457,27 @@ func DecodeInfo(body []byte, in *Info) error {
 	in.Disks = int(binary.BigEndian.Uint32(body[12:]))
 	in.Failed = int(int32(binary.BigEndian.Uint32(body[16:])))
 	return nil
+}
+
+// DecodeInfoAny parses either Info encoding: the plain v1 payload (a v1
+// server, or a v2 server answering a v1 client) decodes with version
+// Version1 and no features; the extended payload carries the server's
+// version and the accepted feature intersection.
+func DecodeInfoAny(body []byte, in *Info) (version uint8, features uint64, err error) {
+	switch len(body) {
+	case infoLen:
+		return Version1, 0, DecodeInfo(body, in)
+	case infoLen + infoExtLen:
+		if err := DecodeInfo(body[:infoLen], in); err != nil {
+			return 0, 0, err
+		}
+		version = body[infoLen]
+		features = binary.BigEndian.Uint64(body[infoLen+1:])
+		if version < Version1 {
+			return 0, 0, fmt.Errorf("wire: info version %d", version)
+		}
+		return version, features, nil
+	default:
+		return 0, 0, fmt.Errorf("wire: info payload %d bytes, want %d or %d", len(body), infoLen, infoLen+infoExtLen)
+	}
 }

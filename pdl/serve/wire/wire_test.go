@@ -124,3 +124,136 @@ func TestInfoRoundTrip(t *testing.T) {
 		t.Error("short info accepted")
 	}
 }
+
+func TestHelloRoundTrip(t *testing.T) {
+	// A v1 client's Arg 0 decodes as version 1, no features.
+	if v, f := wire.DecodeHello(0); v != wire.Version1 || f != 0 {
+		t.Fatalf("zero arg: got v%d feats %#x", v, f)
+	}
+	arg := wire.EncodeHello(wire.Version2, wire.FeatStreams)
+	if arg == 0 {
+		t.Fatal("v2 hello encodes to zero — indistinguishable from a v1 client")
+	}
+	if v, f := wire.DecodeHello(arg); v != wire.Version2 || f != wire.FeatStreams {
+		t.Fatalf("hello round trip: got v%d feats %#x", v, f)
+	}
+}
+
+func TestInfoAny(t *testing.T) {
+	want := wire.Info{UnitSize: 1024, Capacity: 99, Disks: 5, Failed: 2}
+
+	// Plain v1 payload decodes as version 1, no features.
+	var got wire.Info
+	v, feats, err := wire.DecodeInfoAny(wire.AppendInfo(nil, &want), &got)
+	if err != nil || v != wire.Version1 || feats != 0 || got != want {
+		t.Fatalf("v1 payload: v%d feats %#x info %+v err %v", v, feats, got, err)
+	}
+
+	// Extended payload carries version + accepted features.
+	b := wire.AppendInfoV2(nil, &want, wire.Version2, wire.FeatStreams)
+	got = wire.Info{}
+	v, feats, err = wire.DecodeInfoAny(b, &got)
+	if err != nil || v != wire.Version2 || feats != wire.FeatStreams || got != want {
+		t.Fatalf("v2 payload: v%d feats %#x info %+v err %v", v, feats, got, err)
+	}
+
+	// Anything else is rejected.
+	if _, _, err := wire.DecodeInfoAny(b[:len(b)-1], &got); err == nil {
+		t.Error("truncated extended info accepted")
+	}
+	if _, _, err := wire.DecodeInfoAny(append(b, 0), &got); err == nil {
+		t.Error("oversized info accepted")
+	}
+}
+
+func TestHeaderDecoders(t *testing.T) {
+	req := wire.Request{ID: 77, Op: wire.OpWriteChunk, Class: 1, Arg: 12, Payload: bytes.Repeat([]byte{0xCD}, 64)}
+	frame := wire.AppendRequest(nil, &req)
+	var got wire.Request
+	n, err := wire.DecodeRequestHeader(frame[:wire.ReqFrameHeaderLen], &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(req.Payload) || got.ID != req.ID || got.Op != req.Op || got.Class != req.Class || got.Arg != req.Arg {
+		t.Fatalf("request header decode diverges: n=%d %+v", n, got)
+	}
+	// Split encoding matches the one-shot encoding.
+	split := wire.AppendRequestHeader(nil, &req, len(req.Payload))
+	if !bytes.Equal(split, frame[:wire.ReqFrameHeaderLen]) {
+		t.Fatalf("AppendRequestHeader diverges from AppendRequest prefix:\n%x\n%x", split, frame[:wire.ReqFrameHeaderLen])
+	}
+
+	resp := wire.Response{ID: 78, Status: wire.StatusChunk, Payload: bytes.Repeat([]byte{0xEF}, 32)}
+	rframe := wire.AppendResponse(nil, &resp)
+	var gotR wire.Response
+	n, err = wire.DecodeResponseHeader(rframe[:wire.RespFrameHeaderLen], &gotR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(resp.Payload) || gotR.ID != resp.ID || gotR.Status != resp.Status {
+		t.Fatalf("response header decode diverges: n=%d %+v", n, gotR)
+	}
+	splitR := wire.AppendResponseHeader(nil, resp.ID, resp.Status, len(resp.Payload))
+	if !bytes.Equal(splitR, rframe[:wire.RespFrameHeaderLen]) {
+		t.Fatalf("AppendResponseHeader diverges:\n%x\n%x", splitR, rframe[:wire.RespFrameHeaderLen])
+	}
+
+	// Hostile length prefixes.
+	huge := binary.BigEndian.AppendUint32(nil, wire.MaxFrame+1)
+	huge = append(huge, make([]byte, wire.ReqHeaderLen)...)
+	if _, err := wire.DecodeRequestHeader(huge, &got); !errors.Is(err, wire.ErrFrameTooLarge) {
+		t.Fatalf("oversized request header: %v", err)
+	}
+	tiny := binary.BigEndian.AppendUint32(nil, wire.ReqHeaderLen-1)
+	tiny = append(tiny, make([]byte, wire.ReqHeaderLen)...)
+	if _, err := wire.DecodeRequestHeader(tiny, &got); err == nil {
+		t.Error("undersized request body length accepted")
+	}
+}
+
+func TestSpanCount(t *testing.T) {
+	b := wire.AppendSpanCount(nil, 12345)
+	if n, err := wire.DecodeSpanCount(b); err != nil || n != 12345 {
+		t.Fatalf("span count round trip: %d %v", n, err)
+	}
+	if _, err := wire.DecodeSpanCount(b[:3]); err == nil {
+		t.Error("short span payload accepted")
+	}
+	if _, err := wire.DecodeSpanCount(wire.AppendSpanCount(nil, 0)); err == nil {
+		t.Error("zero span count accepted")
+	}
+	if _, err := wire.DecodeSpanCount(wire.AppendSpanCount(nil, wire.MaxSpanUnits+1)); err == nil {
+		t.Error("oversized span count accepted")
+	}
+}
+
+func TestWriteStream(t *testing.T) {
+	const unit = 64
+	ws := wire.WriteStream{Start: 10, Count: 5}
+
+	// Sequential whole-unit chunks are accepted, anything else rejected.
+	if k, err := ws.Consume(10, 2*unit, unit); err != nil || k != 2 {
+		t.Fatalf("first chunk: k=%d err=%v", k, err)
+	}
+	if _, err := ws.Consume(10, unit, unit); err == nil {
+		t.Error("replayed chunk accepted")
+	}
+	if _, err := ws.Consume(12, unit-1, unit); err == nil {
+		t.Error("ragged chunk accepted")
+	}
+	if _, err := ws.Consume(12, 0, unit); err == nil {
+		t.Error("empty chunk accepted")
+	}
+	if _, err := ws.Consume(12, 4*unit, unit); err == nil {
+		t.Error("over-count chunk accepted")
+	}
+	if k, err := ws.Consume(12, 3*unit, unit); err != nil || k != 3 {
+		t.Fatalf("final chunk: k=%d err=%v", k, err)
+	}
+	if !ws.Done() || ws.Remaining() != 0 {
+		t.Fatalf("stream not done after count units: remaining %d", ws.Remaining())
+	}
+	if _, err := ws.Consume(15, unit, unit); err == nil {
+		t.Error("chunk past end accepted")
+	}
+}

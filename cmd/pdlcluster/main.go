@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -31,8 +32,8 @@ import (
 	"repro/cmd/internal/units"
 	"repro/pdl"
 	"repro/pdl/cluster"
+	"repro/pdl/obs"
 	"repro/pdl/serve"
-	"repro/pdl/sim"
 	"repro/pdl/store"
 )
 
@@ -185,6 +186,7 @@ type clusterFlags struct {
 	retries          int
 	backoff          time.Duration
 	conns            int
+	httpAddr         string
 }
 
 func addClusterFlags(fs *flag.FlagSet) *clusterFlags {
@@ -201,6 +203,7 @@ func addClusterFlags(fs *flag.FlagSet) *clusterFlags {
 	fs.IntVar(&cf.retries, "retries", cluster.DefaultRetries, "per-shard reconnect budget")
 	fs.DurationVar(&cf.backoff, "backoff", cluster.DefaultRetryBackoff, "initial retry backoff")
 	fs.IntVar(&cf.conns, "conns", 0, "TCP connections per shard (0 = CPU-aware default)")
+	fs.StringVar(&cf.httpAddr, "http", "", "admin HTTP listen address for /metrics, /statusz, /healthz, /debug/pprof (empty: disabled)")
 	return cf
 }
 
@@ -227,10 +230,47 @@ func (cf *clusterFlags) open() (*cluster.Client, func(), error) {
 		cleanup()
 		return nil, nil, err
 	}
+	if cf.httpAddr != "" {
+		hln, err := serveAdmin(cf.httpAddr, c)
+		if err != nil {
+			c.Close()
+			cleanup()
+			return nil, nil, err
+		}
+		inner := cleanup
+		cleanup = func() { hln.Close(); inner() }
+		fmt.Printf("admin http on %s\n", hln.Addr())
+	}
 	m := c.Map()
 	fmt.Printf("cluster: %d shards, %s policy, %s namespace (unit %s)\n",
 		m.Shards(), man.Policy, fmtBytes(m.Size()), fmtBytes(m.UnitBytes()))
 	return c, func() { c.Close(); cleanup() }, nil
+}
+
+// serveAdmin starts the obs admin endpoint over the cluster client's
+// per-shard metrics, with the shard map as a /statusz section.
+func serveAdmin(addr string, c *cluster.Client) (net.Listener, error) {
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg)
+	h := obs.NewHandler(reg)
+	h.AddStatus("cluster", func() any {
+		m := c.Map()
+		man := c.Manifest()
+		return map[string]any{
+			"shards":     m.Shards(),
+			"policy":     man.Policy,
+			"size_bytes": m.Size(),
+			"unit_bytes": m.UnitBytes(),
+			"shard_map":  man.Shards,
+		}
+	})
+	h.AddStatus("shards", func() any { return c.Stats() })
+	hln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(hln, h)
+	return hln, nil
 }
 
 // selfHost stands up cf.selfhost MemDisk shards behind real TCP servers
@@ -411,7 +451,9 @@ func cmdLoadgen(args []string) error {
 	perClient := *ops / *clients
 	var wg sync.WaitGroup
 	errs := make(chan error, *clients)
-	samples := make([][]int64, *clients)
+	// One shared lock-free histogram replaces the per-client sample
+	// slices: every goroutine records into it directly.
+	var hist obs.Hist
 	var reads, writes atomic.Int64
 	start := time.Now()
 	for g := 0; g < *clients; g++ {
@@ -421,7 +463,6 @@ func cmdLoadgen(args []string) error {
 			rng := rand.New(rand.NewSource(*seed + int64(g)*0x9E37))
 			buf := make([]byte, *span)
 			rng.Read(buf)
-			lat := make([]int64, 0, perClient)
 			for i := 0; i < perClient; i++ {
 				if d := done.Add(1); failAt >= 0 && d >= failAt {
 					failOnce()
@@ -441,9 +482,8 @@ func cmdLoadgen(args []string) error {
 					errs <- err
 					return
 				}
-				lat = append(lat, time.Since(t0).Nanoseconds())
+				hist.Record(time.Since(t0))
 			}
-			samples[g] = lat
 		}(g)
 	}
 	wg.Wait()
@@ -453,23 +493,15 @@ func cmdLoadgen(args []string) error {
 	}
 	el := time.Since(start)
 
-	var rec sim.LatencyRecorder
-	var bytesMoved int64
-	for _, lat := range samples {
-		for _, s := range lat {
-			rec.Record(s)
-		}
-	}
+	sum := hist.Summary()
 	total := reads.Load() + writes.Load()
-	bytesMoved = total * (*span + 1) / 2 // spans are uniform on [1,span]
+	bytesMoved := total * (*span + 1) / 2 // spans are uniform on [1,span]
 	fmt.Printf("%d ops (%d reads, %d writes) in %v: %10.0f ops/s  ~%s\n",
 		total, reads.Load(), writes.Load(), el.Round(time.Millisecond),
 		float64(total)/el.Seconds(), units.FormatMBPerSec(bytesMoved, el))
 	fmt.Printf("span latency: p50 %v  p95 %v  p99 %v  mean %v\n",
-		time.Duration(rec.Percentile(50)).Round(time.Microsecond),
-		time.Duration(rec.Percentile(95)).Round(time.Microsecond),
-		time.Duration(rec.Percentile(99)).Round(time.Microsecond),
-		time.Duration(rec.Mean()).Round(time.Microsecond))
+		sum.P50.Round(time.Microsecond), sum.P95.Round(time.Microsecond),
+		sum.P99.Round(time.Microsecond), sum.Mean.Round(time.Microsecond))
 	printShardStats(c)
 	return nil
 }

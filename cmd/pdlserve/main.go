@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -33,6 +34,7 @@ import (
 
 	"repro/cmd/internal/units"
 	"repro/pdl"
+	"repro/pdl/obs"
 	"repro/pdl/serve"
 	"repro/pdl/sim"
 	"repro/pdl/store"
@@ -118,6 +120,7 @@ func cmdServe(args []string) error {
 	noDelay := fs.Bool("nodelay", true, "set TCP_NODELAY on accepted connections")
 	rcvbuf := fs.Int("rcvbuf", 0, "kernel receive buffer per connection in bytes (0 = OS default)")
 	sndbuf := fs.Int("sndbuf", 0, "kernel send buffer per connection in bytes (0 = OS default)")
+	httpAddr := fs.String("http", "", "admin HTTP listen address for /metrics, /statusz, /healthz, /debug/pprof (empty: disabled)")
 	a := addArrayFlags(fs)
 	fs.Parse(args)
 
@@ -160,6 +163,14 @@ func cmdServe(args []string) error {
 		srv.FailDisk = arr.Fail
 		srv.RebuildDisk = func() error { _, err := arr.Rebuild(); return err }
 	}
+	if *httpAddr != "" {
+		hln, err := serveAdmin(*httpAddr, front, srv)
+		if err != nil {
+			return err
+		}
+		defer hln.Close()
+		fmt.Printf("admin http on %s\n", hln.Addr())
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	go func() {
@@ -169,6 +180,36 @@ func cmdServe(args []string) error {
 	}()
 	fmt.Printf("serving on %s (queue depth %d, flush %v)\n", ln.Addr(), a.depth, a.flush)
 	return srv.Serve(ln)
+}
+
+// serveAdmin starts the obs admin endpoint: every layer's metrics in one
+// registry, array state as a /statusz section.
+func serveAdmin(addr string, front *serve.Frontend, srv *serve.Server) (net.Listener, error) {
+	reg := obs.NewRegistry()
+	front.Store().RegisterMetrics(reg)
+	front.RegisterMetrics(reg)
+	srv.RegisterMetrics(reg)
+	h := obs.NewHandler(reg)
+	h.AddStatus("array", func() any {
+		s := front.Store()
+		st := s.Stats()
+		return map[string]any{
+			"unit_size":       s.UnitSize(),
+			"capacity":        s.Capacity(),
+			"size_bytes":      s.Size(),
+			"failed_disk":     st.Failed,
+			"rebuilding":      st.Rebuilding,
+			"rebuilt_stripes": st.RebuiltStripes,
+			"total_stripes":   st.TotalStripes,
+		}
+	})
+	h.AddStatus("frontend", func() any { return front.Stats() })
+	hln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(hln, h)
+	return hln, nil
 }
 
 // dialOrSelfHost connects to addr, or (addr empty) hosts an in-process
@@ -230,6 +271,9 @@ func cmdBench(args []string) error {
 		var wg sync.WaitGroup
 		errs := make(chan error, *clients)
 		var next atomic.Int64
+		// One shared lock-free histogram; every client goroutine records
+		// into it directly.
+		var hist obs.Hist
 		start := time.Now()
 		for g := 0; g < *clients; g++ {
 			wg.Add(1)
@@ -238,10 +282,12 @@ func cmdBench(args []string) error {
 				buf := make([]byte, unit)
 				for time.Now().Before(deadline) {
 					i := int(next.Add(1)) % capacity
+					t0 := time.Now()
 					if err := op(c, i, buf); err != nil {
 						errs <- err
 						return
 					}
+					hist.Record(time.Since(t0))
 					ops.Add(1)
 				}
 			}()
@@ -252,8 +298,10 @@ func cmdBench(args []string) error {
 			return err
 		}
 		el := time.Since(start)
-		fmt.Printf("%-8s %d clients: %10.0f ops/s  %12s\n",
-			name, *clients, float64(ops.Load())/el.Seconds(), units.FormatMBPerSec(ops.Load()*int64(unit), el))
+		sum := hist.Summary()
+		fmt.Printf("%-8s %d clients: %10.0f ops/s  %12s  p50 %v  p99 %v\n",
+			name, *clients, float64(ops.Load())/el.Seconds(), units.FormatMBPerSec(ops.Load()*int64(unit), el),
+			sum.P50.Round(time.Microsecond), sum.P99.Round(time.Microsecond))
 		return nil
 	}
 	if err := run("write", func(c *serve.Client, i int, buf []byte) error { return c.Write(i, buf) }); err != nil {
@@ -334,7 +382,9 @@ func cmdLoadgen(args []string) error {
 	perClient := *ops / *clients
 	var wg sync.WaitGroup
 	errs := make(chan error, *clients)
-	samples := make([][]int64, *clients)
+	// One shared lock-free histogram replaces the per-client sample
+	// slices: every goroutine records into it directly.
+	var hist obs.Hist
 	var reads, writes atomic.Int64
 	start := time.Now()
 	for g := 0; g < *clients; g++ {
@@ -342,7 +392,6 @@ func cmdLoadgen(args []string) error {
 		go func(g int) {
 			defer wg.Done()
 			buf := make([]byte, unit)
-			lat := make([]int64, 0, perClient)
 			for i := 0; i < perClient; i++ {
 				op := gens[g].Next()
 				t0 := time.Now()
@@ -358,9 +407,8 @@ func cmdLoadgen(args []string) error {
 					errs <- err
 					return
 				}
-				lat = append(lat, time.Since(t0).Nanoseconds())
+				hist.Record(time.Since(t0))
 			}
-			samples[g] = lat
 		}(g)
 	}
 	wg.Wait()
@@ -370,21 +418,14 @@ func cmdLoadgen(args []string) error {
 	}
 	el := time.Since(start)
 
-	var rec sim.LatencyRecorder
-	for _, lat := range samples {
-		for _, s := range lat {
-			rec.Record(s)
-		}
-	}
+	sum := hist.Summary()
 	total := reads.Load() + writes.Load()
 	fmt.Printf("%d ops (%d reads, %d writes) in %v: %10.0f ops/s  %s\n",
 		total, reads.Load(), writes.Load(), el.Round(time.Millisecond),
 		float64(total)/el.Seconds(), units.FormatMBPerSec(total*int64(unit), el))
 	fmt.Printf("latency: p50 %v  p95 %v  p99 %v  mean %v\n",
-		time.Duration(rec.Percentile(50)).Round(time.Microsecond),
-		time.Duration(rec.Percentile(95)).Round(time.Microsecond),
-		time.Duration(rec.Percentile(99)).Round(time.Microsecond),
-		time.Duration(rec.Mean()).Round(time.Microsecond))
+		sum.P50.Round(time.Microsecond), sum.P95.Round(time.Microsecond),
+		sum.P99.Round(time.Microsecond), sum.Mean.Round(time.Microsecond))
 	st, err := c.Stats()
 	if err != nil {
 		return err

@@ -16,28 +16,6 @@ import (
 	"testing"
 )
 
-// testFanClient builds a Client with the span machinery wired but no
-// network: exactly what plan/stage/gather/scatter/confirmed touch.
-func testFanClient(t *testing.T, unitBytes int64, units []int64, policy Policy) *Client {
-	t.Helper()
-	m, err := NewMap(unitBytes, units, policy)
-	if err != nil {
-		t.Fatal(err)
-	}
-	c := &Client{m: m, shards: make([]shardConn, len(units))}
-	c.fanPool.New = func() any {
-		n := len(c.shards)
-		return &fanout{
-			touched: make([]bool, n),
-			lo:      make([]int64, n),
-			hi:      make([]int64, n),
-			buf:     make([][]byte, n),
-			errs:    make([]error, n),
-		}
-	}
-	return c
-}
-
 func TestSpanHotPathAllocs(t *testing.T) {
 	const unitBytes = 4096
 	c := testFanClient(t, unitBytes, []int64{64, 128, 192}, ByCapacity)

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/pdl/obs"
 	"repro/pdl/serve"
 )
 
@@ -95,7 +96,7 @@ type shardConn struct {
 	mu sync.Mutex
 	c  *serve.Client
 
-	hist                latHist
+	hist                obs.Hist
 	ops                 atomic.Int64
 	failures            atomic.Int64
 	retries, reconnects atomic.Int64
@@ -478,7 +479,7 @@ func (c *Client) shardDo(si int, op func(*serve.Client) error) error {
 	sh := &c.shards[si]
 	sh.ops.Add(1)
 	start := time.Now()
-	defer func() { sh.hist.record(time.Since(start)) }()
+	defer func() { sh.hist.Record(time.Since(start)) }()
 	sc, err := sh.get(c)
 	for attempt := 0; ; attempt++ {
 		if err == nil {
@@ -555,8 +556,8 @@ type ShardStats struct {
 	Ops, Failures, Retries, Reconnects int64
 
 	// P50/P95/P99/Mean summarize leg latency (connect + all piece
-	// requests + retries) from a lock-free power-of-two histogram;
-	// percentiles resolve to bucket upper bounds.
+	// requests + retries) from a lock-free power-of-two histogram
+	// (obs.Hist); percentiles resolve to bucket upper bounds.
 	P50, P95, P99, Mean time.Duration
 
 	// Server is the shard server's own counters; zero when unreachable.
@@ -581,10 +582,15 @@ func (c *Client) Stats() []ShardStats {
 			st.Failures = sh.failures.Load()
 			st.Retries = sh.retries.Load()
 			st.Reconnects = sh.reconnects.Load()
-			st.P50 = sh.hist.percentile(50)
-			st.P95 = sh.hist.percentile(95)
-			st.P99 = sh.hist.percentile(99)
-			st.Mean = sh.hist.mean()
+			// One snapshot for all four numbers: the Load ordering contract
+			// keeps them consistent against concurrent Record calls (count
+			// first, so ranks resolve inside the buckets).
+			var hs obs.HistSnapshot
+			sh.hist.Load(&hs)
+			st.P50 = hs.Percentile(50)
+			st.P95 = hs.Percentile(95)
+			st.P99 = hs.Percentile(99)
+			st.Mean = hs.Mean()
 			sc, err := sh.get(c)
 			if err != nil {
 				st.State = ShardDown

@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"strconv"
+
+	"repro/pdl/obs"
+)
+
+// RegisterMetrics registers the client's per-shard counters and latency
+// histograms with r under the pdl_cluster_* namespace. The series read
+// the same atomics the fan-out path maintains, so scraping costs nothing
+// on span operations. Call once per Client per Registry.
+func (c *Client) RegisterMetrics(r *obs.Registry) {
+	for s := range c.shards {
+		sh := &c.shards[s]
+		lbl := obs.Label{Key: "shard", Value: strconv.Itoa(s)}
+		r.CounterFunc("pdl_cluster_shard_ops_total",
+			"Span legs dispatched to the shard.",
+			sh.ops.Load, lbl)
+		r.CounterFunc("pdl_cluster_shard_failures_total",
+			"Shard leg attempts that errored.",
+			sh.failures.Load, lbl)
+		r.CounterFunc("pdl_cluster_shard_retries_total",
+			"Shard legs retried after a transport error.",
+			sh.retries.Load, lbl)
+		r.CounterFunc("pdl_cluster_shard_reconnects_total",
+			"Shard redials that succeeded.",
+			sh.reconnects.Load, lbl)
+		r.GaugeFunc("pdl_cluster_shard_down",
+			"1 while the shard's last retryable failure has not been followed by a success.",
+			func() int64 {
+				if sh.down.Load() {
+					return 1
+				}
+				return 0
+			}, lbl)
+		r.RegisterHist("pdl_cluster_shard_latency_seconds",
+			"Shard leg latency: connect plus all piece requests plus retries.",
+			&sh.hist, lbl)
+	}
+	r.GaugeFunc("pdl_cluster_shards",
+		"Shards in the namespace placement.",
+		func() int64 { return int64(len(c.shards)) })
+}

@@ -1,0 +1,34 @@
+//go:build !race
+
+// The allocs regression gate (CI) for the observability core: a counter
+// increment, a gauge store, and a histogram record are single atomic
+// operations — zero allocations — so instrumentation can sit on the
+// store, serve, and cluster hot paths without moving their own 0
+// allocs/op gates. A regression fails `go test`.
+
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestObsHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pdl_test_allocs_total", "t.")
+	g := r.Gauge("pdl_test_allocs_depth", "t.")
+	h := r.Hist("pdl_test_allocs_seconds", "t.")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Record(1500 * time.Nanosecond) }); n != 0 {
+		t.Errorf("Hist.Record allocates %v/op, want 0", n)
+	}
+	var s HistSnapshot
+	if n := testing.AllocsPerRun(1000, func() { h.Load(&s) }); n != 0 {
+		t.Errorf("Hist.Load allocates %v/op, want 0", n)
+	}
+}

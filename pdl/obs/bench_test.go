@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"testing"
+)
+
+func BenchmarkObsHistRecord(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.RecordNanos(int64(i | 1))
+	}
+}
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkObsWritePrometheus is the scrape cost for a registry the size
+// of an instrumented pdlserve (per-disk counters plus histograms).
+func BenchmarkObsWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for d := 0; d < 17; d++ {
+		lbl := Label{Key: "disk", Value: strconv.Itoa(d)}
+		r.Counter("pdl_bench_reads_total", "t.", lbl).Add(int64(d))
+		r.Counter("pdl_bench_writes_total", "t.", lbl).Add(int64(d))
+	}
+	h := r.Hist("pdl_bench_latency_seconds", "t.")
+	for i := 0; i < 64; i++ {
+		h.RecordNanos(int64(1) << (i % 30))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

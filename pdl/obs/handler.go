@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler is the admin HTTP surface for an instrumented process:
+//
+//	/metrics        Prometheus text exposition of the Registry
+//	/statusz        JSON status: registered status sections + metric snapshot
+//	/healthz        liveness probe ("ok")
+//	/debug/pprof/*  the runtime profiler endpoints
+//
+// Layers contribute structured state to /statusz via AddStatus (array
+// geometry from the store, the shard map from a cluster client, ...); the
+// metric snapshot rides along under the "metrics" key. Handlers never
+// touch hot-path locks: everything they read is atomics or
+// registration-time state.
+type Handler struct {
+	reg *Registry
+	mux *http.ServeMux
+
+	mu       sync.RWMutex
+	sections map[string]func() any
+}
+
+// NewHandler returns a Handler exposing reg. A nil reg serves an empty
+// /metrics (the status and pprof endpoints still work).
+func NewHandler(reg *Registry) *Handler {
+	h := &Handler{reg: reg, sections: make(map[string]func() any)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", h.metrics)
+	mux.HandleFunc("/statusz", h.statusz)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	h.mux = mux
+	return h
+}
+
+// AddStatus registers a /statusz section: fn is evaluated per request and
+// its result marshaled under the section key. Registering a key again
+// replaces the section.
+func (h *Handler) AddStatus(section string, fn func() any) {
+	h.mu.Lock()
+	h.sections[section] = fn
+	h.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if h.reg != nil {
+		h.reg.WritePrometheus(w)
+	}
+}
+
+func (h *Handler) statusz(w http.ResponseWriter, _ *http.Request) {
+	out := make(map[string]any)
+	h.mu.RLock()
+	for name, fn := range h.sections {
+		out[name] = fn()
+	}
+	h.mu.RUnlock()
+	if h.reg != nil {
+		out["metrics"] = h.reg.Snapshot()
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}

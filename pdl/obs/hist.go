@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a fixed, lock-free latency histogram: one power-of-two
+// nanosecond bucket per bit length. It stores no samples, so a long-lived
+// server records forever in O(1) memory with a single atomic add per
+// observation — nothing on a hot path allocates or locks for it. The
+// zero value is ready to use.
+//
+// Recording and reading follow an ordering contract that makes reports
+// consistent without a lock: Record lands the observation's bucket before
+// its count, and Load reads the count before any bucket. Every
+// observation a snapshot counts is therefore already present in its
+// bucket copy, so a percentile rank never runs off the end of the
+// buckets — the audit that replaced the per-package histogram copies
+// (see HistSnapshot.Percentile).
+type Hist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// histBuckets is one bucket per nanosecond bit length.
+const histBuckets = 64
+
+// Record adds one observation. Durations below 1ns clamp to 1ns, so an
+// instant observation still lands in the first bucket.
+func (h *Hist) Record(d time.Duration) { h.RecordNanos(d.Nanoseconds()) }
+
+// RecordNanos is Record for a raw nanosecond count.
+func (h *Hist) RecordNanos(ns int64) {
+	if ns < 1 {
+		ns = 1
+	}
+	// Bucket strictly before count: Load reads count first, so any
+	// observation it counts is already in its bucket copy.
+	h.buckets[bits.Len64(uint64(ns))-1].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// HistSnapshot is a point-in-time copy of a Hist, cheap enough to sit on
+// a stack. Buckets[b] counts observations with nanosecond bit length b+1,
+// i.e. durations in [2^b, 2^(b+1)) ns.
+type HistSnapshot struct {
+	// Count is the observation count; SumNanos their nanosecond total.
+	// Under concurrent recording the bucket sum may exceed Count (see
+	// Hist), never the reverse.
+	Count, SumNanos int64
+
+	Buckets [histBuckets]int64
+}
+
+// Load copies the histogram's current state into s. Count is read before
+// the buckets, so sum(s.Buckets) >= s.Count always holds — percentile
+// ranks computed from s.Count are guaranteed to resolve inside the
+// buckets even while other goroutines record.
+func (h *Hist) Load(s *HistSnapshot) {
+	s.Count = h.count.Load()
+	s.SumNanos = h.sum.Load()
+	for b := range h.buckets {
+		s.Buckets[b] = h.buckets[b].Load()
+	}
+}
+
+// bucketUpper is bucket b's upper bound in nanoseconds, saturating at
+// 2^62 so the top buckets cannot overflow a Duration.
+func bucketUpper(b int) time.Duration {
+	if b >= 61 {
+		return time.Duration(int64(1) << 62)
+	}
+	return time.Duration(int64(1) << (b + 1))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by nearest rank,
+// resolved to its bucket's upper bound (a conservative estimate within
+// 2x), or 0 with no observations.
+func (s *HistSnapshot) Percentile(p float64) time.Duration {
+	if s.Count == 0 || p <= 0 || p > 100 {
+		return 0
+	}
+	rank := int64(p/100*float64(s.Count) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b := range s.Buckets {
+		seen += s.Buckets[b]
+		if seen >= rank {
+			return bucketUpper(b)
+		}
+	}
+	// Unreachable under the Load ordering contract; kept so a
+	// hand-assembled snapshot still answers.
+	return bucketUpper(histBuckets - 1)
+}
+
+// Mean returns the average observed duration, or 0 with no observations.
+func (s *HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
+}
+
+// Percentile is HistSnapshot.Percentile over a fresh snapshot.
+func (h *Hist) Percentile(p float64) time.Duration {
+	var s HistSnapshot
+	h.Load(&s)
+	return s.Percentile(p)
+}
+
+// Mean is HistSnapshot.Mean over a fresh snapshot.
+func (h *Hist) Mean() time.Duration {
+	var s HistSnapshot
+	h.Load(&s)
+	return s.Mean()
+}
+
+// Summary condenses a histogram for reports: observation count, the
+// standard percentile triple, and the mean, all from one snapshot.
+type Summary struct {
+	Count int64         `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+}
+
+// Summary reports the histogram's current Summary.
+func (h *Hist) Summary() Summary {
+	var s HistSnapshot
+	h.Load(&s)
+	return Summary{
+		Count: s.Count,
+		P50:   s.Percentile(50),
+		P95:   s.Percentile(95),
+		P99:   s.Percentile(99),
+		Mean:  s.Mean(),
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	// 1ns has bit length 1: bucket 0.
+	h.RecordNanos(1)
+	// 0 clamps to 1ns: bucket 0 again.
+	h.RecordNanos(0)
+	// 1000ns has bit length 10: bucket 9, [512, 1024) ns.
+	h.RecordNanos(1000)
+	var s HistSnapshot
+	h.Load(&s)
+	if s.Count != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count)
+	}
+	if s.SumNanos != 1+1+1000 {
+		t.Fatalf("SumNanos = %d, want 1002", s.SumNanos)
+	}
+	if s.Buckets[0] != 2 || s.Buckets[9] != 1 {
+		t.Fatalf("buckets[0]=%d buckets[9]=%d, want 2 and 1", s.Buckets[0], s.Buckets[9])
+	}
+}
+
+func TestHistPercentile(t *testing.T) {
+	var h Hist
+	if got := h.Percentile(50); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+	// 90 observations in [2^0, 2^1), 10 in [2^9, 2^10): p50 resolves to
+	// the first bucket's upper bound, p99 to the top one's.
+	for i := 0; i < 90; i++ {
+		h.RecordNanos(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.RecordNanos(1000)
+	}
+	if got := h.Percentile(50); got != 2 {
+		t.Errorf("p50 = %v, want 2ns", got)
+	}
+	if got := h.Percentile(99); got != 1024 {
+		t.Errorf("p99 = %v, want 1.024µs", got)
+	}
+	if got := h.Mean(); got != time.Duration((90+10*1000)/100) {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestBucketUpperSaturates(t *testing.T) {
+	// The old per-package histogram shifted 1<<(b+1) unguarded, which
+	// overflows to 0 at the top bucket; bucketUpper saturates instead.
+	for b := 61; b < histBuckets; b++ {
+		if got := bucketUpper(b); got != 1<<62 {
+			t.Fatalf("bucketUpper(%d) = %d, want 2^62", b, got)
+		}
+	}
+	if got := bucketUpper(0); got != 2 {
+		t.Fatalf("bucketUpper(0) = %d, want 2", got)
+	}
+}
+
+func TestHistSummary(t *testing.T) {
+	var h Hist
+	h.Record(700 * time.Nanosecond)
+	sum := h.Summary()
+	if sum.Count != 1 || sum.P50 != 1024 || sum.P99 != 1024 || sum.Mean != 700 {
+		t.Fatalf("Summary = %+v", sum)
+	}
+}
+
+// TestHistConcurrentLoad pins the ordering contract that fixed the
+// non-atomic percentile read in cluster.Client.Stats: under concurrent
+// recording, every snapshot satisfies sum(buckets) >= count, so a
+// percentile rank always resolves inside the buckets. Run with -race.
+func TestHistConcurrentLoad(t *testing.T) {
+	var h Hist
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ns := int64(1) << (g * 7)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.RecordNanos(ns)
+				}
+			}
+		}(g)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	var s HistSnapshot
+	for time.Now().Before(deadline) {
+		h.Load(&s)
+		var bucketSum int64
+		for b := range s.Buckets {
+			bucketSum += s.Buckets[b]
+		}
+		if bucketSum < s.Count {
+			t.Fatalf("bucket sum %d < count %d: ordering contract broken", bucketSum, s.Count)
+		}
+		if s.Count > 0 && s.Percentile(99) == 0 {
+			t.Fatalf("p99 = 0 with count %d: rank ran off the buckets", s.Count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

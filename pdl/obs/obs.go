@@ -1,0 +1,45 @@
+// Package obs is the serving stack's observability core: dependency-free,
+// atomics-backed metric primitives (Counter, Gauge, Hist), a named-metric
+// Registry with label support, writers for the Prometheus text exposition
+// format and a JSON snapshot, and an HTTP admin Handler mounting
+// /metrics, /statusz, /healthz, and /debug/pprof.
+//
+// The package is built so instrumentation can live on hot paths that are
+// CI-gated at 0 allocs/op: Counter.Inc, Gauge.Set, and Hist.Record are
+// single atomic operations with no locks and no allocation. All cost that
+// is allowed to allocate — name lookup, label rendering, exposition — is
+// paid at registration or scrape time, never per observation.
+//
+// Metric names follow the pdl_<layer>_<name>_<unit> convention (see
+// CONTRIBUTING.md): counters end in _total, duration histograms in
+// _seconds (recorded in nanoseconds, exposed in seconds).
+package obs
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; Inc and Add are safe on hot paths (one atomic add, no
+// allocation).
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n, which must not be negative (counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value that can go up and down. The
+// zero value is ready to use; Set and Add are safe on hot paths.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Label is one name/value pair qualifying a metric series, e.g.
+// {disk="3"} or {class="foreground"}.
+type Label struct {
+	Key, Value string
+}
+
+// kind is a metric family's type.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHist
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance of a metric family: a value source (fn
+// for counters and gauges, hist for histograms) plus its pre-rendered
+// label string.
+type series struct {
+	labels   []Label
+	rendered string // `{k="v",...}`, or "" for the unlabeled series
+	fn       func() int64
+	hist     *Hist
+}
+
+// family is one named metric and all of its labeled series.
+type family struct {
+	name, help string
+	kind       kind
+	series     []*series
+	byLabels   map[string]struct{}
+}
+
+// Registry holds named metric families. Registration (setup time) and
+// scraping (WritePrometheus, Snapshot) are safe for concurrent use; the
+// returned Counter/Gauge/Hist handles are what hot paths touch, and they
+// never go back through the registry.
+//
+// Registration panics on misuse — duplicate series, kind conflicts, bad
+// names — because a metric collision is a programming error that should
+// fail loudly at startup, not silently merge at scrape time.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// checkName enforces the Prometheus metric/label name charset:
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func checkName(what, name string) {
+	if name == "" {
+		panic("obs: empty " + what + " name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			panic(fmt.Sprintf("obs: bad %s name %q", what, name))
+		}
+	}
+}
+
+// renderLabels builds the canonical `{k="v",...}` form, escaping label
+// values per the exposition format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		checkName("label", l.Key)
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register adds one series under name, creating the family on first use.
+func (r *Registry) register(name, help string, k kind, s *series) {
+	checkName("metric", name)
+	s.rendered = renderLabels(s.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, byLabels: make(map[string]struct{})}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, k))
+	}
+	if _, dup := f.byLabels[s.rendered]; dup {
+		panic(fmt.Sprintf("obs: duplicate series %s%s", name, s.rendered))
+	}
+	f.byLabels[s.rendered] = struct{}{}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns a new counter series. Registering the
+// same name again with different labels adds a series to the family;
+// help is taken from the first registration.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.CounterFunc(name, help, c.Value, labels...)
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the bridge for pre-existing atomic counters.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(name, help, kindCounter, &series{labels: labels, fn: fn})
+}
+
+// Gauge registers and returns a new gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.GaugeFunc(name, help, g.Value, labels...)
+	return g
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// scrape time — the bridge for derived values like queue depths.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	r.register(name, help, kindGauge, &series{labels: labels, fn: fn})
+}
+
+// Hist registers and returns a new histogram series. Duration histograms
+// record nanoseconds and expose seconds; name them *_seconds.
+func (r *Registry) Hist(name, help string, labels ...Label) *Hist {
+	h := &Hist{}
+	r.RegisterHist(name, help, h, labels...)
+	return h
+}
+
+// RegisterHist registers an existing histogram (one owned by a Store,
+// Frontend, or shard) as a series of name.
+func (r *Registry) RegisterHist(name, help string, h *Hist, labels ...Label) {
+	if h == nil {
+		panic("obs: RegisterHist: nil Hist")
+	}
+	r.register(name, help, kindHist, &series{labels: labels, hist: h})
+}
+
+// WritePrometheus writes every family in registration order in the
+// Prometheus text exposition format (version 0.0.4). Histograms expose
+// cumulative power-of-two buckets in seconds: le bounds are exact bucket
+// upper bounds, the +Inf bucket and _count report the bucket sum (>= the
+// count read first; see Hist's ordering contract), and _sum is seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			if f.kind == kindHist {
+				writeHistProm(bw, f.name, s)
+			} else {
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.rendered, s.fn())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// mergeLabel splices one more label into a rendered label string.
+func mergeLabel(rendered, kv string) string {
+	if rendered == "" {
+		return "{" + kv + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + kv + "}"
+}
+
+func writeHistProm(bw *bufio.Writer, name string, s *series) {
+	var sn HistSnapshot
+	s.hist.Load(&sn)
+	maxB := -1
+	for b := range sn.Buckets {
+		if sn.Buckets[b] != 0 {
+			maxB = b
+		}
+	}
+	var cum int64
+	for b := 0; b <= maxB; b++ {
+		cum += sn.Buckets[b]
+		le := fmt.Sprintf(`le="%g"`, float64(bucketUpper(b))/1e9)
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", name, mergeLabel(s.rendered, le), cum)
+	}
+	fmt.Fprintf(bw, "%s_bucket%s %d\n", name, mergeLabel(s.rendered, `le="+Inf"`), cum)
+	fmt.Fprintf(bw, "%s_sum%s %g\n", name, s.rendered, float64(sn.SumNanos)/1e9)
+	fmt.Fprintf(bw, "%s_count%s %d\n", name, s.rendered, cum)
+}
+
+// SeriesSnapshot is one series in a registry Snapshot: Labels and either
+// Value (counter, gauge) or Hist (histogram summary).
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+	Hist   *Summary          `json:"hist,omitempty"`
+}
+
+// FamilySnapshot is one metric family in a registry Snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Kind   string           `json:"kind"`
+	Help   string           `json:"help"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot evaluates every series and returns the families in
+// registration order — the JSON form of the registry, also embedded in
+// the Handler's /statusz payload.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]FamilySnapshot, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		fs := FamilySnapshot{Name: f.name, Kind: f.kind.String(), Help: f.help}
+		for _, s := range f.series {
+			ss := SeriesSnapshot{}
+			if len(s.labels) > 0 {
+				ss.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					ss.Labels[l.Key] = l.Value
+				}
+			}
+			if f.kind == kindHist {
+				sum := s.hist.Summary()
+				ss.Hist = &sum
+				ss.Value = sum.Count
+			} else {
+				ss.Value = s.fn()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WriteJSON writes the Snapshot as one JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(r.Snapshot())
+}

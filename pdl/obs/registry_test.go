@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// HELP/TYPE lines, label rendering, and the histogram's cumulative
+// power-of-two buckets in seconds.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pdl_test_ops_total", "Ops served.")
+	c.Add(3)
+	g := r.Gauge("pdl_test_depth", "Queue depth.", Label{Key: "class", Value: "fg"})
+	g.Set(2)
+	h := r.Hist("pdl_test_latency_seconds", "Op latency.")
+	h.RecordNanos(1)    // bucket 0, upper 2ns
+	h.RecordNanos(1000) // bucket 9, upper 1024ns
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP pdl_test_ops_total Ops served.
+# TYPE pdl_test_ops_total counter
+pdl_test_ops_total 3
+# HELP pdl_test_depth Queue depth.
+# TYPE pdl_test_depth gauge
+pdl_test_depth{class="fg"} 2
+# HELP pdl_test_latency_seconds Op latency.
+# TYPE pdl_test_latency_seconds histogram
+pdl_test_latency_seconds_bucket{le="2e-09"} 1
+pdl_test_latency_seconds_bucket{le="4e-09"} 1
+pdl_test_latency_seconds_bucket{le="8e-09"} 1
+pdl_test_latency_seconds_bucket{le="1.6e-08"} 1
+pdl_test_latency_seconds_bucket{le="3.2e-08"} 1
+pdl_test_latency_seconds_bucket{le="6.4e-08"} 1
+pdl_test_latency_seconds_bucket{le="1.28e-07"} 1
+pdl_test_latency_seconds_bucket{le="2.56e-07"} 1
+pdl_test_latency_seconds_bucket{le="5.12e-07"} 1
+pdl_test_latency_seconds_bucket{le="1.024e-06"} 2
+pdl_test_latency_seconds_bucket{le="+Inf"} 2
+pdl_test_latency_seconds_sum 1.001e-06
+pdl_test_latency_seconds_count 2
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("pdl_test_g", "g.", Label{Key: "path", Value: `a"b\c` + "\n"})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `pdl_test_g{path="a\"b\\c\n"} 0`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series %q not found in:\n%s", want, b.String())
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("pdl_test_total", "t.")
+	mustPanic("duplicate series", func() { r.Counter("pdl_test_total", "t.") })
+	mustPanic("kind conflict", func() { r.Gauge("pdl_test_total", "t.", Label{Key: "a", Value: "b"}) })
+	mustPanic("bad metric name", func() { r.Counter("pdl test", "t.") })
+	mustPanic("bad label name", func() { r.Counter("pdl_test_l", "t.", Label{Key: "0bad", Value: "v"}) })
+	mustPanic("nil hist", func() { r.RegisterHist("pdl_test_h", "t.", nil) })
+	// Distinct labels on one family are fine, not a duplicate.
+	r.Counter("pdl_test_total", "t.", Label{Key: "a", Value: "b"})
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pdl_test_ops_total", "Ops.", Label{Key: "disk", Value: "3"}).Add(7)
+	r.Hist("pdl_test_lat_seconds", "Lat.").RecordNanos(500)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var fams []FamilySnapshot
+	if err := json.Unmarshal([]byte(b.String()), &fams); err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("got %d families, want 2", len(fams))
+	}
+	if fams[0].Kind != "counter" || fams[0].Series[0].Value != 7 || fams[0].Series[0].Labels["disk"] != "3" {
+		t.Errorf("counter snapshot = %+v", fams[0])
+	}
+	if fams[1].Kind != "histogram" || fams[1].Series[0].Hist == nil || fams[1].Series[0].Hist.Count != 1 {
+		t.Errorf("hist snapshot = %+v", fams[1])
+	}
+}
+
+// TestRegistryConcurrent hammers registration, recording, and scraping
+// from many goroutines at once; run with -race. Registration is rare in
+// production (setup time), but nothing in the API forbids registering a
+// late-dialed shard's series while a scrape is in flight.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("pdl_test_conc_total", "t.", Label{Key: "g", Value: fmt.Sprint(g)})
+			h := r.Hist("pdl_test_conc_seconds", "t.", Label{Key: "g", Value: fmt.Sprint(g)})
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.RecordNanos(int64(i + 1))
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, f := range r.Snapshot() {
+		if f.Name != "pdl_test_conc_total" {
+			continue
+		}
+		for _, s := range f.Series {
+			total += s.Value
+		}
+	}
+	if total != 8*1000 {
+		t.Errorf("total = %d, want %d", total, 8*1000)
+	}
+}

@@ -256,6 +256,12 @@ type Client struct {
 
 	callPool  sync.Pool
 	framePool sync.Pool
+
+	// requests, readSpans, and writeStreams count started unit requests
+	// and opened wire v2 span streams over the client's life.
+	requests     atomic.Int64
+	readSpans    atomic.Int64
+	writeStreams atomic.Int64
 }
 
 func newClient() *Client {
@@ -532,6 +538,7 @@ func (c *Client) startOn(cn *cconn, op uint8, class Class, arg uint64, payload, 
 	if err := cn.err(); err != nil {
 		return nil, err
 	}
+	c.requests.Add(1)
 	cl := c.getCall()
 	cl.dst = dst
 	cl.out = out

@@ -386,6 +386,7 @@ func (c *Client) startReadSpan(cn *cconn, startUnit, units int, dst []byte, clas
 	if err := cn.err(); err != nil {
 		return nil, err
 	}
+	c.readSpans.Add(1)
 	cl := c.getCall()
 	cl.dst = dst
 	cl.units = units
@@ -411,6 +412,7 @@ func (c *Client) startWriteSpan(cn *cconn, startUnit int, p []byte, unit int, cl
 		return nil, err
 	}
 	units := len(p) / unit
+	c.writeStreams.Add(1)
 	cl := c.getCall()
 	id := cn.pend.put(cl)
 	fr := c.framePool.Get().(*frame)

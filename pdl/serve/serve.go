@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/pdl/obs"
 	"repro/pdl/store"
 )
 
@@ -132,13 +133,22 @@ type Stats struct {
 	// FlushFull and FlushDeadline count why batches dispatched: the batch
 	// reached QueueDepth, or FlushDelay expired first.
 	FlushFull, FlushDeadline int64
+
+	// FgQueue and BgQueue are the instantaneous submission-queue depths
+	// per class.
+	FgQueue, BgQueue int
+
+	// ForegroundLatency and BackgroundLatency summarize end-to-end
+	// request latency (admission to completion) per class.
+	ForegroundLatency, BackgroundLatency obs.Summary
 }
 
 // request is the pooled internal form of an Op.
 type request struct {
-	op   Op
-	cb   func(error) // async completion; nil for sync waiters
-	done chan error  // sync completion, capacity 1, reused with the request
+	op    Op
+	start time.Time   // admission time, for end-to-end latency
+	cb    func(error) // async completion; nil for sync waiters
+	done  chan error  // sync completion, capacity 1, reused with the request
 }
 
 // Frontend batches and executes requests against a Store. All methods
@@ -163,6 +173,10 @@ type Frontend struct {
 
 	submitted, background, completed, rejected atomic.Int64
 	batches, batchedOps, flushFull, flushDL    atomic.Int64
+
+	// latHist records end-to-end request latency (admission to
+	// completion), indexed by Class.
+	latHist [2]obs.Hist
 }
 
 // New starts a Frontend serving s. Close releases its goroutines; the
@@ -200,14 +214,18 @@ func (f *Frontend) Store() *store.Store { return f.s }
 // Stats snapshots the frontend counters.
 func (f *Frontend) Stats() Stats {
 	return Stats{
-		Submitted:     f.submitted.Load(),
-		Background:    f.background.Load(),
-		Completed:     f.completed.Load(),
-		Rejected:      f.rejected.Load(),
-		Batches:       f.batches.Load(),
-		BatchedOps:    f.batchedOps.Load(),
-		FlushFull:     f.flushFull.Load(),
-		FlushDeadline: f.flushDL.Load(),
+		Submitted:         f.submitted.Load(),
+		Background:        f.background.Load(),
+		Completed:         f.completed.Load(),
+		Rejected:          f.rejected.Load(),
+		Batches:           f.batches.Load(),
+		BatchedOps:        f.batchedOps.Load(),
+		FlushFull:         f.flushFull.Load(),
+		FlushDeadline:     f.flushDL.Load(),
+		FgQueue:           len(f.fg),
+		BgQueue:           len(f.bg),
+		ForegroundLatency: f.latHist[Foreground].Summary(),
+		BackgroundLatency: f.latHist[Background].Summary(),
 	}
 }
 
@@ -283,6 +301,7 @@ func (f *Frontend) submit(ctx context.Context, op Op, cb func(error)) (*request,
 	}
 	r := f.reqPool.Get().(*request)
 	r.op = op
+	r.start = time.Now()
 	r.cb = cb
 	q := f.fg
 	if op.Class == Background {
@@ -478,6 +497,7 @@ func (f *Frontend) run(ex *execState, batch []*request) {
 func (f *Frontend) finish(reqs []*request, err error) {
 	for _, r := range reqs {
 		f.completed.Add(1)
+		f.latHist[r.op.Class].Record(time.Since(r.start))
 		if cb := r.cb; cb != nil {
 			r.cb = nil
 			f.reqPool.Put(r)

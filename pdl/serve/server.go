@@ -28,13 +28,15 @@ type ServerStats struct {
 // StoreStats mirrors store.Stats for the wire (kept separate so the
 // protocol schema is explicit and stable).
 type StoreStats struct {
-	FailedDisk int   `json:"failed_disk"`
-	Rebuilding bool  `json:"rebuilding"`
-	Reads      int64 `json:"reads"`
-	Writes     int64 `json:"writes"`
-	ReadBytes  int64 `json:"read_bytes"`
-	WriteBytes int64 `json:"write_bytes"`
-	Degraded   int64 `json:"degraded"`
+	FailedDisk     int   `json:"failed_disk"`
+	Rebuilding     bool  `json:"rebuilding"`
+	RebuiltStripes int   `json:"rebuilt_stripes"`
+	TotalStripes   int   `json:"total_stripes"`
+	Reads          int64 `json:"reads"`
+	Writes         int64 `json:"writes"`
+	ReadBytes      int64 `json:"read_bytes"`
+	WriteBytes     int64 `json:"write_bytes"`
+	Degraded       int64 `json:"degraded"`
 }
 
 const (
@@ -112,6 +114,12 @@ type Server struct {
 	// a time, so a burst of rebuild frames cannot amplify a few bytes of
 	// input into many disk-sized allocations.
 	rebuilding atomic.Bool
+
+	// connsAccepted, readSpans, and writeStreams count accepted
+	// connections and opened wire v2 span streams over the server's life.
+	connsAccepted atomic.Int64
+	readSpans     atomic.Int64
+	writeStreams  atomic.Int64
 
 	bufPool   sync.Pool // *[]byte unit payload buffers
 	chunkPool sync.Pool // *[]byte read-span chunk buffers
@@ -198,6 +206,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.connsAccepted.Add(1)
 		go s.handle(conn)
 	}
 }
@@ -604,6 +613,7 @@ func (s *Server) dispatch(st *connState, req *wire.Request, fb *frameBuf) bool {
 		}
 		st.spanSem <- struct{}{} // backpressure: bounded concurrent spans
 		st.pending.Add(1)
+		s.readSpans.Add(1)
 		go s.readSpan(st, req.ID, Class(req.Class), int(req.Arg), count)
 
 	case wire.OpWriteSpan:
@@ -640,6 +650,7 @@ func (s *Server) dispatch(st *connState, req *wire.Request, fb *frameBuf) bool {
 			st.respondErr(req.ID, fmt.Errorf("span [%d,+%d) outside capacity %d", req.Arg, count, capa))
 		}
 		st.streams[req.ID] = ws
+		s.writeStreams.Add(1)
 
 	case wire.OpWriteChunk:
 		ws, ok := st.streams[req.ID]
@@ -836,6 +847,8 @@ func (s *Server) stats() ServerStats {
 	out := ServerStats{Frontend: s.front.Stats()}
 	out.Store.FailedDisk = st.Failed
 	out.Store.Rebuilding = st.Rebuilding
+	out.Store.RebuiltStripes = st.RebuiltStripes
+	out.Store.TotalStripes = st.TotalStripes
 	for _, d := range st.Disks {
 		out.Store.Reads += d.Reads
 		out.Store.Writes += d.Writes

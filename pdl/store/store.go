@@ -23,9 +23,11 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/pdl"
 	"repro/pdl/layout"
+	"repro/pdl/obs"
 	"repro/pdl/plan"
 )
 
@@ -55,6 +57,11 @@ type Stats struct {
 
 	// Rebuilding reports whether an online Rebuild is in progress.
 	Rebuilding bool
+
+	// RebuiltStripes is how many stripes the in-progress Rebuild has
+	// copied onto the replacement (0 when no rebuild is running);
+	// TotalStripes is the stripe count it is working through.
+	RebuiltStripes, TotalStripes int
 
 	// Disks holds per-disk counters, indexed by disk.
 	Disks []DiskStats
@@ -101,9 +108,12 @@ type Store struct {
 	locks    []sync.RWMutex
 	lockMask int
 
-	// admin serializes Fail/Rebuild state transitions.
-	admin      sync.Mutex
-	rebuilding bool
+	// admin serializes Fail/Rebuild state transitions; rebuilding and
+	// rebuiltStripes are atomics so Stats and metric scrapes read them
+	// without touching the admin lock.
+	rebuilding     atomic.Bool
+	rebuiltStripes atomic.Int64
+	admin          sync.Mutex
 
 	disks []Backend
 	// failed is the failed disk (-1 healthy). It is stored only while
@@ -118,8 +128,18 @@ type Store struct {
 	rebuilt []bool
 
 	counters []diskCounters
-	pool     sync.Pool
+	// opHist records per-operation wall latency of the public I/O entry
+	// points (Read/ReadAt/ReadVec and Write/WriteAt/WriteVec), indexed by
+	// histRead/histWrite: a single lock-free histogram record per op.
+	opHist [2]obs.Hist
+	pool   sync.Pool
 }
+
+// opHist indexes.
+const (
+	histRead = iota
+	histWrite
+)
 
 // New builds a Store executing plans over mapper against one Backend per
 // disk. Each backend must hold at least mapper.DiskUnits()*unitSize
@@ -224,10 +244,13 @@ func (s *Store) DiskBackend(d int) Backend {
 
 // Stats snapshots the per-disk counters and failure state.
 func (s *Store) Stats() Stats {
-	st := Stats{Failed: s.Failed(), Disks: make([]DiskStats, len(s.counters))}
-	s.admin.Lock()
-	st.Rebuilding = s.rebuilding
-	s.admin.Unlock()
+	st := Stats{
+		Failed:         s.Failed(),
+		Rebuilding:     s.rebuilding.Load(),
+		RebuiltStripes: int(s.rebuiltStripes.Load()),
+		TotalStripes:   s.mapper.Stripes(),
+		Disks:          make([]DiskStats, len(s.counters)),
+	}
 	for d := range s.counters {
 		c := &s.counters[d]
 		st.Disks[d] = DiskStats{
@@ -299,7 +322,7 @@ func (s *Store) Fail(disk int) error {
 	}
 	s.admin.Lock()
 	defer s.admin.Unlock()
-	if s.rebuilding {
+	if s.rebuilding.Load() {
 		return fmt.Errorf("store: Fail(%d): rebuild in progress", disk)
 	}
 	s.lockAll()
@@ -309,6 +332,7 @@ func (s *Store) Fail(disk int) error {
 	}
 	s.failed.Store(int32(disk))
 	clear(s.rebuilt)
+	s.rebuiltStripes.Store(0)
 	return nil
 }
 
@@ -318,9 +342,11 @@ func (s *Store) Read(logical int, dst []byte) error {
 	if len(dst) != s.unitSize {
 		return fmt.Errorf("store: Read: dst is %d bytes, want unit size %d", len(dst), s.unitSize)
 	}
+	start := time.Now()
 	sc := s.pool.Get().(*scratch)
 	err := s.readUnit(sc, logical, 0, dst)
 	s.pool.Put(sc)
+	s.opHist[histRead].Record(time.Since(start))
 	return err
 }
 
@@ -331,9 +357,11 @@ func (s *Store) Write(logical int, src []byte) error {
 	if len(src) != s.unitSize {
 		return fmt.Errorf("store: Write: src is %d bytes, want unit size %d", len(src), s.unitSize)
 	}
+	start := time.Now()
 	sc := s.pool.Get().(*scratch)
 	err := s.writeUnit(sc, logical, 0, src)
 	s.pool.Put(sc)
+	s.opHist[histWrite].Record(time.Since(start))
 	return err
 }
 
@@ -343,6 +371,8 @@ func (s *Store) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("store: ReadAt: negative offset %d", off)
 	}
+	start := time.Now()
+	defer func() { s.opHist[histRead].Record(time.Since(start)) }()
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
 	n := 0
@@ -376,6 +406,8 @@ func (s *Store) WriteAt(p []byte, off int64) (int, error) {
 	if off+int64(len(p)) > s.size {
 		return 0, fmt.Errorf("store: WriteAt: [%d,%d) outside store of %d bytes", off, off+int64(len(p)), s.size)
 	}
+	start := time.Now()
+	defer func() { s.opHist[histWrite].Record(time.Since(start)) }()
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
 	n := 0
@@ -667,7 +699,7 @@ func (s *Store) writeStripeLocked(sc *scratch, stripe int, units []layout.Unit, 
 // again. The replaced backend is not closed; the caller owns it.
 func (s *Store) Rebuild(replacement Backend) error {
 	s.admin.Lock()
-	if s.rebuilding {
+	if s.rebuilding.Load() {
 		s.admin.Unlock()
 		return fmt.Errorf("store: Rebuild: already in progress")
 	}
@@ -684,8 +716,9 @@ func (s *Store) Rebuild(replacement Backend) error {
 		return fmt.Errorf("store: Rebuild: no failed disk")
 	}
 	clear(s.rebuilt)
+	s.rebuiltStripes.Store(0)
 	s.rebuildDst = replacement
-	s.rebuilding = true
+	s.rebuilding.Store(true)
 	s.unlockAll()
 	s.admin.Unlock()
 
@@ -698,7 +731,8 @@ func (s *Store) Rebuild(replacement Backend) error {
 		}
 		s.rebuildDst = nil
 		clear(s.rebuilt)
-		s.rebuilding = false
+		s.rebuiltStripes.Store(0)
+		s.rebuilding.Store(false)
 		s.unlockAll()
 		s.admin.Unlock()
 	}
@@ -740,6 +774,7 @@ func (s *Store) rebuildStripe(sc *scratch, pl *plan.Plan) error {
 	}
 	s.noteIO(pl.Target.Disk, true, true, len(b))
 	s.rebuilt[pl.Stripe] = true
+	s.rebuiltStripes.Add(1)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"slices"
+	"time"
 )
 
 // VecOp is one unit-granularity operation of a batched request vector
@@ -58,6 +59,8 @@ func (s *Store) ReadVec(ops []VecOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	start := time.Now()
+	defer func() { s.opHist[histRead].Record(time.Since(start)) }()
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
 	if err := s.prepareVec("ReadVec", sc, ops); err != nil {
@@ -105,6 +108,8 @@ func (s *Store) WriteVec(ops []VecOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	start := time.Now()
+	defer func() { s.opHist[histWrite].Record(time.Since(start)) }()
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
 	if err := s.prepareVec("WriteVec", sc, ops); err != nil {

@@ -94,13 +94,26 @@ func cmdInit(args []string) error {
 		if c.Failed() >= 0 {
 			st = cluster.ShardDegraded
 		}
+		sh := cluster.ShardInfo{Addr: addr, State: st}
+		// Record the shard's codec only when it tolerates more than one
+		// failure: the default stays off the wire format, so clusters of
+		// classic XOR shards keep writing format-1 manifests.
+		if stats, err := c.Stats(); err == nil && stats.Store.ParityShards > 1 {
+			sh.Codec = stats.Store.Codec
+			sh.ParityShards = stats.Store.ParityShards
+		}
 		c.Close()
 		n := size / *unit
 		if n < 1 {
 			return fmt.Errorf("init: shard %s holds %d B, less than one %d B shard-unit", addr, size, *unit)
 		}
-		man.Shards = append(man.Shards, cluster.ShardInfo{Addr: addr, Units: n, State: st})
-		fmt.Printf("shard %-24s %8d units (%s)\n", addr, n, st)
+		sh.Units = n
+		man.Shards = append(man.Shards, sh)
+		codec := ""
+		if sh.Codec != "" {
+			codec = fmt.Sprintf(", %s/%d", sh.Codec, sh.ParityShards)
+		}
+		fmt.Printf("shard %-24s %8d units (%s%s)\n", addr, n, st, codec)
 	}
 	m, err := man.Map()
 	if err != nil {
@@ -149,12 +162,26 @@ func cmdStatus(args []string) error {
 				case st.Store.Rebuilding:
 					state = cluster.ShardRebuilding
 					detail = fmt.Sprintf("rebuilding disk %d", st.Store.FailedDisk)
+				case len(st.Store.FailedDisks) > 1:
+					state = cluster.ShardDegraded
+					detail = fmt.Sprintf("disks %v down, %d degraded ops", st.Store.FailedDisks, st.Store.Degraded)
 				case st.Store.FailedDisk >= 0:
 					state = cluster.ShardDegraded
 					detail = fmt.Sprintf("disk %d down, %d degraded ops", st.Store.FailedDisk, st.Store.Degraded)
 				default:
 					state = cluster.ShardHealthy
 					detail = fmt.Sprintf("%d reads, %d writes", st.Store.Reads, st.Store.Writes)
+				}
+				// Refresh the recorded codec info alongside the state
+				// (multi-failure shards only; see cmdInit).
+				if st.Store.ParityShards > 1 &&
+					(sh.Codec != st.Store.Codec || sh.ParityShards != st.Store.ParityShards) {
+					sh.Codec = st.Store.Codec
+					sh.ParityShards = st.Store.ParityShards
+					changed = true
+				}
+				if sh.Codec != "" {
+					detail = fmt.Sprintf("%s/%d, %s", sh.Codec, sh.ParityShards, detail)
 				}
 			}
 			c.Close()
@@ -181,6 +208,7 @@ type clusterFlags struct {
 	selfhost         int
 	unit             int64
 	v, k, copies     int
+	parity           int
 	storeUnit, depth int
 	flush            time.Duration
 	retries          int
@@ -197,6 +225,7 @@ func addClusterFlags(fs *flag.FlagSet) *clusterFlags {
 	fs.IntVar(&cf.v, "v", 17, "disks per self-hosted shard")
 	fs.IntVar(&cf.k, "k", 4, "parity stripe size per self-hosted shard")
 	fs.IntVar(&cf.copies, "copies", 4, "layout copies per disk for -selfhost")
+	fs.IntVar(&cf.parity, "parity", 1, "parity shards per stripe for -selfhost (1 = XOR, >1 = Reed-Solomon)")
 	fs.IntVar(&cf.storeUnit, "store-unit", 4096, "array stripe-unit size for -selfhost")
 	fs.IntVar(&cf.depth, "depth", serve.DefaultQueueDepth, "queue depth for -selfhost")
 	fs.DurationVar(&cf.flush, "flush", serve.DefaultFlushDelay, "batch flush deadline for -selfhost")
@@ -287,7 +316,11 @@ func selfHost(cf *clusterFlags) (*cluster.Manifest, func(), error) {
 		}
 	}
 	for i := 0; i < cf.selfhost; i++ {
-		res, err := pdl.Build(cf.v, cf.k)
+		var opts []pdl.Option
+		if cf.parity > 1 {
+			opts = append(opts, pdl.WithParityShards(cf.parity))
+		}
+		res, err := pdl.Build(cf.v, cf.k, opts...)
 		if err != nil {
 			cleanup()
 			return nil, nil, err
@@ -313,7 +346,12 @@ func selfHost(cf *clusterFlags) (*cluster.Manifest, func(), error) {
 			cleanup()
 			return nil, nil, fmt.Errorf("selfhost: shard holds %d B, less than one %d B shard-unit", s.Size(), cf.unit)
 		}
-		man.Shards = append(man.Shards, cluster.ShardInfo{Addr: ln.Addr().String(), Units: n, State: cluster.ShardHealthy})
+		sh := cluster.ShardInfo{Addr: ln.Addr().String(), Units: n, State: cluster.ShardHealthy}
+		if cf.parity > 1 {
+			sh.Codec = s.Code().Name()
+			sh.ParityShards = s.Code().ParityShards()
+		}
+		man.Shards = append(man.Shards, sh)
 	}
 	fmt.Printf("self-hosted %d shards (v=%d k=%d, %s each)\n",
 		cf.selfhost, cf.v, cf.k, fmtBytes(man.Shards[0].Units*cf.unit))

@@ -71,6 +71,7 @@ func die(err error) {
 // self-hosted bench/loadgen modes.
 type arrayFlags struct {
 	v, k, copies, unit, depth, workers int
+	parity                             int
 	flush                              time.Duration
 }
 
@@ -78,6 +79,7 @@ func addArrayFlags(fs *flag.FlagSet) *arrayFlags {
 	a := &arrayFlags{}
 	fs.IntVar(&a.v, "v", 17, "number of disks")
 	fs.IntVar(&a.k, "k", 4, "parity stripe size")
+	fs.IntVar(&a.parity, "parity", 1, "parity shards per stripe (1 = XOR, >1 = Reed-Solomon)")
 	fs.IntVar(&a.copies, "copies", 4, "layout copies per disk")
 	fs.IntVar(&a.unit, "unit", 4096, "unit size in bytes")
 	fs.IntVar(&a.depth, "depth", serve.DefaultQueueDepth, "submission queue depth / max batch size")
@@ -88,7 +90,11 @@ func addArrayFlags(fs *flag.FlagSet) *arrayFlags {
 
 // newFrontend builds a MemDisk-backed array and its batching frontend.
 func (a *arrayFlags) newFrontend() (*serve.Frontend, error) {
-	res, err := pdl.Build(a.v, a.k)
+	var opts []pdl.Option
+	if a.parity > 1 {
+		opts = append(opts, pdl.WithParityShards(a.parity))
+	}
+	res, err := pdl.Build(a.v, a.k, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -96,8 +102,9 @@ func (a *arrayFlags) newFrontend() (*serve.Frontend, error) {
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("array: %s v=%d k=%d, %d units of %d B (%s logical)\n",
-		res.Method, a.v, a.k, s.Capacity(), a.unit, fmtBytes(s.Size()))
+	c := s.Code()
+	fmt.Printf("array: %s v=%d k=%d codec=%s/%d, %d units of %d B (%s logical)\n",
+		res.Method, a.v, a.k, c.Name(), c.ParityShards(), s.Capacity(), a.unit, fmtBytes(s.Size()))
 	return serve.New(s, serve.Config{QueueDepth: a.depth, FlushDelay: a.flush, Workers: a.workers}), nil
 }
 
@@ -106,8 +113,10 @@ func fmtBytes(n int64) string {
 }
 
 func degradedTag(s *store.Store) string {
-	if f := s.Failed(); f >= 0 {
-		return fmt.Sprintf(" (degraded: disk %d down)", f)
+	if fd := s.FailedDisks(); len(fd) > 1 {
+		return fmt.Sprintf(" (degraded: disks %v down)", fd)
+	} else if len(fd) == 1 {
+		return fmt.Sprintf(" (degraded: disk %d down)", fd[0])
 	}
 	return ""
 }
@@ -197,7 +206,10 @@ func serveAdmin(addr string, front *serve.Frontend, srv *serve.Server) (net.List
 			"unit_size":       s.UnitSize(),
 			"capacity":        s.Capacity(),
 			"size_bytes":      s.Size(),
+			"codec":           s.Code().Name(),
+			"parity_shards":   s.Code().ParityShards(),
 			"failed_disk":     st.Failed,
+			"failed_disks":    st.FailedDisks,
 			"rebuilding":      st.Rebuilding,
 			"rebuilt_stripes": st.RebuiltStripes,
 			"total_stripes":   st.TotalStripes,

@@ -92,6 +92,7 @@ func cmdInit(args []string) error {
 	copies := fs.Int("copies", 1, "layout copies per disk")
 	unit := fs.Int("unit", 4096, "unit size in bytes")
 	method := fs.String("method", "", "construction method (default: automatic)")
+	parity := fs.Int("parity", 1, "parity shards per stripe (1 = XOR, >1 = Reed-Solomon, tolerating that many disk failures)")
 	backend := addBackendFlag(fs)
 	fs.Parse(args)
 	if *dir == "" {
@@ -103,14 +104,16 @@ func cmdInit(args []string) error {
 	}
 	arr, err := array.Create(*dir, array.CreateOptions{
 		V: *v, K: *k, Copies: *copies, UnitSize: *unit, Method: *method, Backend: kind,
+		ParityShards: *parity,
 	})
 	if err != nil {
 		return err
 	}
 	defer arr.Close()
 	m := arr.Manifest()
-	fmt.Printf("initialized %s: method %s, %d disks x %d units x %d B (logical capacity %d B)\n",
-		*dir, m.Method, m.V, m.DiskUnits, m.UnitSize, arr.Store().Size())
+	c := arr.Store().Code()
+	fmt.Printf("initialized %s: method %s, codec %s/%d, %d disks x %d units x %d B (logical capacity %d B)\n",
+		*dir, m.Method, c.Name(), c.ParityShards(), m.V, m.DiskUnits, m.UnitSize, arr.Store().Size())
 	return nil
 }
 
@@ -195,10 +198,14 @@ func cmdRead(args []string) error {
 }
 
 func degradedTag(s *store.Store) string {
-	if f := s.Failed(); f >= 0 {
-		return fmt.Sprintf(" (degraded: disk %d down)", f)
+	switch failed := s.FailedDisks(); len(failed) {
+	case 0:
+		return ""
+	case 1:
+		return fmt.Sprintf(" (degraded: disk %d down)", failed[0])
+	default:
+		return fmt.Sprintf(" (degraded: disks %v down)", failed)
 	}
-	return ""
 }
 
 func cmdFail(args []string) error {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/pdl/code"
 	"repro/pdl/layout"
 )
 
@@ -65,6 +66,20 @@ func Build(v, k int, opts ...Option) (*Result, error) {
 	if o.Sparing && o.ParityPolicy == ParityNone {
 		return nil, fmt.Errorf("pdl: Build(v=%d, k=%d): %w: WithSparing needs assigned parity, which ParityNone strips", v, k, ErrBadParams)
 	}
+	if o.ParityShards < 0 || o.ParityShards > code.MaxParityShards {
+		return nil, fmt.Errorf("pdl: Build(v=%d, k=%d): %w: parity shards %d outside [0,%d]", v, k, ErrBadParams, o.ParityShards, code.MaxParityShards)
+	}
+	if o.ParityShards > 1 {
+		if o.ParityShards >= k {
+			return nil, fmt.Errorf("pdl: Build(v=%d, k=%d): %w: %d parity shards leave no data units in a stripe of %d", v, k, ErrBadParams, o.ParityShards, k)
+		}
+		if o.Sparing {
+			return nil, fmt.Errorf("pdl: Build(v=%d, k=%d): %w: WithSparing assumes single parity; combine it with WithParityShards(1) only", v, k, ErrBadParams)
+		}
+		if o.ParityPolicy == ParityNone {
+			return nil, fmt.Errorf("pdl: Build(v=%d, k=%d): %w: WithParityShards needs assigned parity, which ParityNone strips", v, k, ErrBadParams)
+		}
+	}
 	if err := checkOptionUse(v, k, &o); err != nil {
 		return nil, err
 	}
@@ -123,6 +138,14 @@ func Build(v, k int, opts ...Option) (*Result, error) {
 	if o.MaxSize > 0 && l.Size > o.MaxSize {
 		return nil, fmt.Errorf("pdl: Build(v=%d, k=%d): %w: method %s produced size %d > %d",
 			v, k, ErrInfeasible, method, l.Size, o.MaxSize)
+	}
+
+	if o.ParityShards > 1 {
+		l.ParityUnits = o.ParityShards
+		if err := l.Check(); err != nil {
+			return nil, fmt.Errorf("pdl: Build(v=%d, k=%d): %w: method %s cannot carry %d parity units: %w",
+				v, k, ErrBadParams, method, o.ParityShards, err)
+		}
 	}
 
 	res := &Result{Layout: l, Method: method, V: v, K: k, Copies: copies}

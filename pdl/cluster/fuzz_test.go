@@ -30,6 +30,13 @@ func FuzzDecodeClusterManifest(f *testing.F) {
 		"shards": [{"addr": "a:1", "units": 2097152}, {"addr": "b:1", "units": 2097153}]}`))
 	f.Add([]byte(`{"version": 1, "unit_bytes": 4096,
 		"shards": [{"addr": "a:1", "units": 4}, {"addr": "a:1", "units": 4}]}`))
+	f.Add([]byte(`{"version": 2, "unit_bytes": 4096,
+		"shards": [{"addr": "a:1", "units": 8, "codec": "rs", "parity_shards": 2},
+		           {"addr": "b:1", "units": 8}]}`))
+	f.Add([]byte(`{"version": 1, "unit_bytes": 4096,
+		"shards": [{"addr": "a:1", "units": 4, "codec": "rs", "parity_shards": 2}]}`))
+	f.Add([]byte(`{"version": 2, "unit_bytes": 4096,
+		"shards": [{"addr": "a:1", "units": 4, "codec": "raid6", "parity_shards": -3}]}`))
 	f.Fuzz(func(t *testing.T, body []byte) {
 		m, err := cluster.DecodeManifest(body)
 		if err != nil {

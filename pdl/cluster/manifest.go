@@ -7,12 +7,20 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/pdl/code"
 )
 
-// FormatVersion is the manifest format this package writes. Decoding
-// rejects manifests from a newer format with ErrVersion rather than
-// guessing; a future format bump reads old versions here, in one place.
-const FormatVersion = 1
+// FormatVersion is the newest manifest format this package reads and
+// writes. Decoding rejects manifests from a newer format with
+// ErrVersion rather than guessing; a future format bump reads old
+// versions here, in one place.
+//
+// Format 2 added the per-shard codec info fields (codec,
+// parity_shards). Manifests that do not use them are still written as
+// format 1, so clusters of classic XOR shards stay readable by older
+// binaries.
+const FormatVersion = 2
 
 // ManifestName is the conventional manifest file name.
 const ManifestName = "cluster.json"
@@ -64,6 +72,18 @@ type ShardInfo struct {
 
 	// State is the shard's recorded condition.
 	State ShardState `json:"state"`
+
+	// Codec names the erasure code the shard's array runs ("xor",
+	// "rs"). Like State it is observational — placement never consults
+	// it — recorded so operators see each shard's failure tolerance
+	// without dialing it. Empty means unrecorded (a classic single-
+	// parity shard, or a manifest written before format 2).
+	Codec string `json:"codec,omitempty"`
+
+	// ParityShards is how many simultaneous disk failures the shard's
+	// array tolerates. Zero means unrecorded and reads as 1, the only
+	// tolerance that existed before format 2.
+	ParityShards int `json:"parity_shards,omitempty"`
 }
 
 // Manifest is the decoded cluster.json: everything needed to address the
@@ -161,6 +181,24 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 		if !validShardState(e.State) {
 			return nil, fmt.Errorf("cluster: manifest: shard %d: unknown state %q", s, e.State)
 		}
+		if e.ParityShards < 0 || e.ParityShards > code.MaxParityShards {
+			return nil, fmt.Errorf("cluster: manifest: shard %d: parity shards %d outside [0,%d]", s, e.ParityShards, code.MaxParityShards)
+		}
+		// Format 1 predates the codec fields: a version-1 document
+		// carrying more than the implicit single-parity XOR tolerance is
+		// corrupt or hand-skewed, not old.
+		if m.Version < 2 && (e.ParityShards > 1 || (e.Codec != "" && e.Codec != "xor")) {
+			return nil, fmt.Errorf("cluster: manifest: shard %d: version %d cannot carry codec %q / parity shards %d (format 2 fields)", s, m.Version, e.Codec, e.ParityShards)
+		}
+		if e.Codec != "" {
+			ps := e.ParityShards
+			if ps == 0 {
+				ps = 1
+			}
+			if _, err := code.New(e.Codec, ps); err != nil {
+				return nil, fmt.Errorf("cluster: manifest: shard %d: %w", s, err)
+			}
+		}
 		if e.Units > (1<<56)/m.UnitBytes {
 			return nil, fmt.Errorf("cluster: manifest: shard %d: %d x %d bytes implausibly large", s, e.Units, m.UnitBytes)
 		}
@@ -177,9 +215,20 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	return m, nil
 }
 
-// encode renders the manifest as the canonical on-disk JSON.
+// encode renders the manifest as the canonical on-disk JSON, stamped
+// with the oldest format version that can represent it: format 1
+// unless some shard records codec info, so clusters of classic XOR
+// shards stay readable by pre-format-2 binaries.
 func (m *Manifest) encode() ([]byte, error) {
-	b, err := json.MarshalIndent(m, "", "  ")
+	out := m.Clone()
+	out.Version = 1
+	for s := range out.Shards {
+		if e := &out.Shards[s]; e.Codec != "" || e.ParityShards > 1 {
+			out.Version = 2
+			break
+		}
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("cluster: manifest: %w", err)
 	}

@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -43,6 +44,12 @@ func TestDecodeManifest(t *testing.T) {
 		{"bad-state", `{"version": 1, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4, "state": "onfire"}]}`},
 		{"bad-policy", `{"version": 1, "unit_bytes": 4096, "policy": "hash", "shards": [{"addr": "a:1", "units": 4}]}`},
 		{"implausible", `{"version": 1, "unit_bytes": 1073741824, "shards": [{"addr": "a:1", "units": 281474976710656}]}`},
+		{"v1-codec-rs", `{"version": 1, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4, "codec": "rs", "parity_shards": 2}]}`},
+		{"v1-parity-2", `{"version": 1, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4, "parity_shards": 2}]}`},
+		{"bad-codec", `{"version": 2, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4, "codec": "raid6"}]}`},
+		{"neg-parity", `{"version": 2, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4, "parity_shards": -1}]}`},
+		{"huge-parity", `{"version": 2, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4, "codec": "rs", "parity_shards": 9}]}`},
+		{"xor-parity-2", `{"version": 2, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4, "codec": "xor", "parity_shards": 2}]}`},
 	}
 	for _, tc := range bad {
 		t.Run(tc.name, func(t *testing.T) {
@@ -53,7 +60,7 @@ func TestDecodeManifest(t *testing.T) {
 	}
 
 	// Version skew is typed.
-	_, err := cluster.DecodeManifest([]byte(`{"version": 2, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4}]}`))
+	_, err := cluster.DecodeManifest([]byte(`{"version": 3, "unit_bytes": 4096, "shards": [{"addr": "a:1", "units": 4}]}`))
 	if !errors.Is(err, cluster.ErrVersion) {
 		t.Fatalf("future version: got %v, want ErrVersion", err)
 	}
@@ -116,6 +123,56 @@ func TestManifestFileRoundTrip(t *testing.T) {
 	}
 	if _, err := cluster.ReadFile(path); err != nil {
 		t.Fatalf("good manifest damaged by refused write: %v", err)
+	}
+}
+
+// TestManifestCodecFields pins the format-2 codec info contract:
+// manifests without codec info keep writing format 1, recording an RS
+// shard bumps the written format to 2, and the fields survive the file
+// round trip.
+func TestManifestCodecFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, cluster.ManifestName)
+
+	// Default manifest: no codec info, written as format 1.
+	m := validManifest()
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"version": 1`)) {
+		t.Fatalf("codec-free manifest not written as format 1:\n%s", b)
+	}
+	if bytes.Contains(b, []byte("codec")) || bytes.Contains(b, []byte("parity_shards")) {
+		t.Fatalf("codec-free manifest leaked format-2 fields:\n%s", b)
+	}
+
+	// Recording a two-parity Reed-Solomon shard bumps the file to
+	// format 2, and everything round-trips.
+	m.Shards[1].Codec = "rs"
+	m.Shards[1].ParityShards = 2
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"version": 2`)) || !bytes.Contains(b, []byte(`"codec": "rs"`)) {
+		t.Fatalf("RS manifest:\n%s", b)
+	}
+	got, err := cluster.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards[1].Codec != "rs" || got.Shards[1].ParityShards != 2 {
+		t.Fatalf("round trip lost codec info: %+v", got.Shards[1])
+	}
+	if got.Shards[0].Codec != "" || got.Shards[0].ParityShards != 0 {
+		t.Fatalf("codec info bled into shard 0: %+v", got.Shards[0])
 	}
 }
 

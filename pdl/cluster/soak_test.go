@@ -3,6 +3,8 @@ package cluster_test
 import (
 	"bytes"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -22,8 +24,14 @@ func TestClusterSoak(t *testing.T) {
 	const (
 		unitBytes = 64
 		workers   = 6
-		opsPer    = 200
 	)
+	// PDL_SOAK_OPS lengthens the drill for the nightly -race soak.
+	opsPer := 200
+	if v := os.Getenv("PDL_SOAK_OPS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			opsPer = n
+		}
+	}
 	tc := startCluster(t, unitBytes, []int64{24, 36, 48}, cluster.ByCapacity,
 		serve.Config{QueueDepth: 32, FlushDelay: 100 * time.Microsecond})
 	c := tc.open(t, cluster.Options{})

@@ -1,0 +1,60 @@
+//go:build !race
+
+package code
+
+import "testing"
+
+// TestCodeHotPathAllocs is the 0 allocs/op regression gate for the code
+// kernels the pdl/store hot paths call per request: EncodeParity,
+// UpdateParity, PlanReconstruct, and the MulAdd accumulation loop. Build-
+// tagged out under -race (the detector's instrumentation allocates), like
+// the other gates.
+func TestCodeHotPathAllocs(t *testing.T) {
+	const k, size = 6, 512
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, size)
+	}
+	parity := make([]byte, size)
+	delta := make([]byte, size)
+	out := make([]byte, size)
+	for _, tc := range []struct {
+		name string
+		m    int
+	}{{"xor", 1}, {"rs", 2}, {"rs", 4}} {
+		c, err := New(tc.name, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coef := make([]byte, k+tc.m)
+		missing := []int{2}
+		if tc.m > 1 {
+			missing = []int{2, k + 1}
+		}
+		run := func(label string, f func()) {
+			for i := 0; i < 8; i++ {
+				f() // warm
+			}
+			if avg := testing.AllocsPerRun(200, f); avg != 0 {
+				t.Errorf("%s/%d %s: %.1f allocs/op, want 0", tc.name, tc.m, label, avg)
+			}
+		}
+		run("encode", func() {
+			for j := 0; j < tc.m; j++ {
+				c.EncodeParity(j, data, parity)
+			}
+		})
+		run("update", func() {
+			c.UpdateParity(0, 1, parity, delta)
+		})
+		run("reconstruct", func() {
+			if err := c.PlanReconstruct(k, missing, 2, coef); err != nil {
+				t.Fatal(err)
+			}
+			clear(out)
+			for s := 0; s < len(coef); s++ {
+				MulAdd(out, parity, coef[s])
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package code
+
+import "fmt"
+
+// MaxParityShards bounds the parity shards any Code may declare. The
+// reconstruction planner solves an up-to-m x m system on fixed stack
+// arrays (no allocation on the degraded hot path), so the bound is a
+// compile-time constant; 8 simultaneous unit losses per stripe is far
+// beyond any deployment the paper contemplates.
+const MaxParityShards = 8
+
+// Code is a systematic erasure code over the shards of one parity stripe.
+// Shards are indexed 0..k-1 for the data units (in stripe order) and
+// k..k+m-1 for the m parity units; k may vary per stripe (parity
+// declustering mixes stripe sizes), so it is an argument, not a property.
+//
+// Parity j of a stripe is the linear combination
+//
+//	parity[j] = sum_i Coef(j, i) * data[i]
+//
+// over GF(2^8), byte-wise. Every method is safe for concurrent use and
+// allocation-free, so serving engines may share one Code across
+// goroutines on their hot paths.
+type Code interface {
+	// Name is the registry identifier recorded in manifests ("xor", "rs").
+	Name() string
+
+	// ParityShards returns m, the parity units per stripe — the number of
+	// simultaneous unit losses a stripe survives.
+	ParityShards() int
+
+	// MaxDataShards returns the largest data shard count k the code
+	// supports per stripe.
+	MaxDataShards() int
+
+	// Coef returns the generator coefficient of data shard i in parity j.
+	Coef(j, i int) byte
+
+	// EncodeParity computes parity j from the full data shard set into
+	// parity (overwritten; same length as each data shard).
+	EncodeParity(j int, data [][]byte, parity []byte)
+
+	// UpdateParity folds a small-write delta (old data ^ new data) of data
+	// shard i into parity j's bytes: parity ^= Coef(j, i) * delta.
+	UpdateParity(j, i int, parity, delta []byte)
+
+	// PlanReconstruct computes the survivor combination recovering one
+	// missing shard: given the stripe's data shard count k, the sorted
+	// missing shard indices (data and parity, at most m of them), and the
+	// target (one of missing), it fills coef[s] for every shard s in
+	// [0, k+m) such that
+	//
+	//	value(target) = sum_s coef(s) * value(s)
+	//
+	// with coef zero on every missing shard (so executors read only
+	// survivors, skipping zero-coefficient ones entirely). coef must have
+	// length >= k+m. It errors when the losses exceed what the code can
+	// repair.
+	PlanReconstruct(k int, missing []int, target int, coef []byte) error
+}
+
+// New returns the registered Code named name with m parity shards; the
+// name/m pair is what array and cluster manifests persist. Known names
+// are "xor" (m must be 1) and "rs" (1 <= m <= MaxParityShards).
+func New(name string, m int) (Code, error) {
+	switch name {
+	case "xor":
+		if m != 1 {
+			return nil, fmt.Errorf("code: xor supports exactly 1 parity shard, not %d", m)
+		}
+		return XOR{}, nil
+	case "rs":
+		return NewReedSolomon(m)
+	}
+	return nil, fmt.Errorf("code: unknown code %q (want \"xor\" or \"rs\")", name)
+}
+
+// Default returns the code a layout with m parity units per stripe runs
+// when nothing is pinned explicitly: XOR for m = 1 (byte-identical to the
+// classic single-parity arithmetic, so existing arrays are unchanged),
+// Reed–Solomon otherwise. It panics on m outside [1, MaxParityShards];
+// validate configuration before calling.
+func Default(m int) Code {
+	if m == 1 {
+		return XOR{}
+	}
+	c, err := NewReedSolomon(m)
+	if err != nil {
+		panic("code: Default: " + err.Error())
+	}
+	return c
+}
+
+// checkPlanArgs validates the shared PlanReconstruct contract: missing
+// sorted, in range, at most m entries, containing target.
+func checkPlanArgs(name string, k, m int, missing []int, target int) error {
+	if k < 1 {
+		return fmt.Errorf("code: %s: %d data shards", name, k)
+	}
+	if len(missing) == 0 || len(missing) > m {
+		return fmt.Errorf("code: %s: %d missing shards, tolerates %d", name, len(missing), m)
+	}
+	hasTarget := false
+	for i, s := range missing {
+		if s < 0 || s >= k+m {
+			return fmt.Errorf("code: %s: missing shard %d outside [0,%d)", name, s, k+m)
+		}
+		if i > 0 && missing[i-1] >= s {
+			return fmt.Errorf("code: %s: missing shards not sorted", name)
+		}
+		if s == target {
+			hasTarget = true
+		}
+	}
+	if !hasTarget {
+		return fmt.Errorf("code: %s: target shard %d not among missing", name, target)
+	}
+	return nil
+}

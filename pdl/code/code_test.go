@@ -1,0 +1,276 @@
+package code
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// encodeAll returns the m parity shards of a data shard set.
+func encodeAll(c Code, data [][]byte, size int) [][]byte {
+	par := make([][]byte, c.ParityShards())
+	for j := range par {
+		par[j] = make([]byte, size)
+		c.EncodeParity(j, data, par[j])
+	}
+	return par
+}
+
+// reconstruct recovers shard target from the survivors via
+// PlanReconstruct. shards holds data then parity; missing entries are
+// ignored (the plan's coefficients for them are zero by contract, which
+// the call also asserts).
+func reconstruct(t *testing.T, c Code, shards [][]byte, k int, missing []int, target, size int) []byte {
+	t.Helper()
+	coef := make([]byte, k+c.ParityShards())
+	if err := c.PlanReconstruct(k, missing, target, coef); err != nil {
+		t.Fatalf("PlanReconstruct(k=%d, missing=%v, target=%d): %v", k, missing, target, err)
+	}
+	for _, s := range missing {
+		if coef[s] != 0 {
+			t.Fatalf("PlanReconstruct(k=%d, missing=%v, target=%d): nonzero coefficient %d on missing shard %d", k, missing, target, coef[s], s)
+		}
+	}
+	out := make([]byte, size)
+	for s, w := range coef {
+		MulAdd(out, shards[s], w)
+	}
+	return out
+}
+
+// subsets appends every size-n subset of [0, total) to out.
+func subsets(total, n int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == n {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for s := start; s < total; s++ {
+			rec(s+1, append(cur, s))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// TestReconstructAllMasks encodes random data and, for every code and
+// every failure mask of up to m shards, reconstructs every missing shard
+// from the survivors and compares byte-for-byte — the MDS property the
+// store's two-disk-down serving depends on.
+func TestReconstructAllMasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		name string
+		m, k int
+	}{
+		{"xor", 1, 5},
+		{"rs", 1, 5},
+		{"rs", 2, 6},
+		{"rs", 3, 5},
+		{"rs", 4, 4},
+	} {
+		c, err := New(tc.name, tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const size = 64
+		data := make([][]byte, tc.k)
+		for i := range data {
+			data[i] = make([]byte, size)
+			rng.Read(data[i])
+		}
+		shards := append(append([][]byte(nil), data...), encodeAll(c, data, size)...)
+		total := tc.k + tc.m
+		for n := 1; n <= tc.m; n++ {
+			for _, missing := range subsets(total, n) {
+				for _, target := range missing {
+					got := reconstruct(t, c, shards, tc.k, missing, target, size)
+					if !bytes.Equal(got, shards[target]) {
+						t.Fatalf("%s m=%d k=%d: missing %v: shard %d reconstruction mismatch", tc.name, tc.m, tc.k, missing, target)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateParityMatchesEncode applies a random series of small-write
+// deltas through UpdateParity and checks each parity stays equal to a
+// from-scratch re-encode — the RMW invariant behind degraded and healthy
+// small writes alike.
+func TestUpdateParityMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range []Code{XOR{}, mustRS(t, 2), mustRS(t, 3)} {
+		const k, size = 6, 32
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = make([]byte, size)
+			rng.Read(data[i])
+		}
+		par := encodeAll(c, data, size)
+		delta := make([]byte, size)
+		for iter := 0; iter < 50; iter++ {
+			i := rng.Intn(k)
+			newData := make([]byte, size)
+			rng.Read(newData)
+			for b := range delta {
+				delta[b] = data[i][b] ^ newData[b]
+			}
+			data[i] = newData
+			for j := range par {
+				c.UpdateParity(j, i, par[j], delta)
+			}
+		}
+		want := encodeAll(c, data, size)
+		for j := range par {
+			if !bytes.Equal(par[j], want[j]) {
+				t.Fatalf("%s: parity %d diverged from re-encode after updates", c.Name(), j)
+			}
+		}
+	}
+}
+
+// TestCoefMatchesEncode pins that EncodeParity is exactly the Coef linear
+// combination, byte-wise.
+func TestCoefMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, c := range []Code{XOR{}, mustRS(t, 2), mustRS(t, 4)} {
+		const k, size = 5, 16
+		data := make([][]byte, k)
+		for i := range data {
+			data[i] = make([]byte, size)
+			rng.Read(data[i])
+		}
+		for j := 0; j < c.ParityShards(); j++ {
+			want := make([]byte, size)
+			for i := range data {
+				MulAdd(want, data[i], c.Coef(j, i))
+			}
+			got := make([]byte, size)
+			c.EncodeParity(j, data, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: EncodeParity(%d) differs from Coef combination", c.Name(), j)
+			}
+		}
+	}
+}
+
+// TestXORMatchesClassicParity pins the compatibility promise: XOR's
+// parity is the plain XOR of the data shards, and its reconstruction the
+// plain XOR of all survivors.
+func TestXORMatchesClassicParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const k, size = 4, 32
+	data := make([][]byte, k)
+	want := make([]byte, size)
+	for i := range data {
+		data[i] = make([]byte, size)
+		rng.Read(data[i])
+		for b := range want {
+			want[b] ^= data[i][b]
+		}
+	}
+	par := make([]byte, size)
+	XOR{}.EncodeParity(0, data, par)
+	if !bytes.Equal(par, want) {
+		t.Fatalf("XOR parity differs from plain XOR")
+	}
+	coef := make([]byte, k+1)
+	if err := (XOR{}).PlanReconstruct(k, []int{2}, 2, coef); err != nil {
+		t.Fatal(err)
+	}
+	for s, w := range coef {
+		want := byte(1)
+		if s == 2 {
+			want = 0
+		}
+		if w != want {
+			t.Fatalf("XOR reconstruction coefficient for shard %d is %d, want %d", s, w, want)
+		}
+	}
+}
+
+// TestPlanReconstructErrors pins the failure modes: too many losses,
+// unsorted or out-of-range masks, a target outside the mask, and more
+// data losses than alive parity rows.
+func TestPlanReconstructErrors(t *testing.T) {
+	rs := mustRS(t, 2)
+	coef := make([]byte, 16)
+	for _, tc := range []struct {
+		name    string
+		c       Code
+		k       int
+		missing []int
+		target  int
+	}{
+		{"too many", rs, 4, []int{0, 1, 2}, 0},
+		{"unsorted", rs, 4, []int{3, 1}, 1},
+		{"duplicate", rs, 4, []int{1, 1}, 1},
+		{"out of range", rs, 4, []int{7}, 7},
+		{"negative", rs, 4, []int{-1}, -1},
+		{"target not missing", rs, 4, []int{0, 1}, 2},
+		{"empty", rs, 4, nil, 0},
+		{"xor two losses", XOR{}, 4, []int{0, 1}, 0},
+		{"k too large", rs, 255, []int{0}, 0},
+	} {
+		if err := tc.c.PlanReconstruct(tc.k, tc.missing, tc.target, coef); err == nil {
+			t.Fatalf("%s: PlanReconstruct(k=%d, %v, %d) accepted", tc.name, tc.k, tc.missing, tc.target)
+		}
+	}
+}
+
+// TestRegistry pins the name/m registry the manifests persist.
+func TestRegistry(t *testing.T) {
+	if c, err := New("xor", 1); err != nil || c.Name() != "xor" || c.ParityShards() != 1 {
+		t.Fatalf("New(xor,1) = %v, %v", c, err)
+	}
+	if c, err := New("rs", 3); err != nil || c.Name() != "rs" || c.ParityShards() != 3 {
+		t.Fatalf("New(rs,3) = %v, %v", c, err)
+	}
+	for _, bad := range []struct {
+		name string
+		m    int
+	}{{"xor", 2}, {"xor", 0}, {"rs", 0}, {"rs", 9}, {"crc", 1}} {
+		if _, err := New(bad.name, bad.m); err == nil {
+			t.Fatalf("New(%q,%d) accepted", bad.name, bad.m)
+		}
+	}
+	if Default(1).Name() != "xor" {
+		t.Fatalf("Default(1) is not xor")
+	}
+	if c := Default(2); c.Name() != "rs" || c.ParityShards() != 2 {
+		t.Fatalf("Default(2) is not rs/2")
+	}
+}
+
+func mustRS(t *testing.T, m int) Code {
+	t.Helper()
+	c, err := NewReedSolomon(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestMaxDataShardsRoundTrip exercises the widest stripe the RS code
+// accepts, k = MaxDataShards, with the full m-shard loss.
+func TestMaxDataShardsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := mustRS(t, 2)
+	k := c.MaxDataShards()
+	const size = 8
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, size)
+		rng.Read(data[i])
+	}
+	shards := append(append([][]byte(nil), data...), encodeAll(c, data, size)...)
+	missing := []int{0, k - 1}
+	for _, target := range missing {
+		if got := reconstruct(t, c, shards, k, missing, target, size); !bytes.Equal(got, shards[target]) {
+			t.Fatalf("k=%d: shard %d mismatch", k, target)
+		}
+	}
+}

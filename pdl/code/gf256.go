@@ -1,0 +1,114 @@
+// Package code implements the erasure codes a parity-declustered array
+// can run over its stripes: the parity policy is a Code — how many parity
+// units a stripe carries, how they are computed from the data units, how
+// they absorb a small-write delta, and how any m lost units are
+// reconstructed from survivors. Two implementations ship: XOR (single
+// parity, byte-identical to the classic RAID-5 arithmetic every layer
+// used before this package existed) and ReedSolomon over GF(2^8), a
+// systematic MDS code tolerating up to 8 simultaneous unit losses per
+// stripe.
+//
+// The byte kernels (MulAdd and the per-parity encode/update loops) are
+// table-driven — one flat 64 KiB multiplication table, one 256-byte
+// inverse table — and allocation-free in steady state, so the pdl/store
+// hot paths stay at 0 allocs/op (TestCodeHotPathAllocs pins this). Like
+// repro/pdl/layout, this package is part of the public API and depends on
+// nothing under internal/.
+package code
+
+import "crypto/subtle"
+
+// Poly is the primitive polynomial x^8+x^4+x^3+x^2+1 (0x11d) defining the
+// package's GF(2^8) representation — the conventional choice of storage
+// erasure codes, fixed forever because generator coefficients derived
+// from it are baked into on-disk parity bytes.
+const Poly = 0x11d
+
+// Field tables, built once at init: exponentials of the generator 2,
+// logarithms, the flat 256x256 product table the byte kernels index, and
+// multiplicative inverses.
+var (
+	expTab [510]byte // expTab[i] = 2^i, doubled so Mul needs no mod
+	logTab [256]byte
+	mulTab [65536]byte // mulTab[a<<8|b] = a*b
+	invTab [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTab[i] = byte(x)
+		expTab[i+255] = byte(x)
+		logTab[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			mulTab[a<<8|b] = expTab[int(logTab[a])+int(logTab[b])]
+		}
+		invTab[a] = expTab[255-int(logTab[a])]
+	}
+}
+
+// Mul returns the GF(2^8) product a*b.
+func Mul(a, b byte) byte { return mulTab[int(a)<<8|int(b)] }
+
+// Inv returns a^-1, with ok=false for a = 0.
+func Inv(a byte) (byte, bool) {
+	if a == 0 {
+		return 0, false
+	}
+	return invTab[a], true
+}
+
+// Div returns a/b, with ok=false for b = 0.
+func Div(a, b byte) (byte, bool) {
+	if b == 0 {
+		return 0, false
+	}
+	return mulTab[int(a)<<8|int(invTab[b])], true
+}
+
+// MulNoTable multiplies by explicit carry-less polynomial arithmetic
+// modulo Poly — the reference implementation the tables are cross-checked
+// against for all 65536 pairs (see TestGFTablesMatchPolynomial).
+func MulNoTable(a, b byte) byte {
+	var r int
+	x, y := int(a), int(b)
+	for i := 0; i < 8; i++ {
+		if y&(1<<i) != 0 {
+			r ^= x << i
+		}
+	}
+	for i := 15; i >= 8; i-- {
+		if r&(1<<i) != 0 {
+			r ^= Poly << (i - 8)
+		}
+	}
+	return byte(r)
+}
+
+// MulAdd accumulates dst ^= c*src byte-wise: the fundamental erasure-code
+// kernel. c = 0 is a no-op and c = 1 a plain XOR, so XOR-coded and
+// unit-coefficient work never pays the table walk. src and dst must have
+// equal length and may not overlap (dst == src aliasing is allowed only
+// for c = 0 or 1).
+func MulAdd(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		subtle.XORBytes(dst, dst, src)
+		return
+	}
+	row := mulTab[int(c)<<8 : int(c)<<8+256]
+	if len(src) != len(dst) {
+		panic("code: MulAdd: length mismatch")
+	}
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}

@@ -1,0 +1,117 @@
+package code
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+// TestGFTablesMatchPolynomial cross-checks the lookup-table product
+// against the carry-less polynomial reference for every one of the 65536
+// input pairs, and Div against Mul over the same domain.
+func TestGFTablesMatchPolynomial(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			want := MulNoTable(byte(a), byte(b))
+			if got := Mul(byte(a), byte(b)); got != want {
+				t.Fatalf("Mul(%d,%d) = %d, polynomial reference %d", a, b, got, want)
+			}
+			q, ok := Div(byte(a), byte(b))
+			if b == 0 {
+				if ok {
+					t.Fatalf("Div(%d,0) reported ok", a)
+				}
+				continue
+			}
+			if !ok || Mul(q, byte(b)) != byte(a) {
+				t.Fatalf("Div(%d,%d) = %d: times %d gives %d", a, b, q, b, Mul(q, byte(b)))
+			}
+		}
+	}
+}
+
+// TestGFMatchesAlgebraField cross-checks against internal/algebra's
+// independently-constructed GF(2^8): that field may pick a different
+// modulus, so the check maps elements through a field isomorphism fixed
+// by matching generators (both groups are cyclic of order 255).
+func TestGFMatchesAlgebraField(t *testing.T) {
+	f := algebra.NewField(256)
+	// iso[x] is the algebra-field element corresponding to our x: both
+	// sides are powers of their own primitive element, matched by
+	// exponent.
+	var iso [256]int
+	g := f.Primitive()
+	acc := f.One()
+	for i := 0; i < 255; i++ {
+		iso[expTab[i]] = acc
+		acc = f.Mul(acc, g)
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := iso[Mul(byte(a), byte(b))], f.Mul(iso[a], iso[b]); got != want {
+				t.Fatalf("Mul(%d,%d) maps to %d, algebra field multiplies to %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestGFProperties checks the field laws the codes rely on:
+// commutativity and distributivity over all pairs, associativity over a
+// full deterministic sweep of one operand, and inverses for every
+// nonzero element.
+func TestGFProperties(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if Mul(byte(a), byte(b)) != Mul(byte(b), byte(a)) {
+				t.Fatalf("Mul(%d,%d) not commutative", a, b)
+			}
+			// Distributivity: a*(b^c) == a*b ^ a*c with c = b+1 mod 256
+			// and c = a (two independent sweeps of all pairs).
+			for _, c := range []byte{byte(b + 1), byte(a)} {
+				if Mul(byte(a), byte(b)^c) != Mul(byte(a), byte(b))^Mul(byte(a), c) {
+					t.Fatalf("Mul(%d, %d^%d) breaks distributivity", a, b, c)
+				}
+			}
+			// Associativity: (a*b)*c == a*(b*c) for c stepped over a
+			// fixed residue sweep keeps the check O(256^2 * 8).
+			for c := byte(1); c != 0; c <<= 1 {
+				if Mul(Mul(byte(a), byte(b)), c) != Mul(byte(a), Mul(byte(b), c)) {
+					t.Fatalf("Mul(%d,%d,%d) not associative", a, b, c)
+				}
+			}
+		}
+	}
+	for a := 1; a < 256; a++ {
+		inv, ok := Inv(byte(a))
+		if !ok || Mul(byte(a), inv) != 1 {
+			t.Fatalf("Inv(%d) = %d, ok=%v: product %d", a, inv, ok, Mul(byte(a), inv))
+		}
+	}
+	if _, ok := Inv(0); ok {
+		t.Fatalf("Inv(0) reported ok")
+	}
+}
+
+// TestMulAdd pins the kernel against the scalar definition for the three
+// coefficient classes (0, 1, table row).
+func TestMulAdd(t *testing.T) {
+	src := make([]byte, 257)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	for _, c := range []byte{0, 1, 2, 29, 255} {
+		dst := make([]byte, len(src))
+		for i := range dst {
+			dst[i] = byte(i * 7)
+		}
+		want := make([]byte, len(src))
+		for i := range want {
+			want[i] = dst[i] ^ Mul(c, src[i])
+		}
+		MulAdd(dst, src, c)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("MulAdd c=%d mismatch", c)
+		}
+	}
+}

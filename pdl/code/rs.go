@@ -1,0 +1,174 @@
+package code
+
+import "fmt"
+
+// ReedSolomon is a systematic Cauchy Reed–Solomon code over GF(2^8): m
+// parity shards, each a Cauchy-generator combination of the data shards,
+// tolerating any m simultaneous shard losses per stripe (MDS). The
+// generator is
+//
+//	Coef(j, i) = 1 / (x_j ^ y_i),  x_j = 255-j,  y_i = i
+//
+// with the x and y index sets disjoint (i < MaxDataShards() = 256-m keeps
+// y below every x), so every square submatrix of the generator is
+// invertible — the Cauchy property the reconstruction planner relies on.
+// The coefficients are a pure function of (j, i): parity bytes written by
+// one process are reconstructable by any other, with nothing to persist
+// beyond the code's name and m.
+type ReedSolomon struct {
+	m int
+}
+
+// NewReedSolomon returns the Cauchy Reed–Solomon code with m parity
+// shards, 1 <= m <= MaxParityShards.
+func NewReedSolomon(m int) (*ReedSolomon, error) {
+	if m < 1 || m > MaxParityShards {
+		return nil, fmt.Errorf("code: rs: %d parity shards outside [1,%d]", m, MaxParityShards)
+	}
+	return &ReedSolomon{m: m}, nil
+}
+
+// Name implements Code.
+func (c *ReedSolomon) Name() string { return "rs" }
+
+// ParityShards implements Code.
+func (c *ReedSolomon) ParityShards() int { return c.m }
+
+// MaxDataShards implements Code: the x/y disjointness bound.
+func (c *ReedSolomon) MaxDataShards() int { return 256 - c.m }
+
+// Coef implements Code. j must be in [0, ParityShards()) and i in
+// [0, MaxDataShards()).
+func (c *ReedSolomon) Coef(j, i int) byte { return invTab[(255-j)^i] }
+
+// EncodeParity implements Code. len(data) must be at most MaxDataShards().
+func (c *ReedSolomon) EncodeParity(j int, data [][]byte, parity []byte) {
+	clear(parity)
+	for i, d := range data {
+		MulAdd(parity, d, c.Coef(j, i))
+	}
+}
+
+// UpdateParity implements Code.
+func (c *ReedSolomon) UpdateParity(j, i int, parity, delta []byte) {
+	MulAdd(parity, delta, c.Coef(j, i))
+}
+
+// PlanReconstruct implements Code. Writing D for the missing data shards,
+// it picks |D| alive parity rows, inverts the |D| x |D| Cauchy submatrix
+// over them (Gauss–Jordan on fixed stack arrays — no allocation), and
+// expresses the target as a survivor combination: a missing data target
+// is one row of the inverse applied to (parities + alive-data
+// contributions); a missing parity target is its generator row with every
+// missing data shard substituted by its own expansion.
+func (c *ReedSolomon) PlanReconstruct(k int, missing []int, target int, coef []byte) error {
+	if err := checkPlanArgs("rs", k, c.m, missing, target); err != nil {
+		return err
+	}
+	if k > c.MaxDataShards() {
+		return fmt.Errorf("code: rs: %d data shards, max %d with %d parity", k, c.MaxDataShards(), c.m)
+	}
+	clear(coef[:k+c.m])
+	var d [MaxParityShards]int // missing data shards, ascending
+	var dataDown [256]bool
+	var parityDown [MaxParityShards]bool
+	nd := 0
+	for _, s := range missing {
+		if s < k {
+			d[nd] = s
+			dataDown[s] = true
+			nd++
+		} else {
+			parityDown[s-k] = true
+		}
+	}
+	// Trivially, a missing parity with no data missing is re-encoded from
+	// the (all-alive) data shards; the general path below also covers it
+	// with nd = 0, falling through the inversion as a 0x0 system.
+	var rows [MaxParityShards]int // alive parity rows used, one per missing data shard
+	nr := 0
+	for j := 0; j < c.m && nr < nd; j++ {
+		if !parityDown[j] {
+			rows[nr] = j
+			nr++
+		}
+	}
+	if nr < nd {
+		return fmt.Errorf("code: rs: %d data shards lost with only %d parity alive", nd, nr)
+	}
+	// Invert A[a][b] = Coef(rows[a], d[b]).
+	var a, ainv [MaxParityShards][MaxParityShards]byte
+	for r := 0; r < nd; r++ {
+		for b := 0; b < nd; b++ {
+			a[r][b] = c.Coef(rows[r], d[b])
+		}
+		ainv[r][r] = 1
+	}
+	for col := 0; col < nd; col++ {
+		piv := -1
+		for r := col; r < nd; r++ {
+			if a[r][col] != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			// Unreachable for a Cauchy submatrix; kept as a guard so a
+			// future generator change fails loudly instead of mis-decoding.
+			return fmt.Errorf("code: rs: singular reconstruction system")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		ainv[col], ainv[piv] = ainv[piv], ainv[col]
+		inv := invTab[a[col][col]]
+		for j := 0; j < nd; j++ {
+			a[col][j] = Mul(a[col][j], inv)
+			ainv[col][j] = Mul(ainv[col][j], inv)
+		}
+		for r := 0; r < nd; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for j := 0; j < nd; j++ {
+				a[r][j] ^= Mul(f, a[col][j])
+				ainv[r][j] ^= Mul(f, ainv[col][j])
+			}
+		}
+	}
+	// expand folds w times missing data shard d[b]'s survivor expansion
+	// d[b] = sum_a ainv[b][a] * (p_rows[a] + sum_{i alive} Coef(rows[a],i) d_i)
+	// into coef.
+	expand := func(b int, w byte) {
+		for r := 0; r < nd; r++ {
+			v := Mul(w, ainv[b][r])
+			if v == 0 {
+				continue
+			}
+			coef[k+rows[r]] ^= v
+			for i := 0; i < k; i++ {
+				if !dataDown[i] {
+					coef[i] ^= Mul(v, c.Coef(rows[r], i))
+				}
+			}
+		}
+	}
+	if target < k {
+		for b := 0; b < nd; b++ {
+			if d[b] == target {
+				expand(b, 1)
+				return nil
+			}
+		}
+		return fmt.Errorf("code: rs: target %d not tracked", target) // unreachable: checkPlanArgs
+	}
+	jt := target - k
+	for i := 0; i < k; i++ {
+		if !dataDown[i] {
+			coef[i] = c.Coef(jt, i)
+		}
+	}
+	for b := 0; b < nd; b++ {
+		expand(b, c.Coef(jt, d[b]))
+	}
+	return nil
+}

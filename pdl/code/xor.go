@@ -1,0 +1,48 @@
+package code
+
+import "crypto/subtle"
+
+// XOR is the classic single-parity code: one parity unit holding the XOR
+// of the stripe's data units. Every generator coefficient is 1, so all of
+// its kernels reduce to plain XOR — byte-identical to the arithmetic the
+// layout, plan, and store layers used before codes were pluggable, which
+// keeps existing arrays readable without translation.
+type XOR struct{}
+
+// Name implements Code.
+func (XOR) Name() string { return "xor" }
+
+// ParityShards implements Code: XOR tolerates exactly one loss.
+func (XOR) ParityShards() int { return 1 }
+
+// MaxDataShards implements Code: XOR places no bound on stripe width.
+func (XOR) MaxDataShards() int { return 1 << 30 }
+
+// Coef implements Code: every data shard contributes with coefficient 1.
+func (XOR) Coef(j, i int) byte { return 1 }
+
+// EncodeParity implements Code.
+func (XOR) EncodeParity(j int, data [][]byte, parity []byte) {
+	clear(parity)
+	for _, d := range data {
+		subtle.XORBytes(parity, parity, d)
+	}
+}
+
+// UpdateParity implements Code.
+func (XOR) UpdateParity(j, i int, parity, delta []byte) {
+	subtle.XORBytes(parity, parity, delta)
+}
+
+// PlanReconstruct implements Code: the single missing shard is the XOR of
+// every survivor (data or parity alike).
+func (XOR) PlanReconstruct(k int, missing []int, target int, coef []byte) error {
+	if err := checkPlanArgs("xor", k, 1, missing, target); err != nil {
+		return err
+	}
+	for s := 0; s < k+1; s++ {
+		coef[s] = 1
+	}
+	coef[target] = 0
+	return nil
+}

@@ -22,7 +22,7 @@ func (m *Mapping) LargeWriteAlignment() float64 {
 		lo, hi, n := -1, -1, 0
 		ok := true
 		for ui, u := range s.Units {
-			if ui == s.Parity {
+			if m.layout.IsParityPos(s, ui) {
 				continue
 			}
 			logical, isData := m.Logical(u, m.layout.Size)

@@ -11,18 +11,24 @@ import (
 //
 //	0 (implicit): the pre-1.0 schema without a version field
 //	1: identical payload plus an explicit "version" field
+//	2: adds "parity_units" (parity units per stripe, multi-parity layouts)
 //
 // ReadJSON accepts any version up to JSONVersion and rejects newer ones,
-// so layouts serialized by older releases keep loading.
-const JSONVersion = 1
+// so layouts serialized by older releases keep loading — and WriteJSON
+// emits the oldest version that can represent the layout (single-parity
+// layouts still serialize at version 1, byte-identical to older
+// releases, so files round-tripped through this build stay readable by
+// old builds).
+const JSONVersion = 2
 
 // jsonLayout is the stable JSON interchange schema used by the CLI tools:
 // stripes are lists of [disk, offset] pairs plus a parity index.
 type jsonLayout struct {
-	Version int          `json:"version,omitempty"`
-	V       int          `json:"v"`
-	Size    int          `json:"size"`
-	Stripes []jsonStripe `json:"stripes"`
+	Version     int          `json:"version,omitempty"`
+	V           int          `json:"v"`
+	Size        int          `json:"size"`
+	ParityUnits int          `json:"parity_units,omitempty"`
+	Stripes     []jsonStripe `json:"stripes"`
 }
 
 type jsonStripe struct {
@@ -30,9 +36,15 @@ type jsonStripe struct {
 	Parity int      `json:"parity"`
 }
 
-// WriteJSON serializes the layout at schema version JSONVersion.
+// WriteJSON serializes the layout at the oldest schema version that
+// represents it: version 1 for single-parity layouts, version 2 when the
+// stripe carries more than one parity unit.
 func (l *Layout) WriteJSON(w io.Writer) error {
-	jl := jsonLayout{Version: JSONVersion, V: l.V, Size: l.Size, Stripes: make([]jsonStripe, len(l.Stripes))}
+	jl := jsonLayout{Version: 1, V: l.V, Size: l.Size, Stripes: make([]jsonStripe, len(l.Stripes))}
+	if l.ParityCount() > 1 {
+		jl.Version = JSONVersion
+		jl.ParityUnits = l.ParityUnits
+	}
 	for i, s := range l.Stripes {
 		units := make([][2]int, len(s.Units))
 		for j, u := range s.Units {
@@ -56,7 +68,10 @@ func ReadJSON(r io.Reader) (*Layout, error) {
 	if jl.Version < 0 || jl.Version > JSONVersion {
 		return nil, fmt.Errorf("layout: ReadJSON: unsupported schema version %d (this build reads up to %d)", jl.Version, JSONVersion)
 	}
-	l := &Layout{V: jl.V, Size: jl.Size, Stripes: make([]Stripe, len(jl.Stripes))}
+	if jl.ParityUnits < 0 || (jl.Version < 2 && jl.ParityUnits > 1) {
+		return nil, fmt.Errorf("layout: ReadJSON: parity_units %d invalid at schema version %d", jl.ParityUnits, jl.Version)
+	}
+	l := &Layout{V: jl.V, Size: jl.Size, ParityUnits: jl.ParityUnits, Stripes: make([]Stripe, len(jl.Stripes))}
 	for i, s := range jl.Stripes {
 		units := make([]Unit, len(s.Units))
 		for j, u := range s.Units {

@@ -22,9 +22,13 @@ type Unit struct {
 	Disk, Offset int
 }
 
-// Stripe is one parity stripe: a set of units on distinct disks, one of
-// which is the parity unit (the XOR of the others). Parity is an index into
-// Units, or -1 while unassigned.
+// Stripe is one parity stripe: a set of units on distinct disks, some of
+// which hold parity. Parity is the index of the first parity unit into
+// Units, or -1 while unassigned; when the layout carries m parity units
+// per stripe (Layout.ParityCount), the parity units occupy the m
+// consecutive positions (Parity, Parity+1, ..., Parity+m-1) mod
+// len(Units) — so for the classic single-parity case, Parity is the one
+// parity unit, exactly as before multi-parity existed.
 type Stripe struct {
 	Units  []Unit
 	Parity int
@@ -41,16 +45,50 @@ func (s *Stripe) ParityUnit() (Unit, bool) {
 
 // Layout is a parity-declustered data layout: V disks of Size units each,
 // partitioned into Stripes. The paper calls Size the size of the layout;
-// it equals the height of the Condition 4 lookup table.
+// it equals the height of the Condition 4 lookup table. ParityUnits is
+// the number of parity units each stripe carries; the zero value means 1,
+// so every layout built before erasure codes were pluggable keeps its
+// meaning.
 type Layout struct {
-	V       int
-	Size    int
-	Stripes []Stripe
+	V           int
+	Size        int
+	ParityUnits int
+	Stripes     []Stripe
+}
+
+// ParityCount returns the number of parity units per stripe (m >= 1): the
+// redundancy the array's erasure code must provide. The zero value of
+// ParityUnits reads as 1.
+func (l *Layout) ParityCount() int {
+	if l.ParityUnits <= 0 {
+		return 1
+	}
+	return l.ParityUnits
+}
+
+// IsParityPos reports whether position ui of stripe s holds parity under
+// this layout's parity count: one of the m consecutive positions (mod
+// stripe size) starting at s.Parity. False while parity is unassigned.
+func (l *Layout) IsParityPos(s *Stripe, ui int) bool {
+	if s.Parity < 0 {
+		return false
+	}
+	d := ui - s.Parity
+	if d < 0 {
+		d += len(s.Units)
+	}
+	return d < l.ParityCount()
+}
+
+// ParityPos returns the position (index into s.Units) of stripe s's j-th
+// parity unit, j in [0, ParityCount()).
+func (l *Layout) ParityPos(s *Stripe, j int) int {
+	return (s.Parity + j) % len(s.Units)
 }
 
 // Clone returns a deep copy.
 func (l *Layout) Clone() *Layout {
-	out := &Layout{V: l.V, Size: l.Size, Stripes: make([]Stripe, len(l.Stripes))}
+	out := &Layout{V: l.V, Size: l.Size, ParityUnits: l.ParityUnits, Stripes: make([]Stripe, len(l.Stripes))}
 	for i, s := range l.Stripes {
 		out.Stripes[i] = Stripe{Units: append([]Unit(nil), s.Units...), Parity: s.Parity}
 	}
@@ -103,6 +141,9 @@ func (l *Layout) Check() error {
 	if l.V < 2 {
 		return fmt.Errorf("layout: v = %d < 2", l.V)
 	}
+	if l.ParityUnits < 0 {
+		return fmt.Errorf("layout: parity units %d < 0", l.ParityUnits)
+	}
 	covered := make([]bool, l.V*l.Size)
 	for i, s := range l.Stripes {
 		if len(s.Units) == 0 {
@@ -110,6 +151,9 @@ func (l *Layout) Check() error {
 		}
 		if s.Parity < -1 || s.Parity >= len(s.Units) {
 			return fmt.Errorf("layout: stripe %d parity index %d invalid", i, s.Parity)
+		}
+		if l.ParityCount() > 1 && s.Parity >= 0 && len(s.Units) <= l.ParityCount() {
+			return fmt.Errorf("layout: stripe %d has %d units, need more than %d parity units", i, len(s.Units), l.ParityCount())
 		}
 		seen := make(map[int]bool, len(s.Units))
 		for _, u := range s.Units {
@@ -210,7 +254,7 @@ func Copies(l *Layout, n int) *Layout {
 	if n < 1 {
 		panic(fmt.Sprintf("layout: Copies(%d): need n >= 1", n))
 	}
-	out := &Layout{V: l.V, Size: l.Size * n}
+	out := &Layout{V: l.V, Size: l.Size * n, ParityUnits: l.ParityUnits}
 	for c := 0; c < n; c++ {
 		base := c * l.Size
 		for _, s := range l.Stripes {

@@ -31,8 +31,15 @@ type Mapping struct {
 	// are stripeUnits[stripeOff[si]:stripeOff[si+1]], in stripe order.
 	stripeOff   []int32
 	stripeUnits []Unit
-	// stripeParity[si] = index of the parity unit within stripe si's units.
+	// stripeParity[si] = index of the first parity unit within stripe si's
+	// units (the layout's remaining parity units follow it mod stripe size).
 	stripeParity []int32
+	// shardOf[disk*Size+offset] = erasure-code shard index of that unit
+	// within its stripe: data units are 0..k-1 in stripe-position order,
+	// parity unit j is k+j.
+	shardOf []int16
+	// parity = the layout's parity units per stripe (m).
+	parity int
 }
 
 // NewMapping builds the lookup tables for a layout with assigned parity.
@@ -56,10 +63,13 @@ func NewMapping(l *Layout) (*Mapping, error) {
 		stripeOf:     make([]int32, entries),
 		stripeOff:    make([]int32, len(l.Stripes)+1),
 		stripeParity: make([]int32, len(l.Stripes)),
+		shardOf:      make([]int16, entries),
+		parity:       l.ParityCount(),
 	}
 	for i := range m.reverse {
 		m.reverse[i] = -1
 		m.stripeOf[i] = -1
+		m.shardOf[i] = -1
 	}
 	total := 0
 	for si := range l.Stripes {
@@ -68,15 +78,29 @@ func NewMapping(l *Layout) (*Mapping, error) {
 	m.stripeUnits = make([]Unit, 0, total)
 	for si := range l.Stripes {
 		s := &l.Stripes[si]
+		n := len(s.Units)
+		if n > math.MaxInt16 {
+			return nil, fmt.Errorf("layout: NewMapping: stripe %d has %d units, shard table holds %d", si, n, math.MaxInt16)
+		}
+		k := n - m.parity
 		m.stripeOff[si] = int32(len(m.stripeUnits))
 		m.stripeParity[si] = int32(s.Parity)
 		m.stripeUnits = append(m.stripeUnits, s.Units...)
+		data := 0
 		for ui, u := range s.Units {
 			idx := u.Disk*l.Size + u.Offset
 			m.stripeOf[idx] = int32(si)
-			if ui == s.Parity {
+			if l.IsParityPos(s, ui) {
+				// Parity unit j occupies position (s.Parity+j) mod n.
+				j := ui - s.Parity
+				if j < 0 {
+					j += n
+				}
+				m.shardOf[idx] = int16(k + j)
 				continue
 			}
+			m.shardOf[idx] = int16(data)
+			data++
 			m.reverse[idx] = int32(len(m.forward))
 			m.forward = append(m.forward, u)
 		}
@@ -115,9 +139,32 @@ func (m *Mapping) StripeUnits(si int) []Unit {
 	return m.stripeUnits[m.stripeOff[si]:m.stripeOff[si+1]]
 }
 
-// ParityIndex returns the index of stripe si's parity unit within
+// ParityIndex returns the index of stripe si's first parity unit within
 // StripeUnits(si). si must be in [0, NumStripes()).
 func (m *Mapping) ParityIndex(si int) int { return int(m.stripeParity[si]) }
+
+// ParityShards returns the layout's parity units per stripe (m).
+func (m *Mapping) ParityShards() int { return m.parity }
+
+// DataShards returns the number of data units (k) of stripe si.
+func (m *Mapping) DataShards(si int) int {
+	return int(m.stripeOff[si+1]-m.stripeOff[si]) - m.parity
+}
+
+// ParityUnitAt returns stripe si's j-th parity unit (one layout copy), j
+// in [0, ParityShards()).
+func (m *Mapping) ParityUnitAt(si, j int) Unit {
+	units := m.StripeUnits(si)
+	return units[(int(m.stripeParity[si])+j)%len(units)]
+}
+
+// ShardIndex returns the erasure-code shard index of the physical
+// position (disk, offset) within its stripe, one layout copy: data units
+// are 0..k-1 in stripe-position order, parity unit j is k+j. disk must be
+// in [0, V) and offset in [0, Size).
+func (m *Mapping) ShardIndex(disk, offset int) int {
+	return int(m.shardOf[disk*m.layout.Size+offset])
+}
 
 // TableEntries returns the size of the in-memory lookup table (the
 // Condition 4 memory metric): one entry per unit of one disk per table,

@@ -13,14 +13,19 @@ import "fmt"
 // reconstruct f, i.e. (number of stripes crossing both f and d) / Size;
 // the layout metric is the maximum over pairs.
 
-// ParityCounts returns, per disk, the number of parity units it holds.
-// Stripes with unassigned parity contribute nothing.
+// ParityCounts returns, per disk, the number of parity units it holds —
+// all ParityCount() units of every stripe, so multi-parity layouts report
+// their full overhead. Stripes with unassigned parity contribute nothing.
 func (l *Layout) ParityCounts() []int {
 	counts := make([]int, l.V)
+	m := l.ParityCount()
 	for i := range l.Stripes {
 		s := &l.Stripes[i]
-		if s.Parity >= 0 {
-			counts[s.Units[s.Parity].Disk]++
+		if s.Parity < 0 {
+			continue
+		}
+		for j := 0; j < m; j++ {
+			counts[s.Units[l.ParityPos(s, j)].Disk]++
 		}
 	}
 	return counts

@@ -1,0 +1,177 @@
+package layout
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fano2 returns the Fano-plane layout carrying two parity units per
+// stripe (each stripe: 1 data + 2 parity units).
+func fano2(t *testing.T) *Layout {
+	t.Helper()
+	l := hgFanoLayout(t)
+	l.ParityUnits = 2
+	if err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestMultiParityAccessors(t *testing.T) {
+	l := fano2(t)
+	if l.ParityCount() != 2 {
+		t.Fatalf("ParityCount() = %d, want 2", l.ParityCount())
+	}
+	m, err := NewMapping(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ParityShards() != 2 {
+		t.Fatalf("ParityShards() = %d, want 2", m.ParityShards())
+	}
+	for si := range l.Stripes {
+		s := &l.Stripes[si]
+		k := m.DataShards(si)
+		if k != len(s.Units)-2 {
+			t.Fatalf("stripe %d: DataShards = %d, want %d", si, k, len(s.Units)-2)
+		}
+		// Every unit's shard index: data units 0..k-1 in stripe-position
+		// order, parity unit j at k+j; positions and shard indexes must
+		// agree with IsParityPos/ParityPos.
+		seen := make(map[int]bool)
+		for ui, u := range s.Units {
+			sh := m.ShardIndex(u.Disk, u.Offset)
+			if sh < 0 || sh >= len(s.Units) || seen[sh] {
+				t.Fatalf("stripe %d unit %d: shard %d invalid or duplicate", si, ui, sh)
+			}
+			seen[sh] = true
+			if l.IsParityPos(s, ui) != (sh >= k) {
+				t.Fatalf("stripe %d unit %d: IsParityPos=%v but shard=%d (k=%d)", si, ui, l.IsParityPos(s, ui), sh, k)
+			}
+		}
+		for j := 0; j < 2; j++ {
+			pu := m.ParityUnitAt(si, j)
+			if got := m.ShardIndex(pu.Disk, pu.Offset); got != k+j {
+				t.Fatalf("stripe %d parity %d: shard %d, want %d", si, j, got, k+j)
+			}
+			if s.Units[l.ParityPos(s, j)] != pu {
+				t.Fatalf("stripe %d: ParityPos(%d) disagrees with ParityUnitAt", si, j)
+			}
+		}
+	}
+}
+
+// TestMultiParityDataReconstruction is the layout-level two-failure pin:
+// the Data engine over a two-parity Fano layout must reconstruct every
+// single disk and every ordered disk pair (CheckReconstruction), and
+// serve degraded reads under every failed pair.
+func TestMultiParityDataReconstruction(t *testing.T) {
+	const unitSize = 16
+	l := fano2(t)
+	d, err := NewData(l, unitSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Code().Name() != "rs" || d.Code().ParityShards() != 2 {
+		t.Fatalf("Data runs %s/%d, want rs/2", d.Code().Name(), d.Code().ParityShards())
+	}
+	n := d.Mapping().DataUnits()
+	for i := 0; i < n; i++ {
+		payload := make([]byte, unitSize)
+		for j := range payload {
+			payload[j] = byte(i*13 + j*7 + 3)
+		}
+		if err := d.WriteLogical(i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckReconstruction(); err != nil {
+		t.Fatal(err)
+	}
+	for f1 := 0; f1 < l.V; f1++ {
+		for f2 := 0; f2 < l.V; f2++ {
+			if f1 == f2 {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				direct, err := d.ReadLogical(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				degraded, err := d.DegradedRead(i, f1, f2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(direct, degraded) {
+					t.Fatalf("failed=(%d,%d) logical=%d: degraded read mismatch", f1, f2, i)
+				}
+			}
+		}
+	}
+	// Losing all three disks of a unit's own stripe exceeds the code:
+	// DegradedRead must error, not fabricate bytes.
+	u, err := d.Mapping().Map(0, l.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &l.Stripes[d.Mapping().StripeAt(u)]
+	var down []int
+	for _, su := range s.Units {
+		down = append(down, su.Disk)
+	}
+	if _, err := d.DegradedRead(0, down...); err == nil {
+		t.Errorf("DegradedRead with whole stripe %v down accepted on a two-parity code", down)
+	}
+}
+
+func TestMultiParityJSONRoundTrip(t *testing.T) {
+	l := fano2(t)
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	if !bytes.Contains(enc, []byte(`"version": 2`)) || !bytes.Contains(enc, []byte(`"parity_units": 2`)) {
+		t.Fatalf("multi-parity layout JSON:\n%s", enc)
+	}
+	back, err := ReadJSON(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ParityCount() != 2 {
+		t.Fatalf("round trip lost parity count: %d", back.ParityCount())
+	}
+	if back.V != l.V || back.Size != l.Size || len(back.Stripes) != len(l.Stripes) {
+		t.Fatal("round trip changed the layout geometry")
+	}
+	for i := range l.Stripes {
+		if back.Stripes[i].Parity != l.Stripes[i].Parity {
+			t.Fatalf("stripe %d parity index changed", i)
+		}
+		for j, u := range l.Stripes[i].Units {
+			if back.Stripes[i].Units[j] != u {
+				t.Fatalf("stripe %d unit %d changed", i, j)
+			}
+		}
+	}
+
+	// A version-1 document cannot carry parity_units > 1.
+	tampered := bytes.Replace(enc, []byte(`"version": 2`), []byte(`"version": 1`), 1)
+	if _, err := ReadJSON(bytes.NewReader(tampered)); err == nil {
+		t.Error("version-1 JSON with parity_units 2 accepted")
+	}
+
+	// Single-parity layouts keep writing version 1, so older readers
+	// still open them.
+	l1 := hgFanoLayout(t)
+	buf.Reset()
+	if err := l1.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"version": 1`)) {
+		t.Fatalf("single-parity layout JSON not v1:\n%s", buf.Bytes())
+	}
+}

@@ -4,37 +4,68 @@ import (
 	"bytes"
 	"crypto/subtle"
 	"fmt"
+
+	"repro/pdl/code"
 )
 
 // Data is an in-memory disk array with real bytes governed by a layout:
-// every stripe's parity unit holds the XOR of its data units. It provides
-// byte-accurate writes (read-modify-write parity updates, Figure 1) and
-// failed-disk reconstruction.
+// every stripe's parity units hold the erasure-code combinations of its
+// data units. It provides byte-accurate writes (read-modify-write parity
+// updates, Figure 1) and failed-disk reconstruction — for a single
+// failure under the classic XOR code, or up to m simultaneous failures
+// when the layout carries m parity units (Reed–Solomon by default).
 //
 // Data is deliberately simple and single-threaded: it is the reference
 // model the concurrent serving engine (repro/pdl/store) is
 // property-tested against, and the correctness oracle behind the
 // simulator's checks. Production byte serving belongs in pdl/store; both
-// engines share the same XOR kernel (crypto/subtle.XORBytes), so this
-// model contains no duplicated parity arithmetic.
+// engines share the same code kernels (repro/pdl/code), so this model
+// contains no duplicated parity arithmetic.
 type Data struct {
 	Layout   *Layout
 	UnitSize int
+	code     code.Code
 	mapping  *Mapping
 	disks    [][]byte // v slices of Size*UnitSize bytes
+	coef     []byte   // reconstruction coefficient scratch
 }
 
-// NewData allocates a zeroed array for one copy of the layout. A zeroed
-// array trivially satisfies parity (XOR of zeros is zero).
+// NewData allocates a zeroed array for one copy of the layout, running
+// the default code for the layout's parity count (XOR for single parity,
+// Reed–Solomon beyond). A zeroed array trivially satisfies parity (every
+// combination of zeros is zero).
 func NewData(l *Layout, unitSize int) (*Data, error) {
+	m := l.ParityCount()
+	if m > code.MaxParityShards {
+		return nil, fmt.Errorf("layout: NewData: %d parity units exceed the code limit %d", m, code.MaxParityShards)
+	}
+	return NewDataCode(l, unitSize, code.Default(m))
+}
+
+// NewDataCode allocates a zeroed array running an explicit erasure code,
+// whose parity shard count must match the layout's.
+func NewDataCode(l *Layout, unitSize int, c code.Code) (*Data, error) {
 	if unitSize < 1 {
 		return nil, fmt.Errorf("layout: NewData: unit size %d < 1", unitSize)
+	}
+	if c.ParityShards() != l.ParityCount() {
+		return nil, fmt.Errorf("layout: NewData: code %q has %d parity shards, layout carries %d", c.Name(), c.ParityShards(), l.ParityCount())
 	}
 	m, err := NewMapping(l)
 	if err != nil {
 		return nil, err
 	}
-	d := &Data{Layout: l, UnitSize: unitSize, mapping: m, disks: make([][]byte, l.V)}
+	maxUnits := 0
+	for si := range l.Stripes {
+		n := len(l.Stripes[si].Units)
+		if k := n - c.ParityShards(); k > c.MaxDataShards() {
+			return nil, fmt.Errorf("layout: NewData: stripe %d has %d data units, code %q takes %d", si, k, c.Name(), c.MaxDataShards())
+		}
+		if n > maxUnits {
+			maxUnits = n
+		}
+	}
+	d := &Data{Layout: l, UnitSize: unitSize, code: c, mapping: m, disks: make([][]byte, l.V), coef: make([]byte, maxUnits)}
 	for i := range d.disks {
 		d.disks[i] = make([]byte, l.Size*unitSize)
 	}
@@ -43,6 +74,9 @@ func NewData(l *Layout, unitSize int) (*Data, error) {
 
 // Mapping returns the address mapping.
 func (d *Data) Mapping() *Mapping { return d.mapping }
+
+// Code returns the erasure code governing the parity bytes.
+func (d *Data) Code() code.Code { return d.code }
 
 // unit returns the byte slice backing a physical unit.
 func (d *Data) unit(u Unit) []byte {
@@ -58,10 +92,11 @@ func (d *Data) ReadLogical(logical int) ([]byte, error) {
 	return append([]byte(nil), d.unit(u)...), nil
 }
 
-// WriteLogical writes a payload to a logical data unit, updating the
-// stripe's parity with the standard small-write read-modify-write: parity
-// ^= old data ^ new data. That is 2 reads and 2 writes, the cost model the
-// simulator charges.
+// WriteLogical writes a payload to a logical data unit, updating each of
+// the stripe's parity units with the standard small-write
+// read-modify-write: parity absorbs the coefficient-weighted delta
+// old data ^ new data. Under XOR that is exactly parity ^= old ^ new —
+// 2 reads and 2 writes, the cost model the simulator charges.
 func (d *Data) WriteLogical(logical int, payload []byte) error {
 	if len(payload) != d.UnitSize {
 		return fmt.Errorf("layout: WriteLogical: payload %d bytes, want %d", len(payload), d.UnitSize)
@@ -70,43 +105,104 @@ func (d *Data) WriteLogical(logical int, payload []byte) error {
 	if err != nil {
 		return err
 	}
-	s := &d.Layout.Stripes[d.mapping.StripeAt(u)]
-	pu, ok := s.ParityUnit()
-	if !ok {
+	si := d.mapping.StripeAt(u)
+	s := &d.Layout.Stripes[si]
+	if s.Parity < 0 {
 		return fmt.Errorf("layout: WriteLogical: stripe has no assigned parity")
 	}
+	shard := d.mapping.ShardIndex(u.Disk, u.Offset)
 	old := d.unit(u)
-	par := d.unit(pu)
-	subtle.XORBytes(par, par, old)
-	subtle.XORBytes(par, par, payload)
+	delta := make([]byte, d.UnitSize)
+	subtle.XORBytes(delta, old, payload)
+	for j := 0; j < d.code.ParityShards(); j++ {
+		d.code.UpdateParity(j, shard, d.unit(d.mapping.ParityUnitAt(si, j)), delta)
+	}
 	copy(old, payload)
 	return nil
 }
 
-// VerifyParity checks every stripe's XOR invariant.
+// stripeData appends the data-unit payloads of stripe si in shard order.
+func (d *Data) stripeData(dst [][]byte, si int) [][]byte {
+	for _, u := range d.mapping.StripeUnits(si) {
+		if d.mapping.ShardIndex(u.Disk, u.Offset) < d.mapping.DataShards(si) {
+			dst = append(dst, d.unit(u))
+		}
+	}
+	return dst
+}
+
+// VerifyParity checks every stripe's parity invariant: each parity unit
+// equals its code combination of the stripe's data units.
 func (d *Data) VerifyParity() error {
 	buf := make([]byte, d.UnitSize)
+	var data [][]byte
 	for si := range d.Layout.Stripes {
-		s := &d.Layout.Stripes[si]
-		clear(buf)
-		for _, u := range s.Units {
-			subtle.XORBytes(buf, buf, d.unit(u))
-		}
-		for _, x := range buf {
-			if x != 0 {
-				return fmt.Errorf("layout: stripe %d parity mismatch", si)
+		data = d.stripeData(data[:0], si)
+		for j := 0; j < d.code.ParityShards(); j++ {
+			d.code.EncodeParity(j, data, buf)
+			if !bytes.Equal(buf, d.unit(d.mapping.ParityUnitAt(si, j))) {
+				return fmt.Errorf("layout: stripe %d parity %d mismatch", si, j)
 			}
 		}
 	}
 	return nil
 }
 
+// reconstructUnit recomputes the payload of unit u into out while the
+// disks in down (which include u.Disk) are unavailable, via the code's
+// survivor combination over the stripe.
+func (d *Data) reconstructUnit(u Unit, down []int, out []byte) error {
+	si := d.mapping.StripeAt(u)
+	k := d.mapping.DataShards(si)
+	units := d.mapping.StripeUnits(si)
+	// Collect the stripe's missing shards, sorted (shards of units on down
+	// disks; sorting by shard, not position, per the code contract).
+	missing := missingShards(d.mapping, units, down)
+	target := d.mapping.ShardIndex(u.Disk, u.Offset)
+	if err := d.code.PlanReconstruct(k, missing, target, d.coef); err != nil {
+		return fmt.Errorf("layout: stripe %d: %w", si, err)
+	}
+	clear(out)
+	for _, su := range units {
+		if w := d.coef[d.mapping.ShardIndex(su.Disk, su.Offset)]; w != 0 {
+			code.MulAdd(out, d.unit(su), w)
+		}
+	}
+	return nil
+}
+
+// missingShards returns the sorted shard indices of units lying on the
+// given disks.
+func missingShards(m *Mapping, units []Unit, down []int) []int {
+	var missing []int
+	for _, su := range units {
+		for _, f := range down {
+			if su.Disk == f {
+				missing = append(missing, m.ShardIndex(su.Disk, su.Offset))
+				break
+			}
+		}
+	}
+	for i := 1; i < len(missing); i++ {
+		for j := i; j > 0 && missing[j-1] > missing[j]; j-- {
+			missing[j-1], missing[j] = missing[j], missing[j-1]
+		}
+	}
+	return missing
+}
+
 // ReconstructDisk recomputes the contents of one disk from the survivors,
-// stripe by stripe, returning the rebuilt bytes. It does not modify the
-// array, so tests can compare against the "failed" disk's actual contents.
-func (d *Data) ReconstructDisk(failed int) ([]byte, error) {
-	if failed < 0 || failed >= d.Layout.V {
-		return nil, fmt.Errorf("layout: ReconstructDisk(%d): disk out of range", failed)
+// stripe by stripe, returning the rebuilt bytes; any additional disks in
+// alsoDown are treated as unavailable too (the multi-failure case — the
+// total failure count must stay within the code's parity shards). It does
+// not modify the array, so tests can compare against the "failed" disk's
+// actual contents.
+func (d *Data) ReconstructDisk(failed int, alsoDown ...int) ([]byte, error) {
+	down := append([]int{failed}, alsoDown...)
+	for _, f := range down {
+		if f < 0 || f >= d.Layout.V {
+			return nil, fmt.Errorf("layout: ReconstructDisk(%d): disk out of range", f)
+		}
 	}
 	rebuilt := make([]byte, d.Layout.Size*d.UnitSize)
 	covered := make([]bool, d.Layout.Size)
@@ -125,11 +221,8 @@ func (d *Data) ReconstructDisk(failed int) ([]byte, error) {
 			continue
 		}
 		out := rebuilt[target.Offset*d.UnitSize : (target.Offset+1)*d.UnitSize]
-		for _, u := range s.Units {
-			if u.Disk == failed {
-				continue
-			}
-			subtle.XORBytes(out, out, d.unit(u))
+		if err := d.reconstructUnit(target, down, out); err != nil {
+			return nil, err
 		}
 		covered[target.Offset] = true
 	}
@@ -141,27 +234,32 @@ func (d *Data) ReconstructDisk(failed int) ([]byte, error) {
 	return rebuilt, nil
 }
 
-// DegradedRead returns the payload of a logical data unit while disk
-// `failed` is down: a direct read when the unit survives, otherwise an
-// on-the-fly XOR of the stripe's surviving units.
-func (d *Data) DegradedRead(logical, failed int) ([]byte, error) {
-	if failed < 0 || failed >= d.Layout.V {
-		return nil, fmt.Errorf("layout: DegradedRead: failed disk %d out of range", failed)
+// DegradedRead returns the payload of a logical data unit while the given
+// disks are down: a direct read when the unit survives, otherwise an
+// on-the-fly survivor reconstruction over the stripe.
+func (d *Data) DegradedRead(logical int, failed ...int) ([]byte, error) {
+	for _, f := range failed {
+		if f < 0 || f >= d.Layout.V {
+			return nil, fmt.Errorf("layout: DegradedRead: failed disk %d out of range", f)
+		}
 	}
 	u, err := d.mapping.Map(logical, d.Layout.Size)
 	if err != nil {
 		return nil, err
 	}
-	if u.Disk != failed {
+	down := false
+	for _, f := range failed {
+		if u.Disk == f {
+			down = true
+			break
+		}
+	}
+	if !down {
 		return append([]byte(nil), d.unit(u)...), nil
 	}
-	s := &d.Layout.Stripes[d.mapping.StripeAt(u)]
 	out := make([]byte, d.UnitSize)
-	for _, su := range s.Units {
-		if su.Disk == failed {
-			continue
-		}
-		subtle.XORBytes(out, out, d.unit(su))
+	if err := d.reconstructUnit(u, failed, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -172,7 +270,9 @@ func (d *Data) DiskContents(disk int) []byte {
 }
 
 // CheckReconstruction fails with an error if reconstructing each disk does
-// not reproduce its actual contents (Condition 1 end-to-end).
+// not reproduce its actual contents (Condition 1 end-to-end). When the
+// layout carries two or more parity units, every disk PAIR is checked
+// too — the two-failure tolerance the multi-parity codes exist for.
 func (d *Data) CheckReconstruction() error {
 	for f := 0; f < d.Layout.V; f++ {
 		rebuilt, err := d.ReconstructDisk(f)
@@ -181,6 +281,23 @@ func (d *Data) CheckReconstruction() error {
 		}
 		if !bytes.Equal(rebuilt, d.disks[f]) {
 			return fmt.Errorf("layout: disk %d reconstruction mismatch", f)
+		}
+	}
+	if d.code.ParityShards() < 2 {
+		return nil
+	}
+	for f := 0; f < d.Layout.V; f++ {
+		for g := 0; g < d.Layout.V; g++ {
+			if g == f {
+				continue
+			}
+			rebuilt, err := d.ReconstructDisk(f, g)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(rebuilt, d.disks[f]) {
+				return fmt.Errorf("layout: disk %d reconstruction mismatch with disk %d also down", f, g)
+			}
 		}
 	}
 	return nil

@@ -57,13 +57,28 @@ type Mapper interface {
 	// containing a logical address, along with the address's home unit.
 	StripeOf(logical int) (stripe int, home layout.Unit, err error)
 
-	// ParityOf returns the parity unit of a stripe, copy-adjusted.
+	// ParityOf returns the first parity unit of a stripe, copy-adjusted.
 	ParityOf(stripe int) (layout.Unit, error)
 
 	// AppendStripeUnits appends every unit of a stripe (copy-adjusted, in
 	// stripe order, parity included) to dst and returns the extended
 	// slice.
 	AppendStripeUnits(dst []layout.Unit, stripe int) ([]layout.Unit, error)
+
+	// ParityShards returns the layout's parity units per stripe (m): the
+	// number of simultaneous disk failures the array's erasure code must
+	// tolerate.
+	ParityShards() int
+
+	// AppendParityUnits appends the stripe's m parity units
+	// (copy-adjusted, in parity-shard order k..k+m-1) to dst and returns
+	// the extended slice; the generalization of ParityOf.
+	AppendParityUnits(dst []layout.Unit, stripe int) ([]layout.Unit, error)
+
+	// ShardAt returns the erasure-code shard index of a physical unit
+	// within its stripe — data units are 0..k-1 in stripe-position order,
+	// parity unit j is k+j — or -1 when the unit lies outside the array.
+	ShardAt(u layout.Unit) int
 }
 
 // DegradedRead is the result of Mapper.DegradedMap.
@@ -245,6 +260,27 @@ func (t *tableMapper) AppendStripeUnits(dst []layout.Unit, stripe int) ([]layout
 		dst = append(dst, layout.Unit{Disk: su.Disk, Offset: su.Offset + copyBase})
 	}
 	return dst, nil
+}
+
+func (t *tableMapper) ParityShards() int { return t.m.ParityShards() }
+
+func (t *tableMapper) AppendParityUnits(dst []layout.Unit, stripe int) ([]layout.Unit, error) {
+	si, copyBase, err := t.splitStripe("AppendParityUnits", stripe)
+	if err != nil {
+		return dst, err
+	}
+	for j := 0; j < t.m.ParityShards(); j++ {
+		pu := t.m.ParityUnitAt(si, j)
+		dst = append(dst, layout.Unit{Disk: pu.Disk, Offset: pu.Offset + copyBase})
+	}
+	return dst, nil
+}
+
+func (t *tableMapper) ShardAt(u layout.Unit) int {
+	if u.Disk < 0 || u.Disk >= t.l.V || u.Offset < 0 || u.Offset >= t.diskUnits {
+		return -1
+	}
+	return t.m.ShardIndex(u.Disk, u.Offset%t.l.Size)
 }
 
 // splitStripe resolves a global stripe index into its per-copy index and

@@ -71,6 +71,13 @@ type Options struct {
 	// Seed seeds the random baseline.
 	Seed uint64
 
+	// ParityShards, when > 1, marks each stripe as carrying that many
+	// parity units (the m consecutive positions starting at the assigned
+	// parity index, mod stripe size), enabling m-failure-tolerant erasure
+	// codes (repro/pdl/code) over the same declustered placement. 0 and 1
+	// both mean the classic single-parity layout.
+	ParityShards int
+
 	// baseSet/rowsSet/seedSet record that the option was passed
 	// explicitly (even with its zero value), so Build can reject options
 	// the selected built-in method would silently ignore.
@@ -106,4 +113,14 @@ func WithRows(rows int) Option {
 // WithSeed seeds the random baseline method.
 func WithSeed(seed uint64) Option {
 	return func(o *Options) { o.Seed, o.seedSet = seed, true }
+}
+
+// WithParityShards marks each stripe of the result as carrying m parity
+// units instead of one, so an m-failure-tolerant erasure code (see
+// repro/pdl/code) can run over the declustered placement. m must leave at
+// least one data unit per stripe (m < k) and stay within the code
+// limit (code.MaxParityShards). Incompatible with WithSparing and
+// ParityNone, which assume the classic single-parity structure.
+func WithParityShards(m int) Option {
+	return func(o *Options) { o.ParityShards = m }
 }

@@ -53,6 +53,14 @@ const (
 	// RebuildStripe reads every surviving unit of one stripe crossing a
 	// failed disk, reconstructing that stripe's lost unit.
 	RebuildStripe
+
+	// DegradedWrite handles a small write whose data disk is down while
+	// at least one more data unit of the same stripe is also down (only
+	// possible with multi-parity codes): read every surviving unit —
+	// data and parity — so the old value of the lost home unit can be
+	// reconstructed, then apply the read-modify-write delta to every
+	// surviving parity unit.
+	DegradedWrite
 )
 
 func (k Kind) String() string {
@@ -71,6 +79,8 @@ func (k Kind) String() string {
 		return "full-stripe-write"
 	case RebuildStripe:
 		return "rebuild-stripe"
+	case DegradedWrite:
+		return "degraded-write"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -109,11 +119,29 @@ type Plan struct {
 	Stripe int
 
 	// Target is the unit the plan reconstructs or cannot touch because
-	// its disk is down: the lost home unit for DegradedRead and
-	// ReconstructWrite, the lost parity unit for DataOnlyWrite, and the
-	// unit being rebuilt for RebuildStripe. It is the zero Unit for
-	// healthy plans (Read, SmallWrite, FullStripeWrite).
+	// its disk is down: the lost home unit for DegradedRead,
+	// ReconstructWrite and DegradedWrite, the (first) lost parity unit
+	// for DataOnlyWrite, and the unit being rebuilt for RebuildStripe.
+	// It is the zero Unit for healthy plans (Read, SmallWrite,
+	// FullStripeWrite).
 	Target layout.Unit
+
+	// TargetShard is Target's erasure-code shard index within its stripe
+	// (data units 0..k-1, parity unit j is k+j), or -1 when the plan has
+	// no reconstruction target. Executors pass it straight to
+	// code.Code.PlanReconstruct.
+	TargetShard int
+
+	// DataShards is the stripe's data unit count k, set on every plan
+	// that touches parity (parity unit j carries shard index k+j, so
+	// executors recover j as shard - k); 0 on plain Reads.
+	DataShards int
+
+	// Missing lists the stripe's failed erasure-code shard indices in
+	// increasing order — the failure mask executors hand to
+	// code.Code.PlanReconstruct. Populated for the same kinds as
+	// DataShards; nil otherwise.
+	Missing []int
 
 	// Steps lists the unit operations in execution order (by stage).
 	Steps []Step
@@ -125,6 +153,9 @@ func (p *Plan) reset(kind Kind, logical, stripe int) {
 	p.Logical = logical
 	p.Stripe = stripe
 	p.Target = layout.Unit{}
+	p.TargetShard = -1
+	p.DataShards = 0
+	p.Missing = p.Missing[:0]
 	p.Steps = p.Steps[:0]
 }
 
@@ -181,8 +212,10 @@ func (p *Plan) String() string {
 // reuses internal scratch space, so it is NOT safe for concurrent use;
 // create one per serving goroutine (they share the read-only Mapper).
 type Planner struct {
-	m   pdl.Mapper
-	buf []layout.Unit
+	m    pdl.Mapper
+	buf  []layout.Unit
+	pbuf []layout.Unit
+	fbuf [1]int
 }
 
 // NewPlanner returns a plan compiler over a Mapper.
@@ -204,25 +237,91 @@ func (p *Planner) checkFailed(op string, failed int) error {
 	return nil
 }
 
+// checkFailedSet validates a failed-disk set: in-range, strictly
+// increasing (sorted, no duplicates). An empty or nil set is a healthy
+// array.
+func (p *Planner) checkFailedSet(op string, failed []int) error {
+	prev := -1
+	for _, f := range failed {
+		if f < 0 || f >= p.m.Disks() {
+			return fmt.Errorf("plan: %s: failed disk %d outside [0,%d)", op, f, p.m.Disks())
+		}
+		if f <= prev {
+			return fmt.Errorf("plan: %s: failed disks %v not sorted and distinct", op, failed)
+		}
+		prev = f
+	}
+	return nil
+}
+
+// one adapts a single-failure argument (-1 = healthy) to a failed set,
+// reusing the planner's one-element buffer.
+func (p *Planner) one(failed int) []int {
+	if failed < 0 {
+		return nil
+	}
+	p.fbuf[0] = failed
+	return p.fbuf[:1]
+}
+
+// down reports whether a disk is in the (small) failed set.
+func down(disk int, failed []int) bool {
+	for _, f := range failed {
+		if f == disk {
+			return true
+		}
+	}
+	return false
+}
+
+// setStripeMeta fills the reconstruction metadata of a stripe-resolving
+// plan: the data shard count and the sorted failed-shard mask.
+func (p *Planner) setStripeMeta(dst *Plan, units []layout.Unit, failed []int) {
+	dst.DataShards = len(units) - p.m.ParityShards()
+	for _, u := range units {
+		if down(u.Disk, failed) {
+			dst.Missing = append(dst.Missing, p.m.ShardAt(u))
+		}
+	}
+	// Insertion sort: parity shards can precede data shards in stripe
+	// order, and the code contract wants an increasing mask.
+	ms := dst.Missing
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j-1] > ms[j]; j-- {
+			ms[j-1], ms[j] = ms[j], ms[j-1]
+		}
+	}
+}
+
 // Read compiles a one-unit read of a logical address into dst. With
 // failed >= 0 and the address's home unit on that disk, the plan becomes
-// a DegradedRead over the stripe's survivor XOR set.
+// a DegradedRead over the stripe's survivor set.
 func (p *Planner) Read(logical, failed int, dst *Plan) error {
 	if err := p.checkFailed("Read", failed); err != nil {
+		return err
+	}
+	return p.ReadM(logical, p.one(failed), dst)
+}
+
+// ReadM is Read against a set of simultaneously failed disks (sorted,
+// distinct; nil or empty = healthy). When the home unit survives, the
+// plan is a plain Read regardless of other failures; when it is lost,
+// the DegradedRead lists every surviving unit of the stripe — the
+// executor weighs them with the erasure code's reconstruction
+// coefficients (skipping zero-weight units), using the plan's
+// TargetShard, DataShards and Missing metadata.
+func (p *Planner) ReadM(logical int, failed []int, dst *Plan) error {
+	if err := p.checkFailedSet("Read", failed); err != nil {
 		return err
 	}
 	stripe, home, err := p.m.StripeOf(logical)
 	if err != nil {
 		return err
 	}
-	if failed < 0 || home.Disk != failed {
+	if !down(home.Disk, failed) {
 		dst.reset(Read, logical, stripe)
 		dst.Steps = append(dst.Steps, Step{Unit: home})
 		return nil
-	}
-	parity, err := p.m.ParityOf(stripe)
-	if err != nil {
-		return err
 	}
 	units, err := p.m.AppendStripeUnits(p.buf[:0], stripe)
 	p.buf = units[:0]
@@ -231,11 +330,14 @@ func (p *Planner) Read(logical, failed int, dst *Plan) error {
 	}
 	dst.reset(DegradedRead, logical, stripe)
 	dst.Target = home
+	dst.TargetShard = p.m.ShardAt(home)
+	p.setStripeMeta(dst, units, failed)
+	k := dst.DataShards
 	for _, u := range units {
-		if u.Disk == failed {
+		if down(u.Disk, failed) {
 			continue
 		}
-		dst.Steps = append(dst.Steps, Step{Unit: u, Parity: u == parity})
+		dst.Steps = append(dst.Steps, Step{Unit: u, Parity: p.m.ShardAt(u) >= k})
 	}
 	return nil
 }
@@ -248,49 +350,108 @@ func (p *Planner) Write(logical, failed int, dst *Plan) error {
 	if err := p.checkFailed("Write", failed); err != nil {
 		return err
 	}
+	return p.WriteM(logical, p.one(failed), dst)
+}
+
+// WriteM is Write against a set of simultaneously failed disks (sorted,
+// distinct). The compiled kind depends on which of the stripe's units
+// survive:
+//
+//   - home alive, at least one parity alive: SmallWrite reading and
+//     rewriting the home unit and every surviving parity unit;
+//   - home alive, every parity lost: DataOnlyWrite;
+//   - home lost, every other data unit alive: ReconstructWrite reading
+//     the surviving data units and rewriting the surviving parity units
+//     from scratch;
+//   - home lost along with another data unit (multi-parity only):
+//     DegradedWrite reading every surviving unit — the old home payload
+//     is reconstructed to form the parity delta — and rewriting the
+//     surviving parity units.
+func (p *Planner) WriteM(logical int, failed []int, dst *Plan) error {
+	if err := p.checkFailedSet("Write", failed); err != nil {
+		return err
+	}
 	stripe, home, err := p.m.StripeOf(logical)
 	if err != nil {
 		return err
 	}
-	parity, err := p.m.ParityOf(stripe)
+	par, err := p.m.AppendParityUnits(p.pbuf[:0], stripe)
+	p.pbuf = par[:0]
 	if err != nil {
 		return err
 	}
-	switch {
-	case failed >= 0 && home.Disk == failed:
-		// Reconstruct-write: read all surviving data units, write parity.
-		units, err := p.m.AppendStripeUnits(p.buf[:0], stripe)
-		p.buf = units[:0]
-		if err != nil {
-			return err
-		}
-		dst.reset(ReconstructWrite, logical, stripe)
-		dst.Target = home
-		for _, u := range units {
-			if u.Disk == failed || u == parity {
-				continue
+	if !down(home.Disk, failed) {
+		alive := 0
+		for _, pu := range par {
+			if !down(pu.Disk, failed) {
+				alive++
 			}
-			dst.Steps = append(dst.Steps, Step{Unit: u})
 		}
-		if parity.Disk != failed {
-			dst.Steps = append(dst.Steps, Step{Unit: parity, Write: true, Parity: true, Stage: 1})
+		if alive == 0 {
+			dst.reset(DataOnlyWrite, logical, stripe)
+			dst.Target = par[0]
+			dst.TargetShard = p.m.ShardAt(par[0])
+			dst.DataShards = p.m.ShardAt(par[0])
+			dst.Steps = append(dst.Steps, Step{Unit: home, Write: true})
+			return nil
 		}
-		return nil
-	case failed >= 0 && parity.Disk == failed:
-		dst.reset(DataOnlyWrite, logical, stripe)
-		dst.Target = parity
-		dst.Steps = append(dst.Steps, Step{Unit: home, Write: true})
-		return nil
-	default:
 		dst.reset(SmallWrite, logical, stripe)
-		dst.Steps = append(dst.Steps,
-			Step{Unit: home},
-			Step{Unit: parity, Parity: true},
-			Step{Unit: home, Write: true, Stage: 1},
-			Step{Unit: parity, Write: true, Parity: true, Stage: 1},
-		)
+		dst.DataShards = p.m.ShardAt(par[0])
+		dst.Steps = append(dst.Steps, Step{Unit: home})
+		for _, pu := range par {
+			if !down(pu.Disk, failed) {
+				dst.Steps = append(dst.Steps, Step{Unit: pu, Parity: true})
+			}
+		}
+		dst.Steps = append(dst.Steps, Step{Unit: home, Write: true, Stage: 1})
+		for _, pu := range par {
+			if !down(pu.Disk, failed) {
+				dst.Steps = append(dst.Steps, Step{Unit: pu, Write: true, Parity: true, Stage: 1})
+			}
+		}
 		return nil
 	}
+
+	// Home is lost: resolve the whole stripe to find what else is down.
+	units, err := p.m.AppendStripeUnits(p.buf[:0], stripe)
+	p.buf = units[:0]
+	if err != nil {
+		return err
+	}
+	k := len(units) - p.m.ParityShards()
+	dataDown := 0 // includes the home unit
+	for _, u := range units {
+		if down(u.Disk, failed) && p.m.ShardAt(u) < k {
+			dataDown++
+		}
+	}
+	if dataDown <= 1 {
+		// Reconstruct-write: every other data unit survives, so the new
+		// parity values follow from the surviving data plus the payload.
+		dst.reset(ReconstructWrite, logical, stripe)
+	} else {
+		// Another data unit is also lost: the executor must reconstruct
+		// the old home payload first, so it reads parity units too.
+		dst.reset(DegradedWrite, logical, stripe)
+	}
+	dst.Target = home
+	dst.TargetShard = p.m.ShardAt(home)
+	p.setStripeMeta(dst, units, failed)
+	for _, u := range units {
+		if down(u.Disk, failed) {
+			continue
+		}
+		if dst.Kind == ReconstructWrite && p.m.ShardAt(u) >= k {
+			continue
+		}
+		dst.Steps = append(dst.Steps, Step{Unit: u, Parity: p.m.ShardAt(u) >= k})
+	}
+	for _, pu := range par {
+		if !down(pu.Disk, failed) {
+			dst.Steps = append(dst.Steps, Step{Unit: pu, Write: true, Parity: true, Stage: 1})
+		}
+	}
+	return nil
 }
 
 // FullStripeWrite compiles a large write covering every data unit of the
@@ -300,11 +461,16 @@ func (p *Planner) FullStripeWrite(logical, failed int, dst *Plan) error {
 	if err := p.checkFailed("FullStripeWrite", failed); err != nil {
 		return err
 	}
-	stripe, _, err := p.m.StripeOf(logical)
-	if err != nil {
+	return p.FullStripeWriteM(logical, p.one(failed), dst)
+}
+
+// FullStripeWriteM is FullStripeWrite against a set of simultaneously
+// failed disks (sorted, distinct): units on failed disks are skipped.
+func (p *Planner) FullStripeWriteM(logical int, failed []int, dst *Plan) error {
+	if err := p.checkFailedSet("FullStripeWrite", failed); err != nil {
 		return err
 	}
-	parity, err := p.m.ParityOf(stripe)
+	stripe, _, err := p.m.StripeOf(logical)
 	if err != nil {
 		return err
 	}
@@ -314,11 +480,13 @@ func (p *Planner) FullStripeWrite(logical, failed int, dst *Plan) error {
 		return err
 	}
 	dst.reset(FullStripeWrite, logical, stripe)
+	p.setStripeMeta(dst, units, failed)
+	k := dst.DataShards
 	for _, u := range units {
-		if u.Disk == failed {
+		if down(u.Disk, failed) {
 			continue
 		}
-		dst.Steps = append(dst.Steps, Step{Unit: u, Write: true, Parity: u == parity})
+		dst.Steps = append(dst.Steps, Step{Unit: u, Write: true, Parity: p.m.ShardAt(u) >= k})
 	}
 	return nil
 }
@@ -331,7 +499,26 @@ func (p *Planner) Rebuild(failed int) (*Rebuild, error) {
 	if failed < 0 || failed >= p.m.Disks() {
 		return nil, fmt.Errorf("plan: Rebuild: failed disk %d outside [0,%d)", failed, p.m.Disks())
 	}
-	rb := &Rebuild{Failed: failed, Reads: make([]int64, p.m.Disks())}
+	return p.RebuildM(failed, p.one(failed))
+}
+
+// RebuildM compiles the reconstruction schedule for one disk of a failed
+// set: target names the disk being rebuilt, failed the complete sorted
+// set of down disks (which must contain target). Steps read only
+// surviving units; the executor weighs them with the erasure code's
+// reconstruction coefficients, so with extra parity in the stripe some
+// reads carry zero weight and are skipped at execution time.
+func (p *Planner) RebuildM(target int, failed []int) (*Rebuild, error) {
+	if err := p.checkFailedSet("Rebuild", failed); err != nil {
+		return nil, err
+	}
+	if target < 0 || target >= p.m.Disks() {
+		return nil, fmt.Errorf("plan: Rebuild: failed disk %d outside [0,%d)", target, p.m.Disks())
+	}
+	if !down(target, failed) {
+		return nil, fmt.Errorf("plan: Rebuild: target disk %d not in failed set %v", target, failed)
+	}
+	rb := &Rebuild{Failed: target, Reads: make([]int64, p.m.Disks())}
 	for s := 0; s < p.m.Stripes(); s++ {
 		units, err := p.m.AppendStripeUnits(p.buf[:0], s)
 		p.buf = units[:0]
@@ -341,7 +528,7 @@ func (p *Planner) Rebuild(failed int) (*Rebuild, error) {
 		var lost layout.Unit
 		crosses := false
 		for _, u := range units {
-			if u.Disk == failed {
+			if u.Disk == target {
 				lost = u
 				crosses = true
 				break
@@ -350,18 +537,17 @@ func (p *Planner) Rebuild(failed int) (*Rebuild, error) {
 		if !crosses {
 			continue
 		}
-		parity, err := p.m.ParityOf(s)
-		if err != nil {
-			return nil, err
-		}
 		var pl Plan
 		pl.reset(RebuildStripe, -1, s)
 		pl.Target = lost
+		pl.TargetShard = p.m.ShardAt(lost)
+		p.setStripeMeta(&pl, units, failed)
+		k := pl.DataShards
 		for _, u := range units {
-			if u.Disk == failed {
+			if down(u.Disk, failed) {
 				continue
 			}
-			pl.Steps = append(pl.Steps, Step{Unit: u, Parity: u == parity})
+			pl.Steps = append(pl.Steps, Step{Unit: u, Parity: p.m.ShardAt(u) >= k})
 			rb.Reads[u.Disk]++
 		}
 		rb.Plans = append(rb.Plans, pl)

@@ -1,0 +1,116 @@
+package serve_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/pdl"
+	"repro/pdl/serve"
+	"repro/pdl/store"
+)
+
+// TestServerClientTwoFailures drives the full TCP stack against a
+// Reed–Solomon array with two parity units per stripe: fail two disks
+// over the wire, serve every unit degraded, rebuild both disks online,
+// and end healthy — the serve-layer acceptance pin for multi-failure
+// tolerance.
+func TestServerClientTwoFailures(t *testing.T) {
+	const unitSize = 48
+	res, err := pdl.Build(9, 4, pdl.WithParityShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := store.Open(res, res.Layout.Size, unitSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := serve.New(s, serve.Config{QueueDepth: 16, FlushDelay: -1})
+	t.Cleanup(func() {
+		f.Close()
+		s.Close()
+	})
+	addr := startServer(t, f)
+	c, err := serve.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	buf := make([]byte, unitSize)
+	got := make([]byte, unitSize)
+	for i := 0; i < c.Capacity(); i++ {
+		if err := c.Write(i, payload(buf, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two failures over the wire; a third must be refused remotely.
+	if err := c.Fail(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fail(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fail(7); err == nil {
+		t.Error("third Fail accepted over the wire on a two-parity array")
+	}
+
+	// Every unit is served with two disks down; writes keep working.
+	for i := 0; i < c.Capacity(); i++ {
+		if err := c.Read(i, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload(buf, i)) {
+			t.Fatalf("two-down read %d diverges", i)
+		}
+	}
+	if err := c.Write(3, payload(buf, 10007)); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Store.FailedDisk != 2 || len(st.Store.FailedDisks) != 2 ||
+		st.Store.FailedDisks[0] != 2 || st.Store.FailedDisks[1] != 6 {
+		t.Errorf("stats with two down: %+v", st.Store)
+	}
+
+	// Two online rebuilds over the wire heal the array (lowest disk
+	// first), with reads correct at every stage.
+	if err := c.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.FailedDisks(); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("after first rebuild: FailedDisks = %v, want [6]", got)
+	}
+	if err := c.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Failed() != -1 {
+		t.Fatalf("after both rebuilds: Failed() = %d", s.Failed())
+	}
+	if err := s.VerifyParity(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Capacity(); i++ {
+		want := payload(make([]byte, unitSize), i)
+		if i == 3 {
+			payload(want, 10007)
+		}
+		if err := c.Read(i, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("post-rebuild read %d diverges", i)
+		}
+	}
+	st, err = c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Store.FailedDisk != -1 || len(st.Store.FailedDisks) != 0 {
+		t.Errorf("healthy stats: %+v", st.Store)
+	}
+}

@@ -28,15 +28,27 @@ type ServerStats struct {
 // StoreStats mirrors store.Stats for the wire (kept separate so the
 // protocol schema is explicit and stable).
 type StoreStats struct {
-	FailedDisk     int   `json:"failed_disk"`
-	Rebuilding     bool  `json:"rebuilding"`
-	RebuiltStripes int   `json:"rebuilt_stripes"`
-	TotalStripes   int   `json:"total_stripes"`
-	Reads          int64 `json:"reads"`
-	Writes         int64 `json:"writes"`
-	ReadBytes      int64 `json:"read_bytes"`
-	WriteBytes     int64 `json:"write_bytes"`
-	Degraded       int64 `json:"degraded"`
+	FailedDisk int `json:"failed_disk"`
+
+	// FailedDisks lists every currently-failed disk in increasing order
+	// (multi-parity arrays tolerate several at once); absent when
+	// healthy, so pre-multi-failure clients see an unchanged schema.
+	FailedDisks []int `json:"failed_disks,omitempty"`
+
+	// Codec and ParityShards describe the array's erasure code ("xor"
+	// with 1 parity shard, "rs" with up to code.MaxParityShards).
+	// Omitted by pre-codec servers, so Codec == "" reads as classic
+	// single-parity XOR.
+	Codec          string `json:"codec,omitempty"`
+	ParityShards   int    `json:"parity_shards,omitempty"`
+	Rebuilding     bool   `json:"rebuilding"`
+	RebuiltStripes int    `json:"rebuilt_stripes"`
+	TotalStripes   int    `json:"total_stripes"`
+	Reads          int64  `json:"reads"`
+	Writes         int64  `json:"writes"`
+	ReadBytes      int64  `json:"read_bytes"`
+	WriteBytes     int64  `json:"write_bytes"`
+	Degraded       int64  `json:"degraded"`
 }
 
 const (
@@ -846,6 +858,10 @@ func (s *Server) stats() ServerStats {
 	st := s.front.Store().Stats()
 	out := ServerStats{Frontend: s.front.Stats()}
 	out.Store.FailedDisk = st.Failed
+	out.Store.FailedDisks = st.FailedDisks
+	c := s.front.Store().Code()
+	out.Store.Codec = c.Name()
+	out.Store.ParityShards = c.ParityShards()
 	out.Store.Rebuilding = st.Rebuilding
 	out.Store.RebuiltStripes = st.RebuiltStripes
 	out.Store.TotalStripes = st.TotalStripes

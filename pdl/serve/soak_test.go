@@ -4,12 +4,26 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/pdl/serve"
 )
+
+// soakOps returns the per-goroutine operation count: def on a normal
+// run, or PDL_SOAK_OPS when set (the nightly workflow cranks it up for
+// a long soak under -race).
+func soakOps(def int) int {
+	if v := os.Getenv("PDL_SOAK_OPS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
 
 // TestServeSoak is the network mirror of pdl/store's concurrent hammer,
 // run under -race in CI: several TCP clients, each with several
@@ -22,8 +36,8 @@ func TestServeSoak(t *testing.T) {
 		unitSize   = 32
 		clients    = 2
 		goroutines = 4 // per client
-		opsPerGo   = 250
 	)
+	opsPerGo := soakOps(250)
 	f := mustFrontend(t, 13, 4, 2, unitSize, serve.Config{QueueDepth: 32, FlushDelay: 100 * time.Microsecond})
 	addr := startServer(t, f)
 

@@ -78,6 +78,12 @@ type CreateOptions struct {
 	// Backend selects the backend the returned array serves from
 	// (default File).
 	Backend BackendKind
+
+	// ParityShards is the number of parity units per stripe (m): the
+	// simultaneous disk failures the array tolerates. 0 and 1 both build
+	// the classic single-parity XOR array; m >= 2 runs the default
+	// m-failure code (Reed–Solomon) over the declustered placement.
+	ParityShards int
 }
 
 // OpenOption tunes Open.
@@ -143,6 +149,9 @@ func Create(dir string, opts CreateOptions) (*Array, error) {
 	if opts.Method != "" {
 		bopts = append(bopts, pdl.WithMethod(opts.Method))
 	}
+	if opts.ParityShards > 1 {
+		bopts = append(bopts, pdl.WithParityShards(opts.ParityShards))
+	}
 	res, err := pdl.Build(opts.V, opts.K, bopts...)
 	if err != nil {
 		return nil, err
@@ -162,13 +171,14 @@ func Create(dir string, opts CreateOptions) (*Array, error) {
 		return nil, err
 	}
 	man := &Manifest{
-		Version:   FormatVersion,
-		Method:    res.Method,
-		V:         opts.V,
-		K:         opts.K,
-		UnitSize:  opts.UnitSize,
-		DiskUnits: opts.Copies * res.Layout.Size,
-		Disks:     make([]DiskInfo, opts.V),
+		Version:      FormatVersion,
+		Method:       res.Method,
+		V:            opts.V,
+		K:            opts.K,
+		UnitSize:     opts.UnitSize,
+		DiskUnits:    opts.Copies * res.Layout.Size,
+		ParityShards: opts.ParityShards,
+		Disks:        make([]DiskInfo, opts.V),
 	}
 	diskBytes := int64(man.DiskUnits) * int64(man.UnitSize)
 	for d := 0; d < opts.V; d++ {
@@ -255,12 +265,17 @@ func Open(dir string, opts ...OpenOption) (*Array, error) {
 		}
 		backends[d] = b
 	}
-	s, err := store.New(mapper, man.UnitSize, backends)
+	c, err := man.Code()
 	if err != nil {
 		closeAll()
 		return nil, err
 	}
-	if f := man.Failed(); f >= 0 {
+	s, err := store.NewCode(mapper, man.UnitSize, backends, c)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	for _, f := range man.FailedDisks() {
 		if err := s.Fail(f); err != nil {
 			s.Close()
 			return nil, err
@@ -306,9 +321,10 @@ func (a *Array) Sync() error {
 
 // Fail marks disk d failed and makes it true on disk: the store stops
 // reading the disk, the disk file is scrubbed (its bytes are genuinely
-// gone — everything served afterwards comes from survivor XOR), and the
-// manifest records the failure so a restart reopens degraded instead of
-// serving scrubbed zeros as data.
+// gone — everything served afterwards comes from survivor
+// reconstruction), and the manifest records the failure so a restart
+// reopens degraded instead of serving scrubbed zeros as data. An array
+// with m parity shards tolerates up to m simultaneous failures.
 func (a *Array) Fail(d int) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -340,10 +356,12 @@ func (a *Array) Fail(d int) error {
 	return scrub.Close()
 }
 
-// Rebuild reconstructs the failed disk from survivor XOR onto a staging
-// file, atomically renames it over the scrubbed disk file, and records
-// the disk rebuilt — all while foreground traffic continues degraded
-// (the store's online rebuild). It returns the reconstruction duration.
+// Rebuild reconstructs the lowest-numbered failed disk from the
+// survivors onto a staging file, atomically renames it over the scrubbed
+// disk file, and records the disk rebuilt — all while foreground traffic
+// continues degraded (the store's online rebuild). With several disks
+// down, call it once per failure. It returns the reconstruction
+// duration.
 func (a *Array) Rebuild() (time.Duration, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()

@@ -6,12 +6,17 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+
+	"repro/pdl/code"
 )
 
-// FormatVersion is the manifest format this package writes. Open rejects
-// manifests from a newer format with ErrVersion rather than guessing; a
-// future format bump reads old versions here, in one place.
-const FormatVersion = 1
+// FormatVersion is the newest manifest format this package reads and
+// writes. Version 2 added the erasure-code fields (codec, parity_shards);
+// arrays using the classic defaults are still written as version 1, so
+// older binaries keep reading them. Open rejects manifests from a newer
+// format with ErrVersion rather than guessing; a future format bump reads
+// old versions here, in one place.
+const FormatVersion = 2
 
 // ManifestName is the manifest file inside an array directory.
 const ManifestName = "array.json"
@@ -31,7 +36,7 @@ const (
 	DiskHealthy DiskState = "healthy"
 
 	// DiskFailed has lost its bytes (the file is scrubbed): its units are
-	// reconstructed from survivor XOR until a rebuild completes.
+	// reconstructed from the survivors until a rebuild completes.
 	DiskFailed DiskState = "failed"
 
 	// DiskRebuilt serves its own bytes again after a completed rebuild —
@@ -73,13 +78,41 @@ type Manifest struct {
 	// size: the layout-copies factor is DiskUnits/Layout.Size).
 	DiskUnits int `json:"disk_units"`
 
+	// Codec names the erasure code governing parity bytes (a
+	// repro/pdl/code name). Empty selects the default for ParityShards:
+	// "xor" for single parity, "rs" beyond. Format version 2.
+	Codec string `json:"codec,omitempty"`
+
+	// ParityShards is the number of parity units per stripe (m): the
+	// simultaneous disk failures the array tolerates. 0 and 1 both mean
+	// the classic single-parity array. Format version 2.
+	ParityShards int `json:"parity_shards,omitempty"`
+
 	// Disks holds one entry per disk, indexed by disk number.
 	Disks []DiskInfo `json:"disks"`
 }
 
-// Failed returns the failed disk, -1 when every disk serves its own
-// bytes. (The store engine supports a single failure at a time, and
-// DecodeManifest enforces it.)
+// parityShards returns the effective parity count (0 reads as the
+// classic single parity).
+func (m *Manifest) parityShards() int {
+	if m.ParityShards < 1 {
+		return 1
+	}
+	return m.ParityShards
+}
+
+// Code builds the erasure code the manifest declares: the named codec,
+// or the default for the parity count when Codec is empty.
+func (m *Manifest) Code() (code.Code, error) {
+	if m.Codec == "" {
+		return code.Default(m.parityShards()), nil
+	}
+	return code.New(m.Codec, m.parityShards())
+}
+
+// Failed returns the lowest-numbered failed disk, -1 when every disk
+// serves its own bytes. (The disk the next Rebuild reconstructs; see
+// FailedDisks for the whole set.)
 func (m *Manifest) Failed() int {
 	for d := range m.Disks {
 		if m.Disks[d].State == DiskFailed {
@@ -87,6 +120,18 @@ func (m *Manifest) Failed() int {
 		}
 	}
 	return -1
+}
+
+// FailedDisks returns every failed disk in increasing order (nil when
+// none). DecodeManifest bounds the count by the array's parity shards.
+func (m *Manifest) FailedDisks() []int {
+	var out []int
+	for d := range m.Disks {
+		if m.Disks[d].State == DiskFailed {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // clone returns a deep copy.
@@ -126,10 +171,22 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	if int64(m.DiskUnits)*int64(m.UnitSize) > 1<<56 {
 		return nil, fmt.Errorf("array: manifest: disk of %d x %d bytes implausibly large", m.DiskUnits, m.UnitSize)
 	}
+	if m.ParityShards < 0 || m.ParityShards > code.MaxParityShards {
+		return nil, fmt.Errorf("array: manifest: parity shards %d outside [0,%d]", m.ParityShards, code.MaxParityShards)
+	}
+	if m.ParityShards >= m.K {
+		return nil, fmt.Errorf("array: manifest: %d parity shards leave no data units in a stripe of %d", m.ParityShards, m.K)
+	}
+	if m.Version < 2 && (m.ParityShards > 1 || (m.Codec != "" && m.Codec != "xor")) {
+		return nil, fmt.Errorf("array: manifest: version %d cannot carry codec %q with %d parity shards (format 2 fields)", m.Version, m.Codec, m.ParityShards)
+	}
+	if _, err := m.Code(); err != nil {
+		return nil, fmt.Errorf("array: manifest: %w", err)
+	}
 	if len(m.Disks) != m.V {
 		return nil, fmt.Errorf("array: manifest: %d disk entries for v=%d", len(m.Disks), m.V)
 	}
-	failed := -1
+	var failed []int
 	seen := make(map[string]int, len(m.Disks))
 	for d := range m.Disks {
 		e := &m.Disks[d]
@@ -148,10 +205,10 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 		switch e.State {
 		case DiskHealthy, DiskRebuilt:
 		case DiskFailed:
-			if failed >= 0 {
-				return nil, fmt.Errorf("array: manifest: disks %d and %d both failed (single-failure engine)", failed, d)
+			if len(failed) >= m.parityShards() {
+				return nil, fmt.Errorf("array: manifest: disks %v and %d failed, but %d parity shards tolerate only %d", failed, d, m.parityShards(), m.parityShards())
 			}
-			failed = d
+			failed = append(failed, d)
 		default:
 			return nil, fmt.Errorf("array: manifest: disk %d: unknown state %q", d, e.State)
 		}
@@ -159,9 +216,17 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	return m, nil
 }
 
-// encode renders the manifest as the canonical on-disk JSON.
+// encode renders the manifest as the canonical on-disk JSON, stamping
+// the oldest format version able to represent it: arrays on the classic
+// single-parity defaults stay version 1, readable by older binaries.
 func (m *Manifest) encode() ([]byte, error) {
-	b, err := json.MarshalIndent(m, "", "  ")
+	out := *m
+	if out.ParityShards > 1 || out.Codec != "" {
+		out.Version = 2
+	} else {
+		out.Version = 1
+	}
+	b, err := json.MarshalIndent(&out, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("array: manifest: %w", err)
 	}

@@ -32,8 +32,11 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 			c.degraded.Load, lbl)
 	}
 	r.GaugeFunc("pdl_store_failed_disk",
-		"Index of the failed disk, -1 when the array is healthy.",
-		func() int64 { return int64(s.failed.Load()) })
+		"Index of the lowest failed disk, -1 when the array is healthy.",
+		func() int64 { return int64(s.Failed()) })
+	r.GaugeFunc("pdl_store_failed_disks",
+		"Number of currently-failed disks (multi-parity codes tolerate up to the code's parity count).",
+		func() int64 { return int64(len(s.fails.Load().disks)) })
 	r.GaugeFunc("pdl_store_rebuilding",
 		"1 while an online rebuild is running, else 0.",
 		func() int64 {

@@ -2,22 +2,31 @@
 // library: a Store owns one byte Backend per disk (in-memory MemDisk
 // slabs or FileDisk files) and executes pdl/plan I/O plans against them —
 // healthy and degraded reads, read-modify-write and full-stripe parity
-// writes, and an online Rebuild that streams survivor XOR reconstruction
+// writes, and an online Rebuild that streams survivor reconstruction
 // onto a replacement disk while foreground traffic continues.
+//
+// Redundancy is pluggable (repro/pdl/code): single-parity layouts run
+// the classic XOR arithmetic, byte-identical to what this engine always
+// did, while layouts carrying m parity units per stripe run an
+// m-failure-tolerant Reed–Solomon code — the store then serves degraded
+// reads and writes, and rebuilds online, with up to m disks down at
+// once.
 //
 // The engine is built for concurrency: plan compilation state lives in a
 // sync.Pool of per-request scratch (a plan.Planner, a reusable Plan, and
-// XOR buffers), so the healthy Read/Write hot path performs zero
+// parity work buffers), so the healthy Read/Write hot path performs zero
 // allocations per request; parity atomicity comes from striped per-stripe
 // RWMutexes (readers share, writers and the rebuilder serialize per
 // stripe); per-disk counters are atomics feeding a Stats snapshot.
 //
 // Correctness is anchored to pdl/layout's single-threaded Data engine:
 // the reference model the store's property tests compare every byte
-// against (see TestStoreMatchesDataModel).
+// against (see TestStoreMatchesDataModel and
+// TestStoreTwoFailureMatchesDataModel).
 package store
 
 import (
+	"bytes"
 	"crypto/subtle"
 	"fmt"
 	"io"
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"repro/pdl"
+	"repro/pdl/code"
 	"repro/pdl/layout"
 	"repro/pdl/obs"
 	"repro/pdl/plan"
@@ -45,15 +55,21 @@ type DiskStats struct {
 	ReadBytes, WriteBytes int64
 
 	// Degraded counts the physical operations issued on behalf of
-	// degraded-mode plans (survivor XOR reads, reconstruct-writes,
-	// rebuild traffic).
+	// degraded-mode plans (survivor reconstruction reads,
+	// reconstruct-writes, rebuild traffic).
 	Degraded int64
 }
 
 // Stats is a point-in-time snapshot of a Store's state.
 type Stats struct {
-	// Failed is the failed disk, -1 when the array is healthy.
+	// Failed is the lowest-numbered failed disk, -1 when the array is
+	// healthy. (The first disk Rebuild will reconstruct.)
 	Failed int
+
+	// FailedDisks lists every currently-failed disk in increasing order;
+	// empty when healthy. Multi-parity codes tolerate up to
+	// Code().ParityShards() simultaneous entries.
+	FailedDisks []int
 
 	// Rebuilding reports whether an online Rebuild is in progress.
 	Rebuilding bool
@@ -74,14 +90,76 @@ type diskCounters struct {
 	_                                              [24]byte
 }
 
-// scratch is the per-request compilation and XOR state recycled through
-// the Store's pool: with it, a steady-state healthy Read or Write
-// allocates nothing.
+// failSet is an immutable snapshot of the failed-disk set, sorted
+// increasing. State transitions (Fail, Rebuild completion) allocate a
+// fresh value and swap the pointer while holding every stripe lock, so
+// the hot path compiles plans against a pre-lock snapshot and
+// revalidates with a single pointer compare once the stripe lock is
+// held.
+type failSet struct {
+	disks []int
+}
+
+// healthyFails is the shared empty set a healthy Store points at.
+var healthyFails = &failSet{}
+
+func (f *failSet) has(d int) bool {
+	for _, x := range f.disks {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *failSet) first() int {
+	if len(f.disks) == 0 {
+		return -1
+	}
+	return f.disks[0]
+}
+
+// without returns a new set with one disk removed.
+func (f *failSet) without(d int) *failSet {
+	out := &failSet{disks: make([]int, 0, len(f.disks))}
+	for _, x := range f.disks {
+		if x != d {
+			out.disks = append(out.disks, x)
+		}
+	}
+	return out
+}
+
+// with returns a new set with one disk added, keeping sort order.
+func (f *failSet) with(d int) *failSet {
+	out := &failSet{disks: make([]int, 0, len(f.disks)+1)}
+	for _, x := range f.disks {
+		if x < d {
+			out.disks = append(out.disks, x)
+		}
+	}
+	out.disks = append(out.disks, d)
+	for _, x := range f.disks {
+		if x > d {
+			out.disks = append(out.disks, x)
+		}
+	}
+	return out
+}
+
+// scratch is the per-request compilation and parity state recycled
+// through the Store's pool: with it, a steady-state healthy Read or
+// Write allocates nothing.
 type scratch struct {
 	pln   *plan.Planner
 	p     plan.Plan
 	a, b  []byte
 	units []layout.Unit
+
+	// coef is the reconstruction coefficient buffer (one byte per shard
+	// of the widest stripe); par holds one work buffer per parity shard.
+	coef []byte
+	par  [][]byte
 
 	// stripes and order are the vec-request grouping state: stripes[i] is
 	// the stripe of ops[i], order is the stripe-major permutation of op
@@ -97,14 +175,19 @@ type Store struct {
 	unitSize int
 	capacity int // logical data units
 	size     int64
+	codec    code.Code
+	pm       int // parity shards per stripe (m)
+	// maxShards is the widest stripe's shard count (k+m): the coef
+	// buffer size.
+	maxShards int
 	// minSpan is the smallest stripe's data payload in bytes: the
 	// cheapest possible full-stripe write, gating the fast-path probe.
 	minSpan int
 
 	// locks are the striped per-stripe RW locks: stripe s is guarded by
-	// locks[s&lockMask]. failed, disks, rebuildDst, and rebuilt change
-	// only while holding every lock, so holding any one of them (even
-	// shared) gives a consistent view of all four.
+	// locks[s&lockMask]. fails, disks, rebuildDst, rebuildDisk, and
+	// rebuilt change only while holding every lock, so holding any one of
+	// them (even shared) gives a consistent view of all of them.
 	locks    []sync.RWMutex
 	lockMask int
 
@@ -116,12 +199,13 @@ type Store struct {
 	admin          sync.Mutex
 
 	disks []Backend
-	// failed is the failed disk (-1 healthy). It is stored only while
-	// holding every lock; the atomic lets the hot path compile a plan
-	// against a pre-lock guess and revalidate once the stripe lock is
-	// held.
-	failed     atomic.Int32
+	// fails is the current failed-disk set (immutable snapshot; see
+	// failSet). It is swapped only while holding every lock.
+	fails      atomic.Pointer[failSet]
 	rebuildDst Backend
+	// rebuildDisk is the disk the in-progress Rebuild reconstructs (the
+	// lowest failed disk at rebuild start), -1 otherwise.
+	rebuildDisk int
 	// rebuilt[s] records that stripe s has been copied onto rebuildDst;
 	// it is read and written only under stripe s's lock, so degraded
 	// writes keep already-rebuilt stripes current on the replacement.
@@ -142,14 +226,34 @@ const (
 )
 
 // New builds a Store executing plans over mapper against one Backend per
-// disk. Each backend must hold at least mapper.DiskUnits()*unitSize
-// bytes; unit payloads are unitSize bytes.
+// disk, running the default erasure code for the layout's parity count
+// (XOR for single parity, Reed–Solomon beyond). Each backend must hold
+// at least mapper.DiskUnits()*unitSize bytes; unit payloads are unitSize
+// bytes.
 func New(mapper pdl.Mapper, unitSize int, disks []Backend) (*Store, error) {
+	if mapper == nil {
+		return nil, fmt.Errorf("store: New: nil Mapper")
+	}
+	if m := mapper.ParityShards(); m < 1 || m > code.MaxParityShards {
+		return nil, fmt.Errorf("store: New: layout carries %d parity units per stripe, supported range [1,%d]", m, code.MaxParityShards)
+	}
+	return NewCode(mapper, unitSize, disks, code.Default(mapper.ParityShards()))
+}
+
+// NewCode is New with an explicit erasure code, whose parity shard count
+// must match the layout's parity units per stripe.
+func NewCode(mapper pdl.Mapper, unitSize int, disks []Backend, c code.Code) (*Store, error) {
 	if mapper == nil {
 		return nil, fmt.Errorf("store: New: nil Mapper")
 	}
 	if unitSize < 1 {
 		return nil, fmt.Errorf("store: New: unit size %d < 1", unitSize)
+	}
+	if c == nil {
+		return nil, fmt.Errorf("store: New: nil Code")
+	}
+	if c.ParityShards() != mapper.ParityShards() {
+		return nil, fmt.Errorf("store: New: code %q has %d parity shards, layout carries %d", c.Name(), c.ParityShards(), mapper.ParityShards())
 	}
 	if len(disks) != mapper.Disks() {
 		return nil, fmt.Errorf("store: New: %d backends for %d disks", len(disks), mapper.Disks())
@@ -167,18 +271,22 @@ func New(mapper pdl.Mapper, unitSize int, disks []Backend) (*Store, error) {
 	for n < mapper.Stripes() && n < maxLockStripes {
 		n <<= 1
 	}
+	pm := c.ParityShards()
 	s := &Store{
-		mapper:   mapper,
-		unitSize: unitSize,
-		capacity: mapper.DataUnits(),
-		size:     int64(mapper.DataUnits()) * int64(unitSize),
-		locks:    make([]sync.RWMutex, n),
-		lockMask: n - 1,
-		disks:    append([]Backend(nil), disks...),
-		rebuilt:  make([]bool, mapper.Stripes()),
-		counters: make([]diskCounters, mapper.Disks()),
+		mapper:      mapper,
+		unitSize:    unitSize,
+		capacity:    mapper.DataUnits(),
+		size:        int64(mapper.DataUnits()) * int64(unitSize),
+		codec:       c,
+		pm:          pm,
+		locks:       make([]sync.RWMutex, n),
+		lockMask:    n - 1,
+		disks:       append([]Backend(nil), disks...),
+		rebuildDisk: -1,
+		rebuilt:     make([]bool, mapper.Stripes()),
+		counters:    make([]diskCounters, mapper.Disks()),
 	}
-	s.failed.Store(-1)
+	s.fails.Store(healthyFails)
 	var units []layout.Unit
 	for stripe := 0; stripe < mapper.Stripes(); stripe++ {
 		var err error
@@ -186,16 +294,28 @@ func New(mapper pdl.Mapper, unitSize int, disks []Backend) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: New: %w", err)
 		}
-		if span := (len(units) - 1) * unitSize; s.minSpan == 0 || span < s.minSpan {
+		if k := len(units) - pm; k < 1 || k > c.MaxDataShards() {
+			return nil, fmt.Errorf("store: New: stripe %d has %d data units, code %q takes 1..%d", stripe, k, c.Name(), c.MaxDataShards())
+		}
+		if span := (len(units) - pm) * unitSize; s.minSpan == 0 || span < s.minSpan {
 			s.minSpan = span
+		}
+		if len(units) > s.maxShards {
+			s.maxShards = len(units)
 		}
 	}
 	s.pool.New = func() any {
-		return &scratch{
-			pln: plan.NewPlanner(mapper),
-			a:   make([]byte, unitSize),
-			b:   make([]byte, unitSize),
+		sc := &scratch{
+			pln:  plan.NewPlanner(mapper),
+			a:    make([]byte, unitSize),
+			b:    make([]byte, unitSize),
+			coef: make([]byte, s.maxShards),
+			par:  make([][]byte, pm),
 		}
+		for j := range sc.par {
+			sc.par[j] = make([]byte, unitSize)
+		}
+		return sc
 	}
 	return s, nil
 }
@@ -221,6 +341,9 @@ func Open(res *pdl.Result, diskUnits, unitSize int, backends []Backend) (*Store,
 // Mapper returns the address translator the store serves.
 func (s *Store) Mapper() pdl.Mapper { return s.mapper }
 
+// Code returns the erasure code governing the array's parity bytes.
+func (s *Store) Code() code.Code { return s.codec }
+
 // UnitSize returns the payload size of one stripe unit in bytes.
 func (s *Store) UnitSize() int { return s.unitSize }
 
@@ -230,8 +353,20 @@ func (s *Store) Capacity() int { return s.capacity }
 // Size returns the logical byte capacity (Capacity * UnitSize).
 func (s *Store) Size() int64 { return s.size }
 
-// Failed returns the failed disk, -1 when healthy.
-func (s *Store) Failed() int { return int(s.failed.Load()) }
+// Failed returns the lowest-numbered failed disk, -1 when healthy. (The
+// disk the next Rebuild will reconstruct; see FailedDisks for the whole
+// set.)
+func (s *Store) Failed() int { return s.fails.Load().first() }
+
+// FailedDisks returns the currently-failed disks in increasing order
+// (nil when healthy).
+func (s *Store) FailedDisks() []int {
+	f := s.fails.Load()
+	if len(f.disks) == 0 {
+		return nil
+	}
+	return append([]int(nil), f.disks...)
+}
 
 // DiskBackend returns the Backend currently serving disk d, for tools
 // and tests inspecting a quiesced store; the store may swap it during
@@ -246,6 +381,7 @@ func (s *Store) DiskBackend(d int) Backend {
 func (s *Store) Stats() Stats {
 	st := Stats{
 		Failed:         s.Failed(),
+		FailedDisks:    s.FailedDisks(),
 		Rebuilding:     s.rebuilding.Load(),
 		RebuiltStripes: int(s.rebuiltStripes.Load()),
 		TotalStripes:   s.mapper.Stripes(),
@@ -314,8 +450,10 @@ func (s *Store) byteOff(u layout.Unit, within int) int64 {
 }
 
 // Fail marks a disk failed: reads of its units go degraded (survivor
-// XOR), writes switch to their degraded plans. Only a single failure is
-// supported; a second Fail before Rebuild completes is an error.
+// reconstruction), writes switch to their degraded plans. The store
+// tolerates up to Code().ParityShards() simultaneous failures — one for
+// the classic XOR arrays, m for an m-parity Reed–Solomon array. Failing
+// a disk while a Rebuild is in progress is an error.
 func (s *Store) Fail(disk int) error {
 	if disk < 0 || disk >= len(s.disks) {
 		return fmt.Errorf("store: Fail(%d): disk outside [0,%d)", disk, len(s.disks))
@@ -327,10 +465,14 @@ func (s *Store) Fail(disk int) error {
 	}
 	s.lockAll()
 	defer s.unlockAll()
-	if f := s.failed.Load(); f >= 0 {
-		return fmt.Errorf("store: Fail(%d): disk %d already failed", disk, f)
+	cur := s.fails.Load()
+	if cur.has(disk) {
+		return fmt.Errorf("store: Fail(%d): disk %d already failed", disk, disk)
 	}
-	s.failed.Store(int32(disk))
+	if len(cur.disks) >= s.pm {
+		return fmt.Errorf("store: Fail(%d): disk %d already failed; code %q tolerates %d simultaneous failures", disk, cur.first(), s.codec.Name(), s.pm)
+	}
+	s.fails.Store(cur.with(disk))
 	clear(s.rebuilt)
 	s.rebuiltStripes.Store(0)
 	return nil
@@ -439,20 +581,20 @@ func (s *Store) WriteAt(p []byte, off int64) (int, error) {
 }
 
 // readUnit serves bytes [within, within+len(p)) of one logical unit. The
-// plan is compiled against a pre-lock snapshot of the failed disk and
-// revalidated once the stripe lock is held (the stripe itself never
+// plan is compiled against a pre-lock snapshot of the failed-disk set
+// and revalidated once the stripe lock is held (the stripe itself never
 // depends on the failure state), so the hot path resolves the stripe
 // tables exactly once.
 func (s *Store) readUnit(sc *scratch, logical, within int, p []byte) error {
-	failed := int(s.failed.Load())
-	if err := sc.pln.Read(logical, failed, &sc.p); err != nil {
+	fs := s.fails.Load()
+	if err := sc.pln.ReadM(logical, fs.disks, &sc.p); err != nil {
 		return err
 	}
 	lk := s.lockFor(sc.p.Stripe)
 	lk.RLock()
 	defer lk.RUnlock()
-	if cur := int(s.failed.Load()); cur != failed {
-		if err := sc.pln.Read(logical, cur, &sc.p); err != nil {
+	if cur := s.fails.Load(); cur != fs {
+		if err := sc.pln.ReadM(logical, cur.disks, &sc.p); err != nil {
 			return err
 		}
 	}
@@ -472,14 +614,24 @@ func (s *Store) execReadLocked(sc *scratch, within int, p []byte) error {
 		s.noteIO(u.Disk, false, false, len(p))
 		return nil
 	}
-	// Degraded: XOR the survivor set's ranges into p.
+	// Degraded: combine the survivor ranges with the code's
+	// reconstruction coefficients (all ones under XOR), skipping
+	// zero-weight survivors without reading them.
+	coef := sc.coef[:sc.p.DataShards+s.pm]
+	if err := s.codec.PlanReconstruct(sc.p.DataShards, sc.p.Missing, sc.p.TargetShard, coef); err != nil {
+		return fmt.Errorf("store: degraded read: %w", err)
+	}
 	clear(p)
 	a := sc.a[:len(p)]
 	for _, st := range sc.p.Steps {
+		w := coef[s.mapper.ShardAt(st.Unit)]
+		if w == 0 {
+			continue
+		}
 		if _, err := s.disks[st.Disk].ReadAt(a, s.byteOff(st.Unit, within)); err != nil {
 			return fmt.Errorf("store: degraded read disk %d: %w", st.Disk, err)
 		}
-		subtle.XORBytes(p, p, a)
+		code.MulAdd(p, a, w)
 		s.noteIO(st.Disk, false, true, len(a))
 	}
 	return nil
@@ -489,15 +641,15 @@ func (s *Store) execReadLocked(sc *scratch, within int, p []byte) error {
 // updating the stripe's parity range to match. Plan compilation follows
 // the same pre-lock-compile/revalidate protocol as readUnit.
 func (s *Store) writeUnit(sc *scratch, logical, within int, p []byte) error {
-	failed := int(s.failed.Load())
-	if err := sc.pln.Write(logical, failed, &sc.p); err != nil {
+	fs := s.fails.Load()
+	if err := sc.pln.WriteM(logical, fs.disks, &sc.p); err != nil {
 		return err
 	}
 	lk := s.lockFor(sc.p.Stripe)
 	lk.Lock()
 	defer lk.Unlock()
-	if cur := int(s.failed.Load()); cur != failed {
-		if err := sc.pln.Write(logical, cur, &sc.p); err != nil {
+	if cur := s.fails.Load(); cur != fs {
+		if err := sc.pln.WriteM(logical, cur.disks, &sc.p); err != nil {
 			return err
 		}
 	}
@@ -507,8 +659,18 @@ func (s *Store) writeUnit(sc *scratch, logical, within int, p []byte) error {
 // execWriteLocked executes the compiled write plan in sc.p against bytes
 // [within, within+len(p)) of the addressed unit, updating parity. The
 // caller holds the stripe's write lock and has compiled sc.p under the
-// current failure state.
+// current failure state. Single-parity arrays take the classic XOR
+// paths, byte-for-byte and I/O-for-I/O what this engine always issued;
+// multi-parity arrays run the generalized coefficient arithmetic.
 func (s *Store) execWriteLocked(sc *scratch, within int, p []byte) error {
+	if s.pm == 1 {
+		return s.execWriteXOR(sc, within, p)
+	}
+	return s.execWriteMulti(sc, within, p)
+}
+
+// execWriteXOR is the classic single-parity write executor.
+func (s *Store) execWriteXOR(sc *scratch, within int, p []byte) error {
 	stripe := sc.p.Stripe
 	switch sc.p.Kind {
 	case plan.SmallWrite:
@@ -606,6 +768,222 @@ func (s *Store) execWriteLocked(sc *scratch, within int, p []byte) error {
 	}
 }
 
+// replacementUnit resolves the current stripe's unit on the disk being
+// rebuilt, when an already-rebuilt stripe must be kept current on the
+// replacement. ok is false when no rebuild is running, the stripe has
+// not been rebuilt yet, or the stripe does not cross the rebuild disk.
+// The caller holds the stripe's write lock.
+func (s *Store) replacementUnit(sc *scratch, stripe int) (u layout.Unit, shard int, ok bool) {
+	if s.rebuildDst == nil || !s.rebuilt[stripe] {
+		return layout.Unit{}, 0, false
+	}
+	units, err := s.mapper.AppendStripeUnits(sc.units[:0], stripe)
+	sc.units = units[:0]
+	if err != nil {
+		return layout.Unit{}, 0, false
+	}
+	for _, su := range units {
+		if su.Disk == s.rebuildDisk {
+			return su, s.mapper.ShardAt(su), true
+		}
+	}
+	return layout.Unit{}, 0, false
+}
+
+// execWriteMulti is the multi-parity write executor: the same plans, but
+// parity j absorbs Coef(j, i)-weighted deltas and any subset of the
+// stripe's units may be lost (up to m).
+func (s *Store) execWriteMulti(sc *scratch, within int, p []byte) error {
+	stripe := sc.p.Stripe
+	k := sc.p.DataShards
+	a, b := sc.a[:len(p)], sc.b[:len(p)]
+	switch sc.p.Kind {
+	case plan.SmallWrite:
+		// Read-modify-write against every surviving parity unit: each
+		// absorbs its coefficient-weighted delta.
+		home := sc.p.Steps[0].Unit
+		homeShard := s.mapper.ShardAt(home)
+		if _, err := s.disks[home.Disk].ReadAt(a, s.byteOff(home, within)); err != nil {
+			return fmt.Errorf("store: small write read disk %d: %w", home.Disk, err)
+		}
+		s.noteIO(home.Disk, false, false, len(a))
+		subtle.XORBytes(a, a, p) // a = delta
+		if _, err := s.disks[home.Disk].WriteAt(p, s.byteOff(home, within)); err != nil {
+			return fmt.Errorf("store: small write disk %d: %w", home.Disk, err)
+		}
+		s.noteIO(home.Disk, true, false, len(p))
+		for _, st := range sc.p.Steps {
+			if !st.Write || !st.Parity {
+				continue
+			}
+			j := s.mapper.ShardAt(st.Unit) - k
+			if _, err := s.disks[st.Disk].ReadAt(b, s.byteOff(st.Unit, within)); err != nil {
+				return fmt.Errorf("store: small write read disk %d: %w", st.Disk, err)
+			}
+			s.noteIO(st.Disk, false, false, len(b))
+			s.codec.UpdateParity(j, homeShard, b, a)
+			if _, err := s.disks[st.Disk].WriteAt(b, s.byteOff(st.Unit, within)); err != nil {
+				return fmt.Errorf("store: small write disk %d: %w", st.Disk, err)
+			}
+			s.noteIO(st.Disk, true, false, len(b))
+		}
+		return s.patchReplacementDelta(sc, stripe, homeShard, a, within)
+
+	case plan.DataOnlyWrite:
+		// Every parity unit is down: write the data unit; keep a rebuilt
+		// stripe's replacement parity current via the delta.
+		home := sc.p.Steps[0].Unit
+		homeShard := s.mapper.ShardAt(home)
+		ru, rs, patch := s.replacementUnit(sc, stripe)
+		if patch && rs >= k {
+			if _, err := s.disks[home.Disk].ReadAt(a, s.byteOff(home, within)); err != nil {
+				return fmt.Errorf("store: data-only write read disk %d: %w", home.Disk, err)
+			}
+			s.noteIO(home.Disk, false, true, len(a))
+			subtle.XORBytes(a, a, p) // a = delta
+		}
+		if _, err := s.disks[home.Disk].WriteAt(p, s.byteOff(home, within)); err != nil {
+			return fmt.Errorf("store: data-only write disk %d: %w", home.Disk, err)
+		}
+		s.noteIO(home.Disk, true, true, len(p))
+		if patch && rs >= k {
+			off := s.byteOff(ru, within)
+			if _, err := s.rebuildDst.ReadAt(b, off); err != nil {
+				return fmt.Errorf("store: data-only write replacement read: %w", err)
+			}
+			s.codec.UpdateParity(rs-k, homeShard, b, a)
+			if _, err := s.rebuildDst.WriteAt(b, off); err != nil {
+				return fmt.Errorf("store: data-only write replacement: %w", err)
+			}
+			s.noteIO(ru.Disk, true, true, len(b))
+		}
+		return nil
+
+	case plan.ReconstructWrite:
+		// Home down, every other data unit alive: each surviving parity
+		// is recomputed from scratch — the payload's contribution plus
+		// the surviving data's.
+		homeShard := sc.p.TargetShard
+		for j := 0; j < s.pm; j++ {
+			pj := sc.par[j][:len(p)]
+			clear(pj)
+			code.MulAdd(pj, p, s.codec.Coef(j, homeShard))
+		}
+		for _, st := range sc.p.Steps {
+			if st.Write {
+				continue
+			}
+			if _, err := s.disks[st.Disk].ReadAt(a, s.byteOff(st.Unit, within)); err != nil {
+				return fmt.Errorf("store: reconstruct write read disk %d: %w", st.Disk, err)
+			}
+			s.noteIO(st.Disk, false, true, len(a))
+			i := s.mapper.ShardAt(st.Unit)
+			for j := 0; j < s.pm; j++ {
+				code.MulAdd(sc.par[j][:len(p)], a, s.codec.Coef(j, i))
+			}
+		}
+		for _, st := range sc.p.Steps {
+			if !st.Write {
+				continue
+			}
+			j := s.mapper.ShardAt(st.Unit) - k
+			if _, err := s.disks[st.Disk].WriteAt(sc.par[j][:len(p)], s.byteOff(st.Unit, within)); err != nil {
+				return fmt.Errorf("store: reconstruct write disk %d: %w", st.Disk, err)
+			}
+			s.noteIO(st.Disk, true, true, len(p))
+		}
+		// Keep a rebuilt stripe current on the replacement: the home
+		// payload directly, or the from-scratch parity value.
+		if ru, rs, ok := s.replacementUnit(sc, stripe); ok {
+			switch {
+			case rs == homeShard:
+				if _, err := s.rebuildDst.WriteAt(p, s.byteOff(ru, within)); err != nil {
+					return fmt.Errorf("store: reconstruct write replacement: %w", err)
+				}
+				s.noteIO(ru.Disk, true, true, len(p))
+			case rs >= k:
+				if _, err := s.rebuildDst.WriteAt(sc.par[rs-k][:len(p)], s.byteOff(ru, within)); err != nil {
+					return fmt.Errorf("store: reconstruct write replacement: %w", err)
+				}
+				s.noteIO(ru.Disk, true, true, len(p))
+			}
+		}
+		return nil
+
+	case plan.DegradedWrite:
+		// Home down along with another data unit: reconstruct the old
+		// home payload from every survivor, then run the standard delta
+		// update against the surviving parity units (whose old values
+		// the same pass read).
+		homeShard := sc.p.TargetShard
+		coef := sc.coef[:k+s.pm]
+		if err := s.codec.PlanReconstruct(k, sc.p.Missing, homeShard, coef); err != nil {
+			return fmt.Errorf("store: degraded write: %w", err)
+		}
+		clear(b)
+		for _, st := range sc.p.Steps {
+			if st.Write {
+				continue
+			}
+			if _, err := s.disks[st.Disk].ReadAt(a, s.byteOff(st.Unit, within)); err != nil {
+				return fmt.Errorf("store: degraded write read disk %d: %w", st.Disk, err)
+			}
+			s.noteIO(st.Disk, false, true, len(a))
+			sh := s.mapper.ShardAt(st.Unit)
+			if sh >= k {
+				copy(sc.par[sh-k][:len(p)], a)
+			}
+			if w := coef[sh]; w != 0 {
+				code.MulAdd(b, a, w)
+			}
+		}
+		subtle.XORBytes(b, b, p) // b = old home ^ payload = delta
+		for _, st := range sc.p.Steps {
+			if !st.Write {
+				continue
+			}
+			j := s.mapper.ShardAt(st.Unit) - k
+			pj := sc.par[j][:len(p)]
+			s.codec.UpdateParity(j, homeShard, pj, b)
+			if _, err := s.disks[st.Disk].WriteAt(pj, s.byteOff(st.Unit, within)); err != nil {
+				return fmt.Errorf("store: degraded write disk %d: %w", st.Disk, err)
+			}
+			s.noteIO(st.Disk, true, true, len(pj))
+		}
+		return s.patchReplacementDelta(sc, stripe, homeShard, b, within)
+
+	default:
+		return fmt.Errorf("store: writeUnit: unexpected plan kind %v", sc.p.Kind)
+	}
+}
+
+// patchReplacementDelta keeps an already-rebuilt stripe current on the
+// replacement after a delta-style write to data shard homeShard: a
+// parity unit on the rebuild disk absorbs the weighted delta; a data
+// unit other than the home is untouched by the write and needs nothing.
+// (The home unit itself cannot live on the rebuild disk here — callers
+// with a lost home patch it explicitly with the payload.)
+func (s *Store) patchReplacementDelta(sc *scratch, stripe, homeShard int, delta []byte, within int) error {
+	ru, rs, ok := s.replacementUnit(sc, stripe)
+	if !ok || rs < sc.p.DataShards {
+		return nil
+	}
+	b := sc.b[:len(delta)]
+	if &b[0] == &delta[0] {
+		b = sc.a[:len(delta)]
+	}
+	off := s.byteOff(ru, within)
+	if _, err := s.rebuildDst.ReadAt(b, off); err != nil {
+		return fmt.Errorf("store: write replacement read: %w", err)
+	}
+	s.codec.UpdateParity(rs-sc.p.DataShards, homeShard, b, delta)
+	if _, err := s.rebuildDst.WriteAt(b, off); err != nil {
+		return fmt.Errorf("store: write replacement: %w", err)
+	}
+	s.noteIO(ru.Disk, true, true, len(b))
+	return nil
+}
+
 // tryFullStripe writes p's prefix through the Condition 5 full-stripe
 // path when logical is the first data unit of its stripe and p covers
 // the stripe's whole data payload. It returns the bytes consumed (0 when
@@ -620,18 +998,14 @@ func (s *Store) tryFullStripe(sc *scratch, logical int, p []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	dataUnits := len(units) - 1
+	dataUnits := len(units) - s.pm
 	span := dataUnits * s.unitSize
 	if len(p) < span {
 		return 0, nil
 	}
-	parity, err := s.mapper.ParityOf(stripe)
-	if err != nil {
-		return 0, err
-	}
 	first := -1
 	for _, u := range units {
-		if u == parity {
+		if s.mapper.ShardAt(u) >= dataUnits {
 			continue
 		}
 		first, _ = s.mapper.Logical(u)
@@ -643,7 +1017,7 @@ func (s *Store) tryFullStripe(sc *scratch, logical int, p []byte) (int, error) {
 	lk := s.lockFor(stripe)
 	lk.Lock()
 	defer lk.Unlock()
-	err = s.writeStripeLocked(sc, stripe, units, parity, func(i int) []byte {
+	err = s.writeStripeLocked(sc, stripe, units, func(i int) []byte {
 		return p[i*s.unitSize : (i+1)*s.unitSize]
 	})
 	if err != nil {
@@ -653,50 +1027,58 @@ func (s *Store) tryFullStripe(sc *scratch, logical int, p []byte) (int, error) {
 }
 
 // writeStripeLocked writes one whole stripe with no pre-reads (the
-// Condition 5 large-write path): the new parity is the XOR of the new
-// data payloads alone. data(i) returns the payload of the stripe's i-th
-// data unit in stripe order; units holds the stripe's units (parity
-// included) and the caller holds the stripe's write lock.
-func (s *Store) writeStripeLocked(sc *scratch, stripe int, units []layout.Unit, parity layout.Unit, data func(int) []byte) error {
-	b := sc.b[:s.unitSize]
-	clear(b)
-	for i := 0; i < len(units)-1; i++ {
-		subtle.XORBytes(b, b, data(i))
+// Condition 5 large-write path): the new parity units are encoded from
+// the new data payloads alone. data(i) returns the payload of the
+// stripe's i-th data unit in stripe order (= data shard i); units holds
+// the stripe's units (parity included) and the caller holds the
+// stripe's write lock.
+func (s *Store) writeStripeLocked(sc *scratch, stripe int, units []layout.Unit, data func(int) []byte) error {
+	k := len(units) - s.pm
+	// Encode each parity from the new data: parity[j] = sum Coef(j,i) *
+	// data(i). Under XOR this is the plain XOR of the payloads.
+	for j := 0; j < s.pm; j++ {
+		pj := sc.par[j][:s.unitSize]
+		clear(pj)
+		for i := 0; i < k; i++ {
+			code.MulAdd(pj, data(i), s.codec.Coef(j, i))
+		}
 	}
-	failed := int(s.failed.Load())
+	fs := s.fails.Load()
 	redirect := s.rebuildDst != nil && s.rebuilt[stripe]
 	idx := 0
 	for _, u := range units {
 		var payload []byte
-		if u == parity {
-			payload = b
+		if sh := s.mapper.ShardAt(u); sh >= k {
+			payload = sc.par[sh-k][:s.unitSize]
 		} else {
 			payload = data(idx)
 			idx++
 		}
 		switch {
-		case u.Disk != failed:
+		case !fs.has(u.Disk):
 			if _, err := s.disks[u.Disk].WriteAt(payload, s.byteOff(u, 0)); err != nil {
 				return fmt.Errorf("store: full-stripe write disk %d: %w", u.Disk, err)
 			}
 			s.noteIO(u.Disk, true, false, len(payload))
-		case redirect:
+		case redirect && u.Disk == s.rebuildDisk:
 			if _, err := s.rebuildDst.WriteAt(payload, s.byteOff(u, 0)); err != nil {
 				return fmt.Errorf("store: full-stripe write replacement: %w", err)
 			}
 			s.noteIO(u.Disk, true, true, len(payload))
 		}
-		// A not-yet-rebuilt unit on the failed disk is simply skipped:
+		// A not-yet-rebuilt unit on a failed disk is simply skipped:
 		// Rebuild reconstructs it from the survivors just written.
 	}
 	return nil
 }
 
-// Rebuild reconstructs the failed disk's bytes onto replacement, stripe
-// by stripe under the per-stripe locks, while foreground reads and
-// writes continue degraded; when every stripe is copied, the replacement
-// atomically takes the failed disk's slot and the array is healthy
-// again. The replaced backend is not closed; the caller owns it.
+// Rebuild reconstructs the lowest-numbered failed disk's bytes onto
+// replacement, stripe by stripe under the per-stripe locks, while
+// foreground reads and writes continue degraded; when every stripe is
+// copied, the replacement atomically takes that disk's slot and the disk
+// leaves the failed set. With several disks down (multi-parity codes),
+// each Rebuild call reconstructs one disk — call it once per failure.
+// The replaced backend is not closed; the caller owns it.
 func (s *Store) Rebuild(replacement Backend) error {
 	s.admin.Lock()
 	if s.rebuilding.Load() {
@@ -709,8 +1091,9 @@ func (s *Store) Rebuild(replacement Backend) error {
 		return fmt.Errorf("store: Rebuild: replacement smaller than %d bytes", need)
 	}
 	s.lockAll()
-	failed := int(s.failed.Load())
-	if failed < 0 {
+	fs := s.fails.Load()
+	target := fs.first()
+	if target < 0 {
 		s.unlockAll()
 		s.admin.Unlock()
 		return fmt.Errorf("store: Rebuild: no failed disk")
@@ -718,6 +1101,7 @@ func (s *Store) Rebuild(replacement Backend) error {
 	clear(s.rebuilt)
 	s.rebuiltStripes.Store(0)
 	s.rebuildDst = replacement
+	s.rebuildDisk = target
 	s.rebuilding.Store(true)
 	s.unlockAll()
 	s.admin.Unlock()
@@ -726,10 +1110,11 @@ func (s *Store) Rebuild(replacement Backend) error {
 		s.admin.Lock()
 		s.lockAll()
 		if swap {
-			s.disks[failed] = replacement
-			s.failed.Store(-1)
+			s.disks[target] = replacement
+			s.fails.Store(s.fails.Load().without(target))
 		}
 		s.rebuildDst = nil
+		s.rebuildDisk = -1
 		clear(s.rebuilt)
 		s.rebuiltStripes.Store(0)
 		s.rebuilding.Store(false)
@@ -739,7 +1124,7 @@ func (s *Store) Rebuild(replacement Backend) error {
 
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
-	rb, err := sc.pln.Rebuild(failed)
+	rb, err := sc.pln.RebuildM(target, fs.disks)
 	if err != nil {
 		finish(false)
 		return err
@@ -760,13 +1145,21 @@ func (s *Store) rebuildStripe(sc *scratch, pl *plan.Plan) error {
 	lk := s.lockFor(pl.Stripe)
 	lk.Lock()
 	defer lk.Unlock()
+	coef := sc.coef[:pl.DataShards+s.pm]
+	if err := s.codec.PlanReconstruct(pl.DataShards, pl.Missing, pl.TargetShard, coef); err != nil {
+		return fmt.Errorf("store: rebuild stripe %d: %w", pl.Stripe, err)
+	}
 	a, b := sc.a[:s.unitSize], sc.b[:s.unitSize]
 	clear(b)
 	for _, st := range pl.Steps {
+		w := coef[s.mapper.ShardAt(st.Unit)]
+		if w == 0 {
+			continue
+		}
 		if _, err := s.disks[st.Disk].ReadAt(a, s.byteOff(st.Unit, 0)); err != nil {
 			return fmt.Errorf("store: rebuild read disk %d: %w", st.Disk, err)
 		}
-		subtle.XORBytes(b, b, a)
+		code.MulAdd(b, a, w)
 		s.noteIO(st.Disk, false, true, len(a))
 	}
 	if _, err := s.rebuildDst.WriteAt(b, s.byteOff(pl.Target, 0)); err != nil {
@@ -778,10 +1171,10 @@ func (s *Store) rebuildStripe(sc *scratch, pl *plan.Plan) error {
 	return nil
 }
 
-// VerifyParity checks every stripe's XOR invariant against the stored
+// VerifyParity checks every stripe's parity invariant against the stored
 // bytes, taking each stripe's read lock in turn; stripes crossing a
-// currently-failed disk are skipped (their lost unit is not available to
-// check).
+// currently-failed disk are skipped (their lost units are not available
+// to check).
 func (s *Store) VerifyParity() error {
 	sc := s.pool.Get().(*scratch)
 	defer s.pool.Put(sc)
@@ -802,23 +1195,39 @@ func (s *Store) verifyStripe(sc *scratch, stripe int) error {
 	if err != nil {
 		return err
 	}
-	failed := int(s.failed.Load())
+	fs := s.fails.Load()
 	for _, u := range units {
-		if u.Disk == failed {
+		if fs.has(u.Disk) {
 			return nil
 		}
 	}
-	a, b := sc.a[:s.unitSize], sc.b[:s.unitSize]
-	clear(b)
+	k := len(units) - s.pm
+	a := sc.a[:s.unitSize]
+	for j := 0; j < s.pm; j++ {
+		clear(sc.par[j][:s.unitSize])
+	}
 	for _, u := range units {
+		sh := s.mapper.ShardAt(u)
+		if sh >= k {
+			continue
+		}
 		if _, err := s.disks[u.Disk].ReadAt(a, s.byteOff(u, 0)); err != nil {
 			return fmt.Errorf("store: verify read disk %d: %w", u.Disk, err)
 		}
-		subtle.XORBytes(b, b, a)
+		for j := 0; j < s.pm; j++ {
+			code.MulAdd(sc.par[j][:s.unitSize], a, s.codec.Coef(j, sh))
+		}
 	}
-	for _, x := range b {
-		if x != 0 {
-			return fmt.Errorf("store: stripe %d parity mismatch", stripe)
+	for _, u := range units {
+		sh := s.mapper.ShardAt(u)
+		if sh < k {
+			continue
+		}
+		if _, err := s.disks[u.Disk].ReadAt(a, s.byteOff(u, 0)); err != nil {
+			return fmt.Errorf("store: verify read disk %d: %w", u.Disk, err)
+		}
+		if !bytes.Equal(a, sc.par[sh-k][:s.unitSize]) {
+			return fmt.Errorf("store: stripe %d parity %d mismatch", stripe, sh-k)
 		}
 	}
 	return nil

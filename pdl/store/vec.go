@@ -74,11 +74,11 @@ func (s *Store) ReadVec(ops []VecOp) error {
 		}
 		lk := s.lockFor(stripe)
 		lk.RLock()
-		failed := int(s.failed.Load())
+		fs := s.fails.Load()
 		var err error
 		for _, j := range sc.order[g:end] {
 			o := &ops[j]
-			if err = sc.pln.Read(o.Logical, failed, &sc.p); err != nil {
+			if err = sc.pln.ReadM(o.Logical, fs.disks, &sc.p); err != nil {
 				break
 			}
 			if err = s.execReadLocked(sc, 0, o.Buf); err != nil {
@@ -137,24 +137,21 @@ func (s *Store) WriteVec(ops []VecOp) error {
 // the stripe's (held) write lock, promoting full-stripe coverage to the
 // no-preread large-write path.
 func (s *Store) writeGroupLocked(sc *scratch, stripe int, ops []VecOp, order []int32) error {
-	failed := int(s.failed.Load())
+	fs := s.fails.Load()
 	if len(order) > 1 {
 		units, err := s.mapper.AppendStripeUnits(sc.units[:0], stripe)
 		sc.units = units[:0]
 		if err != nil {
 			return err
 		}
-		if len(order) == len(units)-1 {
-			parity, err := s.mapper.ParityOf(stripe)
-			if err != nil {
-				return err
-			}
+		if len(order) == len(units)-s.pm {
 			// The stripe's data units hold consecutive logical addresses
 			// starting at the first data unit's; the group promotes when
 			// its (sorted) addresses are exactly that run.
+			k := len(units) - s.pm
 			first := -1
 			for _, u := range units {
-				if u == parity {
+				if s.mapper.ShardAt(u) >= k {
 					continue
 				}
 				first, _ = s.mapper.Logical(u)
@@ -168,7 +165,7 @@ func (s *Store) writeGroupLocked(sc *scratch, stripe int, ops []VecOp, order []i
 				}
 			}
 			if promote {
-				return s.writeStripeLocked(sc, stripe, units, parity, func(i int) []byte {
+				return s.writeStripeLocked(sc, stripe, units, func(i int) []byte {
 					return ops[order[i]].Buf
 				})
 			}
@@ -176,7 +173,7 @@ func (s *Store) writeGroupLocked(sc *scratch, stripe int, ops []VecOp, order []i
 	}
 	for _, j := range order {
 		o := &ops[j]
-		if err := sc.pln.Write(o.Logical, failed, &sc.p); err != nil {
+		if err := sc.pln.WriteM(o.Logical, fs.disks, &sc.p); err != nil {
 			return err
 		}
 		if err := s.execWriteLocked(sc, 0, o.Buf); err != nil {

@@ -11,6 +11,14 @@
 //	pdlserve bench -addr host:9911 -clients 64     # remote server
 //	pdlserve loadgen -workload zipf -theta 0.9 -write-frac 0.3 -ops 200000
 //	pdlserve loadgen -addr host:9911 -workload mix -fail 3
+//	pdlserve loadgen -record ops.trace             # capture the request stream
+//	pdlserve loadgen -replay ops.trace -speed 2    # replay it at 2x
+//	pdlserve scenario -f sched.json                # scripted fault schedule
+//
+// scenario runs a versioned JSON fault schedule (see pdl/scenario)
+// against the server: phased workloads with scripted disk failures and
+// rebuilds, per-phase latency windows, and SLO judgment; the process
+// exits nonzero when a declared SLO is violated.
 //
 // With -dir, serve opens an existing pdlstore array directory (see
 // pdl/store/array) instead of a throwaway MemDisk array: bytes, disk
@@ -35,6 +43,7 @@ import (
 	"repro/cmd/internal/units"
 	"repro/pdl"
 	"repro/pdl/obs"
+	"repro/pdl/scenario"
 	"repro/pdl/serve"
 	"repro/pdl/sim"
 	"repro/pdl/store"
@@ -43,7 +52,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		die(fmt.Errorf("usage: pdlserve <serve|bench|loadgen> [flags]"))
+		die(fmt.Errorf("usage: pdlserve <serve|bench|loadgen|scenario> [flags]"))
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
@@ -54,6 +63,8 @@ func main() {
 		err = cmdBench(args)
 	case "loadgen":
 		err = cmdLoadgen(args)
+	case "scenario":
+		err = cmdScenario(args)
 	default:
 		err = fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -227,16 +238,20 @@ func serveAdmin(addr string, front *serve.Frontend, srv *serve.Server) (net.List
 // dialOrSelfHost connects to addr, or (addr empty) hosts an in-process
 // server on a loopback socket so bench/loadgen still drive real TCP.
 // conns is the per-endpoint connection count (0 = CPU-aware default).
-func dialOrSelfHost(addr string, a *arrayFlags, conns int) (*serve.Client, func(), error) {
+// The returned Frontend is non-nil only when self-hosting — it is what
+// loadgen -record hooks its trace writer into.
+func dialOrSelfHost(addr string, a *arrayFlags, conns int) (*serve.Client, *serve.Frontend, func(), error) {
 	cleanup := func() {}
+	var front *serve.Frontend
 	if addr == "" {
-		front, err := a.newFrontend()
+		var err error
+		front, err = a.newFrontend()
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		srv := serve.NewServer(front)
 		go srv.Serve(ln)
@@ -255,10 +270,10 @@ func dialOrSelfHost(addr string, a *arrayFlags, conns int) (*serve.Client, func(
 	c, err := serve.Dial(addr, opts...)
 	if err != nil {
 		cleanup()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	fmt.Printf("connected: %d disks, %d units of %d B\n", c.Disks(), c.Capacity(), c.UnitSize())
-	return c, func() { c.Close(); cleanup() }, nil
+	return c, front, func() { c.Close(); cleanup() }, nil
 }
 
 func cmdBench(args []string) error {
@@ -266,16 +281,18 @@ func cmdBench(args []string) error {
 	addr := fs.String("addr", "", "server address (empty: self-hosted)")
 	clients := fs.Int("clients", 64, "concurrent client goroutines")
 	secs := fs.Float64("seconds", 2, "seconds per measurement")
+	seed := fs.Uint64("seed", 1, "bench seed (sets the starting offset of the access sweep)")
 	conns := fs.Int("conns", 0, "TCP connections to the server (0 = CPU-aware default)")
 	a := addArrayFlags(fs)
 	fs.Parse(args)
-	c, cleanup, err := dialOrSelfHost(*addr, a, *conns)
+	c, _, cleanup, err := dialOrSelfHost(*addr, a, *conns)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
 	unit := c.UnitSize()
 	capacity := c.Capacity()
+	fmt.Printf("seed %d\n", *seed)
 
 	run := func(name string, op func(c *serve.Client, i int, buf []byte) error) error {
 		deadline := time.Now().Add(time.Duration(*secs * float64(time.Second)))
@@ -283,6 +300,7 @@ func cmdBench(args []string) error {
 		var wg sync.WaitGroup
 		errs := make(chan error, *clients)
 		var next atomic.Int64
+		next.Store(int64(*seed % uint64(capacity)))
 		// One shared lock-free histogram; every client goroutine records
 		// into it directly.
 		var hist obs.Hist
@@ -346,15 +364,51 @@ func cmdLoadgen(args []string) error {
 	failDisk := fs.Int("fail", -1, "fail this disk first and replay degraded")
 	background := fs.Bool("background", false, "submit as Background class")
 	conns := fs.Int("conns", 0, "TCP connections to the server (0 = CPU-aware default)")
+	record := fs.String("record", "", "record the server's request stream to this trace file (self-hosted only)")
+	replay := fs.String("replay", "", "replay a recorded trace file instead of generating a workload")
+	speed := fs.Float64("speed", 0, "replay speed multiplier (1 = recorded timing, 2 = twice as fast, 0 = flat out)")
 	a := addArrayFlags(fs)
 	fs.Parse(args)
-	c, cleanup, err := dialOrSelfHost(*addr, a, *conns)
+	c, front, cleanup, err := dialOrSelfHost(*addr, a, *conns)
 	if err != nil {
 		return err
 	}
 	defer cleanup()
 	capacity := c.Capacity()
 	unit := c.UnitSize()
+
+	if *replay != "" {
+		return runReplay(c, *replay, *speed)
+	}
+
+	var stopRecord func() error
+	if *record != "" {
+		if front == nil {
+			return fmt.Errorf("loadgen: -record needs a self-hosted server (drop -addr)")
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		tw, err := sim.NewTraceWriter(f, unit)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		front.RecordTrace(tw)
+		stopRecord = func() error {
+			front.RecordTrace(nil)
+			if err := tw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("recorded %d ops to %s\n", tw.Ops(), *record)
+			return nil
+		}
+	}
 
 	if *failDisk >= 0 {
 		if err := c.Fail(*failDisk); err != nil {
@@ -385,7 +439,7 @@ func cmdLoadgen(args []string) error {
 			return fmt.Errorf("loadgen: unknown workload %q", *workload)
 		}
 	}
-	fmt.Printf("replaying %d ops of %s over %d clients\n", *ops, gens[0].Name(), *clients)
+	fmt.Printf("replaying %d ops of %s over %d clients (seed %d)\n", *ops, gens[0].Name(), *clients, *seed)
 
 	class := serve.Foreground
 	if *background {
@@ -445,5 +499,81 @@ func cmdLoadgen(args []string) error {
 	fmt.Printf("server: degraded ops %d; %d batches, mean size %.1f\n",
 		st.Store.Degraded, st.Frontend.Batches,
 		float64(st.Frontend.BatchedOps)/float64(max(st.Frontend.Batches, 1)))
+	if stopRecord != nil {
+		return stopRecord()
+	}
 	return nil
+}
+
+// runReplay replays a recorded trace file against the connected server
+// and reports the latency it measured, split by recorded op class.
+func runReplay(c *serve.Client, path string, speed float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	tr, err := sim.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if tr.UnitSize != c.UnitSize() {
+		fmt.Printf("note: trace unit %d B, server unit %d B — replay wraps addresses, latency is not a faithful reproduction\n",
+			tr.UnitSize, c.UnitSize())
+	}
+	pace := "flat out"
+	if speed > 0 {
+		pace = fmt.Sprintf("at %gx recorded timing", speed)
+	}
+	fmt.Printf("replaying %d traced ops (%v recorded) %s\n", len(tr.Ops), tr.Duration().Round(time.Millisecond), pace)
+	rep, err := scenario.ReplayTrace(&scenario.ClientTarget{C: c}, tr, speed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d ops (%d errors) in %v: %10.0f ops/s\n",
+		rep.Ops, rep.Errors, rep.Took.Round(time.Millisecond), float64(rep.Ops)/rep.Took.Seconds())
+	fmt.Printf("foreground: p50 %v  p95 %v  p99 %v  mean %v\n",
+		rep.Foreground.P50.Round(time.Microsecond), rep.Foreground.P95.Round(time.Microsecond),
+		rep.Foreground.P99.Round(time.Microsecond), rep.Foreground.Mean.Round(time.Microsecond))
+	if rep.Background.Count > 0 {
+		fmt.Printf("background: p50 %v  p99 %v  mean %v\n",
+			rep.Background.P50.Round(time.Microsecond), rep.Background.P99.Round(time.Microsecond),
+			rep.Background.Mean.Round(time.Microsecond))
+	}
+	return nil
+}
+
+// cmdScenario runs a versioned JSON fault schedule against a server —
+// remote via -addr, or a self-hosted loopback endpoint — and exits
+// nonzero when a declared SLO is violated or verify mode catches a
+// data mismatch.
+func cmdScenario(args []string) error {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	addr := fs.String("addr", "", "server address (empty: self-hosted)")
+	file := fs.String("f", "", "schedule file (JSON, see pdl/scenario)")
+	seed := fs.Uint64("seed", 0, "override the schedule's seed (0 = keep the file's)")
+	conns := fs.Int("conns", 0, "TCP connections to the server (0 = CPU-aware default)")
+	a := addArrayFlags(fs)
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("scenario: -f schedule.json required")
+	}
+	sc, err := scenario.ReadScheduleFile(*file)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	c, _, cleanup, err := dialOrSelfHost(*addr, a, *conns)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	fmt.Printf("running scenario %q (%d phases, seed %d)\n", sc.Name, len(sc.Phases), sc.Seed)
+	rep, err := scenario.Run(sc, &scenario.ClientTarget{C: c})
+	if rep != nil {
+		rep.WriteText(os.Stdout)
+	}
+	return err
 }

@@ -1,133 +1,59 @@
 package cluster_test
 
 import (
-	"bytes"
-	"math/rand"
-	"os"
-	"strconv"
-	"sync"
 	"testing"
 	"time"
 
 	"repro/pdl/cluster"
+	"repro/pdl/scenario"
+	"repro/pdl/scenario/scenariotest"
 	"repro/pdl/serve"
-	"repro/pdl/store"
 )
 
 // TestClusterSoak is the cluster's mid-traffic failure drill, run under
-// -race in CI: workers on disjoint namespace slices hammer random spans
-// through one shared client while one shard's disk fails and rebuilds
-// online. The other shards are separate failure domains, so no operation
-// may error at any point; afterward every slice must match its worker's
-// mirror bit-exact and every shard's array must satisfy parity.
+// -race in CI, scripted through the scenario engine: workers hammer
+// 96-byte spans through one shared client — a multiple of the 32 B
+// array unit (two workers sharing one would race on its read-modify-
+// write) but deliberately unaligned with the 64 B shard-unit, so ops
+// cross shard boundaries constantly — while shard 1 loses a disk and
+// rebuilds online, both over the admin wire. The other shards are
+// separate failure domains, so no operation may error in any phase
+// (the zero-value SLO forbids errors); verify mode checks every read
+// against the model and sweeps at the end, and the harness audits
+// every shard's parity after the run. PDL_SCENARIO_OPS lengthens each
+// phase for the nightly soak.
 func TestClusterSoak(t *testing.T) {
-	const (
-		unitBytes = 64
-		workers   = 6
-	)
-	// PDL_SOAK_OPS lengthens the drill for the nightly -race soak.
-	opsPer := 200
-	if v := os.Getenv("PDL_SOAK_OPS"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			opsPer = n
+	tc := scenariotest.StartCluster(t, scenariotest.Array{}, 64, []int64{24, 36, 48},
+		cluster.ByCapacity, serve.Config{QueueDepth: 32, FlushDelay: 100 * time.Microsecond})
+	tgt := tc.NewCluster(t, 96, cluster.Options{})
+	ops := scenariotest.Ops(1000)
+	load := scenario.Load{Workers: 6, Ops: ops, WriteFrac: 0.5}
+	sc := &scenario.Scenario{
+		Name:   "cluster-soak",
+		Seed:   0x50AC,
+		Verify: true,
+		Phases: []scenario.Phase{
+			{Name: "healthy", Load: load, SLO: &scenario.SLO{}},
+			{
+				Name:   "degraded",
+				Load:   load,
+				Events: []scenario.Event{{Action: scenario.ActFail, Shard: 1, Disk: 3, AtOps: ops / 10}},
+				SLO:    &scenario.SLO{},
+			},
+			{
+				Name:   "rebuild",
+				Load:   load,
+				Events: []scenario.Event{{Action: scenario.ActRebuild, Shard: 1, AtOps: ops / 10}},
+				SLO:    &scenario.SLO{RequireHealthy: true},
+			},
+			{Name: "rebuilt", Load: load, SLO: &scenario.SLO{RequireHealthy: true}},
+		},
+	}
+	rep := scenariotest.Run(t, sc, tgt)
+	for i := range rep.Phases {
+		if rep.Phases[i].Errors != 0 {
+			t.Fatalf("phase %q saw %d errors during single-shard degradation",
+				rep.Phases[i].Name, rep.Phases[i].Errors)
 		}
-	}
-	tc := startCluster(t, unitBytes, []int64{24, 36, 48}, cluster.ByCapacity,
-		serve.Config{QueueDepth: 32, FlushDelay: 100 * time.Microsecond})
-	c := tc.open(t, cluster.Options{})
-	size := c.Size()
-
-	// Disjoint half-open slices. Boundaries align to the 32 B array unit
-	// (sub-unit writes are read-modify-write inside a shard, so two
-	// workers sharing one array unit would race) but deliberately NOT to
-	// the 64 B shard-unit, so worker spans cross shard boundaries
-	// constantly.
-	bounds := make([]int64, workers+1)
-	for w := 1; w < workers; w++ {
-		b := size * int64(w) / workers
-		b -= b % shardStoreUnit
-		if b%unitBytes == 0 {
-			b += shardStoreUnit
-		}
-		bounds[w] = b
-	}
-	bounds[workers] = size
-
-	mirrors := make([][]byte, workers)
-	var wg sync.WaitGroup
-	errc := make(chan error, workers)
-	for w := 0; w < workers; w++ {
-		lo, hi := bounds[w], bounds[w+1]
-		mirrors[w] = make([]byte, hi-lo)
-		wg.Add(1)
-		go func(w int, lo, hi int64, mirror []byte) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(w)*977 + 11))
-			buf := make([]byte, 4*unitBytes)
-			for op := 0; op < opsPer; op++ {
-				span := hi - lo
-				off := lo + rng.Int63n(span)
-				n := 1 + rng.Int63n(int64(len(buf)))
-				if off+n > hi {
-					n = hi - off
-				}
-				p := buf[:n]
-				if rng.Intn(2) == 0 {
-					rng.Read(p)
-					if _, err := c.WriteAt(p, off); err != nil {
-						errc <- err
-						return
-					}
-					copy(mirror[off-lo:], p)
-				} else {
-					if _, err := c.ReadAt(p, off); err != nil {
-						errc <- err
-						return
-					}
-					if !bytes.Equal(p, mirror[off-lo:off-lo+n]) {
-						t.Errorf("worker %d: read [%d,%d) diverges mid-soak", w, off, off+n)
-						return
-					}
-				}
-			}
-		}(w, lo, hi, mirrors[w])
-	}
-
-	// Mid-traffic: shard 1 loses a disk, serves degraded, then rebuilds
-	// online onto a fresh replacement — all while spans keep landing on it.
-	victim := tc.shards[1]
-	time.Sleep(2 * time.Millisecond)
-	if err := victim.store.Fail(3); err != nil {
-		t.Error(err)
-	}
-	time.Sleep(2 * time.Millisecond)
-	if err := victim.store.Rebuild(store.NewMemDisk(victim.diskBytes)); err != nil {
-		t.Error(err)
-	}
-
-	wg.Wait()
-	close(errc)
-	for err := range errc {
-		t.Fatalf("operation failed during single-shard degradation: %v", err)
-	}
-
-	// Final sweep: the namespace equals the concatenated worker mirrors.
-	got := make([]byte, size)
-	if _, err := c.ReadAt(got, 0); err != nil {
-		t.Fatal(err)
-	}
-	for w := 0; w < workers; w++ {
-		if !bytes.Equal(got[bounds[w]:bounds[w+1]], mirrors[w]) {
-			t.Fatalf("worker %d slice [%d,%d) diverges after soak", w, bounds[w], bounds[w+1])
-		}
-	}
-	// Every shard — including the rebuilt one — satisfies parity.
-	for s, ts := range tc.shards {
-		if err := ts.store.VerifyParity(); err != nil {
-			t.Fatalf("shard %d parity after soak: %v", s, err)
-		}
-	}
-	if failed := victim.store.Failed(); failed != -1 {
-		t.Fatalf("victim shard still degraded: disk %d", failed)
 	}
 }

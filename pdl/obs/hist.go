@@ -103,6 +103,61 @@ func (s *HistSnapshot) Percentile(p float64) time.Duration {
 	return bucketUpper(histBuckets - 1)
 }
 
+// Sub returns the window between two snapshots of one Hist: the
+// observations recorded after prev was loaded and before s was. It is
+// how a phase-scoped report is carved out of a histogram that records
+// for the process's whole life (the scenario engine snapshots at every
+// phase boundary and reports the deltas). prev must be the earlier
+// snapshot of the same Hist; each bucket is clamped at zero so a
+// mismatched pair degrades to an empty window instead of nonsense.
+//
+// Under concurrent recording the earlier snapshot may hold bucket
+// increments whose count landed after it (see Hist's ordering
+// contract), so the window's Count is clamped to its bucket total —
+// Percentile ranks still resolve inside the buckets.
+func (s *HistSnapshot) Sub(prev *HistSnapshot) HistSnapshot {
+	var out HistSnapshot
+	var bucketSum int64
+	for b := range s.Buckets {
+		if d := s.Buckets[b] - prev.Buckets[b]; d > 0 {
+			out.Buckets[b] = d
+			bucketSum += d
+		}
+	}
+	out.Count = s.Count - prev.Count
+	if out.Count < 0 {
+		out.Count = 0
+	}
+	if out.Count > bucketSum {
+		out.Count = bucketSum
+	}
+	if out.SumNanos = s.SumNanos - prev.SumNanos; out.SumNanos < 0 {
+		out.SumNanos = 0
+	}
+	return out
+}
+
+// Merge adds other's observations into s, so one report can summarize
+// several histograms (say, a phase's reads and writes together).
+func (s *HistSnapshot) Merge(other *HistSnapshot) {
+	s.Count += other.Count
+	s.SumNanos += other.SumNanos
+	for b := range s.Buckets {
+		s.Buckets[b] += other.Buckets[b]
+	}
+}
+
+// Summary condenses the snapshot the same way Hist.Summary does.
+func (s *HistSnapshot) Summary() Summary {
+	return Summary{
+		Count: s.Count,
+		P50:   s.Percentile(50),
+		P95:   s.Percentile(95),
+		P99:   s.Percentile(99),
+		Mean:  s.Mean(),
+	}
+}
+
 // Mean returns the average observed duration, or 0 with no observations.
 func (s *HistSnapshot) Mean() time.Duration {
 	if s.Count == 0 {

@@ -114,3 +114,66 @@ func TestHistConcurrentLoad(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestHistSnapshotSub carves a window out of a continuously-recording
+// histogram: the delta between two snapshots must summarize exactly the
+// observations recorded between them.
+func TestHistSnapshotSub(t *testing.T) {
+	var h Hist
+	for i := 0; i < 100; i++ {
+		h.Record(10 * time.Microsecond)
+	}
+	var before HistSnapshot
+	h.Load(&before)
+	for i := 0; i < 50; i++ {
+		h.Record(3 * time.Millisecond)
+	}
+	var after HistSnapshot
+	h.Load(&after)
+
+	win := after.Sub(&before)
+	if win.Count != 50 {
+		t.Fatalf("window count = %d, want 50", win.Count)
+	}
+	if got := win.Percentile(50); got < 3*time.Millisecond || got > 8*time.Millisecond {
+		t.Errorf("window p50 = %v, want within the 3ms bucket", got)
+	}
+	if got := win.Mean(); got != 3*time.Millisecond {
+		t.Errorf("window mean = %v, want 3ms", got)
+	}
+	// The full histogram still sees both populations.
+	if after.Count != 150 {
+		t.Errorf("cumulative count = %d, want 150", after.Count)
+	}
+
+	// A swapped pair degrades to an empty window, never panics or goes
+	// negative.
+	empty := before.Sub(&after)
+	if empty.Count != 0 || empty.SumNanos != 0 {
+		t.Errorf("reversed Sub = count %d sum %d, want empty", empty.Count, empty.SumNanos)
+	}
+	if got := empty.Percentile(99); got != 0 {
+		t.Errorf("reversed Sub p99 = %v, want 0", got)
+	}
+}
+
+// TestHistSnapshotMerge folds two snapshots into one summary.
+func TestHistSnapshotMerge(t *testing.T) {
+	var reads, writes Hist
+	for i := 0; i < 30; i++ {
+		reads.Record(time.Microsecond)
+	}
+	for i := 0; i < 70; i++ {
+		writes.Record(16 * time.Microsecond)
+	}
+	var r, w HistSnapshot
+	reads.Load(&r)
+	writes.Load(&w)
+	r.Merge(&w)
+	if r.Count != 100 {
+		t.Fatalf("merged count = %d, want 100", r.Count)
+	}
+	if got := r.Summary(); got.Count != 100 || got.P99 < 16*time.Microsecond {
+		t.Errorf("merged summary = %+v", got)
+	}
+}

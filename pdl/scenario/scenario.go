@@ -1,0 +1,270 @@
+// Package scenario is the repo's fault-injection test harness: a
+// deterministic engine that drives a scripted schedule of faults
+// ("fail disk 3", "rebuild", "kill shard 2 and restart it") against a
+// live serving target while measuring per-phase latency, and judges the
+// result against declared SLOs ("degraded p99 stays within 3x of
+// healthy p99", "rebuild under load finishes inside its budget").
+//
+// A Scenario is a declarative value: phases run in order, each phase
+// runs a seeded workload while its events fire in schedule order, and
+// the report carries one latency window per phase carved from
+// cumulative obs.Hist snapshots. The same scenario value — or the same
+// versioned JSON schedule file — runs unchanged against an in-process
+// store.Store, a serve frontend, a pdlserve TCP endpoint, or a whole
+// cluster of shards, so a regression asserted at one layer is asserted
+// at every layer above it.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Action names one scripted fault-injection step.
+type Action string
+
+const (
+	// ActFail fails Disk on Shard's array (degraded mode begins).
+	ActFail Action = "fail"
+	// ActRebuild rebuilds Shard's lowest failed disk onto a fresh
+	// replacement, blocking the schedule until it completes; the
+	// rebuild's duration is recorded for SLO judgment.
+	ActRebuild Action = "rebuild"
+	// ActKill kills Shard's serving process (cluster targets); its
+	// store keeps its bytes, like a crashed pdlserve.
+	ActKill Action = "kill"
+	// ActRestart revives a killed shard on its old address.
+	ActRestart Action = "restart"
+	// ActPauseBackground gates the scenario's background workload off.
+	ActPauseBackground Action = "pause-bg"
+	// ActResumeBackground reopens the background gate.
+	ActResumeBackground Action = "resume-bg"
+)
+
+// valid reports whether a is a known action.
+func (a Action) valid() bool {
+	switch a {
+	case ActFail, ActRebuild, ActKill, ActRestart, ActPauseBackground, ActResumeBackground:
+		return true
+	}
+	return false
+}
+
+// Event is one scheduled step inside a phase. Events fire strictly in
+// slice order — that ordering is the determinism contract, identical on
+// every run of the same scenario. AtOps and At only say when the
+// coordinator starts waiting to fire the next event: after the phase's
+// completed-op counter passes AtOps (deterministic against op progress,
+// the right trigger for tests) and after At of wall-clock has elapsed
+// since the phase began (the right trigger for live experiments). Both
+// zero fires the event immediately.
+type Event struct {
+	Action Action        `json:"action"`
+	Shard  int           `json:"shard,omitempty"`
+	Disk   int           `json:"disk,omitempty"`
+	AtOps  int64         `json:"at_ops,omitempty"`
+	At     time.Duration `json:"-"`
+}
+
+// Load shapes one workload: Workers concurrent submitters each drawing
+// from a seeded sim generator (Zipf-skewed when ZipfTheta > 0, uniform
+// otherwise) with the given write fraction. The load runs until Ops
+// total operations complete (deterministic) or Duration elapses,
+// whichever is set; a phase load must set at least one.
+type Load struct {
+	Workers   int           `json:"workers"`
+	Ops       int64         `json:"ops,omitempty"`
+	Duration  time.Duration `json:"-"`
+	WriteFrac float64       `json:"write_frac"`
+	ZipfTheta float64       `json:"zipf_theta,omitempty"`
+}
+
+// SLO declares the latency and recovery targets a phase must meet; any
+// violated clause fails the scenario with ErrSLO. The zero value of
+// each clause disables it — except errors: a phase that declares any
+// SLO tolerates at most MaxErrors op errors (so the default is zero
+// tolerance; set -1 to allow any, e.g. across a kill window).
+type SLO struct {
+	// MaxP99 bounds the phase's foreground p99 absolutely.
+	MaxP99 time.Duration `json:"-"`
+
+	// MaxP99Ratio bounds the phase's foreground p99 relative to the
+	// earlier phase named P99RatioTo — the degraded-vs-healthy
+	// regression clause ("degraded p99 <= 3x healthy p99").
+	MaxP99Ratio float64 `json:"max_p99_ratio,omitempty"`
+	P99RatioTo  string  `json:"p99_ratio_to,omitempty"`
+
+	// P99Floor mutes the ratio clause while the phase's p99 sits below
+	// this absolute bound. Microsecond-scale baselines make a raw ratio
+	// one scheduler stall away from a false alarm; a floor keeps the
+	// clause about real degraded-path regressions.
+	P99Floor time.Duration `json:"-"`
+
+	// MaxRebuild bounds the duration of every rebuild event that fires
+	// during the phase.
+	MaxRebuild time.Duration `json:"-"`
+
+	// MaxErrors caps op errors in the phase: 0 forbids them, -1 allows
+	// any, n > 0 allows up to n.
+	MaxErrors int64 `json:"max_errors,omitempty"`
+
+	// RequireHealthy asserts the target reports no failed disks when
+	// the phase ends — the "recovered" clause after a rebuild.
+	RequireHealthy bool `json:"require_healthy,omitempty"`
+}
+
+// Phase is one chapter of a scenario: a workload, the events that fire
+// under it, and the SLO its latency window must meet.
+type Phase struct {
+	Name   string  `json:"name"`
+	Load   Load    `json:"load"`
+	Events []Event `json:"events,omitempty"`
+	SLO    *SLO    `json:"slo,omitempty"`
+}
+
+// Scenario is a complete scripted experiment.
+type Scenario struct {
+	Name string `json:"name"`
+
+	// Seed derives every worker's generator; one seed reproduces the
+	// whole run.
+	Seed uint64 `json:"seed"`
+
+	// Verify turns on data checking: workers own disjoint logical
+	// lanes, model every write, check every read, and the engine
+	// sweeps all written units at the end. Costs throughput; tests
+	// want it on, latency experiments off.
+	Verify bool `json:"verify,omitempty"`
+
+	// Background, when non-nil, runs a background-class workload for
+	// the scenario's whole life (between pause-bg/resume-bg events).
+	// Its Ops/Duration are ignored; it stops when the phases end.
+	Background *Load `json:"background,omitempty"`
+
+	Phases []Phase `json:"phases"`
+}
+
+// Engine bounds, far above any sane scenario; they keep hostile
+// schedule files from provisioning absurd runs.
+const (
+	maxPhases     = 256
+	maxEvents     = 1024
+	maxWorkers    = 4096
+	maxLoadOps    = int64(1) << 40
+	maxEventDelay = 24 * time.Hour
+	maxDisk       = 1 << 20
+	maxShard      = 1 << 20
+)
+
+// Validate checks the scenario against the engine's bounds: it is what
+// DecodeSchedule enforces on files and Run enforces on Go values, so a
+// scenario that validates runs on any target.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return errors.New("scenario: name required")
+	}
+	if len(s.Phases) == 0 {
+		return errors.New("scenario: at least one phase required")
+	}
+	if len(s.Phases) > maxPhases {
+		return fmt.Errorf("scenario: %d phases exceeds %d", len(s.Phases), maxPhases)
+	}
+	if s.Background != nil {
+		if err := validateLoad(s.Background, "background", false); err != nil {
+			return err
+		}
+	}
+	seen := make(map[string]bool, len(s.Phases))
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		if p.Name == "" {
+			return fmt.Errorf("scenario: phase %d: name required", i)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("scenario: phase %q appears twice", p.Name)
+		}
+		if err := validateLoad(&p.Load, p.Name, true); err != nil {
+			return err
+		}
+		if len(p.Events) > maxEvents {
+			return fmt.Errorf("scenario: phase %q: %d events exceeds %d", p.Name, len(p.Events), maxEvents)
+		}
+		for j := range p.Events {
+			if err := validateEvent(&p.Events[j], p.Name, j); err != nil {
+				return err
+			}
+			if p.Load.Ops > 0 && p.Events[j].AtOps > p.Load.Ops {
+				return fmt.Errorf("scenario: phase %q event %d: at_ops %d beyond the phase's %d-op budget",
+					p.Name, j, p.Events[j].AtOps, p.Load.Ops)
+			}
+		}
+		if p.SLO != nil {
+			if err := validateSLO(p.SLO, p.Name, seen); err != nil {
+				return err
+			}
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}
+
+func validateLoad(l *Load, name string, needBudget bool) error {
+	if l.Workers < 1 || l.Workers > maxWorkers {
+		return fmt.Errorf("scenario: %s load: workers %d outside [1,%d]", name, l.Workers, maxWorkers)
+	}
+	if l.Ops < 0 || l.Ops > maxLoadOps {
+		return fmt.Errorf("scenario: %s load: ops %d outside [0,%d]", name, l.Ops, maxLoadOps)
+	}
+	if l.Duration < 0 || l.Duration > maxEventDelay {
+		return fmt.Errorf("scenario: %s load: bad duration %v", name, l.Duration)
+	}
+	if needBudget && l.Ops == 0 && l.Duration == 0 {
+		return fmt.Errorf("scenario: %s load: needs an ops or duration budget", name)
+	}
+	if l.WriteFrac < 0 || l.WriteFrac > 1 {
+		return fmt.Errorf("scenario: %s load: write fraction %v outside [0,1]", name, l.WriteFrac)
+	}
+	if l.ZipfTheta < 0 || l.ZipfTheta > 4 {
+		return fmt.Errorf("scenario: %s load: zipf theta %v outside [0,4]", name, l.ZipfTheta)
+	}
+	return nil
+}
+
+func validateEvent(e *Event, phase string, j int) error {
+	if !e.Action.valid() {
+		return fmt.Errorf("scenario: phase %q event %d: unknown action %q", phase, j, e.Action)
+	}
+	if e.Shard < 0 || e.Shard > maxShard {
+		return fmt.Errorf("scenario: phase %q event %d: bad shard %d", phase, j, e.Shard)
+	}
+	if e.Disk < 0 || e.Disk > maxDisk {
+		return fmt.Errorf("scenario: phase %q event %d: bad disk %d", phase, j, e.Disk)
+	}
+	if e.AtOps < 0 || e.AtOps > maxLoadOps {
+		return fmt.Errorf("scenario: phase %q event %d: bad at_ops %d", phase, j, e.AtOps)
+	}
+	if e.At < 0 || e.At > maxEventDelay {
+		return fmt.Errorf("scenario: phase %q event %d: bad at %v", phase, j, e.At)
+	}
+	return nil
+}
+
+func validateSLO(s *SLO, phase string, earlier map[string]bool) error {
+	if s.MaxP99 < 0 || s.MaxRebuild < 0 || s.P99Floor < 0 {
+		return fmt.Errorf("scenario: phase %q: negative SLO bound", phase)
+	}
+	if s.MaxP99Ratio < 0 {
+		return fmt.Errorf("scenario: phase %q: negative p99 ratio", phase)
+	}
+	if (s.MaxP99Ratio > 0) != (s.P99RatioTo != "") {
+		return fmt.Errorf("scenario: phase %q: max_p99_ratio and p99_ratio_to go together", phase)
+	}
+	if s.P99RatioTo != "" && !earlier[s.P99RatioTo] {
+		return fmt.Errorf("scenario: phase %q: p99_ratio_to %q is not an earlier phase", phase, s.P99RatioTo)
+	}
+	if s.MaxErrors < -1 {
+		return fmt.Errorf("scenario: phase %q: bad max_errors %d", phase, s.MaxErrors)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// The schedule file is the scenario's portable form: a versioned JSON
+// document checked into testdata and handed to `pdlserve scenario -f`
+// or `pdlcluster scenario -f`. Durations are human strings ("250ms",
+// "3s") — schedules are written by hand. The decoder applies the same
+// Validate as Run, so a file that decodes runs on any target, and it
+// rejects files from a newer format with ErrScheduleVersion rather
+// than misreading them (bump ScheduleVersion on any breaking change;
+// see CONTRIBUTING.md).
+
+// ScheduleVersion is the newest schedule format this package reads and
+// writes.
+const ScheduleVersion = 1
+
+// ErrScheduleVersion reports a schedule written by a newer format; it
+// supports errors.Is.
+var ErrScheduleVersion = errors.New("scenario: unsupported schedule format version")
+
+// maxScheduleBytes bounds a schedule file against hostile input.
+const maxScheduleBytes = 1 << 22
+
+// scheduleFile is the on-disk envelope.
+type scheduleFile struct {
+	Version int `json:"version"`
+	Scenario
+}
+
+// EncodeSchedule renders the scenario as a version-stamped JSON
+// schedule. It validates first: this package never writes a file it
+// would refuse to read.
+func EncodeSchedule(s *Scenario) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.MarshalIndent(scheduleFile{Version: ScheduleVersion, Scenario: *s}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode schedule: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeSchedule parses and validates a JSON schedule. Unknown
+// top-level fields are rejected — a typoed key must not silently
+// disable a fault. It never panics on hostile bytes (FuzzDecodeSchedule
+// pins this).
+func DecodeSchedule(b []byte) (*Scenario, error) {
+	if len(b) > maxScheduleBytes {
+		return nil, fmt.Errorf("scenario: schedule is %d bytes, over the %d cap", len(b), maxScheduleBytes)
+	}
+	var f scheduleFile
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("scenario: decode schedule: %w", err)
+	}
+	if f.Version < 1 {
+		return nil, fmt.Errorf("scenario: schedule missing format version")
+	}
+	if f.Version > ScheduleVersion {
+		return nil, fmt.Errorf("scenario: %w: format %d, this build reads <= %d", ErrScheduleVersion, f.Version, ScheduleVersion)
+	}
+	if err := f.Scenario.Validate(); err != nil {
+		return nil, err
+	}
+	return &f.Scenario, nil
+}
+
+// ReadScheduleFile is DecodeSchedule over a file.
+func ReadScheduleFile(path string) (*Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return DecodeSchedule(b)
+}
+
+// Duration fields ride JSON as human strings through shadow structs:
+// each type with a time.Duration field tags it `json:"-"` and supplies
+// the string form here. Decoding also accepts a bare number of
+// nanoseconds, so programmatic writers needn't format.
+
+func fmtDur(d time.Duration) string {
+	if d == 0 {
+		return ""
+	}
+	return d.String()
+}
+
+func parseDur(dst *time.Duration, raw json.RawMessage, field string) error {
+	if len(raw) == 0 {
+		*dst = 0
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		if s == "" {
+			*dst = 0
+			return nil
+		}
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: %s: %w", field, err)
+		}
+		*dst = d
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(raw, &ns); err != nil {
+		return fmt.Errorf("scenario: %s: want a duration string or nanoseconds", field)
+	}
+	*dst = time.Duration(ns)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler with At as a duration string.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type raw Event
+	return json.Marshal(struct {
+		raw
+		At string `json:"at,omitempty"`
+	}{raw(e), fmtDur(e.At)})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	type raw Event
+	aux := struct {
+		*raw
+		At json.RawMessage `json:"at"`
+	}{raw: (*raw)(e)}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	return parseDur(&e.At, aux.At, "event at")
+}
+
+// MarshalJSON implements json.Marshaler with Duration as a string.
+func (l Load) MarshalJSON() ([]byte, error) {
+	type raw Load
+	return json.Marshal(struct {
+		raw
+		Duration string `json:"duration,omitempty"`
+	}{raw(l), fmtDur(l.Duration)})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (l *Load) UnmarshalJSON(b []byte) error {
+	type raw Load
+	aux := struct {
+		*raw
+		Duration json.RawMessage `json:"duration"`
+	}{raw: (*raw)(l)}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	return parseDur(&l.Duration, aux.Duration, "load duration")
+}
+
+// MarshalJSON implements json.Marshaler with the duration bounds as
+// strings.
+func (s SLO) MarshalJSON() ([]byte, error) {
+	type raw SLO
+	return json.Marshal(struct {
+		raw
+		MaxP99     string `json:"max_p99,omitempty"`
+		P99Floor   string `json:"p99_floor,omitempty"`
+		MaxRebuild string `json:"max_rebuild,omitempty"`
+	}{raw(s), fmtDur(s.MaxP99), fmtDur(s.P99Floor), fmtDur(s.MaxRebuild)})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *SLO) UnmarshalJSON(b []byte) error {
+	type raw SLO
+	aux := struct {
+		*raw
+		MaxP99     json.RawMessage `json:"max_p99"`
+		P99Floor   json.RawMessage `json:"p99_floor"`
+		MaxRebuild json.RawMessage `json:"max_rebuild"`
+	}{raw: (*raw)(s)}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	if err := parseDur(&s.MaxP99, aux.MaxP99, "slo max_p99"); err != nil {
+		return err
+	}
+	if err := parseDur(&s.P99Floor, aux.P99Floor, "slo p99_floor"); err != nil {
+		return err
+	}
+	return parseDur(&s.MaxRebuild, aux.MaxRebuild, "slo max_rebuild")
+}

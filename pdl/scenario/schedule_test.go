@@ -1,0 +1,130 @@
+package scenario_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pdl/scenario"
+)
+
+// TestScheduleRoundTrip proves a scenario survives the JSON schedule
+// format with durations rendered as human strings.
+func TestScheduleRoundTrip(t *testing.T) {
+	sc := failRebuildScenario(99)
+	sc.Phases[2].SLO.MaxP99Ratio = 16
+	sc.Phases[2].SLO.P99RatioTo = "healthy"
+	sc.Phases[2].Load.Duration = 0
+	sc.Background = &scenario.Load{Workers: 1, WriteFrac: 0.25}
+	sc.Phases[0].Events = []scenario.Event{{Action: scenario.ActPauseBackground, At: 250 * time.Millisecond}}
+
+	b, err := scenario.EncodeSchedule(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"at": "250ms"`) {
+		t.Errorf("duration not rendered as a string:\n%s", b)
+	}
+	if !strings.Contains(string(b), `"max_rebuild": "1m0s"`) {
+		t.Errorf("SLO duration not rendered as a string:\n%s", b)
+	}
+
+	got, err := scenario.DecodeSchedule(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != sc.Name || got.Seed != sc.Seed || !got.Verify {
+		t.Fatalf("header diverges: %+v", got)
+	}
+	if len(got.Phases) != len(sc.Phases) {
+		t.Fatalf("decoded %d phases, want %d", len(got.Phases), len(sc.Phases))
+	}
+	if got.Phases[0].Events[0].At != 250*time.Millisecond {
+		t.Errorf("event at = %v, want 250ms", got.Phases[0].Events[0].At)
+	}
+	if got.Phases[2].SLO.MaxRebuild != time.Minute {
+		t.Errorf("max_rebuild = %v, want 1m", got.Phases[2].SLO.MaxRebuild)
+	}
+	if got.Phases[2].SLO.MaxP99Ratio != 16 || got.Phases[2].SLO.P99RatioTo != "healthy" {
+		t.Errorf("ratio clause diverges: %+v", got.Phases[2].SLO)
+	}
+	if got.Background == nil || got.Background.Workers != 1 {
+		t.Errorf("background load diverges: %+v", got.Background)
+	}
+
+	// A second encode is byte-identical: the format is canonical.
+	again, err := scenario.EncodeSchedule(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(b) {
+		t.Error("re-encode diverges from the first encoding")
+	}
+}
+
+// TestScheduleHostile pins decoder validation: every malformed file is
+// rejected with an error, never a panic or a silently-wrong scenario.
+func TestScheduleHostile(t *testing.T) {
+	good := `{"version":1,"name":"x","seed":1,"phases":[{"name":"p","load":{"workers":1,"ops":10}}]}`
+	if _, err := scenario.DecodeSchedule([]byte(good)); err != nil {
+		t.Fatalf("baseline schedule rejected: %v", err)
+	}
+	cases := map[string]string{
+		"empty":            ``,
+		"not json":         `{{{`,
+		"no version":       `{"name":"x","seed":1,"phases":[{"name":"p","load":{"workers":1,"ops":10}}]}`,
+		"unknown field":    `{"version":1,"name":"x","bogus":1,"phases":[{"name":"p","load":{"workers":1,"ops":10}}]}`,
+		"no phases":        `{"version":1,"name":"x","phases":[]}`,
+		"no name":          `{"version":1,"phases":[{"name":"p","load":{"workers":1,"ops":10}}]}`,
+		"dup phase":        `{"version":1,"name":"x","phases":[{"name":"p","load":{"workers":1,"ops":10}},{"name":"p","load":{"workers":1,"ops":10}}]}`,
+		"bad action":       `{"version":1,"name":"x","phases":[{"name":"p","load":{"workers":1,"ops":10},"events":[{"action":"explode"}]}]}`,
+		"no budget":        `{"version":1,"name":"x","phases":[{"name":"p","load":{"workers":1}}]}`,
+		"bad write frac":   `{"version":1,"name":"x","phases":[{"name":"p","load":{"workers":1,"ops":10,"write_frac":2}}]}`,
+		"bad duration":     `{"version":1,"name":"x","phases":[{"name":"p","load":{"workers":1,"duration":"yesterday"}}]}`,
+		"at_ops > budget":  `{"version":1,"name":"x","phases":[{"name":"p","load":{"workers":1,"ops":10},"events":[{"action":"fail","at_ops":11}]}]}`,
+		"ratio w/o target": `{"version":1,"name":"x","phases":[{"name":"p","load":{"workers":1,"ops":10},"slo":{"max_p99_ratio":3}}]}`,
+		"ratio to later":   `{"version":1,"name":"x","phases":[{"name":"p","load":{"workers":1,"ops":10},"slo":{"max_p99_ratio":3,"p99_ratio_to":"q"}},{"name":"q","load":{"workers":1,"ops":10}}]}`,
+		"workers flood":    `{"version":1,"name":"x","phases":[{"name":"p","load":{"workers":1000000,"ops":10}}]}`,
+	}
+	for name, in := range cases {
+		if _, err := scenario.DecodeSchedule([]byte(in)); err == nil {
+			t.Errorf("%s: decoder accepted hostile schedule", name)
+		}
+	}
+	skew := `{"version":99,"name":"x","phases":[{"name":"p","load":{"workers":1,"ops":10}}]}`
+	if _, err := scenario.DecodeSchedule([]byte(skew)); !errors.Is(err, scenario.ErrScheduleVersion) {
+		t.Errorf("version skew err = %v, want ErrScheduleVersion", err)
+	}
+}
+
+// FuzzDecodeSchedule pins that hostile schedule bytes never panic, and
+// that anything that decodes re-encodes to a schedule that decodes to
+// the same value.
+func FuzzDecodeSchedule(f *testing.F) {
+	seed, err := scenario.EncodeSchedule(failRebuildScenario(3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"version":1,"name":"x","seed":1,"phases":[{"name":"p","load":{"workers":1,"ops":10}}]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":1,"name":"x","phases":[{"name":"p","load":{"workers":1,"duration":"3s"},"events":[{"action":"rebuild","at":"1s"}]}]}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		sc, err := scenario.DecodeSchedule(b)
+		if err != nil {
+			return
+		}
+		enc, err := scenario.EncodeSchedule(sc)
+		if err != nil {
+			t.Fatalf("decoded schedule failed to encode: %v", err)
+		}
+		sc2, err := scenario.DecodeSchedule(enc)
+		if err != nil {
+			t.Fatalf("re-encoded schedule failed to decode: %v", err)
+		}
+		if sc2.Name != sc.Name || sc2.Seed != sc.Seed || len(sc2.Phases) != len(sc.Phases) {
+			t.Fatalf("round trip diverges: %+v vs %+v", sc, sc2)
+		}
+	})
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/pdl/obs"
+	"repro/pdl/sim"
 	"repro/pdl/store"
 )
 
@@ -177,6 +178,13 @@ type Frontend struct {
 	// latHist records end-to-end request latency (admission to
 	// completion), indexed by Class.
 	latHist [2]obs.Hist
+
+	// trace, when set, records every admitted request (kind, class,
+	// logical, arrival time) into a sim.TraceWriter — the capture side
+	// of the scenario engine's record/replay loop. It is an atomic
+	// pointer so the hot path pays one load and a nil check when
+	// recording is off.
+	trace atomic.Pointer[sim.TraceWriter]
 }
 
 // New starts a Frontend serving s. Close releases its goroutines; the
@@ -227,6 +235,15 @@ func (f *Frontend) Stats() Stats {
 		ForegroundLatency: f.latHist[Foreground].Summary(),
 		BackgroundLatency: f.latHist[Background].Summary(),
 	}
+}
+
+// RecordTrace starts recording every admitted request into tw in
+// admission order; nil stops recording. The caller owns the writer and
+// its Flush. Recording captures the live request stream a deployment
+// actually served, so a scenario can replay it later (with original
+// timing or a speed multiplier) against any target.
+func (f *Frontend) RecordTrace(tw *sim.TraceWriter) {
+	f.trace.Store(tw)
 }
 
 // Close drains the queues, executes what was already admitted, and stops
@@ -331,6 +348,15 @@ func (f *Frontend) submit(ctx context.Context, op Op, cb func(error)) (*request,
 	f.submitted.Add(1)
 	if op.Class == Background {
 		f.background.Add(1)
+	}
+	if tw := f.trace.Load(); tw != nil {
+		kind := sim.Read
+		if op.Kind == Write {
+			kind = sim.Write
+		}
+		// Best effort: a sticky writer error surfaces at Flush; dropping
+		// a trace op must never fail the request it shadows.
+		_ = tw.Record(kind, op.Logical, op.Class == Background, r.start)
 	}
 	return r, nil
 }

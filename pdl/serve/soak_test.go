@@ -1,163 +1,59 @@
 package serve_test
 
 import (
-	"bytes"
-	"fmt"
-	"math/rand"
-	"os"
-	"strconv"
-	"sync"
 	"testing"
 	"time"
 
+	"repro/pdl/scenario"
+	"repro/pdl/scenario/scenariotest"
 	"repro/pdl/serve"
 )
 
-// soakOps returns the per-goroutine operation count: def on a normal
-// run, or PDL_SOAK_OPS when set (the nightly workflow cranks it up for
-// a long soak under -race).
-func soakOps(def int) int {
-	if v := os.Getenv("PDL_SOAK_OPS"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			return n
-		}
-	}
-	return def
-}
-
 // TestServeSoak is the network mirror of pdl/store's concurrent hammer,
-// run under -race in CI: several TCP clients, each with several
-// goroutines on disjoint logical slices, hammer reads and writes while
-// the array degrades (Fail over the wire) and rebuilds (Rebuild over the
-// wire, mid-traffic). Every read is checked against the goroutine's own
-// model; afterward the store must verify parity and match the models.
+// run under -race in CI, scripted through the scenario engine: several
+// workers hammer a loopback pdlserve endpoint in verify mode (every
+// read checked against the modeled write, full sweep at the end) while
+// a background-class stream runs and the array degrades (fail over the
+// wire) and rebuilds (over the wire, mid-traffic). The harness audits
+// parity after the run; PDL_SCENARIO_OPS lengthens each phase for the
+// nightly soak.
 func TestServeSoak(t *testing.T) {
-	const (
-		unitSize   = 32
-		clients    = 2
-		goroutines = 4 // per client
-	)
-	opsPerGo := soakOps(250)
-	f := mustFrontend(t, 13, 4, 2, unitSize, serve.Config{QueueDepth: 32, FlushDelay: 100 * time.Microsecond})
-	addr := startServer(t, f)
-
-	conns := make([]*serve.Client, clients)
-	for i := range conns {
-		c, err := serve.Dial(addr)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer c.Close()
-		conns[i] = c
+	tgt := scenariotest.NewServe(t, scenariotest.Array{Copies: 2},
+		serve.Config{QueueDepth: 32, FlushDelay: 100 * time.Microsecond})
+	ops := scenariotest.Ops(1000)
+	load := scenario.Load{Workers: 8, Ops: ops, WriteFrac: 0.66}
+	sc := &scenario.Scenario{
+		Name:       "serve-soak",
+		Seed:       0xD15C,
+		Verify:     true,
+		Background: &scenario.Load{Workers: 2, WriteFrac: 0.66},
+		Phases: []scenario.Phase{
+			{Name: "healthy", Load: load, SLO: &scenario.SLO{}},
+			{
+				Name:   "degraded",
+				Load:   load,
+				Events: []scenario.Event{{Action: scenario.ActFail, Disk: 5, AtOps: ops / 10}},
+				SLO:    &scenario.SLO{},
+			},
+			{
+				// The rebuild fires a tenth of the way in and runs while
+				// the other workers keep the store under load.
+				Name:   "rebuild",
+				Load:   load,
+				Events: []scenario.Event{{Action: scenario.ActRebuild, AtOps: ops / 10}},
+				SLO:    &scenario.SLO{RequireHealthy: true},
+			},
+			{Name: "rebuilt", Load: load, SLO: &scenario.SLO{RequireHealthy: true}},
+		},
 	}
-	capacity := conns[0].Capacity()
-	lanes := clients * goroutines
-	// models[lane][logical] is the lane's expected payload (lanes own
-	// logical % lanes == lane).
-	models := make([]map[int][]byte, lanes)
-	for i := range models {
-		models[i] = make(map[int][]byte)
-	}
-
-	hammer := func(phase int) {
-		t.Helper()
-		var wg sync.WaitGroup
-		errs := make(chan error, lanes)
-		for lane := 0; lane < lanes; lane++ {
-			wg.Add(1)
-			go func(lane int) {
-				defer wg.Done()
-				c := conns[lane%clients]
-				rng := rand.New(rand.NewSource(int64(phase*lanes + lane)))
-				buf := make([]byte, unitSize)
-				got := make([]byte, unitSize)
-				for i := 0; i < opsPerGo; i++ {
-					logical := lane + lanes*rng.Intn(capacity/lanes)
-					if rng.Intn(3) == 0 {
-						if err := c.Read(logical, got); err != nil {
-							errs <- err
-							return
-						}
-						want, written := models[lane][logical]
-						if !written {
-							want = make([]byte, unitSize)
-						}
-						if !bytes.Equal(got, want) {
-							errs <- fmt.Errorf("lane %d phase %d logical %d: got %x want %x", lane, phase, logical, got, want)
-							return
-						}
-						continue
-					}
-					rng.Read(buf)
-					// Mixed classes: a slice of traffic rides the
-					// background queue.
-					class := serve.Foreground
-					if rng.Intn(5) == 0 {
-						class = serve.Background
-					}
-					if err := c.WriteClass(logical, buf, class); err != nil {
-						errs <- err
-						return
-					}
-					models[lane][logical] = append([]byte(nil), buf...)
-				}
-			}(lane)
-		}
-		wg.Wait()
-		close(errs)
-		for err := range errs {
-			t.Fatal(err)
-		}
+	rep := scenariotest.Run(t, sc, tgt)
+	if rep.BackgroundOps == 0 {
+		t.Error("background stream recorded no operations")
 	}
 
-	sweep := func(tag string) {
-		t.Helper()
-		got := make([]byte, unitSize)
-		zero := make([]byte, unitSize)
-		for logical := 0; logical < capacity; logical++ {
-			if err := conns[logical%clients].Read(logical, got); err != nil {
-				t.Fatalf("%s: %v", tag, err)
-			}
-			want, written := models[logical%lanes][logical]
-			if !written {
-				want = zero
-			}
-			if !bytes.Equal(got, want) {
-				t.Fatalf("%s: logical %d: got %x want %x", tag, logical, got, want)
-			}
-		}
-	}
-
-	hammer(1)
-	if err := f.Store().VerifyParity(); err != nil {
-		t.Fatal(err)
-	}
-	sweep("healthy")
-
-	// Disk down over the wire; all traffic continues degraded.
-	if err := conns[0].Fail(5); err != nil {
-		t.Fatal(err)
-	}
-	hammer(2)
-	sweep("degraded")
-
-	// Rebuild over the wire while the hammer keeps running.
-	rebuildErr := make(chan error, 1)
-	go func() { rebuildErr <- conns[1].Rebuild() }()
-	hammer(3)
-	if err := <-rebuildErr; err != nil {
-		t.Fatal(err)
-	}
-	if got := f.Store().Failed(); got != -1 {
-		t.Fatalf("after rebuild: Failed() = %d", got)
-	}
-	if err := f.Store().VerifyParity(); err != nil {
-		t.Fatal(err)
-	}
-	hammer(4)
-	sweep("rebuilt")
-
-	st, err := conns[0].Stats()
+	// The soak must have exercised the paths it claims to: degraded
+	// reads, background batching, and batch formation.
+	st, err := tgt.C.Stats()
 	if err != nil {
 		t.Fatal(err)
 	}

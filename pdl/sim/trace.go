@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// The trace format is the bridge between live serving and the scenario
+// engine: a serve.Frontend records the request stream it actually
+// admitted into a compact binary trace, and the engine (or pdlserve
+// loadgen -replay) replays it later against any target — with the
+// original inter-arrival timing, or scaled by a speed multiplier.
+//
+// Format (version 1), little-endian varints throughout:
+//
+//	"PDLT" magic | u8 version | uvarint unitSize
+//	per op: u8 flags (bit0 write, bit1 background) |
+//	        uvarint logical | uvarint delta-nanos since previous op
+//
+// The stream is append-only and self-delimiting: a reader consumes ops
+// until EOF, so a truncated trace yields its complete prefix.
+
+// traceMagic brands a trace stream.
+const traceMagic = "PDLT"
+
+// TraceVersion is the newest trace format this package reads and
+// writes. Decoding rejects traces from a newer format with
+// ErrTraceVersion rather than guessing.
+const TraceVersion = 1
+
+// ErrTraceVersion reports a trace written by a newer format than this
+// build reads; it supports errors.Is.
+var ErrTraceVersion = errors.New("unsupported trace format version")
+
+// maxTraceUnitSize bounds the recorded unit size against hostile
+// traces (1 GiB is far beyond any sane stripe unit).
+const maxTraceUnitSize = 1 << 30
+
+// maxTraceLogical bounds a recorded address against hostile traces.
+const maxTraceLogical = 1 << 56
+
+// Trace flag bits.
+const (
+	traceFlagWrite      = 1 << 0
+	traceFlagBackground = 1 << 1
+	traceFlagMax        = traceFlagWrite | traceFlagBackground
+)
+
+// TraceOp is one recorded request: the operation, whether it rode the
+// background class, and its arrival delay after the previous op.
+type TraceOp struct {
+	Op
+
+	// Background marks an op admitted on the maintenance class.
+	Background bool
+
+	// Delta is the inter-arrival time since the previous recorded op
+	// (zero for the first). Replay sleeps Delta/speed between ops.
+	Delta time.Duration
+}
+
+// Trace is a fully-decoded request trace.
+type Trace struct {
+	// UnitSize is the payload size the recording server served; replay
+	// targets should serve the same unit size for a faithful replay.
+	UnitSize int
+
+	// Ops is the request stream in arrival order.
+	Ops []TraceOp
+}
+
+// Duration is the trace's recorded wall-clock span: the sum of every
+// inter-arrival delta.
+func (t *Trace) Duration() time.Duration {
+	var d time.Duration
+	for i := range t.Ops {
+		d += t.Ops[i].Delta
+	}
+	return d
+}
+
+// TraceWriter streams ops into the binary trace format. It is safe for
+// concurrent use: a serve.Frontend records from many submitter
+// goroutines, and arrival order is whatever order they reach the
+// writer's lock — the order the server admitted them.
+type TraceWriter struct {
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	last time.Time
+	n    int64
+	err  error
+	tmp  [2 * binary.MaxVarintLen64]byte
+}
+
+// NewTraceWriter starts a version-1 trace on w for a server of the
+// given unit size. Call Flush when recording ends.
+func NewTraceWriter(w io.Writer, unitSize int) (*TraceWriter, error) {
+	if unitSize < 1 || unitSize > maxTraceUnitSize {
+		return nil, fmt.Errorf("sim: trace: unit size %d outside [1,%d]", unitSize, maxTraceUnitSize)
+	}
+	tw := &TraceWriter{bw: bufio.NewWriter(w)}
+	var hdr []byte
+	hdr = append(hdr, traceMagic...)
+	hdr = append(hdr, TraceVersion)
+	hdr = binary.AppendUvarint(hdr, uint64(unitSize))
+	if _, err := tw.bw.Write(hdr); err != nil {
+		return nil, fmt.Errorf("sim: trace: %w", err)
+	}
+	return tw, nil
+}
+
+// Record appends one op stamped at time now. The first recorded op
+// carries a zero delta; later deltas are measured from the previous
+// Record call's stamp. Errors are sticky and also returned by Flush.
+func (tw *TraceWriter) Record(kind OpKind, logical int, background bool, now time.Time) error {
+	if logical < 0 || int64(logical) >= maxTraceLogical {
+		return fmt.Errorf("sim: trace: logical %d out of range", logical)
+	}
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.err != nil {
+		return tw.err
+	}
+	var delta time.Duration
+	if tw.n > 0 {
+		if delta = now.Sub(tw.last); delta < 0 {
+			delta = 0
+		}
+	}
+	tw.last = now
+	tw.n++
+	var flags byte
+	if kind == Write {
+		flags |= traceFlagWrite
+	}
+	if background {
+		flags |= traceFlagBackground
+	}
+	if err := tw.bw.WriteByte(flags); err != nil {
+		tw.err = fmt.Errorf("sim: trace: %w", err)
+		return tw.err
+	}
+	b := binary.AppendUvarint(tw.tmp[:0], uint64(logical))
+	b = binary.AppendUvarint(b, uint64(delta.Nanoseconds()))
+	if _, err := tw.bw.Write(b); err != nil {
+		tw.err = fmt.Errorf("sim: trace: %w", err)
+	}
+	return tw.err
+}
+
+// Ops returns how many ops have been recorded.
+func (tw *TraceWriter) Ops() int64 {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	return tw.n
+}
+
+// Flush drains buffered bytes to the underlying writer and reports any
+// sticky recording error. The writer stays usable afterward.
+func (tw *TraceWriter) Flush() error {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.err != nil {
+		return tw.err
+	}
+	if err := tw.bw.Flush(); err != nil {
+		tw.err = fmt.Errorf("sim: trace: %w", err)
+	}
+	return tw.err
+}
+
+// DecodeTrace parses a complete binary trace. It never panics on
+// hostile input: truncated headers, flag garbage, or out-of-range
+// fields return errors (FuzzDecodeTrace pins this). A stream truncated
+// mid-op returns the decoded prefix alongside io.ErrUnexpectedEOF.
+func DecodeTrace(b []byte) (*Trace, error) {
+	if len(b) < len(traceMagic)+1 {
+		return nil, errors.New("sim: trace: short header")
+	}
+	if string(b[:len(traceMagic)]) != traceMagic {
+		return nil, errors.New("sim: trace: bad magic")
+	}
+	version := b[len(traceMagic)]
+	if version < 1 {
+		return nil, fmt.Errorf("sim: trace: bad version %d", version)
+	}
+	if version > TraceVersion {
+		return nil, fmt.Errorf("sim: trace: %w: format %d, this build reads <= %d", ErrTraceVersion, version, TraceVersion)
+	}
+	rest := b[len(traceMagic)+1:]
+	unit, n := binary.Uvarint(rest)
+	if n <= 0 || unit < 1 || unit > maxTraceUnitSize {
+		return nil, fmt.Errorf("sim: trace: bad unit size")
+	}
+	rest = rest[n:]
+	t := &Trace{UnitSize: int(unit)}
+	for len(rest) > 0 {
+		flags := rest[0]
+		rest = rest[1:]
+		if flags > traceFlagMax {
+			return t, fmt.Errorf("sim: trace: op %d: bad flags %#x", len(t.Ops), flags)
+		}
+		logical, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return t, fmt.Errorf("sim: trace: op %d: %w", len(t.Ops), io.ErrUnexpectedEOF)
+		}
+		rest = rest[n:]
+		delta, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return t, fmt.Errorf("sim: trace: op %d: %w", len(t.Ops), io.ErrUnexpectedEOF)
+		}
+		rest = rest[n:]
+		if logical >= maxTraceLogical {
+			return t, fmt.Errorf("sim: trace: op %d: logical %d out of range", len(t.Ops), logical)
+		}
+		if delta > uint64(int64(1)<<62) {
+			return t, fmt.Errorf("sim: trace: op %d: delta %d out of range", len(t.Ops), delta)
+		}
+		kind := Read
+		if flags&traceFlagWrite != 0 {
+			kind = Write
+		}
+		t.Ops = append(t.Ops, TraceOp{
+			Op:         Op{Kind: kind, Logical: int(logical)},
+			Background: flags&traceFlagBackground != 0,
+			Delta:      time.Duration(delta),
+		})
+	}
+	return t, nil
+}
+
+// ReadTrace is DecodeTrace over a reader.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("sim: trace: %w", err)
+	}
+	return DecodeTrace(b)
+}
+
+// Encode renders the trace back into the binary format, so recorded
+// streams can be edited programmatically and re-saved. It emits the
+// deltas verbatim (including a nonzero first delta, which a TraceWriter
+// never produces but the format can carry), so decode→encode is
+// byte-exact for every decodable trace.
+func (t *Trace) Encode() ([]byte, error) {
+	if t.UnitSize < 1 || t.UnitSize > maxTraceUnitSize {
+		return nil, fmt.Errorf("sim: trace: unit size %d outside [1,%d]", t.UnitSize, maxTraceUnitSize)
+	}
+	var b []byte
+	b = append(b, traceMagic...)
+	b = append(b, TraceVersion)
+	b = binary.AppendUvarint(b, uint64(t.UnitSize))
+	for i := range t.Ops {
+		op := &t.Ops[i]
+		if op.Logical < 0 || int64(op.Logical) >= maxTraceLogical {
+			return nil, fmt.Errorf("sim: trace: op %d: logical %d out of range", i, op.Logical)
+		}
+		if op.Delta < 0 {
+			return nil, fmt.Errorf("sim: trace: op %d: negative delta %v", i, op.Delta)
+		}
+		var flags byte
+		if op.Kind == Write {
+			flags |= traceFlagWrite
+		}
+		if op.Background {
+			flags |= traceFlagBackground
+		}
+		b = append(b, flags)
+		b = binary.AppendUvarint(b, uint64(op.Logical))
+		b = binary.AppendUvarint(b, uint64(op.Delta.Nanoseconds()))
+	}
+	return b, nil
+}
+
+// TraceGenerator replays a trace's op stream through the Generator
+// interface, ignoring timing (the scenario engine handles pacing when
+// timing matters). It wraps around at the end of the trace.
+type TraceGenerator struct {
+	t   *Trace
+	pos int
+}
+
+// NewTraceGenerator returns a Generator cycling through t's ops. The
+// trace must be non-empty.
+func NewTraceGenerator(t *Trace) *TraceGenerator {
+	if len(t.Ops) == 0 {
+		panic("sim: NewTraceGenerator: empty trace")
+	}
+	return &TraceGenerator{t: t}
+}
+
+// Next implements Generator.
+func (g *TraceGenerator) Next() Op {
+	op := g.t.Ops[g.pos].Op
+	g.pos = (g.pos + 1) % len(g.t.Ops)
+	return op
+}
+
+// Name implements Generator.
+func (g *TraceGenerator) Name() string {
+	return fmt.Sprintf("trace(%d ops)", len(g.t.Ops))
+}

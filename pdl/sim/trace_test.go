@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestTraceRoundTrip records a mixed stream and decodes it back
+// byte-exact: kinds, classes, addresses, and inter-arrival deltas.
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rec struct {
+		kind    OpKind
+		logical int
+		bg      bool
+		delta   time.Duration
+	}
+	recs := []rec{
+		{Read, 0, false, 0},
+		{Write, 7, false, 125 * time.Microsecond},
+		{Write, 1 << 20, true, 3 * time.Second},
+		{Read, 42, true, 0},
+		{Read, 999999, false, time.Nanosecond},
+	}
+	at := time.Unix(1000, 0)
+	for i, r := range recs {
+		if i > 0 {
+			at = at.Add(r.delta)
+		}
+		if err := tw.Record(r.kind, r.logical, r.bg, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tw.Ops(); got != int64(len(recs)) {
+		t.Fatalf("Ops() = %d, want %d", got, len(recs))
+	}
+
+	tr, err := DecodeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.UnitSize != 4096 {
+		t.Fatalf("unit size = %d, want 4096", tr.UnitSize)
+	}
+	if len(tr.Ops) != len(recs) {
+		t.Fatalf("decoded %d ops, want %d", len(tr.Ops), len(recs))
+	}
+	for i, r := range recs {
+		op := tr.Ops[i]
+		if op.Kind != r.kind || op.Logical != r.logical || op.Background != r.bg || op.Delta != r.delta {
+			t.Errorf("op %d = %+v, want %+v", i, op, r)
+		}
+	}
+	if want := 3*time.Second + 125*time.Microsecond + time.Nanosecond; tr.Duration() != want {
+		t.Errorf("Duration() = %v, want %v", tr.Duration(), want)
+	}
+
+	// Encode reproduces the original bytes exactly.
+	again, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, buf.Bytes()) {
+		t.Error("Encode() diverges from the recorded bytes")
+	}
+}
+
+// TestTraceTruncated proves a stream cut mid-op yields its complete
+// prefix plus io.ErrUnexpectedEOF — a crashed recorder loses at most
+// the op it was writing.
+func TestTraceTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		at = at.Add(time.Millisecond)
+		if err := tw.Record(Write, 1000+i, false, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	tr, err := DecodeTrace(full[:len(full)-1])
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated decode err = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(tr.Ops) != 9 {
+		t.Fatalf("truncated decode kept %d ops, want 9", len(tr.Ops))
+	}
+}
+
+// TestTraceHostile pins the validation errors: bad magic, version skew,
+// flag garbage, and out-of-range fields never panic.
+func TestTraceHostile(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      nil,
+		"short":      []byte("PD"),
+		"bad magic":  []byte("XXXX\x01\x40"),
+		"version 0":  []byte("PDLT\x00\x40"),
+		"bad unit":   []byte("PDLT\x01\x00"),
+		"bad flags":  append([]byte("PDLT\x01\x40"), 0xFF, 0, 0),
+		"cut varint": append([]byte("PDLT\x01\x40"), 0x01, 0x80),
+		"huge address": append([]byte("PDLT\x01\x40"),
+			0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0x00),
+	}
+	for name, b := range cases {
+		if _, err := DecodeTrace(b); err == nil {
+			t.Errorf("%s: decode accepted hostile input", name)
+		}
+	}
+	skew := []byte("PDLT\x09\x40")
+	if _, err := DecodeTrace(skew); !errors.Is(err, ErrTraceVersion) {
+		t.Errorf("version skew err = %v, want ErrTraceVersion", err)
+	}
+}
+
+// TestTraceGenerator replays the op stream through the Generator
+// interface, wrapping at the end.
+func TestTraceGenerator(t *testing.T) {
+	tr := &Trace{UnitSize: 32, Ops: []TraceOp{
+		{Op: Op{Kind: Read, Logical: 3}},
+		{Op: Op{Kind: Write, Logical: 5}},
+	}}
+	g := NewTraceGenerator(tr)
+	want := []Op{{Read, 3}, {Write, 5}, {Read, 3}}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Errorf("op %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if g.Name() == "" {
+		t.Error("empty Name")
+	}
+}
+
+// FuzzDecodeTrace pins that hostile trace bytes never panic the
+// decoder, and that whatever decodes re-encodes to an equal trace.
+func FuzzDecodeTrace(f *testing.F) {
+	var buf bytes.Buffer
+	tw, _ := NewTraceWriter(&buf, 512)
+	at := time.Unix(0, 0)
+	for i := 0; i < 5; i++ {
+		at = at.Add(time.Duration(i) * time.Millisecond)
+		tw.Record(OpKind(i%2), i*17, i%3 == 0, at)
+	}
+	tw.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("PDLT\x01\x40"))
+	f.Add([]byte("PDLT\x02\x40\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tr, err := DecodeTrace(b)
+		if err != nil {
+			return
+		}
+		enc, err := tr.Encode()
+		if err != nil {
+			t.Fatalf("decoded trace failed to encode: %v", err)
+		}
+		tr2, err := DecodeTrace(enc)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if tr.UnitSize != tr2.UnitSize || len(tr.Ops) != len(tr2.Ops) {
+			t.Fatalf("round trip diverges: %d/%d ops", len(tr.Ops), len(tr2.Ops))
+		}
+		for i := range tr.Ops {
+			if tr.Ops[i] != tr2.Ops[i] {
+				t.Fatalf("op %d diverges: %+v vs %+v", i, tr.Ops[i], tr2.Ops[i])
+			}
+		}
+	})
+}
